@@ -1,0 +1,111 @@
+// Command benchgen emits benchmark graphs in the Gset text format.
+//
+// Usage:
+//
+//	benchgen -kind complete -n 2000 -seed 1 > k2000.gset
+//	benchgen -kind random -n 5000 -p 0.01 > g5000.gset
+//	benchgen -kind regular -n 800 -d 6 > r800.gset
+//	benchgen -suite bench/        # write the standard instance set
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+)
+
+func main() {
+	kind := flag.String("kind", "complete", "graph family: complete, random, regular")
+	n := flag.Int("n", 1000, "number of vertices")
+	p := flag.Float64("p", 0.01, "edge probability (random)")
+	d := flag.Int("d", 6, "base degree (regular)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	suite := flag.String("suite", "", "write the standard benchmark suite into this directory and exit")
+	flag.Parse()
+
+	if *suite != "" {
+		if err := writeSuite(*suite, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	r := rng.New(*seed)
+	var g *graph.Graph
+	switch *kind {
+	case "complete":
+		g = graph.Complete(*n, r)
+	case "random":
+		g = graph.Random(*n, *p, r)
+	case "regular":
+		g = graph.RandomRegularish(*n, *d, r)
+	default:
+		fmt.Fprintf(os.Stderr, "benchgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if err := g.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+// writeSuite emits the standard instance families (the same set
+// `experiments suite` measures) as Gset files plus a MANIFEST.
+func writeSuite(dir string, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	instances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"k64", graph.Complete(64, rng.New(seed))},
+		{"k128", graph.Complete(128, rng.New(seed+1))},
+		{"k256", graph.Complete(256, rng.New(seed+2))},
+		{"k512", graph.Complete(512, rng.New(seed+3))},
+		{"g500_p02", graph.Random(500, 0.02, rng.New(seed+4))},
+		{"g1000_p01", graph.Random(1000, 0.01, rng.New(seed+5))},
+		{"g2000_p005", graph.Random(2000, 0.005, rng.New(seed+6))},
+		{"r400_d6", graph.RandomRegularish(400, 6, rng.New(seed+7))},
+		{"r800_d6", graph.RandomRegularish(800, 6, rng.New(seed+8))},
+	}
+	manifest, err := os.Create(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	fmt.Fprintf(manifest, "# mbrim standard suite, seed %d\n", seed)
+	for _, inst := range instances {
+		path := filepath.Join(dir, inst.name+".gset")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if err := inst.g.Write(w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(manifest, "%s n=%d m=%d\n", inst.name+".gset", inst.g.N(), inst.g.M())
+	}
+	return nil
+}

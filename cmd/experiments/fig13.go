@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mbrim/internal/metrics"
+	"mbrim/internal/multichip"
+)
+
+func init() {
+	register("fig13", "spin flips vs bit changes: evolution over time and ratio vs epoch size", runFig13)
+}
+
+// runFig13 reproduces Fig 13. Left panel: flips and bit changes per
+// epoch over an annealing run at a fixed epoch size, plus their ratio.
+// Right panel: the average flips/bit-changes ratio as a function of
+// epoch size — the 4-5x batch-mode traffic saving at ~3 ns epochs.
+func runFig13(args []string) error {
+	fs := flag.NewFlagSet("fig13", flag.ContinueOnError)
+	n := fs.Int("n", 512, "K-graph size")
+	chips := fs.Int("chips", 4, "number of chips")
+	duration := fs.Float64("duration", 200, "annealing time, ns")
+	epoch := fs.Float64("epoch", 3.3, "fixed epoch for the time series, ns")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, m := kgraph(*n, *seed)
+
+	// Left panel: per-epoch series at the fixed epoch size.
+	res := multichip.NewSystem(m, multichip.Config{
+		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true, RecordEpochStats: true,
+	}).RunConcurrent(*duration)
+
+	flips := &metrics.Series{Name: fmt.Sprintf("flips per epoch (epoch %.1f ns)", *epoch)}
+	changes := &metrics.Series{Name: "bit changes per epoch"}
+	ratio := &metrics.Series{Name: "flips / bit changes"}
+	for _, st := range res.EpochStats {
+		t := float64(st.Epoch) * *epoch
+		flips.Add(t, float64(st.Flips))
+		changes.Add(t, float64(st.BitChanges))
+		if st.BitChanges > 0 {
+			ratio.Add(t, float64(st.Flips)/float64(st.BitChanges))
+		}
+	}
+
+	// Right panel: average ratio vs epoch size.
+	ratioVsEpoch := &metrics.Series{Name: "avg flips/bit-changes vs epoch size"}
+	for _, e := range []float64{0.5, 1, 2, 3.3, 5, 8, 12, 20} {
+		r := multichip.NewSystem(m, multichip.Config{
+			Chips: *chips, EpochNS: e, Seed: *seed, Parallel: true,
+		}).RunConcurrent(*duration)
+		if r.BitChanges > 0 {
+			ratioVsEpoch.Add(e, float64(r.Flips)/float64(r.BitChanges))
+		}
+	}
+
+	fmt.Print(metrics.Table("Fig 13: flips vs bit changes", flips, changes, ratio, ratioVsEpoch))
+	note("run totals at %.1f ns epochs: %d flips, %d bit changes (ratio %.2f).",
+		*epoch, res.Flips, res.BitChanges, float64(res.Flips)/float64(max64(res.BitChanges, 1)))
+	note("expected shape (paper): the ratio is stable over a run after an initial period,")
+	note("and grows roughly linearly with epoch size — ~4-5x traffic saving at ~3 ns epochs")
+	note("compared to sub-nanosecond epochs.")
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mbrim/internal/metrics"
+	"mbrim/internal/multichip"
+)
+
+func init() {
+	register("fig14", "solution quality vs epoch size: concurrent vs batch", runFig14)
+}
+
+// runFig14 reproduces Fig 14: average MaxCut quality as a function of
+// epoch size for both operating modes. Concurrent mode degrades as
+// epochs grow (global-state ignorance builds up); batch mode, whose
+// epochs create no ignorance, degrades only slightly.
+func runFig14(args []string) error {
+	fs := flag.NewFlagSet("fig14", flag.ContinueOnError)
+	n := fs.Int("n", 512, "K-graph size")
+	chips := fs.Int("chips", 4, "number of chips")
+	duration := fs.Float64("duration", 200, "annealing time, ns")
+	runs := fs.Int("runs", 4, "averaging runs per point (and batch jobs)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, m := kgraph(*n, *seed)
+
+	conc := &metrics.Series{Name: "concurrent mode (avg cut)"}
+	batch := &metrics.Series{Name: "batch mode (avg best cut)"}
+	epochs := []float64{1, 2, 3.3, 5, 8, 12, 20, 33, 50}
+	for _, e := range epochs {
+		var cSum, bSum float64
+		for r := 0; r < *runs; r++ {
+			s := uint64(int(*seed) + r*101)
+			cRes := multichip.NewSystem(m, multichip.Config{
+				Chips: *chips, EpochNS: e, Seed: s, Parallel: true,
+			}).RunConcurrent(*duration)
+			cSum += g.CutFromEnergy(cRes.Energy)
+			bRes := multichip.NewSystem(m, multichip.Config{
+				Chips: *chips, EpochNS: e, Seed: s, Parallel: true,
+			}).RunBatch(*runs, *duration)
+			bSum += g.CutFromEnergy(bRes.BestEnergy)
+		}
+		conc.Add(e, cSum/float64(*runs))
+		batch.Add(e, bSum/float64(*runs))
+	}
+
+	fmt.Print(metrics.Table("Fig 14: average cut vs epoch size (ns)", conc, batch))
+	first, last := conc.Points[0].Y, conc.Points[len(conc.Points)-1].Y
+	bFirst, bLast := batch.Points[0].Y, batch.Points[len(batch.Points)-1].Y
+	note("concurrent: %.0f at %.1f ns epochs -> %.0f at %.0f ns (drop %.1f%%).",
+		first, epochs[0], last, epochs[len(epochs)-1], 100*(first-last)/first)
+	note("batch:      %.0f -> %.0f (drop %.1f%%).", bFirst, bLast, 100*(bFirst-bLast)/bFirst)
+	note("expected shape (paper): best quality is concurrent mode at small epochs; its")
+	note("quality falls quickly and significantly with epoch size, while batch mode's")
+	note("reduces only very slightly — making batch the mode of choice when bandwidth")
+	note("constraints force long epochs.")
+	return nil
+}

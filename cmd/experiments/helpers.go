@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/metrics"
+	"mbrim/internal/rng"
+	"mbrim/internal/sa"
+	"mbrim/internal/sbm"
+)
+
+// kgraph builds the seeded benchmark K-graph.
+func kgraph(n int, seed uint64) (*graph.Graph, *ising.Model) {
+	g := graph.Complete(n, rng.New(seed))
+	return g, g.ToIsing()
+}
+
+// note prints paper-expectation commentary, stripped by tools that
+// only want the data.
+func note(format string, args ...any) {
+	fmt.Printf("#? "+format+"\n", args...)
+}
+
+// softwareLadderPoint is one measured (wall time, cut quality) rung of
+// a software solver's quality-vs-time curve.
+type softwareLadderPoint struct {
+	Wall    time.Duration
+	BestCut float64
+	MeanCut float64
+	MinCut  float64
+}
+
+// saLadder measures SA quality at increasing sweep budgets, `runs`
+// restarts per rung, best/mean/min cut per rung. The wall time is the
+// whole batch (the paper's usage pattern: many anneals, take the
+// best).
+func saLadder(g *graph.Graph, m *ising.Model, sweeps []int, runs int, seed uint64) []softwareLadderPoint {
+	out := make([]softwareLadderPoint, 0, len(sweeps))
+	for _, s := range sweeps {
+		br := sa.SolveBatch(m, sa.Config{Sweeps: s, Seed: seed}, runs)
+		out = append(out, ladderPoint(g, br.Wall, resultsCuts(g, br)))
+	}
+	return out
+}
+
+func resultsCuts(g *graph.Graph, br *sa.BatchResult) []float64 {
+	cuts := make([]float64, len(br.Results))
+	for i, r := range br.Results {
+		cuts[i] = g.CutValue(r.Spins)
+	}
+	return cuts
+}
+
+// sbmLadder measures SBM quality at increasing step budgets.
+func sbmLadder(g *graph.Graph, m *ising.Model, variant sbm.Variant, steps []int, runs int, seed uint64) []softwareLadderPoint {
+	out := make([]softwareLadderPoint, 0, len(steps))
+	for _, s := range steps {
+		br := sbm.SolveBatch(m, sbm.Config{Variant: variant, Steps: s, Seed: seed}, runs)
+		cuts := make([]float64, len(br.Results))
+		for i, r := range br.Results {
+			cuts[i] = g.CutValue(r.Spins)
+		}
+		out = append(out, ladderPoint(g, br.Wall, cuts))
+	}
+	return out
+}
+
+func ladderPoint(g *graph.Graph, wall time.Duration, cuts []float64) softwareLadderPoint {
+	s := metrics.Summarize(cuts)
+	return softwareLadderPoint{Wall: wall, BestCut: s.Max, MeanCut: s.Mean, MinCut: s.Min}
+}
+
+// ladderSeries converts ladder points to a (wall ns → cut) series.
+func ladderSeries(name string, pts []softwareLadderPoint, pick func(softwareLadderPoint) float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for _, p := range pts {
+		s.Add(float64(p.Wall.Nanoseconds()), pick(p))
+	}
+	return s
+}

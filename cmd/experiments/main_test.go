@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestEverySubcommandRuns drives each registered experiment with
+// deliberately tiny parameters, guarding the harness against
+// regressions (flag drift, panics, broken wiring). Output goes to the
+// test log's stdout; correctness of the numbers is covered by the
+// package tests — this checks the plumbing.
+func TestEverySubcommandRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is seconds-long; skipped with -short")
+	}
+	// Silence the experiment output during tests.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	tiny := map[string][]string{
+		"fig1":            {"-cap", "24", "-maxn", "32", "-step", "8", "-sasweeps", "20", "-saruns", "2"},
+		"fig9":            {"-n", "64", "-solvers", "4", "-runs", "1", "-epochs", "2"},
+		"fig10":           {"-chips", "3", "-jobs", "3", "-epochs", "4"},
+		"fig11":           {"-n", "48", "-runs", "2", "-duration", "20"},
+		"fig12":           {"-n", "64", "-duration", "20", "-runs", "2"},
+		"fig13":           {"-n", "48", "-duration", "20"},
+		"fig14":           {"-n", "48", "-duration", "20", "-runs", "1"},
+		"fig15":           {"-n", "48", "-duration", "20"},
+		"firstprinciples": {"-n", "48", "-sweeps", "20", "-duration", "20"},
+		"summary":         {"-n", "64", "-duration", "20", "-runs", "2"},
+		"capacity":        {"-maxn", "8"},
+		"demand":          {"-n", "48", "-duration", "20", "-bucket", "5"},
+		"macrochip":       {"-n", "48", "-duration", "20", "-runs", "1"},
+		"reconfig":        {"-chipn", "100"},
+		"machinemetrics":  nil,
+		"tts":             {"-n", "48", "-runs", "3", "-duration", "20", "-sweeps", "20", "-steps", "50"},
+		"nonideal":        {"-n", "48", "-duration", "20", "-runs", "1"},
+		"ablation":        {"-n", "48", "-duration", "20"},
+		"suite":           {"-runs", "1", "-sweeps", "20", "-steps", "50", "-duration", "20"},
+	}
+	for name, cmd := range commands {
+		args, ok := tiny[name]
+		if !ok {
+			t.Errorf("subcommand %q has no smoke-test parameters; add it to the table", name)
+			continue
+		}
+		if err := cmd.run(args); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestRegistryComplete pins the expected subcommand set so an
+// accidentally dropped registration is caught.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"firstprinciples", "summary", "capacity", "demand", "macrochip",
+		"reconfig", "machinemetrics", "tts", "nonideal", "ablation", "suite",
+	}
+	for _, name := range want {
+		if _, ok := commands[name]; !ok {
+			t.Errorf("subcommand %q not registered", name)
+		}
+	}
+	if len(commands) != len(want) {
+		t.Errorf("%d subcommands registered, want %d — update the smoke tables", len(commands), len(want))
+	}
+}

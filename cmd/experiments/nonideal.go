@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mbrim/internal/brim"
+	"mbrim/internal/metrics"
+)
+
+func init() {
+	register("nonideal", "analog non-idealities: quality vs device variation and thermal noise", runNonideal)
+}
+
+// runNonideal sweeps the two analog non-idealities of the BRIM model —
+// per-node process variation and thermal noise — and reports average
+// solution quality. The paper's machine-metrics discussion (Sec 2.2)
+// treats buildability as a first-class concern; this quantifies how
+// much device sloppiness the architecture tolerates.
+func runNonideal(args []string) error {
+	fs := flag.NewFlagSet("nonideal", flag.ContinueOnError)
+	n := fs.Int("n", 256, "K-graph size")
+	duration := fs.Float64("duration", 150, "anneal duration, ns")
+	runs := fs.Int("runs", 6, "restarts per point")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, m := kgraph(*n, *seed)
+
+	average := func(cfg brim.Config) float64 {
+		sum := 0.0
+		for i := 0; i < *runs; i++ {
+			c := cfg
+			c.Seed = *seed + uint64(100+i)
+			res := brim.Solve(m, brim.SolveConfig{Duration: *duration, Config: c})
+			sum += g.CutFromEnergy(res.Energy)
+		}
+		return sum / float64(*runs)
+	}
+
+	ideal := average(brim.Config{})
+
+	variation := &metrics.Series{Name: "avg cut vs device variation σ"}
+	for _, sigma := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4} {
+		variation.Add(sigma, average(brim.Config{DeviceVariation: sigma}))
+	}
+	noise := &metrics.Series{Name: "avg cut vs thermal noise amplitude"}
+	for _, amp := range []float64{0, 0.01, 0.03, 0.1, 0.3, 1} {
+		noise.Add(amp, average(brim.Config{NoiseAmp: amp}))
+	}
+
+	fmt.Print(metrics.Table(fmt.Sprintf("Non-idealities on K%d (ideal avg cut %.0f)", *n, ideal),
+		variation, noise))
+	note("expected shape: a wide flat plateau (a few %% variation and mild noise cost")
+	note("little) followed by degradation once the perturbations rival the signal —")
+	note("the analog headroom that makes CMOS-compatible Ising machines practical.")
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"mbrim/internal/brim"
+	"mbrim/internal/metrics"
+	"mbrim/internal/sa"
+	"mbrim/internal/sbm"
+)
+
+func init() {
+	register("tts", "time-to-solution at 99% confidence: BRIM vs SA vs dSBM", runTTS)
+}
+
+// runTTS computes the literature-standard time-to-solution metric for
+// the three main solvers on one K-graph: TTS(99%) = t·ln(0.01)/ln(1−p)
+// where p is the per-run probability of reaching the target cut. The
+// target is the best cut any solver finds across the whole experiment,
+// with a small relative tolerance (the usual convention when the true
+// optimum is unknown).
+func runTTS(args []string) error {
+	fs := flag.NewFlagSet("tts", flag.ContinueOnError)
+	n := fs.Int("n", 256, "K-graph size")
+	runs := fs.Int("runs", 20, "runs per solver")
+	tolerance := fs.Float64("tol", 0.02, "relative cut tolerance for success")
+	duration := fs.Float64("duration", 300, "BRIM run length, ns")
+	sweeps := fs.Int("sweeps", 300, "SA sweeps per run")
+	steps := fs.Int("steps", 800, "dSBM steps per run")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, m := kgraph(*n, *seed)
+
+	type solverRuns struct {
+		name    string
+		cuts    []float64
+		runTime float64 // per-run time in ns (model or measured)
+		axis    string
+	}
+	var all []solverRuns
+
+	// BRIM: model time per run is the configured duration.
+	{
+		sr := solverRuns{name: "BRIM", runTime: *duration, axis: "model ns"}
+		for i := 0; i < *runs; i++ {
+			res := brim.Solve(m, brim.SolveConfig{Duration: *duration,
+				Config: brim.Config{Seed: *seed + uint64(i)}})
+			sr.cuts = append(sr.cuts, g.CutFromEnergy(res.Energy))
+		}
+		all = append(all, sr)
+	}
+	// SA: measured wall time per run (averaged).
+	{
+		sr := solverRuns{name: "SA", axis: "measured ns"}
+		var wall float64
+		for i := 0; i < *runs; i++ {
+			res := sa.Solve(m, sa.Config{Sweeps: *sweeps, Seed: *seed + uint64(i)})
+			sr.cuts = append(sr.cuts, g.CutFromEnergy(res.Energy))
+			wall += float64(res.Wall.Nanoseconds())
+		}
+		sr.runTime = wall / float64(*runs)
+		all = append(all, sr)
+	}
+	// dSBM.
+	{
+		sr := solverRuns{name: "dSBM", axis: "measured ns"}
+		var wall float64
+		for i := 0; i < *runs; i++ {
+			res := sbm.Solve(m, sbm.Config{Variant: sbm.Discrete, Steps: *steps, Seed: *seed + uint64(i)})
+			sr.cuts = append(sr.cuts, g.CutValue(res.Spins))
+			wall += float64(res.Wall.Nanoseconds())
+		}
+		sr.runTime = wall / float64(*runs)
+		all = append(all, sr)
+	}
+
+	best := math.Inf(-1)
+	for _, sr := range all {
+		for _, c := range sr.cuts {
+			if c > best {
+				best = c
+			}
+		}
+	}
+	target := best * (1 - *tolerance)
+
+	fmt.Printf("# TTS(99%%) on K%d, target cut >= %.0f (best found %.0f, tol %.1f%%)\n",
+		*n, target, best, *tolerance*100)
+	for _, sr := range all {
+		// Success = cut >= target ⇔ energy-side comparison flipped.
+		hits := 0
+		for _, c := range sr.cuts {
+			if c >= target {
+				hits++
+			}
+		}
+		p := float64(hits) / float64(len(sr.cuts))
+		tts := metrics.TTS(sr.runTime, p, 0.99)
+		fmt.Printf("%-6s p=%.2f (%d/%d), per-run %.3g %s, TTS(99%%) = %.3g %s\n",
+			sr.name, p, hits, len(sr.cuts), sr.runTime, sr.axis, tts, sr.axis)
+	}
+	note("BRIM's axis is machine model time; SA/dSBM are measured host time — the")
+	note("paper's methodology. Expect BRIM's TTS in ~10²-10³ ns of machine time vs")
+	note("~10⁷-10¹⁰ ns of compute for the software solvers at equal quality targets.")
+	return nil
+}

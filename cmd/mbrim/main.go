@@ -1,0 +1,156 @@
+// Command mbrim solves a MaxCut/Ising problem from a Gset-format graph
+// file (or a generated K-graph) with any engine in the library.
+//
+// Usage:
+//
+//	mbrim -solver mbrim -chips 4 -duration 500 graph.gset
+//	mbrim -solver sa -sweeps 1000 -runs 10 -k 512
+//
+// With -k N a seeded K-graph is generated instead of reading a file.
+// The exit status is 0 on success; the solution, cut value, energy and
+// the time ledger are printed to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mbrim"
+)
+
+func main() {
+	solver := flag.String("solver", "sa", "engine: "+fmt.Sprint(mbrim.Kinds()))
+	k := flag.Int("k", 0, "generate a seeded K-graph of this size instead of reading a file")
+	seed := flag.Uint64("seed", 1, "random seed")
+	runs := flag.Int("runs", 1, "restarts / batch jobs")
+	sweeps := flag.Int("sweeps", 200, "SA/tabu sweeps")
+	steps := flag.Int("steps", 1000, "SBM steps")
+	duration := flag.Float64("duration", 100, "machine anneal time, ns")
+	chips := flag.Int("chips", 4, "multiprocessor chips")
+	epoch := flag.Float64("epoch", 0, "multiprocessor epoch, ns (0 = default)")
+	coordinated := flag.Bool("coordinated", false, "coordinate induced flips via synchronized PRNGs")
+	bandwidth := flag.Float64("bandwidth", 0, "channel bandwidth, bytes/ns (0 = unlimited)")
+	capacity := flag.Int("cap", 500, "machine capacity for d&c engines")
+	printSpins := flag.Bool("spins", false, "print the solution spin vector")
+	jsonOut := flag.Bool("json", false, "emit the outcome as JSON instead of text")
+	flag.Parse()
+
+	kind, err := mbrim.ParseKind(*solver)
+	if err != nil {
+		fatal(err)
+	}
+	// With -json, stdout carries only the JSON document; progress
+	// lines go to stderr.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
+
+	// The problem comes from a generated K-graph, a Gset graph file, or
+	// a qbsolv-format .qubo file.
+	var g *mbrim.Graph
+	var model *mbrim.Model
+	var quboOffset float64
+	switch {
+	case *k > 0:
+		g = mbrim.CompleteGraph(*k, *seed)
+		fmt.Fprintf(info, "problem: K%d (seed %d)\n", *k, *seed)
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".qubo"):
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		q, err := mbrim.ReadQUBOFile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		model, quboOffset = q.ToIsing()
+		fmt.Fprintf(info, "problem: %s (QUBO, %d variables)\n", flag.Arg(0), q.N())
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		g, err = mbrim.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(info, "problem: %s (%d vertices, %d edges)\n", flag.Arg(0), g.N(), g.M())
+	default:
+		fatal(fmt.Errorf("need a graph file argument or -k N"))
+	}
+	if model == nil {
+		model = g.ToIsing()
+	}
+
+	out, err := mbrim.Solve(mbrim.Request{
+		Kind:              kind,
+		Model:             model,
+		Graph:             g,
+		Seed:              *seed,
+		Runs:              *runs,
+		Sweeps:            *sweeps,
+		Steps:             *steps,
+		DurationNS:        *duration,
+		Chips:             *chips,
+		EpochNS:           *epoch,
+		Coordinated:       *coordinated,
+		ChannelBytesPerNS: *bandwidth,
+		MachineCapacity:   *capacity,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			*mbrim.Outcome
+			WallNS    int64   `json:"wallNS"`
+			QUBOValue float64 `json:"quboValue,omitempty"`
+			HasGraph  bool    `json:"hasGraph"`
+		}{out, out.Wall.Nanoseconds(), out.Energy + quboOffset, g != nil}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("solver:  %s\n", out.Kind)
+	if g != nil {
+		fmt.Printf("cut:     %.0f\n", out.Cut)
+	}
+	fmt.Printf("energy:  %.0f\n", out.Energy)
+	if quboOffset != 0 {
+		fmt.Printf("qubo:    %.0f (energy + offset)\n", out.Energy+quboOffset)
+	}
+	if out.ModelNS > 0 {
+		fmt.Printf("machine: %.1f ns model time\n", out.ModelNS)
+	}
+	fmt.Printf("wall:    %v\n", out.Wall)
+	for _, name := range []string{"flips", "bitChanges", "trafficBytes", "stallNS", "launches", "glueOps"} {
+		if v, ok := out.Stats[name]; ok && v != 0 {
+			fmt.Printf("%-8s %.0f\n", name+":", v)
+		}
+	}
+	if *printSpins {
+		for _, s := range out.Spins {
+			if s > 0 {
+				fmt.Print("+")
+			} else {
+				fmt.Print("-")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbrim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package mbrim_test
+
+import (
+	"fmt"
+
+	"mbrim"
+)
+
+// ExampleNewSystem drives the multiprocessor directly for full control
+// over epochs, bandwidth and operating mode.
+func ExampleNewSystem() {
+	g := mbrim.CompleteGraph(64, 7)
+	sys := mbrim.NewSystem(g.ToIsing(), mbrim.SystemConfig{
+		Chips:             4,
+		EpochNS:           3.3,
+		Channels:          1,
+		ChannelBytesPerNS: 0.05, // a deliberately starved fabric
+		Seed:              7,
+	})
+	res := sys.RunConcurrent(50)
+	fmt.Println(res.StallNS > 0, res.BitChanges <= res.Flips)
+	// Output: true true
+}
+
+// ExamplePartitionProblem encodes number partitioning and solves it
+// exactly (small instances) — the Lucas-catalogue workflow.
+func ExamplePartitionProblem() {
+	p := mbrim.PartitionProblem{Numbers: []float64{7, 5, 4, 4, 2}}
+	m, offset := p.Ising()
+	res := mbrim.SolveExact(m)
+	fmt.Println(res.Energy+offset == 0, p.Imbalance(res.Spins))
+	// Output: true 0
+}
+
+// ExampleEmbedComplete shows the local-coupling capacity cost of
+// Sec 4.1.1: an n-spin all-to-all problem needs n(n−1) physical nodes.
+func ExampleEmbedComplete() {
+	g := mbrim.CompleteGraph(10, 1)
+	e := mbrim.EmbedComplete(g.ToIsing(), 0)
+	fmt.Println(e.PhysicalNodes(), mbrim.EffectiveCapacity(e.PhysicalNodes()))
+	// Output: 90 10
+}
+
+// ExamplePlanLayout reproduces the paper's Fig 7 configurations for a
+// chip of 4×4 modules with 2000 nodes each.
+func ExamplePlanLayout() {
+	for _, chips := range []int{1, 4, 16} {
+		l, _ := mbrim.PlanLayout(4, 2000, chips)
+		fmt.Printf("%d chips: %d spins each, %d total\n", chips, l.SpinsPerChip, l.TotalSpins)
+	}
+	// Output:
+	// 1 chips: 8000 spins each, 8000 total
+	// 4 chips: 4000 spins each, 16000 total
+	// 16 chips: 2000 spins each, 32000 total
+}
+
+// ExamplePackReconfigurable shows the Fig 4/5 utilization argument.
+func ExamplePackReconfigurable() {
+	problems := []int{100, 100, 100}
+	mono, _ := mbrim.PackMonolithic(100, 3, problems)
+	reconf, _ := mbrim.PackReconfigurable(100, problems)
+	fmt.Printf("monolithic %.2f reconfigurable %.2f\n", mono.Utilization(), reconf.Utilization())
+	// Output: monolithic 0.33 reconfigurable 1.00
+}
+
+// ExampleSolveMultiChipSBM runs the paper's comparator architecture —
+// partitioned simulated bifurcation with periodic position exchange.
+func ExampleSolveMultiChipSBM() {
+	g := mbrim.CompleteGraph(64, 3)
+	res := mbrim.SolveMultiChipSBM(g.ToIsing(), mbrim.MultiChipSBMConfig{
+		Config: mbrim.SBMConfig{Variant: mbrim.SBMBallistic, Steps: 200, Seed: 3},
+		Chips:  4,
+	})
+	fmt.Println(g.CutValue(res.Spins) > 0, res.Exchanges == 200)
+	// Output: true true
+}
+
+// ExampleNewBRIM drives the analog machine directly, with device
+// variation enabled.
+func ExampleNewBRIM() {
+	g := mbrim.CompleteGraph(32, 4)
+	ma := mbrim.NewBRIM(g.ToIsing(), mbrim.BRIMConfig{Seed: 4, DeviceVariation: 0.05})
+	ma.SetHorizon(50)
+	ma.Run(50)
+	fmt.Println(len(ma.Spins()), ma.Flips() > 0)
+	// Output: 32 true
+}
+
+// ExampleSolvePopulation runs the birth/death Monte Carlo baseline.
+func ExampleSolvePopulation() {
+	g := mbrim.CompleteGraph(32, 5)
+	res := mbrim.SolvePopulation(g.ToIsing(), mbrim.PopulationConfig{
+		Population: 32, Rungs: 15, Seed: 5,
+	})
+	fmt.Println(g.CutValue(res.Spins) > 0, res.MinPopulation > 0)
+	// Output: true true
+}
+
+// ExampleChimeraCapacity reproduces the paper's D-Wave 2000q number.
+func ExampleChimeraCapacity() {
+	fmt.Println(mbrim.ChimeraCapacity(2048, 4))
+	// Output: 65
+}

@@ -1,0 +1,73 @@
+// Boolean satisfiability on an Ising machine: a planted 3-CNF formula
+// is reduced to maximum independent set (Karp's chain), annealed on
+// the multiprocessor, decoded, and checked clause by clause.
+//
+//	go run ./examples/sat
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbrim"
+)
+
+func main() {
+	// Plant a satisfying assignment, then generate clauses consistent
+	// with it so the instance is guaranteed satisfiable.
+	const vars = 20
+	const clauses = 60
+	r := mbrim.NewRNG(13)
+	planted := make([]bool, vars)
+	for i := range planted {
+		planted[i] = r.Bool(0.5)
+	}
+	var cnf [][]mbrim.SATLiteral
+	for len(cnf) < clauses {
+		a, b, c := r.Intn(vars), r.Intn(vars), r.Intn(vars)
+		if a == b || b == c || a == c {
+			continue
+		}
+		clause := []mbrim.SATLiteral{
+			{Var: a, Negated: r.Bool(0.5)},
+			{Var: b, Negated: r.Bool(0.5)},
+			{Var: c, Negated: r.Bool(0.5)},
+		}
+		satisfied := false
+		for _, l := range clause {
+			if planted[l.Var] != l.Negated {
+				satisfied = true
+			}
+		}
+		if satisfied {
+			cnf = append(cnf, clause)
+		}
+	}
+
+	s := mbrim.SATProblem{Vars: vars, Clauses: cnf}
+	m, _ := s.Ising()
+	fmt.Printf("3-CNF: %d variables, %d clauses -> %d Ising spins (one per literal occurrence)\n",
+		vars, clauses, m.N())
+
+	machine, err := mbrim.Solve(mbrim.Request{
+		Kind:       mbrim.MBRIMConcurrent,
+		Model:      m,
+		Chips:      4,
+		DurationNS: 500,
+		Seed:       13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hybrid polish, then decode to a boolean assignment.
+	polished, err := mbrim.Solve(mbrim.Request{
+		Kind: mbrim.SA, Model: m, Sweeps: 800, Runs: 4, Seed: 13, Initial: machine.Spins,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	assign := s.Decode(polished.Spins)
+	fmt.Printf("machine time: %.0f ns, satisfied clauses: %d / %d (sat=%v)\n",
+		machine.ModelNS, s.NumSatisfied(assign), clauses, s.Satisfied(assign))
+	fmt.Printf("assignment: %v\n", assign)
+}

@@ -1,0 +1,3 @@
+module mbrim
+
+go 1.24

@@ -1,0 +1,619 @@
+// Package brim simulates a Bistable Resistively-coupled Ising Machine
+// (BRIM [3]), the paper's baseline Ising substrate. Following the
+// paper's methodology (Sec 6.1), the machine's dynamical system is
+// integrated with the 4th-order Runge–Kutta method.
+//
+// # Dynamics
+//
+// Node i is a capacitor voltage V_i ∈ [-1, 1]. Three currents drive it:
+//
+//   - Coupling: Σ_j Ĵ_ij V_j, the resistive network. Ĵ is the problem's
+//     coupling matrix scaled so the largest magnitude is ~1 (resistor
+//     value 1/J_ij in the physical machine).
+//   - Bias: μ ĥ_i plus an externally supplied per-node current. In a
+//     multiprocessor, the external term carries the shadow copies of
+//     remote spins — a frozen ±1 value per remote spin pushed through
+//     the local coupling column exactly like g = μh + J_× σ of Eq. 3.
+//   - Bistable feedback: κ(t)·(tanh(γ V_i) − V_i), the latch circuit
+//     that makes each node snap to a rail. Its gain κ follows an
+//     annealing schedule: weak early (analog exploration), strong late
+//     (digitization).
+//
+// giving τ·dV_i/dt = couple_i + bias_i + feedback_i, with τ the RC time
+// constant in nanoseconds. Increasing τ is the "slow down the machine's
+// physics" knob of Sec 5.3 — the response to a bandwidth-limited fabric.
+//
+// # Annealing
+//
+// To escape local minima, the machine stochastically induces spin flips
+// (Sec 5.4.2): every FlipInterval of model time, each node flips with a
+// probability from a decaying schedule. The draw is made from the
+// machine's PRNG in a fixed order, so two machines holding clones of
+// the same PRNG induce identical flips — the property the coordinated
+// induced-flip optimization depends on.
+//
+// # Time
+//
+// All times are nanoseconds of *model time*: the machine's own physics,
+// not host CPU time. Results carry model time so speedups against
+// measured software solvers can be formed the way the paper forms them.
+package brim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+	"mbrim/internal/sched"
+)
+
+// Config parameterizes a machine. The zero value of most fields
+// selects a sensible default; see each field.
+type Config struct {
+	// Dt is the RK4 step in ns. Default 0.05·Tau.
+	Dt float64
+	// Tau is the RC time constant in ns. Default 1.
+	Tau float64
+	// Gamma is the feedback sharpness (tanh slope). Default 1.5.
+	Gamma float64
+	// FeedbackGain is the κ(t) schedule over run progress. Default
+	// ramps 0.05 → 1.2 linearly: nearly free analog exploration early,
+	// firm digitization by the end. (Defaults tuned on seeded K-graphs;
+	// the paper notes schedule tuning has significant impact, Sec 6.1.)
+	FeedbackGain sched.Schedule
+	// InducedFlip is the per-node flip probability schedule over run
+	// progress, drawn every FlipInterval. Default decays 0.08 → 0.
+	InducedFlip sched.Schedule
+	// FlipInterval is the model time between induced-flip draws, in
+	// ns. Default = Tau/2.
+	FlipInterval float64
+	// KickHoldNS is how long the annealing control actively drives a
+	// kicked node at its new rail before releasing it to the analog
+	// dynamics. Holding the pulse lets the rest of the network adapt,
+	// so induced flips persist the way the architecture assumes
+	// (Sec 5.4.2). Default 0.5·Tau. Negative disables holding.
+	KickHoldNS float64
+	// Scale divides the coupling matrix (resistor normalization).
+	// Default = the model's MaxRowNorm2, putting typical local fields at
+	// unit scale — the operating point where the bistable feedback
+	// competes meaningfully with the coupling network, and the regime
+	// in which induced flips persist long enough to matter.
+	// Multi-chip slices of one problem must share one global scale.
+	Scale float64
+	// Seed drives induced flips and the random initial voltages.
+	Seed uint64
+	// SpinThreshold is the hysteresis level for the digital readout:
+	// the discrete spin changes only when the voltage crosses the
+	// opposite threshold. Default 0.1.
+	SpinThreshold float64
+	// DeviceVariation is the relative σ of per-node process variation:
+	// each node's time constant and feedback gain are scaled by
+	// independent factors drawn from N(1, σ) at construction (clamped
+	// to ≥ 0.1). Zero models ideal devices.
+	DeviceVariation float64
+	// NoiseAmp is the thermal-noise amplitude: after every integration
+	// step each node receives an independent N(0, NoiseAmp·√dt)
+	// voltage kick (Euler–Maruyama). Zero models a noiseless machine.
+	NoiseAmp float64
+	// Workers splits the coupling matrix-vector product across
+	// goroutines — a host-side speedup for large chips with no effect
+	// on the simulated trajectory. Zero or one runs single-threaded.
+	Workers int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Tau == 0 {
+		out.Tau = 1
+	}
+	if out.Dt == 0 {
+		out.Dt = 0.05 * out.Tau
+	}
+	if out.Gamma == 0 {
+		out.Gamma = 1.5
+	}
+	if out.FeedbackGain == nil {
+		out.FeedbackGain = sched.Linear{From: 0.05, To: 1.2}
+	}
+	if out.InducedFlip == nil {
+		out.InducedFlip = sched.Linear{From: 0.08, To: 0}
+	}
+	if out.FlipInterval == 0 {
+		out.FlipInterval = 0.5 * out.Tau
+	}
+	if out.KickHoldNS == 0 {
+		out.KickHoldNS = 0.5 * out.Tau
+	}
+	if out.SpinThreshold == 0 {
+		out.SpinThreshold = 0.1
+	}
+	if out.Dt <= 0 || out.Tau <= 0 || out.FlipInterval <= 0 {
+		panic(fmt.Sprintf("brim: non-positive time parameter: %+v", out))
+	}
+	return out
+}
+
+// Machine is a stateful BRIM instance. It is advanced in model time
+// with Run; the multiprocessor drives one Machine per chip epoch by
+// epoch. Machine is not safe for concurrent use.
+type Machine struct {
+	model *ising.Model
+	cfg   Config
+	r     *rng.Source
+
+	jhat  []float64 // scaled couplings, row-major
+	bhat  []float64 // scaled biases: μ·h_i / scale
+	scale float64
+	n     int
+	v     []float64 // voltages
+	spins []int8    // hysteresis readout
+	ext   []float64 // external bias currents (shadow contributions)
+
+	t        float64 // model time, ns
+	horizon  float64 // total planned duration, for schedule progress
+	nextFlip float64 // model time of the next induced-flip draw
+
+	flips        int64 // readout sign changes (all causes)
+	induced      int64 // flips whose proximate cause was an induced kick
+	steps        int64
+	flipListener func(node int, newSpin int8, induced bool)
+
+	// Kick-hold state: nodes the annealing control is still driving.
+	holdUntil  []float64
+	holdTarget []int8
+
+	// Per-node process variation factors (nil when ideal): invTauVar
+	// multiplies 1/τ, kappaVar multiplies the feedback gain.
+	invTauVar []float64
+	kappaVar  []float64
+
+	// scratch buffers for RK4
+	k1, k2, k3, k4, vtmp []float64
+}
+
+// New builds a machine for the model. The machine starts at random
+// rail voltages (±0.5) drawn from the seed, at model time 0, with a
+// planned horizon that Run extends as needed.
+func New(m *ising.Model, cfg Config) *Machine {
+	c := cfg.withDefaults()
+	n := m.N()
+	scale := c.Scale
+	if scale == 0 {
+		scale = m.MaxRowNorm2()
+		if scale == 0 {
+			scale = 1
+		}
+	}
+	ma := &Machine{
+		model: m,
+		cfg:   c,
+		r:     rng.New(c.Seed),
+		n:     n,
+		scale: scale,
+		jhat:  make([]float64, n*n),
+		bhat:  make([]float64, n),
+		v:     make([]float64, n),
+		spins: make([]int8, n),
+		ext:   make([]float64, n),
+		k1:    make([]float64, n),
+		k2:    make([]float64, n),
+		k3:    make([]float64, n),
+		k4:    make([]float64, n),
+		vtmp:  make([]float64, n),
+
+		holdUntil:  make([]float64, n),
+		holdTarget: make([]int8, n),
+	}
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := 0; j < n; j++ {
+			ma.jhat[i*n+j] = row[j] / scale
+		}
+		ma.bhat[i] = m.Mu() * m.Bias(i) / scale
+	}
+	for i := range ma.v {
+		s := ma.r.Spin()
+		ma.v[i] = 0.5 * float64(s)
+		ma.spins[i] = s
+	}
+	if c.DeviceVariation < 0 {
+		panic(fmt.Sprintf("brim: DeviceVariation=%v", c.DeviceVariation))
+	}
+	if c.NoiseAmp < 0 {
+		panic(fmt.Sprintf("brim: NoiseAmp=%v", c.NoiseAmp))
+	}
+	if c.DeviceVariation > 0 {
+		// Variation factors come from a fork so they do not disturb
+		// the main stream (and thus PRNG coordination).
+		vr := ma.r.Fork(0xDE71CE)
+		ma.invTauVar = make([]float64, n)
+		ma.kappaVar = make([]float64, n)
+		for i := 0; i < n; i++ {
+			ma.invTauVar[i] = clampFactor(1 + c.DeviceVariation*vr.NormFloat64())
+			ma.kappaVar[i] = clampFactor(1 + c.DeviceVariation*vr.NormFloat64())
+		}
+	}
+	ma.nextFlip = c.FlipInterval
+	return ma
+}
+
+// N returns the number of nodes.
+func (ma *Machine) N() int { return ma.n }
+
+// Model returns the Ising model this machine was built over (do not
+// mutate — the machine holds pre-scaled copies of its parameters).
+func (ma *Machine) Model() *ising.Model { return ma.model }
+
+// Time returns the current model time in ns.
+func (ma *Machine) Time() float64 { return ma.t }
+
+// Spins returns the current digital readout (do not mutate).
+func (ma *Machine) Spins() []int8 { return ma.spins }
+
+// Voltages returns the current node voltages (do not mutate).
+func (ma *Machine) Voltages() []float64 { return ma.v }
+
+// Flips returns the total number of readout sign changes so far.
+func (ma *Machine) Flips() int64 { return ma.flips }
+
+// InducedFlips returns how many readout changes were caused by the
+// stochastic annealing kicks rather than the analog dynamics.
+func (ma *Machine) InducedFlips() int64 { return ma.induced }
+
+// Steps returns the number of RK4 steps taken.
+func (ma *Machine) Steps() int64 { return ma.steps }
+
+// Scale returns the coupling normalization divisor in effect. External
+// bias contributions (shadow-spin currents) must be divided by the
+// same scale to stay commensurate with the on-chip couplings.
+func (ma *Machine) Scale() float64 { return ma.scale }
+
+// Induce applies an externally commanded annealing kick to node i,
+// driving its voltage firmly past the opposite threshold. The
+// multiprocessor runtime uses this to coordinate induced flips across
+// chips (Sec 5.4.2); the resulting readout change is counted as an
+// induced flip.
+func (ma *Machine) Induce(i int) {
+	target := -ma.spins[i]
+	if target == 0 {
+		target = 1
+	}
+	ma.v[i] = 0.8 * float64(target)
+	if ma.cfg.KickHoldNS > 0 {
+		ma.holdUntil[i] = ma.t + ma.cfg.KickHoldNS
+		ma.holdTarget[i] = target
+	}
+	if ma.spins[i] != target {
+		ma.recordFlip(i, target, true)
+	}
+}
+
+// applyHolds re-clamps nodes the annealing control is still driving.
+func (ma *Machine) applyHolds() {
+	for i, until := range ma.holdUntil {
+		if until > ma.t {
+			ma.v[i] = 0.8 * float64(ma.holdTarget[i])
+		}
+	}
+}
+
+// RNG exposes the machine's PRNG so a multiprocessor can install
+// synchronized clones across chips before the run starts.
+func (ma *Machine) RNG() *rng.Source { return ma.r }
+
+// SetRNG replaces the machine's PRNG (coordinated induced flips hand
+// every chip a clone of one master source).
+func (ma *Machine) SetRNG(r *rng.Source) { ma.r = r }
+
+// OnFlip installs a listener called on every readout change with the
+// node index, its new spin, and whether an induced kick caused it.
+// The fabric model subscribes here to generate update traffic.
+func (ma *Machine) OnFlip(f func(node int, newSpin int8, induced bool)) {
+	ma.flipListener = f
+}
+
+// SetHorizon declares the total planned run length in ns, used only to
+// convert model time into schedule progress. Run sets it automatically
+// when the horizon is unset; multi-epoch drivers set it once up front
+// so schedules span the whole run rather than each epoch.
+func (ma *Machine) SetHorizon(ns float64) {
+	if ns <= 0 {
+		panic("brim: non-positive horizon")
+	}
+	ma.horizon = ns
+}
+
+// SetSpins forces the node voltages to the rails matching s (the
+// warm-start used by batch mode when a chip picks up another job's
+// state) and resets the readout accordingly. It does not count flips:
+// it is a state load, not dynamics.
+func (ma *Machine) SetSpins(s []int8) {
+	if len(s) != ma.n {
+		panic("brim: SetSpins length mismatch")
+	}
+	for i, sp := range s {
+		ma.v[i] = 0.7 * float64(sp)
+		ma.spins[i] = sp
+		// A state load cancels any pending annealing-control pulse; a
+		// hold from the previous context must not corrupt this one.
+		ma.holdUntil[i] = 0
+	}
+}
+
+// SetExternalBias replaces the external per-node bias currents (the
+// shadow-spin contributions, already scaled like the couplings).
+func (ma *Machine) SetExternalBias(b []float64) {
+	if len(b) != ma.n {
+		panic("brim: SetExternalBias length mismatch")
+	}
+	copy(ma.ext, b)
+}
+
+// AddExternalBias adds delta to node i's external bias current — the
+// O(1)-per-shadow-update path: when remote spin j held at σ flips, the
+// owner chip adds 2·Ĵ_ij·σ_new for each local i.
+func (ma *Machine) AddExternalBias(i int, delta float64) {
+	ma.ext[i] += delta
+}
+
+// ExternalBias returns the current external bias vector (do not
+// mutate).
+func (ma *Machine) ExternalBias() []float64 { return ma.ext }
+
+// deriv computes dV/dt into out for voltages v at schedule progress p.
+func (ma *Machine) deriv(v []float64, p float64, out []float64) {
+	if w := ma.cfg.Workers; w > 1 && ma.n >= 2*w {
+		ma.derivParallel(v, p, out, w)
+		return
+	}
+	ma.derivRange(v, p, out, 0, ma.n)
+}
+
+// derivRange computes rows [lo, hi) of the derivative.
+func (ma *Machine) derivRange(v []float64, p float64, out []float64, lo, hi int) {
+	n := ma.n
+	kappa := ma.cfg.FeedbackGain.At(p)
+	gamma := ma.cfg.Gamma
+	invTau := 1 / ma.cfg.Tau
+	for i := lo; i < hi; i++ {
+		row := ma.jhat[i*n : (i+1)*n]
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += row[j] * v[j]
+		}
+		acc += ma.bhat[i] + ma.ext[i]
+		k := kappa
+		if ma.kappaVar != nil {
+			k *= ma.kappaVar[i]
+		}
+		acc += k * (math.Tanh(gamma*v[i]) - v[i])
+		out[i] = acc * invTau
+		if ma.invTauVar != nil {
+			out[i] *= ma.invTauVar[i]
+		}
+	}
+}
+
+// derivParallel fans derivRange over w goroutines. Rows are disjoint
+// and the inputs are read-only, so the result is bit-identical to the
+// sequential path.
+func (ma *Machine) derivParallel(v []float64, p float64, out []float64, w int) {
+	var wg sync.WaitGroup
+	chunk := (ma.n + w - 1) / w
+	for lo := 0; lo < ma.n; lo += chunk {
+		hi := lo + chunk
+		if hi > ma.n {
+			hi = ma.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ma.derivRange(v, p, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// clampFactor keeps a process-variation factor physical.
+func clampFactor(f float64) float64 {
+	if f < 0.1 {
+		return 0.1
+	}
+	return f
+}
+
+// applyNoise adds the thermal kick after an integration step of dt.
+func (ma *Machine) applyNoise(dt float64) {
+	amp := ma.cfg.NoiseAmp * math.Sqrt(dt)
+	for i := range ma.v {
+		v := ma.v[i] + amp*ma.r.NormFloat64()
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		ma.v[i] = v
+	}
+}
+
+// progress maps a model time to schedule progress given the horizon.
+func (ma *Machine) progress(t float64) float64 {
+	if ma.horizon <= 0 {
+		return 0
+	}
+	p := t / ma.horizon
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// step advances one RK4 step of size dt.
+func (ma *Machine) step(dt float64) {
+	n := ma.n
+	p := ma.progress(ma.t)
+	pm := ma.progress(ma.t + dt/2)
+	pe := ma.progress(ma.t + dt)
+
+	ma.deriv(ma.v, p, ma.k1)
+	for i := 0; i < n; i++ {
+		ma.vtmp[i] = ma.v[i] + dt/2*ma.k1[i]
+	}
+	ma.deriv(ma.vtmp, pm, ma.k2)
+	for i := 0; i < n; i++ {
+		ma.vtmp[i] = ma.v[i] + dt/2*ma.k2[i]
+	}
+	ma.deriv(ma.vtmp, pm, ma.k3)
+	for i := 0; i < n; i++ {
+		ma.vtmp[i] = ma.v[i] + dt*ma.k3[i]
+	}
+	ma.deriv(ma.vtmp, pe, ma.k4)
+	for i := 0; i < n; i++ {
+		v := ma.v[i] + dt/6*(ma.k1[i]+2*ma.k2[i]+2*ma.k3[i]+ma.k4[i])
+		// Rails: the physical voltage saturates at the supplies.
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		ma.v[i] = v
+	}
+	ma.t += dt
+	ma.steps++
+	if ma.cfg.NoiseAmp > 0 {
+		ma.applyNoise(dt)
+	}
+	ma.applyHolds()
+	ma.updateReadout(false)
+}
+
+// stepEuler advances one forward-Euler step; only the integrator
+// ablation uses it.
+func (ma *Machine) stepEuler(dt float64) {
+	ma.deriv(ma.v, ma.progress(ma.t), ma.k1)
+	for i := 0; i < ma.n; i++ {
+		v := ma.v[i] + dt*ma.k1[i]
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		ma.v[i] = v
+	}
+	ma.t += dt
+	ma.steps++
+	if ma.cfg.NoiseAmp > 0 {
+		ma.applyNoise(dt)
+	}
+	ma.applyHolds()
+	ma.updateReadout(false)
+}
+
+// updateReadout applies the hysteresis comparator to every node and
+// fires flip events.
+func (ma *Machine) updateReadout(induced bool) {
+	th := ma.cfg.SpinThreshold
+	for i := 0; i < ma.n; i++ {
+		s := ma.spins[i]
+		if s >= 0 && ma.v[i] < -th {
+			ma.recordFlip(i, -1, induced)
+		} else if s <= 0 && ma.v[i] > th {
+			ma.recordFlip(i, 1, induced)
+		}
+	}
+}
+
+func (ma *Machine) recordFlip(i int, newSpin int8, induced bool) {
+	ma.spins[i] = newSpin
+	ma.flips++
+	if induced {
+		ma.induced++
+	}
+	if ma.flipListener != nil {
+		ma.flipListener(i, newSpin, induced)
+	}
+}
+
+// induceFlips draws the stochastic annealing kicks for the current
+// schedule point. Every node is drawn in index order so that machines
+// with synchronized PRNGs make identical draws.
+func (ma *Machine) induceFlips() {
+	prob := ma.cfg.InducedFlip.At(ma.progress(ma.t))
+	for i := 0; i < ma.n; i++ {
+		if !ma.r.Bool(prob) {
+			continue
+		}
+		// Kick the node firmly past the opposite threshold.
+		target := -ma.spins[i]
+		if target == 0 {
+			target = 1
+		}
+		ma.v[i] = 0.6 * float64(target)
+	}
+	ma.updateReadout(true)
+}
+
+// Run advances the machine by duration ns of model time, processing
+// induced-flip draws on schedule. If no horizon was declared, the
+// first Run call sets it to its own duration.
+func (ma *Machine) Run(duration float64) {
+	if duration <= 0 {
+		panic("brim: Run with non-positive duration")
+	}
+	if ma.horizon <= 0 {
+		ma.horizon = duration
+	}
+	end := ma.t + duration
+	const eps = 1e-12
+	for ma.t < end-eps {
+		// Integrate up to the next induced-flip draw or the epoch end,
+		// whichever comes first.
+		next := end
+		if ma.nextFlip < next {
+			next = ma.nextFlip
+		}
+		for ma.t < next-eps {
+			dt := ma.cfg.Dt
+			if ma.t+dt > next {
+				dt = next - ma.t
+			}
+			ma.step(dt)
+		}
+		if ma.t >= ma.nextFlip-eps {
+			ma.induceFlips()
+			ma.nextFlip += ma.cfg.FlipInterval
+		}
+	}
+}
+
+// RunEuler is Run with forward-Euler integration, for the integrator
+// ablation bench only.
+func (ma *Machine) RunEuler(duration float64) {
+	if duration <= 0 {
+		panic("brim: RunEuler with non-positive duration")
+	}
+	if ma.horizon <= 0 {
+		ma.horizon = duration
+	}
+	end := ma.t + duration
+	const eps = 1e-12
+	for ma.t < end-eps {
+		next := end
+		if ma.nextFlip < next {
+			next = ma.nextFlip
+		}
+		for ma.t < next-eps {
+			dt := ma.cfg.Dt
+			if ma.t+dt > next {
+				dt = next - ma.t
+			}
+			ma.stepEuler(dt)
+		}
+		if ma.t >= ma.nextFlip-eps {
+			ma.induceFlips()
+			ma.nextFlip += ma.cfg.FlipInterval
+		}
+	}
+}

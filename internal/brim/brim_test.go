@@ -1,0 +1,354 @@
+package brim
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+	"mbrim/internal/sched"
+)
+
+func ferromagnet(n int) *ising.Model {
+	m := ising.NewModel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetCoupling(i, j, 1)
+		}
+	}
+	return m
+}
+
+func TestSettlesFerromagnet(t *testing.T) {
+	n := 16
+	m := ferromagnet(n)
+	res := Solve(m, SolveConfig{Duration: 80, Config: Config{Seed: 1}})
+	want := -float64(n*(n-1)) / 2
+	if res.Energy != want {
+		t.Fatalf("energy %v, want ground %v (spins %v)", res.Energy, want, res.Spins)
+	}
+}
+
+func TestSettlesAntiferromagnetPair(t *testing.T) {
+	// Two spins with J = -1 must end up anti-aligned.
+	m := ising.NewModel(2)
+	m.SetCoupling(0, 1, -1)
+	res := Solve(m, SolveConfig{Duration: 60, Config: Config{Seed: 2}})
+	if res.Spins[0] == res.Spins[1] {
+		t.Fatalf("antiferromagnetic pair aligned: %v", res.Spins)
+	}
+	if res.Energy != -1 {
+		t.Fatalf("energy %v, want -1", res.Energy)
+	}
+}
+
+func TestBiasPullsSpin(t *testing.T) {
+	// A single strongly biased node must follow its bias.
+	m := ising.NewModel(2)
+	m.SetCoupling(0, 1, 0.01)
+	m.SetBias(0, 3)
+	m.SetBias(1, -3)
+	res := Solve(m, SolveConfig{Duration: 60, Config: Config{Seed: 3}})
+	if res.Spins[0] != 1 || res.Spins[1] != -1 {
+		t.Fatalf("bias ignored: %v", res.Spins)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	r := rng.New(4)
+	g := graph.Complete(24, r)
+	m := g.ToIsing()
+	a := Solve(m, SolveConfig{Duration: 40, Config: Config{Seed: 5}})
+	b := Solve(m, SolveConfig{Duration: 40, Config: Config{Seed: 5}})
+	if a.Energy != b.Energy || ising.HammingDistance(a.Spins, b.Spins) != 0 {
+		t.Fatal("same seed produced different trajectories")
+	}
+	if a.Flips != b.Flips || a.Induced != b.Induced || a.Steps != b.Steps {
+		t.Fatal("same seed produced different counters")
+	}
+}
+
+func TestVoltagesStayOnRails(t *testing.T) {
+	r := rng.New(6)
+	g := graph.Complete(30, r)
+	ma := New(g.ToIsing(), Config{Seed: 7})
+	ma.Run(50)
+	for i, v := range ma.Voltages() {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("voltage %d out of rails: %v", i, v)
+		}
+	}
+}
+
+func TestAnnealingBeatsFrozenDynamics(t *testing.T) {
+	// With induced flips disabled the machine greedily settles; with
+	// the default annealing schedule it must (statistically) match or
+	// beat the frozen run on a frustrated instance.
+	r := rng.New(8)
+	g := graph.Complete(40, r)
+	m := g.ToIsing()
+	var frozen, annealed float64
+	runs := 5
+	for i := 0; i < runs; i++ {
+		f := Solve(m, SolveConfig{
+			Duration: 60,
+			Config:   Config{Seed: uint64(10 + i), InducedFlip: sched.Constant(0)},
+		})
+		a := Solve(m, SolveConfig{Duration: 60, Config: Config{Seed: uint64(10 + i)}})
+		frozen += f.Energy
+		annealed += a.Energy
+	}
+	if annealed > frozen {
+		t.Fatalf("annealing hurt on average: %v vs %v", annealed/5, frozen/5)
+	}
+}
+
+func TestFlipsCounted(t *testing.T) {
+	r := rng.New(9)
+	g := graph.Complete(20, r)
+	res := Solve(g.ToIsing(), SolveConfig{Duration: 60, Config: Config{Seed: 11}})
+	if res.Flips == 0 {
+		t.Fatal("no flips recorded over a full annealing run")
+	}
+	if res.Induced > res.Flips {
+		t.Fatalf("induced flips (%d) exceed total flips (%d)", res.Induced, res.Flips)
+	}
+}
+
+func TestOnFlipListener(t *testing.T) {
+	r := rng.New(10)
+	g := graph.Complete(20, r)
+	ma := New(g.ToIsing(), Config{Seed: 12})
+	var events int64
+	ma.OnFlip(func(node int, newSpin int8, induced bool) {
+		if node < 0 || node >= 20 {
+			t.Fatalf("flip event for bad node %d", node)
+		}
+		if newSpin != 1 && newSpin != -1 {
+			t.Fatalf("flip event with bad spin %d", newSpin)
+		}
+		events++
+	})
+	ma.SetHorizon(60)
+	ma.Run(60)
+	if events != ma.Flips() {
+		t.Fatalf("listener saw %d events, machine counted %d", events, ma.Flips())
+	}
+}
+
+func TestModelTimeAccounting(t *testing.T) {
+	m := ferromagnet(8)
+	res := Solve(m, SolveConfig{Duration: 25, Config: Config{Seed: 1}})
+	if math.Abs(res.ModelNS-25) > 1e-6 {
+		t.Fatalf("model time %v, want 25", res.ModelNS)
+	}
+}
+
+func TestRunInChunksMatchesSingleRun(t *testing.T) {
+	// Epoch-driven operation must integrate the same trajectory as one
+	// long run when the horizon is declared up front.
+	r := rng.New(13)
+	g := graph.Complete(16, r)
+	m := g.ToIsing()
+
+	one := New(m, Config{Seed: 14})
+	one.SetHorizon(40)
+	one.Run(40)
+
+	chunked := New(m, Config{Seed: 14})
+	chunked.SetHorizon(40)
+	for i := 0; i < 20; i++ {
+		chunked.Run(2)
+	}
+
+	if ising.HammingDistance(one.Spins(), chunked.Spins()) != 0 {
+		t.Fatal("chunked run diverged from single run")
+	}
+	for i := range one.Voltages() {
+		if math.Abs(one.Voltages()[i]-chunked.Voltages()[i]) > 1e-6 {
+			t.Fatalf("voltage %d differs: %v vs %v", i, one.Voltages()[i], chunked.Voltages()[i])
+		}
+	}
+}
+
+func TestExternalBiasActsLikeFrozenNeighbor(t *testing.T) {
+	// A 1-node machine with external bias b must settle to sign(b) —
+	// this is the shadow-copy mechanism in miniature.
+	m := ising.NewModel(1)
+	ma := New(m, Config{Seed: 15, InducedFlip: sched.Constant(0)})
+	ma.SetExternalBias([]float64{1.5})
+	ma.SetHorizon(30)
+	ma.Run(30)
+	if ma.Spins()[0] != 1 {
+		t.Fatalf("positive external bias gave spin %d", ma.Spins()[0])
+	}
+
+	mb := New(m, Config{Seed: 15, InducedFlip: sched.Constant(0)})
+	mb.SetExternalBias([]float64{-1.5})
+	mb.SetHorizon(30)
+	mb.Run(30)
+	if mb.Spins()[0] != -1 {
+		t.Fatalf("negative external bias gave spin %d", mb.Spins()[0])
+	}
+}
+
+func TestAddExternalBiasAccumulates(t *testing.T) {
+	m := ising.NewModel(2)
+	ma := New(m, Config{Seed: 1})
+	ma.SetExternalBias([]float64{0.5, -0.5})
+	ma.AddExternalBias(0, 0.25)
+	got := ma.ExternalBias()
+	if got[0] != 0.75 || got[1] != -0.5 {
+		t.Fatalf("external bias = %v", got)
+	}
+}
+
+func TestSetSpinsWarmStart(t *testing.T) {
+	m := ferromagnet(6)
+	ma := New(m, Config{Seed: 16})
+	s := []int8{1, -1, 1, -1, 1, -1}
+	ma.SetSpins(s)
+	if ising.HammingDistance(ma.Spins(), s) != 0 {
+		t.Fatal("SetSpins did not set readout")
+	}
+	if ma.Flips() != 0 {
+		t.Fatal("SetSpins counted flips")
+	}
+}
+
+func TestSynchronizedMachinesInduceIdentically(t *testing.T) {
+	// Two machines over the same model with cloned PRNGs and no
+	// coupling differences must flip in lockstep (Sec 5.4.2).
+	m := ferromagnet(10)
+	master := rng.New(77)
+	a := New(m, Config{Seed: 0})
+	b := New(m, Config{Seed: 0})
+	a.SetRNG(master.Clone())
+	b.SetRNG(master.Clone())
+	// Give both the same initial state to make trajectories identical.
+	s := ising.RandomSpins(10, rng.New(5))
+	a.SetSpins(s)
+	b.SetSpins(s)
+	a.SetHorizon(40)
+	b.SetHorizon(40)
+	a.Run(40)
+	b.Run(40)
+	if a.InducedFlips() != b.InducedFlips() {
+		t.Fatalf("induced counts differ: %d vs %d", a.InducedFlips(), b.InducedFlips())
+	}
+	if ising.HammingDistance(a.Spins(), b.Spins()) != 0 {
+		t.Fatal("synchronized machines diverged")
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	r := rng.New(17)
+	g := graph.Complete(12, r)
+	res := Solve(g.ToIsing(), SolveConfig{
+		Duration:       20,
+		SampleInterval: 5,
+		Config:         Config{Seed: 18},
+	})
+	if len(res.Trace) != 4 {
+		t.Fatalf("trace has %d samples, want 4", len(res.Trace))
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].X <= res.Trace[i-1].X {
+			t.Fatal("trace times not increasing")
+		}
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if math.Abs(last.Y-res.Energy) > 1e-9 {
+		t.Fatalf("last trace sample %v != final energy %v", last.Y, res.Energy)
+	}
+}
+
+func TestSolveBatchBest(t *testing.T) {
+	r := rng.New(19)
+	g := graph.Complete(20, r)
+	m := g.ToIsing()
+	best, all := SolveBatch(m, SolveConfig{Duration: 30, Config: Config{Seed: 100}}, 5)
+	if len(all) != 5 {
+		t.Fatalf("got %d results", len(all))
+	}
+	for _, res := range all {
+		if res.Energy < best.Energy {
+			t.Fatal("best is not minimal")
+		}
+	}
+}
+
+func TestEulerRunsAndStaysBounded(t *testing.T) {
+	r := rng.New(20)
+	g := graph.Complete(16, r)
+	ma := New(g.ToIsing(), Config{Seed: 21})
+	ma.SetHorizon(30)
+	ma.RunEuler(30)
+	for _, v := range ma.Voltages() {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Euler voltage escaped rails: %v", v)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := ferromagnet(4)
+	for name, f := range map[string]func(){
+		"zero duration":   func() { Solve(m, SolveConfig{Duration: 0}) },
+		"zero runs":       func() { SolveBatch(m, SolveConfig{Duration: 1}, 0) },
+		"neg run":         func() { New(m, Config{}).Run(-1) },
+		"bad bias len":    func() { New(m, Config{}).SetExternalBias([]float64{1}) },
+		"bad spins len":   func() { New(m, Config{}).SetSpins([]int8{1}) },
+		"bad horizon":     func() { New(m, Config{}).SetHorizon(0) },
+		"negative dt cfg": func() { New(m, Config{Dt: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScaleConsistencyAcrossSlices(t *testing.T) {
+	// Two machines given the same explicit Scale must normalize the
+	// same coupling to the same value — required when one problem is
+	// sliced over chips.
+	m := ising.NewModel(2)
+	m.SetCoupling(0, 1, 4)
+	a := New(m, Config{Scale: 8})
+	if got := a.jhat[1]; got != 0.5 {
+		t.Fatalf("scaled coupling = %v, want 0.5", got)
+	}
+}
+
+func TestMoreTimeDoesNotHurtQuality(t *testing.T) {
+	r := rng.New(22)
+	g := graph.Complete(32, r)
+	m := g.ToIsing()
+	var short, long float64
+	for i := 0; i < 5; i++ {
+		s := Solve(m, SolveConfig{Duration: 5, Config: Config{Seed: uint64(200 + i)}})
+		l := Solve(m, SolveConfig{Duration: 80, Config: Config{Seed: uint64(200 + i)}})
+		short += s.Energy
+		long += l.Energy
+	}
+	if long > short {
+		t.Fatalf("more annealing time hurt: %v vs %v", long/5, short/5)
+	}
+}
+
+func BenchmarkStepN256(b *testing.B) {
+	r := rng.New(1)
+	g := graph.Complete(256, r)
+	ma := New(g.ToIsing(), Config{Seed: 1})
+	ma.SetHorizon(float64(b.N) * ma.cfg.Dt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ma.step(ma.cfg.Dt)
+	}
+}

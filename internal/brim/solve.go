@@ -1,0 +1,91 @@
+package brim
+
+import (
+	"fmt"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/metrics"
+)
+
+// Result is the outcome of a complete single-chip annealing run.
+type Result struct {
+	Spins  []int8
+	Energy float64
+	// ModelNS is the machine time spent, in nanoseconds.
+	ModelNS float64
+	// Flips counts readout sign changes; Induced the subset caused by
+	// annealing kicks; Steps the RK4 steps taken.
+	Flips, Induced, Steps int64
+	// Trace, if sampling was requested, holds (model time ns, energy)
+	// samples of the digital readout over the run.
+	Trace []metrics.Point
+}
+
+// SolveConfig extends Config with run-level parameters.
+type SolveConfig struct {
+	Config
+	// Duration is the total annealing time in ns. Must be > 0.
+	Duration float64
+	// SampleInterval, if > 0, records an energy sample of the readout
+	// every so many ns into Result.Trace.
+	SampleInterval float64
+	// Initial optionally warm-starts the machine at the given spins.
+	Initial []int8
+}
+
+// Solve runs one annealing job on a fresh machine and reports the
+// final readout, its energy, and the machine-time ledger.
+func Solve(m *ising.Model, cfg SolveConfig) *Result {
+	if cfg.Duration <= 0 {
+		panic(fmt.Sprintf("brim: Duration=%v", cfg.Duration))
+	}
+	ma := New(m, cfg.Config)
+	ma.SetHorizon(cfg.Duration)
+	if cfg.Initial != nil {
+		ma.SetSpins(cfg.Initial)
+	}
+	res := &Result{}
+	if cfg.SampleInterval > 0 {
+		for t := 0.0; t < cfg.Duration; t += cfg.SampleInterval {
+			chunk := cfg.SampleInterval
+			if t+chunk > cfg.Duration {
+				chunk = cfg.Duration - t
+			}
+			ma.Run(chunk)
+			res.Trace = append(res.Trace, metrics.Point{
+				X: ma.Time(),
+				Y: m.Energy(ma.Spins()),
+			})
+		}
+	} else {
+		ma.Run(cfg.Duration)
+	}
+	res.Spins = ising.CopySpins(ma.Spins())
+	res.Energy = m.Energy(res.Spins)
+	res.ModelNS = ma.Time()
+	res.Flips = ma.Flips()
+	res.Induced = ma.InducedFlips()
+	res.Steps = ma.Steps()
+	return res
+}
+
+// SolveBatch runs `runs` annealing jobs from different seeds on one
+// machine design and returns the per-run results plus the index of the
+// best. Model time accumulates across runs: a single chip performs the
+// batch sequentially, which is exactly the baseline batch mode is
+// measured against.
+func SolveBatch(m *ising.Model, cfg SolveConfig, runs int) (best *Result, all []*Result) {
+	if runs < 1 {
+		panic(fmt.Sprintf("brim: runs=%d", runs))
+	}
+	all = make([]*Result, runs)
+	for i := range all {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		all[i] = Solve(m, c)
+		if best == nil || all[i].Energy < best.Energy {
+			best = all[i]
+		}
+	}
+	return best, all
+}

@@ -1,0 +1,278 @@
+// Package core is the orchestration layer: one request/outcome surface
+// over every solver in the repository — software baselines (SA, tabu,
+// SBM), the single-chip BRIM, the divide-and-conquer hybrids, and the
+// multiprocessor in both operating modes. The CLI, the examples and
+// the experiment harness all go through this package, so results carry
+// a uniform time ledger (model ns for machines, wall time for
+// software) no matter which engine produced them.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mbrim/internal/brim"
+	"mbrim/internal/dnc"
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/multichip"
+	"mbrim/internal/pt"
+	"mbrim/internal/sa"
+	"mbrim/internal/sbm"
+	"mbrim/internal/tabu"
+)
+
+// Kind names a solver engine.
+type Kind string
+
+// The available engines.
+const (
+	SA              Kind = "sa"          // simulated annealing (Isakov-style)
+	Tabu            Kind = "tabu"        // tabu search
+	BSBM            Kind = "bsbm"        // ballistic simulated bifurcation
+	DSBM            Kind = "dsbm"        // discrete simulated bifurcation
+	BRIM            Kind = "brim"        // single-chip BRIM (RK4 dynamics)
+	QBSolv          Kind = "qbsolv"      // Algorithm 1: D-Wave's d&c
+	OursDnc         Kind = "ours-dnc"    // Algorithm 2: the paper's d&c
+	MBRIMConcurrent Kind = "mbrim"       // multiprocessor, concurrent mode
+	MBRIMBatch      Kind = "mbrim-batch" // multiprocessor, batch mode
+	PT              Kind = "pt"          // parallel tempering (replica exchange)
+	MBRIMSequential Kind = "mbrim-seq"   // multiprocessor, sequential (zero-ignorance) baseline
+)
+
+// Kinds returns every engine name, sorted.
+func Kinds() []string {
+	ks := []string{
+		string(SA), string(Tabu), string(BSBM), string(DSBM), string(BRIM),
+		string(QBSolv), string(OursDnc), string(MBRIMConcurrent), string(MBRIMBatch),
+		string(PT), string(MBRIMSequential),
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ParseKind validates a solver name.
+func ParseKind(s string) (Kind, error) {
+	k := Kind(strings.ToLower(strings.TrimSpace(s)))
+	for _, known := range Kinds() {
+		if string(k) == known {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown solver %q (have %s)", s, strings.Join(Kinds(), ", "))
+}
+
+// Bandwidth presets of Sec 6.3, in channel bytes/ns (1 GB/s = 1 B/ns).
+const (
+	// HBChannelBytesPerNS is one of mBRIM_HB's three dedicated
+	// 250 GB/s channels.
+	HBChannelBytesPerNS = 250.0
+	// LBChannelBytesPerNS is the low-bandwidth system: 4× less.
+	LBChannelBytesPerNS = HBChannelBytesPerNS / 4
+)
+
+// Request describes one solve.
+type Request struct {
+	// Kind selects the engine.
+	Kind Kind
+	// Model is the problem. Required.
+	Model *ising.Model
+	// Graph, if the problem came from MaxCut, lets the outcome report
+	// cut values alongside energies. Optional.
+	Graph *graph.Graph
+	// Seed drives all stochastic choices.
+	Seed uint64
+	// Runs is the batch size for engines that anneal repeatedly
+	// (SA/SBM/BRIM batches; jobs for mbrim-batch). Default 1.
+	Runs int
+
+	// Sweeps is the SA/tabu effort per run. Default 200.
+	Sweeps int
+	// Steps is the SBM step count. Default 1000.
+	Steps int
+	// DurationNS is the annealing time for dynamical machines.
+	// Default 100.
+	DurationNS float64
+
+	// Chips, EpochNS, Coordinated, Channels and ChannelBytesPerNS
+	// configure the multiprocessor (defaults per multichip.Config;
+	// ChannelBytesPerNS zero = unlimited, the mBRIM_3D preset).
+	Chips             int
+	EpochNS           float64
+	Coordinated       bool
+	Channels          int
+	ChannelBytesPerNS float64
+
+	// Initial optionally warm-starts the run at the given spins
+	// (SA, tabu and BRIM engines; copied, not aliased). Hybrid flows
+	// use it to polish a machine's readout in software.
+	Initial []int8
+
+	// MachineCapacity is the hardware size for the d&c engines.
+	// Default 500 (the Fig 1 setup). The machine is a ProxyMachine
+	// charging MachineAnnealNS and MachineProgramNS per launch.
+	MachineCapacity  int
+	MachineAnnealNS  float64
+	MachineProgramNS float64
+}
+
+func (r *Request) withDefaults() Request {
+	out := *r
+	if out.Model == nil {
+		panic("core: Request.Model is nil")
+	}
+	if out.Runs == 0 {
+		out.Runs = 1
+	}
+	if out.Sweeps == 0 {
+		out.Sweeps = 200
+	}
+	if out.Steps == 0 {
+		out.Steps = 1000
+	}
+	if out.DurationNS == 0 {
+		out.DurationNS = 100
+	}
+	if out.MachineCapacity == 0 {
+		out.MachineCapacity = 500
+	}
+	if out.MachineAnnealNS == 0 {
+		out.MachineAnnealNS = 1000
+	}
+	if out.MachineProgramNS == 0 {
+		out.MachineProgramNS = 100
+	}
+	return out
+}
+
+// Outcome is a uniform solve report.
+type Outcome struct {
+	Kind   Kind
+	Spins  []int8
+	Energy float64
+	// Cut is the MaxCut value when a Graph was supplied, else 0.
+	Cut float64
+	// ModelNS is machine model time (0 for pure software engines);
+	// Wall is measured host time.
+	ModelNS float64
+	Wall    time.Duration
+	// Stats carries engine-specific extras (flips, traffic, stalls...).
+	Stats map[string]float64
+}
+
+// Solve runs the requested engine and returns a uniform outcome.
+func Solve(req Request) (*Outcome, error) {
+	r := req.withDefaults()
+	out := &Outcome{Kind: r.Kind, Stats: map[string]float64{}}
+	start := time.Now()
+	switch r.Kind {
+	case SA:
+		br := sa.SolveBatch(r.Model, sa.Config{Sweeps: r.Sweeps, Seed: r.Seed, Initial: r.Initial}, r.Runs)
+		out.Spins, out.Energy = br.Best.Spins, br.Best.Energy
+		var attempts, flips float64
+		for _, res := range br.Results {
+			attempts += float64(res.Attempts)
+			flips += float64(res.Flips)
+		}
+		out.Stats["attempts"] = attempts
+		out.Stats["flips"] = flips
+	case PT:
+		res := pt.Solve(r.Model, pt.Config{Replicas: max(2, r.Runs), Sweeps: r.Sweeps, Seed: r.Seed})
+		out.Spins, out.Energy = res.Spins, res.Energy
+		out.Stats["swaps"] = float64(res.Swaps)
+		out.Stats["swapAttempts"] = float64(res.SwapAttempts)
+	case Tabu:
+		best := tabu.Solve(r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed, Initial: r.Initial})
+		for i := 1; i < r.Runs; i++ {
+			res := tabu.Solve(r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed + uint64(i)})
+			if res.Energy < best.Energy {
+				best = res
+			}
+		}
+		out.Spins, out.Energy = best.Spins, best.Energy
+	case BSBM, DSBM:
+		variant := sbm.Ballistic
+		if r.Kind == DSBM {
+			variant = sbm.Discrete
+		}
+		br := sbm.SolveBatch(r.Model, sbm.Config{Variant: variant, Steps: r.Steps, Seed: r.Seed}, r.Runs)
+		out.Spins, out.Energy = br.Best.Spins, br.Best.Energy
+	case BRIM:
+		best, all := brim.SolveBatch(r.Model, brim.SolveConfig{
+			Duration: r.DurationNS,
+			Initial:  r.Initial,
+			Config:   brim.Config{Seed: r.Seed},
+		}, r.Runs)
+		out.Spins, out.Energy = best.Spins, best.Energy
+		for _, res := range all {
+			out.ModelNS += res.ModelNS
+			out.Stats["flips"] += float64(res.Flips)
+		}
+	case QBSolv, OursDnc:
+		mach := &dnc.ProxyMachine{
+			Cap:      r.MachineCapacity,
+			AnnealNS: r.MachineAnnealNS,
+			Program:  r.MachineProgramNS,
+			Sweeps:   r.Sweeps,
+		}
+		var res *dnc.Result
+		if r.Kind == QBSolv {
+			res = dnc.QBSolv(r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed})
+		} else {
+			res = dnc.Ours(r.Model, mach, dnc.OursConfig{Seed: r.Seed})
+		}
+		out.Spins, out.Energy = res.Spins, res.Energy
+		out.ModelNS = res.HardwareNS + res.ProgramNS
+		out.Stats["glueOps"] = float64(res.GlueOps)
+		out.Stats["launches"] = float64(res.Launches)
+		out.Stats["softwareNS"] = float64(res.SoftwareWall.Nanoseconds())
+	case MBRIMConcurrent:
+		sys := multichip.NewSystem(r.Model, multichipConfig(r))
+		res := sys.RunConcurrent(r.DurationNS)
+		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
+			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+	case MBRIMSequential:
+		sys := multichip.NewSystem(r.Model, multichipConfig(r))
+		res := sys.RunSequential(r.DurationNS)
+		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
+			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+	case MBRIMBatch:
+		sys := multichip.NewSystem(r.Model, multichipConfig(r))
+		res := sys.RunBatch(r.Runs, r.DurationNS)
+		best := res.Jobs[res.Best]
+		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
+			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+	default:
+		return nil, fmt.Errorf("core: unknown solver %q", r.Kind)
+	}
+	out.Wall = time.Since(start)
+	if r.Graph != nil {
+		out.Cut = r.Graph.CutValue(out.Spins)
+	}
+	return out, nil
+}
+
+func multichipConfig(r Request) multichip.Config {
+	return multichip.Config{
+		Chips:             r.Chips,
+		EpochNS:           r.EpochNS,
+		Coordinated:       r.Coordinated,
+		Channels:          r.Channels,
+		ChannelBytesPerNS: r.ChannelBytesPerNS,
+		Seed:              r.Seed,
+	}
+}
+
+func fillMultichip(out *Outcome, spins []int8, energy, elapsed, stall float64,
+	flips, induced, changes int64, traffic float64) {
+	out.Spins = spins
+	out.Energy = energy
+	out.ModelNS = elapsed
+	out.Stats["stallNS"] = stall
+	out.Stats["flips"] = float64(flips)
+	out.Stats["inducedFlips"] = float64(induced)
+	out.Stats["bitChanges"] = float64(changes)
+	out.Stats["trafficBytes"] = traffic
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+)
+
+func testProblem(n int, seed uint64) (*graph.Graph, *Request) {
+	g := graph.Complete(n, rng.New(seed))
+	return g, &Request{Model: g.ToIsing(), Graph: g, Seed: seed}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range Kinds() {
+		k, err := ParseKind(s)
+		if err != nil || string(k) != s {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if _, err := ParseKind("  SA "); err != nil {
+		t.Fatal("ParseKind should trim and lowercase")
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("ParseKind accepted garbage")
+	}
+}
+
+func TestEveryEngineSolves(t *testing.T) {
+	g, base := testProblem(40, 1)
+	for _, name := range Kinds() {
+		k, _ := ParseKind(name)
+		req := *base
+		req.Kind = k
+		req.Sweeps = 30
+		req.Steps = 100
+		req.DurationNS = 30
+		req.Chips = 4
+		req.Runs = 2
+		req.MachineCapacity = 24
+		out, err := Solve(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out.Spins) != 40 {
+			t.Fatalf("%s: %d spins", name, len(out.Spins))
+		}
+		if math.Abs(out.Energy-req.Model.Energy(out.Spins)) > 1e-6 {
+			t.Fatalf("%s: reported energy inconsistent", name)
+		}
+		if math.Abs(out.Cut-g.CutValue(out.Spins)) > 1e-9 {
+			t.Fatalf("%s: cut inconsistent", name)
+		}
+		if out.Energy >= 0 {
+			t.Fatalf("%s: no optimization progress (E=%v)", name, out.Energy)
+		}
+		if out.Wall <= 0 {
+			t.Fatalf("%s: no wall time", name)
+		}
+	}
+}
+
+func TestModelTimeLedger(t *testing.T) {
+	_, base := testProblem(32, 2)
+	// Pure software engines report zero model time.
+	for _, k := range []Kind{SA, Tabu, BSBM, DSBM} {
+		req := *base
+		req.Kind = k
+		req.Sweeps = 10
+		req.Steps = 50
+		out, err := Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ModelNS != 0 {
+			t.Fatalf("%s: software engine has model time %v", k, out.ModelNS)
+		}
+	}
+	// Machines report model time.
+	for _, k := range []Kind{BRIM, MBRIMConcurrent, MBRIMBatch} {
+		req := *base
+		req.Kind = k
+		req.DurationNS = 20
+		req.Chips = 4
+		req.Runs = 2
+		out, err := Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ModelNS <= 0 {
+			t.Fatalf("%s: machine engine has no model time", k)
+		}
+	}
+}
+
+func TestMultichipStatsExposed(t *testing.T) {
+	_, base := testProblem(48, 3)
+	req := *base
+	req.Kind = MBRIMConcurrent
+	req.Chips = 4
+	req.DurationNS = 30
+	out, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"flips", "bitChanges", "trafficBytes", "stallNS"} {
+		if _, ok := out.Stats[key]; !ok {
+			t.Fatalf("stat %q missing", key)
+		}
+	}
+	if out.Stats["flips"] == 0 {
+		t.Fatal("no flips recorded")
+	}
+}
+
+func TestDncStatsExposed(t *testing.T) {
+	_, base := testProblem(60, 4)
+	req := *base
+	req.Kind = QBSolv
+	req.MachineCapacity = 32
+	req.Sweeps = 20
+	out, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats["launches"] == 0 || out.Stats["glueOps"] == 0 {
+		t.Fatalf("d&c stats missing: %v", out.Stats)
+	}
+	if out.ModelNS <= 0 {
+		t.Fatal("d&c hardware time missing")
+	}
+}
+
+func TestDeterministicOutcomes(t *testing.T) {
+	_, base := testProblem(32, 5)
+	for _, k := range []Kind{SA, DSBM, BRIM, MBRIMConcurrent} {
+		req := *base
+		req.Kind = k
+		req.Sweeps = 10
+		req.Steps = 50
+		req.DurationNS = 20
+		req.Chips = 2
+		a, err := Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Energy != b.Energy {
+			t.Fatalf("%s: nondeterministic outcome", k)
+		}
+	}
+}
+
+func TestNilModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil model did not panic")
+		}
+	}()
+	_, _ = Solve(Request{Kind: SA})
+}
+
+func TestNoGraphNoCut(t *testing.T) {
+	_, base := testProblem(16, 6)
+	req := *base
+	req.Graph = nil
+	req.Kind = SA
+	req.Sweeps = 5
+	out, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cut != 0 {
+		t.Fatalf("cut %v without a graph", out.Cut)
+	}
+}
+
+func TestInitialWarmStart(t *testing.T) {
+	// A warm start from a good state must not end worse than the
+	// state's own energy for greedy-capable engines.
+	_, base := testProblem(32, 7)
+	good, err := Solve(Request{Kind: SA, Model: base.Model, Sweeps: 200, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tabu returns the best state seen, so a warm start can never end
+	// above its seed. (SA's final state can be worse transiently when
+	// the schedule reheats; it is exercised separately.)
+	req := *base
+	req.Kind = Tabu
+	req.Sweeps = 20
+	req.Initial = good.Spins
+	out, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Energy > good.Energy {
+		t.Fatalf("tabu warm start ended worse (%v) than its seed state (%v)",
+			out.Energy, good.Energy)
+	}
+	saReq := *base
+	saReq.Kind = SA
+	saReq.Sweeps = 20
+	saReq.Initial = good.Spins
+	if _, err := Solve(saReq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialEngineSlower(t *testing.T) {
+	// mbrim-seq charges chips× elapsed model time vs mbrim concurrent.
+	_, base := testProblem(32, 9)
+	conc := *base
+	conc.Kind = MBRIMConcurrent
+	conc.Chips = 4
+	conc.DurationNS = 20
+	co, err := Solve(conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := conc
+	seq.Kind = MBRIMSequential
+	so, err := Solve(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.ModelNS < 3.9*co.ModelNS {
+		t.Fatalf("sequential elapsed %v not ~4x concurrent %v", so.ModelNS, co.ModelNS)
+	}
+}
+
+func TestPTStatsExposed(t *testing.T) {
+	_, base := testProblem(32, 10)
+	req := *base
+	req.Kind = PT
+	req.Sweeps = 20
+	req.Runs = 4
+	out, err := Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats["swapAttempts"] == 0 {
+		t.Fatal("PT swap stats missing")
+	}
+}
+
+func TestBandwidthPresets(t *testing.T) {
+	if HBChannelBytesPerNS != 250 || LBChannelBytesPerNS != 62.5 {
+		t.Fatalf("presets %v/%v drifted from the paper's Sec 6.3 values",
+			HBChannelBytesPerNS, LBChannelBytesPerNS)
+	}
+}

@@ -1,0 +1,98 @@
+package dnc
+
+import (
+	"fmt"
+	"time"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+	"mbrim/internal/sa"
+)
+
+// OursConfig parameterizes Algorithm 2, the paper's leaner
+// divide-and-conquer: randomly partition once, then repeatedly solve
+// each partition with the others frozen and synchronize.
+type OursConfig struct {
+	// NumRepeats is the number of outer passes. Default 4.
+	NumRepeats int
+	// SoftwareSweeps is the SA effort for partitions that do not fit
+	// the machine (they are solved by the host). Default 30.
+	SoftwareSweeps int
+	// Seed drives partitioning, initial state and solver seeds.
+	Seed uint64
+}
+
+// Ours runs Algorithm 2. The first partition is sized to the machine's
+// capacity and solved in hardware; the remainder is split into
+// capacity-sized chunks solved by host SA. Every pass re-extracts each
+// sub-problem against the current global state (the Synchronise step —
+// this is where the glue cost lives) and solves them in sequence, as
+// Sec 3.3 argues they must be.
+func Ours(m *ising.Model, mach Machine, cfg OursConfig) *Result {
+	n := m.N()
+	numRepeats := cfg.NumRepeats
+	if numRepeats == 0 {
+		numRepeats = 4
+	}
+	swSweeps := cfg.SoftwareSweeps
+	if swSweeps == 0 {
+		swSweeps = 30
+	}
+	cap := mach.Capacity()
+	if cap < 1 {
+		panic(fmt.Sprintf("dnc: machine capacity %d", cap))
+	}
+	r := rng.New(cfg.Seed)
+	res := &Result{}
+
+	// Line 8: RandPartition. The first part fills the machine; the
+	// rest is chunked for the host.
+	perm := r.Perm(n)
+	var parts [][]int
+	for at := 0; at < n; at += cap {
+		end := at + cap
+		if end > n {
+			end = n
+		}
+		part := append([]int(nil), perm[at:end]...)
+		parts = append(parts, part)
+	}
+
+	spins := ising.RandomSpins(n, r)
+
+	// Lines 10-16: repeat passes of sequential per-partition solving.
+	for rep := 0; rep < numRepeats; rep++ {
+		res.Passes++
+		for pi, part := range parts {
+			glueStart := time.Now()
+			sp := ising.Extract(m, part, spins)
+			res.GlueOps += sp.GlueOps
+			init := sp.Gather(spins)
+			res.SoftwareWall += time.Since(glueStart)
+
+			if pi == 0 && len(part) <= cap {
+				// Hardware partition.
+				sol, annealNS := mach.Anneal(sp.Model, init, r.Uint64())
+				res.HardwareNS += annealNS
+				res.ProgramNS += mach.ProgramNS()
+				res.Launches++
+				sp.Project(sol, spins)
+			} else {
+				// Host partition: SA with the same frozen-complement
+				// sub-problem.
+				swStart := time.Now()
+				sr := sa.Solve(sp.Model, sa.Config{
+					Sweeps: swSweeps, Seed: r.Uint64(), Initial: init,
+				})
+				res.SoftwareWall += time.Since(swStart)
+				sp.Project(sr.Spins, spins)
+			}
+		}
+		// Line 15: Synchronise is implicit — the next pass's Extract
+		// reads the updated global state.
+	}
+
+	res.Spins = spins
+	res.Energy = m.Energy(spins)
+	return res
+}

@@ -1,0 +1,85 @@
+package embed
+
+import "testing"
+
+func TestChimeraStructure(t *testing.T) {
+	// C_2 (2×2 cells, shore 4): 32 qubits; edges = 4 cells × 16
+	// intra + 2 vertical × 4 + 2 horizontal × 4 = 64 + 16 = 80.
+	g := Chimera(2, 2, 4)
+	if g.N() != 32 {
+		t.Fatalf("qubits = %d, want 32", g.N())
+	}
+	if g.M() != 80 {
+		t.Fatalf("couplers = %d, want 80", g.M())
+	}
+}
+
+func TestChimeraDegreesBounded(t *testing.T) {
+	// Interior qubits have degree shore + 2 (shore intra-cell, two
+	// inter-cell); nothing exceeds it — the locality constraint.
+	g := Chimera(4, 4, 4)
+	for v, d := range g.Degrees() {
+		if d > 6 {
+			t.Fatalf("qubit %d has degree %d > 6", v, d)
+		}
+		if d < 5 { // edge cells lose one inter-cell coupler
+			t.Fatalf("qubit %d has degree %d < 5", v, d)
+		}
+	}
+}
+
+func TestChimeraConnected(t *testing.T) {
+	if !Chimera(3, 3, 4).Connected() {
+		t.Fatal("chimera graph disconnected")
+	}
+}
+
+func TestChimeraBipartiteCells(t *testing.T) {
+	// No intra-side edges within a cell: qubit (0,0,0,0) and
+	// (0,0,0,1) must not couple.
+	g := Chimera(1, 1, 4)
+	if g.Weight(0, 1) != 0 {
+		t.Fatal("same-side qubits coupled inside a cell")
+	}
+	if g.Weight(0, 4) == 0 {
+		t.Fatal("opposite-side qubits not coupled inside a cell")
+	}
+}
+
+func TestChimeraCapacityPaperNumber(t *testing.T) {
+	// The paper (Sec 2.2/4.1.1): "a nominal 2000 nodes on the D-Wave
+	// 2000q is equivalent to only about 64 effective nodes". The
+	// 2000q is chimera C_16 with 2048 qubits, shore 4 → K_65.
+	if got := ChimeraCapacity(2048, 4); got != 65 {
+		t.Fatalf("C_16 capacity = %d, want 65 (~64 effective)", got)
+	}
+}
+
+func TestChimeraCapacityScaling(t *testing.T) {
+	// Capacity grows as √qubits: quadrupling qubits roughly doubles it.
+	small := ChimeraCapacity(512, 4) // C_8: 4·8+1 = 33
+	big := ChimeraCapacity(2048, 4)  // C_16: 65
+	if small != 33 || big != 65 {
+		t.Fatalf("capacities %d/%d, want 33/65", small, big)
+	}
+	if ChimeraCapacity(7, 4) != 0 {
+		t.Fatal("sub-cell qubit count should have zero capacity")
+	}
+}
+
+func TestChimeraPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero rows":  func() { Chimera(0, 1, 4) },
+		"zero shore": func() { Chimera(1, 1, 0) },
+		"bad qubits": func() { ChimeraCapacity(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,43 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+)
+
+// TestSKGroundStateScaling is a physics sanity check on the whole
+// model/solver stack. A ±1 K-graph is a Sherrington–Kirkpatrick spin
+// glass with couplings of unit variance; its ground-state energy is
+// known to scale as E₀ ≈ −e₀·N^(3/2) with e₀ → 0.7632 (the Parisi
+// constant) as N → ∞. At the small sizes exact enumeration reaches,
+// finite-size effects push the density above the asymptote, but it
+// must already sit in the right window and tighten with N — a
+// miscalibrated energy convention (double counting, sign flips, lost
+// factor of 2) lands far outside it.
+func TestSKGroundStateScaling(t *testing.T) {
+	type point struct {
+		n       int
+		seeds   int
+		density float64
+	}
+	var pts []point
+	for _, n := range []int{14, 18, 22} {
+		const seeds = 3
+		sum := 0.0
+		for s := 0; s < seeds; s++ {
+			g := graph.Complete(n, rng.New(uint64(100*n+s)))
+			e0 := Solve(g.ToIsing()).Energy
+			sum += -e0 / math.Pow(float64(n), 1.5)
+		}
+		pts = append(pts, point{n: n, seeds: seeds, density: sum / seeds})
+	}
+	for _, p := range pts {
+		if p.density < 0.60 || p.density > 1.05 {
+			t.Fatalf("n=%d: ground-state density %.3f outside the SK window [0.60, 1.05]",
+				p.n, p.density)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package graph provides the benchmark workloads of the paper: fully
+// connected K-graphs (K2000, K16384, ...), random Gset-style graphs,
+// the text interchange format used by the MaxCut community, and the
+// graph↔Ising mapping with its cut-value bookkeeping.
+//
+// MaxCut convention. For an undirected graph with edge weights w_ij,
+// the cut value of an assignment σ is
+//
+//	cut(σ) = Σ_{(i,j)∈E} w_ij (1 − σ_i σ_j) / 2
+//
+// The corresponding Ising model uses J_ij = −w_ij, giving
+// E(σ) = Σ_{(i,j)∈E} w_ij σ_i σ_j and the exact relation
+//
+//	cut(σ) = (W − E(σ)) / 2, with W = Σ w_ij.
+//
+// Maximizing the cut is minimizing the energy; the K-graph "cut value"
+// numbers reported in the paper (e.g. 33,337 for K2000) are this
+// quantity.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+)
+
+// Edge is an undirected weighted edge. Endpoints satisfy U < V.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is an undirected weighted graph with vertices 0..N-1 stored as
+// an edge list; duplicate edges are coalesced by AddEdge.
+type Graph struct {
+	n     int
+	edges []Edge
+	index map[[2]int]int // endpoint pair → position in edges
+}
+
+// New returns an empty graph on n vertices. It panics if n <= 0.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: New with n=%d", n))
+	}
+	return &Graph{n: n, index: make(map[[2]int]int)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (distinct) edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list (do not mutate).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge adds weight w to edge (u, v). Self-loops and out-of-range
+// endpoints panic. Repeated calls accumulate onto the same edge.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, g.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if pos, ok := g.index[key]; ok {
+		g.edges[pos].Weight += w
+		return
+	}
+	g.index[key] = len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w})
+}
+
+// Weight returns the weight of edge (u, v), or 0 if absent.
+func (g *Graph) Weight(u, v int) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	if pos, ok := g.index[[2]int{u, v}]; ok {
+		return g.edges[pos].Weight
+	}
+	return 0
+}
+
+// TotalWeight returns W = Σ w_ij over all edges.
+func (g *Graph) TotalWeight() float64 {
+	w := 0.0
+	for _, e := range g.edges {
+		w += e.Weight
+	}
+	return w
+}
+
+// CutValue returns the weight of edges crossing the bipartition
+// defined by the spin assignment: Σ w_ij (1 − σ_i σ_j)/2.
+func (g *Graph) CutValue(spins []int8) float64 {
+	if len(spins) != g.n {
+		panic("graph: CutValue with wrong spin length")
+	}
+	cut := 0.0
+	for _, e := range g.edges {
+		if spins[e.U] != spins[e.V] {
+			cut += e.Weight
+		}
+	}
+	return cut
+}
+
+// ToIsing maps the MaxCut instance to an Ising model with J = −w and
+// zero biases, so minimizing energy maximizes the cut.
+func (g *Graph) ToIsing() *ising.Model {
+	m := ising.NewModel(g.n)
+	for _, e := range g.edges {
+		m.SetCoupling(e.U, e.V, -e.Weight)
+	}
+	return m
+}
+
+// ToSparseIsing maps the MaxCut instance to a sparse Ising model with
+// J = −w and zero biases — the right representation for Gset-style
+// graphs where density is a few percent.
+func (g *Graph) ToSparseIsing() *ising.SparseModel {
+	entries := make([]ising.SparseEntry, 0, len(g.edges))
+	for _, e := range g.edges {
+		entries = append(entries, ising.SparseEntry{I: e.U, J: e.V, V: -e.Weight})
+	}
+	return ising.NewSparse(g.n, entries, nil)
+}
+
+// CutFromEnergy converts an Ising energy of the ToIsing model back to
+// a cut value via cut = (W − E)/2.
+func (g *Graph) CutFromEnergy(energy float64) float64 {
+	return (g.TotalWeight() - energy) / 2
+}
+
+// Degrees returns the vertex degrees.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.n)
+	for _, e := range g.edges {
+		d[e.U]++
+		d[e.V]++
+	}
+	return d
+}
+
+// Subgraph returns the induced subgraph over the given vertices (which
+// are renumbered 0..len(vs)-1 in order) plus the index map used.
+func (g *Graph) Subgraph(vs []int) (*Graph, []int) {
+	local := make(map[int]int, len(vs))
+	for i, v := range vs {
+		if _, dup := local[v]; dup {
+			panic(fmt.Sprintf("graph: Subgraph duplicate vertex %d", v))
+		}
+		local[v] = i
+	}
+	sg := New(len(vs))
+	for _, e := range g.edges {
+		lu, okU := local[e.U]
+		lv, okV := local[e.V]
+		if okU && okV {
+			sg.AddEdge(lu, lv, e.Weight)
+		}
+	}
+	return sg, append([]int(nil), vs...)
+}
+
+// --- Generators -----------------------------------------------------
+
+// Complete returns the K-graph K_n with edge weights drawn uniformly
+// from {-1, +1}, the benchmark family of the paper (K2000 [28],
+// K16384 [49]). The instance is fully determined by n and the seed.
+func Complete(n int, r *rng.Source) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, float64(r.Spin()))
+		}
+	}
+	return g
+}
+
+// Random returns an Erdős–Rényi G(n, p) graph with ±1 weights, the
+// Gset-style sparse workload used for the divide-and-conquer study.
+func Random(n int, p float64, r *rng.Source) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(p) {
+				g.AddEdge(i, j, float64(r.Spin()))
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegularish returns a graph where each vertex gets exactly d
+// randomly chosen distinct neighbours (so degrees are between d and
+// ~2d). It is the cheap stand-in for d-regular benchmark graphs.
+func RandomRegularish(n, d int, r *rng.Source) *Graph {
+	if d >= n {
+		panic("graph: RandomRegularish degree >= n")
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{i: true}
+		for len(seen) < d+1 {
+			j := r.Intn(n)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			if g.Weight(i, j) == 0 {
+				g.AddEdge(i, j, float64(r.Spin()))
+			}
+		}
+	}
+	return g
+}
+
+// --- Partitioning ---------------------------------------------------
+
+// BlockPartition splits vertices 0..n-1 into k contiguous blocks whose
+// sizes differ by at most one — the slicing used when a problem is
+// spread over k chips.
+func BlockPartition(n, k int) [][]int {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("graph: BlockPartition n=%d k=%d", n, k))
+	}
+	parts := make([][]int, k)
+	base, extra := n/k, n%k
+	at := 0
+	for i := range parts {
+		size := base
+		if i < extra {
+			size++
+		}
+		p := make([]int, size)
+		for j := range p {
+			p[j] = at
+			at++
+		}
+		parts[i] = p
+	}
+	return parts
+}
+
+// RandomPartition splits a random permutation of the vertices into k
+// near-equal parts (Algorithm 2's RandPartition).
+func RandomPartition(n, k int, r *rng.Source) [][]int {
+	perm := r.Perm(n)
+	parts := BlockPartition(n, k)
+	for _, p := range parts {
+		for j := range p {
+			p[j] = perm[p[j]]
+		}
+		sort.Ints(p)
+	}
+	return parts
+}
+
+// --- Gset text format -----------------------------------------------
+
+// Write emits the graph in the Gset interchange format: a header line
+// "n m" followed by one "u v w" line per edge with 1-based vertices.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.n, len(g.edges)); err != nil {
+		return err
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U+1, e.V+1, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the Gset format written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header: %w", err)
+	}
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("graph: invalid header n=%d m=%d", n, m)
+	}
+	g := New(n)
+	for i := 0; i < m; i++ {
+		var u, v int
+		var w float64
+		if _, err := fmt.Fscan(br, &u, &v, &w); err != nil {
+			return nil, fmt.Errorf("graph: bad edge %d: %w", i, err)
+		}
+		if u < 1 || v < 1 || u > n || v > n || u == v {
+			return nil, fmt.Errorf("graph: invalid edge %d: (%d,%d)", i, u, v)
+		}
+		g.AddEdge(u-1, v-1, w)
+	}
+	return g, nil
+}
+
+// Components returns the connected components as vertex lists, each
+// sorted ascending, ordered by smallest member. Partitioning a
+// disconnected problem across chips along component boundaries makes
+// the cross-chip coupling empty — worth knowing before slicing.
+func (g *Graph) Components() [][]int {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	groups := make(map[int][]int)
+	for v := 0; v < g.n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Connected reports whether the graph has a single component.
+func (g *Graph) Connected() bool { return len(g.Components()) == 1 }

@@ -1,0 +1,325 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+)
+
+func TestAddEdgeCoalesces(t *testing.T) {
+	g := New(4)
+	g.AddEdge(1, 2, 1.5)
+	g.AddEdge(2, 1, 0.5)
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if w := g.Weight(1, 2); w != 2 {
+		t.Fatalf("Weight = %v, want 2", w)
+	}
+	if w := g.Weight(2, 1); w != 2 {
+		t.Fatalf("reversed Weight = %v, want 2", w)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"self-loop":    func() { New(3).AddEdge(1, 1, 1) },
+		"out-of-range": func() { New(3).AddEdge(0, 3, 1) },
+		"negative":     func() { New(3).AddEdge(-1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightAbsent(t *testing.T) {
+	g := New(3)
+	if g.Weight(0, 1) != 0 {
+		t.Fatal("absent edge has nonzero weight")
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	r := rng.New(1)
+	n := 50
+	g := Complete(n, r)
+	if g.M() != n*(n-1)/2 {
+		t.Fatalf("K%d has %d edges, want %d", n, g.M(), n*(n-1)/2)
+	}
+	for _, e := range g.Edges() {
+		if e.Weight != 1 && e.Weight != -1 {
+			t.Fatalf("K-graph weight %v not in {-1,+1}", e.Weight)
+		}
+	}
+}
+
+func TestCompleteDeterministic(t *testing.T) {
+	a := Complete(20, rng.New(7))
+	b := Complete(20, rng.New(7))
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if a.Weight(i, j) != b.Weight(i, j) {
+				t.Fatal("same seed produced different K-graphs")
+			}
+		}
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	r := rng.New(2)
+	n := 200
+	g := Random(n, 0.1, r)
+	max := n * (n - 1) / 2
+	frac := float64(g.M()) / float64(max)
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Fatalf("G(n,0.1) density %v", frac)
+	}
+}
+
+func TestRandomRegularishDegrees(t *testing.T) {
+	r := rng.New(3)
+	g := RandomRegularish(100, 6, r)
+	for v, d := range g.Degrees() {
+		if d < 6 {
+			t.Fatalf("vertex %d has degree %d < 6", v, d)
+		}
+	}
+}
+
+func TestCutValueKnown(t *testing.T) {
+	// Triangle with unit weights: best cut is 2.
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	if c := g.CutValue([]int8{1, -1, 1}); c != 2 {
+		t.Fatalf("cut = %v, want 2", c)
+	}
+	if c := g.CutValue([]int8{1, 1, 1}); c != 0 {
+		t.Fatalf("uncut = %v, want 0", c)
+	}
+}
+
+func TestCutEnergyRelation(t *testing.T) {
+	// The DESIGN.md invariant: cut(σ) = (W − E(σ))/2 for the ToIsing
+	// mapping, for every graph and assignment.
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 2 + r.Intn(30)
+		g := Random(n, 0.5, r)
+		m := g.ToIsing()
+		s := ising.RandomSpins(n, r)
+		cut := g.CutValue(s)
+		viaEnergy := g.CutFromEnergy(m.Energy(s))
+		return math.Abs(cut-viaEnergy) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToIsingZeroBias(t *testing.T) {
+	r := rng.New(4)
+	g := Complete(10, r)
+	m := g.ToIsing()
+	for i := 0; i < 10; i++ {
+		if m.Bias(i) != 0 {
+			t.Fatal("MaxCut mapping must have zero biases")
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphInduced(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 4, 4)
+	sg, idx := g.Subgraph([]int{1, 2, 3})
+	if sg.N() != 3 || sg.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d", sg.N(), sg.M())
+	}
+	if sg.Weight(0, 1) != 2 || sg.Weight(1, 2) != 3 {
+		t.Fatal("subgraph weights wrong")
+	}
+	if len(idx) != 3 || idx[0] != 1 {
+		t.Fatal("index map wrong")
+	}
+}
+
+func TestBlockPartitionCoversExactly(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw)%n + 1
+		parts := BlockPartition(n, k)
+		if len(parts) != k {
+			return false
+		}
+		seen := make([]bool, n)
+		minSize, maxSize := n+1, 0
+		for _, p := range parts {
+			if len(p) < minSize {
+				minSize = len(p)
+			}
+			if len(p) > maxSize {
+				maxSize = len(p)
+			}
+			for _, v := range p {
+				if v < 0 || v >= n || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return maxSize-minSize <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPartitionCovers(t *testing.T) {
+	r := rng.New(5)
+	parts := RandomPartition(97, 8, r)
+	seen := make([]bool, 97)
+	for _, p := range parts {
+		for _, v := range p {
+			if seen[v] {
+				t.Fatalf("vertex %d in two parts", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := rng.New(6)
+	g := Random(30, 0.3, r)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if back.Weight(e.U, e.V) != e.Weight {
+			t.Fatalf("edge (%d,%d) weight changed", e.U, e.V)
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "x y\n",
+		"negative n":   "-3 1\n1 2 1\n",
+		"self loop":    "3 1\n2 2 1\n",
+		"out of range": "3 1\n1 4 1\n",
+		"short edge":   "3 1\n1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("Read accepted %s", name)
+		}
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, -3)
+	if w := g.TotalWeight(); w != -1 {
+		t.Fatalf("TotalWeight = %v, want -1", w)
+	}
+}
+
+func TestCutValuePanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(3).CutValue([]int8{1})
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	// 5 and 6 are isolated.
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("%d components, want 4: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("first component %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Fatalf("second component %v", comps[1])
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestComponentsCoverAllVertices(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 2 + r.Intn(40)
+		g := Random(n, 0.05, r)
+		seen := make([]bool, n)
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if v < 0 || v >= n || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompleteIsConnected(t *testing.T) {
+	if !Complete(10, rng.New(1)).Connected() {
+		t.Fatal("complete graph not connected")
+	}
+}

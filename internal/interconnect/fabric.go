@@ -1,0 +1,170 @@
+// Package interconnect models the digital fabric of the multiprocessor
+// Ising machine (Sec 5.3): per-chip dedicated channels with finite
+// bandwidth, broadcast update traffic, and the congestion-induced
+// stalling that forces the machine's physics to slow down when demand
+// exceeds supply.
+//
+// The model is epoch-oriented, matching how the architecture operates:
+// chips accumulate egress traffic during an epoch of model time; at
+// the epoch boundary the fabric computes how much longer than the
+// epoch the slowest chip needs to drain its traffic. That excess is
+// the stall — wall-clock (model) time during which the dynamical
+// system is held, exactly the "slow down the machine to match the
+// fabric" coping strategy of Sec 5.3. A fabric with zero rate is
+// unlimited (the 3D-integration case, mBRIM_3D).
+package interconnect
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Fabric tracks traffic and stalls for a k-chip system.
+type Fabric struct {
+	numChips   int
+	channels   int
+	bytesPerNS float64 // per channel; 0 = unlimited
+
+	topology   Topology
+	epochBytes []float64 // egress accumulated this epoch, per chip
+	totalBytes float64
+	byKind     map[string]float64
+	stallNS    float64
+	epochs     int
+	peakDemand float64 // max per-chip bytes/ns demand seen in any epoch
+}
+
+// New builds a fabric for numChips chips, each with `channels`
+// dedicated egress channels of bytesPerNS bytes per nanosecond
+// (1 GB/s = 1 byte/ns). bytesPerNS = 0 models unlimited bandwidth.
+func New(numChips, channels int, bytesPerNS float64) *Fabric {
+	if numChips < 1 {
+		panic(fmt.Sprintf("interconnect: numChips=%d", numChips))
+	}
+	if channels < 1 {
+		panic(fmt.Sprintf("interconnect: channels=%d", channels))
+	}
+	if bytesPerNS < 0 || math.IsNaN(bytesPerNS) {
+		panic(fmt.Sprintf("interconnect: bytesPerNS=%v", bytesPerNS))
+	}
+	return &Fabric{
+		numChips:   numChips,
+		channels:   channels,
+		bytesPerNS: bytesPerNS,
+		epochBytes: make([]float64, numChips),
+		byKind:     make(map[string]float64),
+	}
+}
+
+// Unlimited reports whether the fabric has no bandwidth constraint.
+func (f *Fabric) Unlimited() bool { return f.bytesPerNS == 0 }
+
+// NumChips returns the chip count.
+func (f *Fabric) NumChips() int { return f.numChips }
+
+// EgressRate returns a chip's total egress bandwidth in bytes/ns, or
+// +Inf for an unlimited fabric.
+func (f *Fabric) EgressRate() float64 {
+	if f.Unlimited() {
+		return math.Inf(1)
+	}
+	return f.bytesPerNS * float64(f.channels)
+}
+
+// Record charges `bytes` of egress traffic to chip for the current
+// epoch, tagged with a kind for the traffic breakdown ("flip",
+// "sync", "induced", ...).
+func (f *Fabric) Record(chip int, bytes float64, kind string) {
+	if chip < 0 || chip >= f.numChips {
+		panic(fmt.Sprintf("interconnect: chip %d of %d", chip, f.numChips))
+	}
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("interconnect: bytes=%v", bytes))
+	}
+	f.epochBytes[chip] += bytes
+	f.totalBytes += bytes
+	f.byKind[kind] += bytes
+}
+
+// EndEpoch closes an epoch of epochNS model time: it returns the stall
+// the system must take so every chip can drain its egress, accumulates
+// statistics, and clears the per-epoch buckets. The returned stall is
+// max over chips of (bytes/rate − epochNS), floored at zero.
+func (f *Fabric) EndEpoch(epochNS float64) float64 {
+	if epochNS <= 0 {
+		panic(fmt.Sprintf("interconnect: epochNS=%v", epochNS))
+	}
+	f.epochs++
+	for chip := range f.epochBytes {
+		if demand := f.epochBytes[chip] / epochNS; demand > f.peakDemand {
+			f.peakDemand = demand
+		}
+	}
+	stall := f.epochStall(epochNS)
+	for chip := range f.epochBytes {
+		f.epochBytes[chip] = 0
+	}
+	f.stallNS += stall
+	return stall
+}
+
+// TotalBytes returns all traffic recorded so far.
+func (f *Fabric) TotalBytes() float64 { return f.totalBytes }
+
+// BytesByKind returns the traffic recorded under the given tag.
+func (f *Fabric) BytesByKind(kind string) float64 { return f.byKind[kind] }
+
+// StallNS returns the cumulative congestion stall.
+func (f *Fabric) StallNS() float64 { return f.stallNS }
+
+// Epochs returns how many epochs have been closed.
+func (f *Fabric) Epochs() int { return f.epochs }
+
+// PeakDemand returns the highest per-chip bytes/ns demand observed in
+// any single epoch — the peak-bandwidth number of Sec 6.5.
+func (f *Fabric) PeakDemand() float64 { return f.peakDemand }
+
+// --- Message sizing ---------------------------------------------------
+
+// SpinIndexBits returns the bits needed to name one of n spins —
+// ceil(log2(n)), minimum 1. A flip update is one spin index; the new
+// value is implied because updates are toggles.
+func SpinIndexBits(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("interconnect: SpinIndexBits(%d)", n))
+	}
+	if n == 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// FlipUpdateBytes returns the broadcast cost of one spin-flip update
+// in a system of n total spins reaching fanout destination chips: the
+// paper's f_s·N·log(N) demand comes from charging log2(N) bits per
+// flip per destination.
+func FlipUpdateBytes(n, fanout int) float64 {
+	if fanout < 0 {
+		panic(fmt.Sprintf("interconnect: fanout=%d", fanout))
+	}
+	return float64(SpinIndexBits(n)) / 8 * float64(fanout)
+}
+
+// DeltaSyncBytes returns the epoch-boundary cost of communicating
+// `changes` bit changes out of `local` owned spins to fanout chips.
+// The encoder picks the cheaper of an index list (changes·log2(local))
+// and a full bitmap (local bits) — the batch-mode saving of Sec 5.5
+// comes from changes being far fewer than flips.
+func DeltaSyncBytes(changes, local, fanout int) float64 {
+	if changes < 0 || changes > local {
+		panic(fmt.Sprintf("interconnect: changes=%d local=%d", changes, local))
+	}
+	if fanout < 0 {
+		panic(fmt.Sprintf("interconnect: fanout=%d", fanout))
+	}
+	indexList := float64(changes * SpinIndexBits(local))
+	bitmap := float64(local)
+	bits := math.Min(indexList, bitmap)
+	return bits / 8 * float64(fanout)
+}

@@ -1,0 +1,94 @@
+package interconnect
+
+import "fmt"
+
+// Topology selects the first-order congestion model of the fabric.
+// The paper assumes dedicated per-chip channels (mBRIM_HB gives each
+// chip three private 250 GB/s links); the alternatives quantify what
+// cheaper fabrics would cost.
+type Topology int
+
+const (
+	// Dedicated gives every chip its own egress channels: a chip
+	// stalls only on its own traffic. The paper's assumption.
+	Dedicated Topology = iota
+	// SharedBus arbitrates one medium among all chips: the system
+	// stalls on the *sum* of all traffic.
+	SharedBus
+	// Ring connects chips in a bidirectional ring: a broadcast splits
+	// both ways and travels ⌈(k−1)/2⌉ hops, so every byte of payload
+	// occupies that many link-hops, spread over k links.
+	Ring
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Dedicated:
+		return "dedicated"
+	case SharedBus:
+		return "shared-bus"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// SetTopology selects the congestion model. Call before any EndEpoch;
+// changing it mid-run would make the stall accounting incoherent.
+func (f *Fabric) SetTopology(t Topology) {
+	if f.epochs > 0 {
+		panic("interconnect: SetTopology after epochs have closed")
+	}
+	switch t {
+	case Dedicated, SharedBus, Ring:
+		f.topology = t
+	default:
+		panic(fmt.Sprintf("interconnect: unknown topology %d", int(t)))
+	}
+}
+
+// Topology returns the congestion model in effect.
+func (f *Fabric) Topology() Topology { return f.topology }
+
+// epochStall computes the stall for the closed epoch under the
+// configured topology, given the per-chip epoch bytes.
+func (f *Fabric) epochStall(epochNS float64) float64 {
+	if f.Unlimited() {
+		return 0
+	}
+	rate := f.EgressRate()
+	stall := 0.0
+	switch f.topology {
+	case SharedBus:
+		total := 0.0
+		for _, b := range f.epochBytes {
+			total += b
+		}
+		if s := total/rate - epochNS; s > 0 {
+			stall = s
+		}
+	case Ring:
+		k := float64(f.numChips)
+		hops := float64(f.numChips / 2) // ⌈(k−1)/2⌉
+		if f.numChips == 1 {
+			hops = 0
+		}
+		total := 0.0
+		for _, b := range f.epochBytes {
+			total += b
+		}
+		perLink := total * hops / k
+		if s := perLink/rate - epochNS; s > 0 {
+			stall = s
+		}
+	default: // Dedicated
+		for _, b := range f.epochBytes {
+			if s := b/rate - epochNS; s > stall {
+				stall = s
+			}
+		}
+	}
+	return stall
+}

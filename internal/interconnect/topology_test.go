@@ -1,0 +1,122 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopologyString(t *testing.T) {
+	if Dedicated.String() != "dedicated" || SharedBus.String() != "shared-bus" ||
+		Ring.String() != "ring" {
+		t.Fatal("topology names wrong")
+	}
+	if Topology(9).String() != "Topology(9)" {
+		t.Fatal("unknown topology name wrong")
+	}
+}
+
+func TestDedicatedIsDefault(t *testing.T) {
+	f := New(2, 1, 10)
+	if f.Topology() != Dedicated {
+		t.Fatal("default topology not dedicated")
+	}
+}
+
+func TestSharedBusStallsOnTotal(t *testing.T) {
+	// Two chips, 10 B/ns bus. 60 B each in a 5 ns epoch: dedicated
+	// would need 6 ns per chip (1 ns stall); the bus needs 12 ns total
+	// (7 ns stall).
+	f := New(2, 1, 10)
+	f.SetTopology(SharedBus)
+	f.Record(0, 60, "x")
+	f.Record(1, 60, "x")
+	if s := f.EndEpoch(5); math.Abs(s-7) > 1e-9 {
+		t.Fatalf("bus stall = %v, want 7", s)
+	}
+}
+
+func TestSharedBusWorseThanDedicated(t *testing.T) {
+	load := func(topo Topology) float64 {
+		f := New(4, 1, 10)
+		f.SetTopology(topo)
+		for c := 0; c < 4; c++ {
+			f.Record(c, 100, "x")
+		}
+		return f.EndEpoch(5)
+	}
+	if load(SharedBus) <= load(Dedicated) {
+		t.Fatal("shared bus should stall at least as much as dedicated links")
+	}
+}
+
+func TestRingStall(t *testing.T) {
+	// 4 chips: hops = ⌈3/2⌉ = 2, links = 4. Total 400 B → per-link
+	// 400·2/4 = 200 B at 10 B/ns = 20 ns; epoch 5 → stall 15.
+	f := New(4, 1, 10)
+	f.SetTopology(Ring)
+	for c := 0; c < 4; c++ {
+		f.Record(c, 100, "x")
+	}
+	if s := f.EndEpoch(5); math.Abs(s-15) > 1e-9 {
+		t.Fatalf("ring stall = %v, want 15", s)
+	}
+}
+
+func TestRingBetweenDedicatedAndBus(t *testing.T) {
+	// With uniform traffic the ring's per-link load sits between a
+	// private link (1 chip's bytes) and the bus (all bytes).
+	run := func(topo Topology) float64 {
+		f := New(6, 1, 10)
+		f.SetTopology(topo)
+		for c := 0; c < 6; c++ {
+			f.Record(c, 100, "x")
+		}
+		return f.EndEpoch(1)
+	}
+	d, r, b := run(Dedicated), run(Ring), run(SharedBus)
+	if !(d <= r && r <= b) {
+		t.Fatalf("ordering violated: dedicated %v, ring %v, bus %v", d, r, b)
+	}
+}
+
+func TestUnlimitedIgnoresTopology(t *testing.T) {
+	for _, topo := range []Topology{Dedicated, SharedBus, Ring} {
+		f := New(4, 1, 0)
+		f.SetTopology(topo)
+		f.Record(0, 1e12, "x")
+		if s := f.EndEpoch(1); s != 0 {
+			t.Fatalf("%v: unlimited fabric stalled %v", topo, s)
+		}
+	}
+}
+
+func TestSingleChipRingNoHops(t *testing.T) {
+	f := New(1, 1, 10)
+	f.SetTopology(Ring)
+	f.Record(0, 1e6, "x")
+	if s := f.EndEpoch(1); s != 0 {
+		t.Fatalf("1-chip ring stalled %v (nothing to broadcast to)", s)
+	}
+}
+
+func TestSetTopologyPanics(t *testing.T) {
+	f := New(2, 1, 10)
+	f.Record(0, 1, "x")
+	f.EndEpoch(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetTopology after EndEpoch did not panic")
+			}
+		}()
+		f.SetTopology(Ring)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown topology did not panic")
+			}
+		}()
+		New(2, 1, 10).SetTopology(Topology(42))
+	}()
+}

@@ -1,0 +1,61 @@
+package ising
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadQUBO checks the .qubo parser never panics and that accepted
+// instances survive a write/read round trip up to objective values.
+func FuzzReadQUBO(f *testing.F) {
+	f.Add("p qubo 0 3 1 1\n0 0 -1\n0 2 2\n")
+	f.Add("c comment\np qubo 0 1 0 0\n")
+	f.Add("p qubo 0 2 0 1\n1 0 5\n")
+	f.Add("garbage\n")
+	f.Add("p qubo 0 -3 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ReadQUBO(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if q.N() < 1 {
+			t.Fatalf("accepted QUBO with n=%d", q.N())
+		}
+		var buf bytes.Buffer
+		if err := WriteQUBO(&buf, q); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		back, err := ReadQUBO(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != q.N() {
+			t.Fatalf("round trip changed size")
+		}
+		// Spot-check the objective on a few assignments.
+		for mask := 0; mask < 4 && mask < 1<<q.N(); mask++ {
+			x := make([]bool, q.N())
+			for i := 0; i < q.N() && i < 2; i++ {
+				x[i] = mask&(1<<i) != 0
+			}
+			a, b := q.Value(x), back.Value(x)
+			if a != b && !(a != a && b != b) { // tolerate NaN==NaN
+				diff := a - b
+				if diff < 0 {
+					diff = -diff
+				}
+				scale := 1.0
+				if a > 1 || a < -1 {
+					scale = a
+					if scale < 0 {
+						scale = -scale
+					}
+				}
+				if diff/scale > 1e-9 {
+					t.Fatalf("objective changed: %v vs %v", a, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,284 @@
+// Package ising implements the Ising model underlying every solver in
+// this repository: the Hamiltonian of Eq. 1/2 of the paper, cached
+// local fields with O(N) flip updates, the QUBO correspondence, the
+// MaxCut correspondence used by the K-graph benchmarks, and the
+// bipartition rewrite of Eq. 3 that divide-and-conquer and the
+// multiprocessor architecture are built on.
+//
+// Conventions. Spins are int8 values in {-1, +1}. The coupling matrix J
+// is symmetric with zero diagonal and the energy counts each pair once:
+//
+//	E(σ) = -Σ_{i<j} J_ij σ_i σ_j - μ Σ_i h_i σ_i
+//
+// The local field of spin i is L_i = Σ_j J_ij σ_j. Flipping spin k
+// changes the energy by ΔE_k = 2 σ_k (L_k + μ h_k); a negative ΔE_k is
+// an improving flip.
+package ising
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a dense Ising problem instance: n spins, a symmetric
+// coupling matrix with zero diagonal, per-spin biases h and the global
+// bias scale μ. The dense representation is deliberate: the paper's
+// benchmarks (K-graphs) are fully connected, and the machines under
+// study provide all-to-all coupling.
+type Model struct {
+	n  int
+	j  []float64 // row-major n×n, symmetric, zero diagonal
+	h  []float64
+	mu float64
+}
+
+// NewModel returns a model with n spins, zero couplings, zero biases
+// and μ = 1. It panics if n <= 0.
+func NewModel(n int) *Model {
+	if n <= 0 {
+		panic(fmt.Sprintf("ising: NewModel with n=%d", n))
+	}
+	return &Model{
+		n:  n,
+		j:  make([]float64, n*n),
+		h:  make([]float64, n),
+		mu: 1,
+	}
+}
+
+// N returns the number of spins.
+func (m *Model) N() int { return m.n }
+
+// Mu returns the global bias scale μ.
+func (m *Model) Mu() float64 { return m.mu }
+
+// SetMu sets the global bias scale μ.
+func (m *Model) SetMu(mu float64) { m.mu = mu }
+
+// Coupling returns J_ij.
+func (m *Model) Coupling(i, j int) float64 { return m.j[i*m.n+j] }
+
+// SetCoupling sets J_ij = J_ji = v. Setting a diagonal element panics:
+// the model has no self-coupling (Eq. 1 has zero diagonal).
+func (m *Model) SetCoupling(i, j int, v float64) {
+	if i == j {
+		panic("ising: self-coupling is not part of the model")
+	}
+	m.j[i*m.n+j] = v
+	m.j[j*m.n+i] = v
+}
+
+// AddCoupling adds v to J_ij (and J_ji), accumulating parallel edges.
+func (m *Model) AddCoupling(i, j int, v float64) {
+	if i == j {
+		panic("ising: self-coupling is not part of the model")
+	}
+	m.j[i*m.n+j] += v
+	m.j[j*m.n+i] += v
+}
+
+// Bias returns h_i.
+func (m *Model) Bias(i int) float64 { return m.h[i] }
+
+// SetBias sets h_i.
+func (m *Model) SetBias(i int, v float64) { m.h[i] = v }
+
+// Row returns the i-th row of J as a read-only slice (do not mutate).
+// Hot solver loops use it to avoid per-element bounds arithmetic.
+func (m *Model) Row(i int) []float64 { return m.j[i*m.n : (i+1)*m.n] }
+
+// Biases returns the bias vector as a read-only slice (do not mutate).
+func (m *Model) Biases() []float64 { return m.h }
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{n: m.n, j: make([]float64, len(m.j)), h: make([]float64, len(m.h)), mu: m.mu}
+	copy(c.j, m.j)
+	copy(c.h, m.h)
+	return c
+}
+
+// Energy returns E(σ) for the given spin assignment.
+func (m *Model) Energy(spins []int8) float64 {
+	if len(spins) != m.n {
+		panic(fmt.Sprintf("ising: Energy with %d spins on %d-spin model", len(spins), m.n))
+	}
+	e := 0.0
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		si := float64(spins[i])
+		acc := 0.0
+		for j := i + 1; j < m.n; j++ {
+			acc += row[j] * float64(spins[j])
+		}
+		e -= si * acc
+		e -= m.mu * m.h[i] * si
+	}
+	return e
+}
+
+// LocalFields fills out[i] = L_i = Σ_j J_ij σ_j and returns it. If out
+// is nil or too short, a new slice is allocated.
+func (m *Model) LocalFields(spins []int8, out []float64) []float64 {
+	if len(spins) != m.n {
+		panic("ising: LocalFields spin length mismatch")
+	}
+	if len(out) < m.n {
+		out = make([]float64, m.n)
+	}
+	out = out[:m.n]
+	for i := range out {
+		out[i] = 0
+	}
+	// Symmetric accumulation: touch each J_ij once, update both fields.
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		si := float64(spins[i])
+		li := out[i]
+		for j := i + 1; j < m.n; j++ {
+			v := row[j]
+			if v == 0 {
+				continue
+			}
+			sj := float64(spins[j])
+			li += v * sj
+			out[j] += v * si
+		}
+		out[i] = li
+	}
+	return out
+}
+
+// FlipDelta returns the energy change from flipping spin k given its
+// current local field L_k: ΔE = 2 σ_k (L_k + μ h_k).
+func (m *Model) FlipDelta(spins []int8, fields []float64, k int) float64 {
+	return 2 * float64(spins[k]) * (fields[k] + m.mu*m.h[k])
+}
+
+// ApplyFlip flips spin k in place and updates the cached local fields
+// of every other spin in O(N). fields[k] itself is unchanged (it does
+// not depend on σ_k).
+func (m *Model) ApplyFlip(spins []int8, fields []float64, k int) {
+	old := float64(spins[k])
+	spins[k] = -spins[k]
+	d := -2 * old // new - old contribution of σ_k
+	row := m.Row(k)
+	for j := 0; j < m.n; j++ {
+		fields[j] += row[j] * d
+	}
+}
+
+// EnergyFromFields returns E(σ) computed from cached local fields:
+// E = -(1/2) Σ_i L_i σ_i - μ Σ_i h_i σ_i. It is exact when the cache is
+// consistent with the spins and costs O(N).
+func (m *Model) EnergyFromFields(spins []int8, fields []float64) float64 {
+	e := 0.0
+	for i := 0; i < m.n; i++ {
+		si := float64(spins[i])
+		e -= 0.5*fields[i]*si + m.mu*m.h[i]*si
+	}
+	return e
+}
+
+// TotalCouplingWeight returns Σ_{i<j} J_ij, the constant that relates
+// energy to cut value for MaxCut-mapped instances.
+func (m *Model) TotalCouplingWeight() float64 {
+	w := 0.0
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.n; j++ {
+			w += row[j]
+		}
+	}
+	return w
+}
+
+// MaxAbsCoupling returns max_ij |J_ij|, used by dynamical-system
+// solvers to normalize their time constants.
+func (m *Model) MaxAbsCoupling() float64 {
+	mx := 0.0
+	for _, v := range m.j {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// InfinityNorm returns max_i Σ_j |J_ij|, the largest total coupling
+// weight incident on any spin. Dynamical-system solvers normalize by
+// it so that the combined coupling current into a node is bounded by
+// 1 — the resistive-divider bound a physical coupling network obeys.
+func (m *Model) InfinityNorm() float64 {
+	mx := 0.0
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// MaxRowNorm2 returns max_i √(Σ_j J_ij²). For spins in random states
+// the local field of spin i is approximately Normal(0, ‖J_i‖₂), so
+// dividing the couplings by this norm puts typical local fields at
+// unit scale — the operating point where a dynamical machine's
+// bistable feedback (O(1) gains) meaningfully competes with the
+// coupling network instead of being drowned out or dominating.
+func (m *Model) MaxRowNorm2() float64 {
+	mx := 0.0
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return math.Sqrt(mx)
+}
+
+// Degree returns the number of nonzero couplings of spin i.
+func (m *Model) Degree(i int) int {
+	d := 0
+	for _, v := range m.Row(i) {
+		if v != 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// Validate checks the structural invariants (symmetry, zero diagonal,
+// finite entries) and returns an error describing the first violation.
+func (m *Model) Validate() error {
+	if len(m.j) != m.n*m.n || len(m.h) != m.n {
+		return errors.New("ising: inconsistent buffer sizes")
+	}
+	for i := 0; i < m.n; i++ {
+		if m.j[i*m.n+i] != 0 {
+			return fmt.Errorf("ising: nonzero diagonal at %d", i)
+		}
+		for j := i + 1; j < m.n; j++ {
+			a, b := m.j[i*m.n+j], m.j[j*m.n+i]
+			if a != b {
+				return fmt.Errorf("ising: asymmetry at (%d,%d): %v vs %v", i, j, a, b)
+			}
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("ising: non-finite coupling at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i, v := range m.h {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ising: non-finite bias at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mbrim/internal/rng"
+)
+
+// randomModel builds a dense model with integer couplings in [-3,3]
+// and biases in [-2,2], the regime the benchmarks live in.
+func randomModel(n int, r *rng.Source) *Model {
+	m := NewModel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetCoupling(i, j, float64(r.Intn(7)-3))
+		}
+		m.SetBias(i, float64(r.Intn(5)-2))
+	}
+	return m
+}
+
+// naiveEnergy is the textbook O(N^2) reference implementation.
+func naiveEnergy(m *Model, s []int8) float64 {
+	e := 0.0
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			e -= m.Coupling(i, j) * float64(s[i]) * float64(s[j])
+		}
+		e -= m.Mu() * m.Bias(i) * float64(s[i])
+	}
+	return e
+}
+
+func TestNewModelPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewModel(0) did not panic")
+		}
+	}()
+	NewModel(0)
+}
+
+func TestSetCouplingSymmetric(t *testing.T) {
+	m := NewModel(4)
+	m.SetCoupling(1, 3, -2.5)
+	if m.Coupling(3, 1) != -2.5 || m.Coupling(1, 3) != -2.5 {
+		t.Fatal("SetCoupling is not symmetric")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfCouplingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCoupling(i,i) did not panic")
+		}
+	}()
+	NewModel(3).SetCoupling(1, 1, 1)
+}
+
+func TestEnergyMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(40)
+		m := randomModel(n, r)
+		s := RandomSpins(n, r)
+		got := m.Energy(s)
+		want := naiveEnergy(m, s)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: Energy=%v naive=%v", n, got, want)
+		}
+	}
+}
+
+func TestEnergyFromFieldsMatchesEnergy(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(40)
+		m := randomModel(n, r)
+		s := RandomSpins(n, r)
+		f := m.LocalFields(s, nil)
+		if d := math.Abs(m.EnergyFromFields(s, f) - m.Energy(s)); d > 1e-9 {
+			t.Fatalf("n=%d: EnergyFromFields differs by %v", n, d)
+		}
+	}
+}
+
+func TestLocalFieldsDefinition(t *testing.T) {
+	r := rng.New(3)
+	n := 17
+	m := randomModel(n, r)
+	s := RandomSpins(n, r)
+	f := m.LocalFields(s, nil)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < n; j++ {
+			want += m.Coupling(i, j) * float64(s[j])
+		}
+		if math.Abs(f[i]-want) > 1e-9 {
+			t.Fatalf("field %d: got %v want %v", i, f[i], want)
+		}
+	}
+}
+
+func TestLocalFieldsReusesBuffer(t *testing.T) {
+	r := rng.New(4)
+	m := randomModel(8, r)
+	s := RandomSpins(8, r)
+	buf := make([]float64, 8)
+	out := m.LocalFields(s, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("LocalFields allocated despite adequate buffer")
+	}
+}
+
+func TestFlipDeltaMatchesRecompute(t *testing.T) {
+	// Invariant from DESIGN.md: ΔE from the cached local field equals
+	// the full energy recomputation, for any flip.
+	r := rng.New(5)
+	f := func(seed uint32, flips uint8) bool {
+		rr := rng.New(uint64(seed))
+		n := 3 + rr.Intn(30)
+		m := randomModel(n, rr)
+		s := RandomSpins(n, rr)
+		fields := m.LocalFields(s, nil)
+		e := m.Energy(s)
+		for step := 0; step < int(flips%40)+1; step++ {
+			k := rr.Intn(n)
+			delta := m.FlipDelta(s, fields, k)
+			m.ApplyFlip(s, fields, k)
+			e += delta
+			if math.Abs(e-m.Energy(s)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyFlipUpdatesFieldsConsistently(t *testing.T) {
+	r := rng.New(6)
+	n := 25
+	m := randomModel(n, r)
+	s := RandomSpins(n, r)
+	fields := m.LocalFields(s, nil)
+	for step := 0; step < 200; step++ {
+		k := r.Intn(n)
+		m.ApplyFlip(s, fields, k)
+	}
+	fresh := m.LocalFields(s, nil)
+	for i := range fresh {
+		if math.Abs(fresh[i]-fields[i]) > 1e-6 {
+			t.Fatalf("field %d drifted: cached %v fresh %v", i, fields[i], fresh[i])
+		}
+	}
+}
+
+func TestImprovingFlipLowersEnergy(t *testing.T) {
+	// The "wrong spin" criterion of Eq. 4: σ_k (Σ J σ) < 0 with zero
+	// bias means flipping k improves energy.
+	r := rng.New(7)
+	n := 20
+	m := randomModel(n, r)
+	for i := 0; i < n; i++ {
+		m.SetBias(i, 0)
+	}
+	s := RandomSpins(n, r)
+	fields := m.LocalFields(s, nil)
+	for k := 0; k < n; k++ {
+		wrong := float64(s[k])*fields[k] < 0
+		delta := m.FlipDelta(s, fields, k)
+		if wrong && delta >= 0 {
+			t.Fatalf("spin %d is wrong by Eq. 4 but flip delta is %v", k, delta)
+		}
+		if !wrong && delta < 0 {
+			t.Fatalf("spin %d is right by Eq. 4 but flip delta is %v", k, delta)
+		}
+	}
+}
+
+func TestBiasAsExtraSpinEquivalence(t *testing.T) {
+	// Footnote 4 of the paper: the bias term μ h_i σ_i can be folded
+	// into a coupling J_{i,n+1} to an extra spin fixed at +1.
+	r := rng.New(8)
+	n := 12
+	m := randomModel(n, r)
+	ext := NewModel(n + 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ext.SetCoupling(i, j, m.Coupling(i, j))
+		}
+		ext.SetCoupling(i, n, m.Mu()*m.Bias(i))
+	}
+	for trial := 0; trial < 10; trial++ {
+		s := RandomSpins(n, r)
+		se := append(CopySpins(s), 1)
+		if d := math.Abs(m.Energy(s) - ext.Energy(se)); d > 1e-9 {
+			t.Fatalf("extra-spin folding broke energy by %v", d)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewModel(3)
+	m.SetCoupling(0, 1, 2)
+	m.SetBias(2, 5)
+	m.SetMu(0.5)
+	c := m.Clone()
+	m.SetCoupling(0, 1, -9)
+	m.SetBias(2, -9)
+	if c.Coupling(0, 1) != 2 || c.Bias(2) != 5 || c.Mu() != 0.5 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestTotalCouplingWeight(t *testing.T) {
+	m := NewModel(3)
+	m.SetCoupling(0, 1, 1)
+	m.SetCoupling(0, 2, -2)
+	m.SetCoupling(1, 2, 4)
+	if w := m.TotalCouplingWeight(); w != 3 {
+		t.Fatalf("TotalCouplingWeight = %v, want 3", w)
+	}
+}
+
+func TestMaxAbsCouplingAndDegree(t *testing.T) {
+	m := NewModel(4)
+	m.SetCoupling(0, 1, -3)
+	m.SetCoupling(2, 3, 2)
+	if m.MaxAbsCoupling() != 3 {
+		t.Fatalf("MaxAbsCoupling = %v", m.MaxAbsCoupling())
+	}
+	if m.Degree(0) != 1 || m.Degree(3) != 1 {
+		t.Fatal("Degree wrong")
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	m := NewModel(3)
+	m.j[0*3+1] = 1 // corrupt directly, bypassing SetCoupling
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted an asymmetric matrix")
+	}
+}
+
+func TestValidateCatchesNaN(t *testing.T) {
+	m := NewModel(3)
+	m.SetCoupling(0, 1, math.NaN())
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN coupling")
+	}
+}
+
+func TestEnergyPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Energy with short spins did not panic")
+		}
+	}()
+	NewModel(4).Energy(make([]int8, 3))
+}
+
+func TestAddCouplingAccumulates(t *testing.T) {
+	m := NewModel(3)
+	m.AddCoupling(0, 1, 1.5)
+	m.AddCoupling(1, 0, 1.5)
+	if m.Coupling(0, 1) != 3 {
+		t.Fatalf("AddCoupling total = %v, want 3", m.Coupling(0, 1))
+	}
+}

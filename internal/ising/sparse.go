@@ -1,0 +1,219 @@
+package ising
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is the solver-facing surface shared by the dense Model and
+// SparseModel: everything a local-move solver needs. Dense models are
+// right for the paper's fully connected K-graphs; sparse models make
+// Gset-scale instances (tens of thousands of spins, ~1% density)
+// tractable, with O(degree) flip updates instead of O(N).
+type Problem interface {
+	N() int
+	Energy(spins []int8) float64
+	LocalFields(spins []int8, out []float64) []float64
+	FlipDelta(spins []int8, fields []float64, k int) float64
+	ApplyFlip(spins []int8, fields []float64, k int)
+	EnergyFromFields(spins []int8, fields []float64) float64
+}
+
+// Both models satisfy Problem.
+var (
+	_ Problem = (*Model)(nil)
+	_ Problem = (*SparseModel)(nil)
+)
+
+// SparseModel is an immutable CSR representation of an Ising problem.
+// Build one with NewSparse from coordinate entries, or Sparsify an
+// existing dense model. Energy conventions match Model exactly.
+type SparseModel struct {
+	n        int
+	rowStart []int // len n+1
+	cols     []int
+	vals     []float64
+	h        []float64
+	mu       float64
+}
+
+// SparseEntry is one coupling for NewSparse, i < j.
+type SparseEntry struct {
+	I, J int
+	V    float64
+}
+
+// NewSparse builds a sparse model from coupling entries and optional
+// biases (nil means all-zero). Duplicate (i, j) entries accumulate.
+func NewSparse(n int, entries []SparseEntry, biases []float64) *SparseModel {
+	if n <= 0 {
+		panic(fmt.Sprintf("ising: NewSparse with n=%d", n))
+	}
+	if biases != nil && len(biases) != n {
+		panic("ising: NewSparse bias length mismatch")
+	}
+	// Accumulate into per-row maps first (construction is cold path).
+	rows := make([]map[int]float64, n)
+	add := func(i, j int, v float64) {
+		if rows[i] == nil {
+			rows[i] = make(map[int]float64)
+		}
+		rows[i][j] += v
+	}
+	for _, e := range entries {
+		if e.I == e.J {
+			panic("ising: NewSparse self-coupling")
+		}
+		if e.I < 0 || e.J < 0 || e.I >= n || e.J >= n {
+			panic(fmt.Sprintf("ising: NewSparse entry (%d,%d) out of range", e.I, e.J))
+		}
+		if math.IsNaN(e.V) || math.IsInf(e.V, 0) {
+			panic("ising: NewSparse non-finite coupling")
+		}
+		add(e.I, e.J, e.V)
+		add(e.J, e.I, e.V)
+	}
+	sm := &SparseModel{
+		n:        n,
+		rowStart: make([]int, n+1),
+		h:        make([]float64, n),
+		mu:       1,
+	}
+	if biases != nil {
+		copy(sm.h, biases)
+	}
+	nnz := 0
+	for i := range rows {
+		nnz += len(rows[i])
+	}
+	sm.cols = make([]int, 0, nnz)
+	sm.vals = make([]float64, 0, nnz)
+	for i := 0; i < n; i++ {
+		sm.rowStart[i] = len(sm.cols)
+		// Ascending column order for reproducibility.
+		row := rows[i]
+		for j := 0; j < n; j++ {
+			if v, ok := row[j]; ok && v != 0 {
+				sm.cols = append(sm.cols, j)
+				sm.vals = append(sm.vals, v)
+			}
+		}
+	}
+	sm.rowStart[n] = len(sm.cols)
+	return sm
+}
+
+// Sparsify converts a dense model, keeping only nonzero couplings.
+func Sparsify(m *Model) *SparseModel {
+	var entries []SparseEntry
+	for i := 0; i < m.N(); i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.N(); j++ {
+			if row[j] != 0 {
+				entries = append(entries, SparseEntry{I: i, J: j, V: row[j]})
+			}
+		}
+	}
+	biases := make([]float64, m.N())
+	for i := range biases {
+		biases[i] = m.Bias(i)
+	}
+	sm := NewSparse(m.N(), entries, biases)
+	sm.mu = m.Mu()
+	return sm
+}
+
+// Densify converts back to a dense model.
+func (sm *SparseModel) Densify() *Model {
+	m := NewModel(sm.n)
+	m.SetMu(sm.mu)
+	for i := 0; i < sm.n; i++ {
+		m.SetBias(i, sm.h[i])
+		for k := sm.rowStart[i]; k < sm.rowStart[i+1]; k++ {
+			if j := sm.cols[k]; j > i {
+				m.SetCoupling(i, j, sm.vals[k])
+			}
+		}
+	}
+	return m
+}
+
+// N returns the spin count.
+func (sm *SparseModel) N() int { return sm.n }
+
+// Mu returns the global bias scale.
+func (sm *SparseModel) Mu() float64 { return sm.mu }
+
+// NNZ returns the number of stored directed couplings (2× the edge
+// count).
+func (sm *SparseModel) NNZ() int { return len(sm.cols) }
+
+// Bias returns h_i.
+func (sm *SparseModel) Bias(i int) float64 { return sm.h[i] }
+
+// Degree returns the number of neighbours of spin i.
+func (sm *SparseModel) Degree(i int) int { return sm.rowStart[i+1] - sm.rowStart[i] }
+
+// Energy returns E(σ) with the same convention as Model.
+func (sm *SparseModel) Energy(spins []int8) float64 {
+	if len(spins) != sm.n {
+		panic("ising: sparse Energy length mismatch")
+	}
+	e := 0.0
+	for i := 0; i < sm.n; i++ {
+		si := float64(spins[i])
+		acc := 0.0
+		for k := sm.rowStart[i]; k < sm.rowStart[i+1]; k++ {
+			if j := sm.cols[k]; j > i {
+				acc += sm.vals[k] * float64(spins[j])
+			}
+		}
+		e -= si*acc + sm.mu*sm.h[i]*si
+	}
+	return e
+}
+
+// LocalFields fills out[i] = Σ_j J_ij σ_j.
+func (sm *SparseModel) LocalFields(spins []int8, out []float64) []float64 {
+	if len(spins) != sm.n {
+		panic("ising: sparse LocalFields length mismatch")
+	}
+	if len(out) < sm.n {
+		out = make([]float64, sm.n)
+	}
+	out = out[:sm.n]
+	for i := range out {
+		acc := 0.0
+		for k := sm.rowStart[i]; k < sm.rowStart[i+1]; k++ {
+			acc += sm.vals[k] * float64(spins[sm.cols[k]])
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// FlipDelta returns the energy change of flipping spin k, given the
+// cached fields: 2σ_k(L_k + μh_k).
+func (sm *SparseModel) FlipDelta(spins []int8, fields []float64, k int) float64 {
+	return 2 * float64(spins[k]) * (fields[k] + sm.mu*sm.h[k])
+}
+
+// ApplyFlip flips spin k and updates neighbours' fields in O(deg k).
+func (sm *SparseModel) ApplyFlip(spins []int8, fields []float64, k int) {
+	old := float64(spins[k])
+	spins[k] = -spins[k]
+	d := -2 * old
+	for idx := sm.rowStart[k]; idx < sm.rowStart[k+1]; idx++ {
+		fields[sm.cols[idx]] += sm.vals[idx] * d
+	}
+}
+
+// EnergyFromFields returns E from consistent cached fields in O(N).
+func (sm *SparseModel) EnergyFromFields(spins []int8, fields []float64) float64 {
+	e := 0.0
+	for i := 0; i < sm.n; i++ {
+		si := float64(spins[i])
+		e -= 0.5*fields[i]*si + sm.mu*sm.h[i]*si
+	}
+	return e
+}

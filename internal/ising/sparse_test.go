@@ -1,0 +1,167 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mbrim/internal/rng"
+)
+
+func randomSparseEntries(n int, density float64, r *rng.Source) []SparseEntry {
+	var entries []SparseEntry
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(density) {
+				entries = append(entries, SparseEntry{I: i, J: j, V: float64(r.Intn(7) - 3)})
+			}
+		}
+	}
+	return entries
+}
+
+func TestSparseDenseEnergyEquivalence(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 2 + r.Intn(30)
+		dense := randomModel(n, r)
+		sparse := Sparsify(dense)
+		for trial := 0; trial < 5; trial++ {
+			s := RandomSpins(n, r)
+			if math.Abs(dense.Energy(s)-sparse.Energy(s)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseDenseFieldsEquivalence(t *testing.T) {
+	r := rng.New(1)
+	dense := randomModel(25, r)
+	sparse := Sparsify(dense)
+	s := RandomSpins(25, r)
+	df := dense.LocalFields(s, nil)
+	sf := sparse.LocalFields(s, nil)
+	for i := range df {
+		if math.Abs(df[i]-sf[i]) > 1e-9 {
+			t.Fatalf("field %d: dense %v sparse %v", i, df[i], sf[i])
+		}
+	}
+}
+
+func TestSparseFlipSequenceMatchesDense(t *testing.T) {
+	// The same flip sequence must produce identical fields and
+	// energies on both representations.
+	f := func(seed uint32, flips uint8) bool {
+		r := rng.New(uint64(seed))
+		n := 3 + r.Intn(20)
+		dense := randomModel(n, r)
+		sparse := Sparsify(dense)
+		sD := RandomSpins(n, r)
+		sS := CopySpins(sD)
+		fD := dense.LocalFields(sD, nil)
+		fS := sparse.LocalFields(sS, nil)
+		for step := 0; step < int(flips%30)+1; step++ {
+			k := r.Intn(n)
+			dD := dense.FlipDelta(sD, fD, k)
+			dS := sparse.FlipDelta(sS, fS, k)
+			if math.Abs(dD-dS) > 1e-9 {
+				return false
+			}
+			dense.ApplyFlip(sD, fD, k)
+			sparse.ApplyFlip(sS, fS, k)
+		}
+		return HammingDistance(sD, sS) == 0 &&
+			math.Abs(dense.EnergyFromFields(sD, fD)-sparse.EnergyFromFields(sS, fS)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparsifyDensifyRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	dense := randomModel(15, r)
+	dense.SetMu(0.5)
+	back := Sparsify(dense).Densify()
+	if back.Mu() != 0.5 {
+		t.Fatal("Mu lost in round trip")
+	}
+	for i := 0; i < 15; i++ {
+		if back.Bias(i) != dense.Bias(i) {
+			t.Fatalf("bias %d changed", i)
+		}
+		for j := 0; j < 15; j++ {
+			if i != j && back.Coupling(i, j) != dense.Coupling(i, j) {
+				t.Fatalf("coupling (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestNewSparseAccumulatesDuplicates(t *testing.T) {
+	sm := NewSparse(3, []SparseEntry{{0, 1, 1}, {1, 0, 2}}, nil)
+	if sm.NNZ() != 2 { // one undirected edge stored twice
+		t.Fatalf("NNZ = %d, want 2", sm.NNZ())
+	}
+	m := sm.Densify()
+	if m.Coupling(0, 1) != 3 {
+		t.Fatalf("accumulated coupling %v, want 3", m.Coupling(0, 1))
+	}
+}
+
+func TestNewSparseDropsZeros(t *testing.T) {
+	sm := NewSparse(3, []SparseEntry{{0, 1, 1}, {0, 1, -1}, {1, 2, 2}}, nil)
+	if sm.NNZ() != 2 {
+		t.Fatalf("cancelled coupling retained: NNZ = %d", sm.NNZ())
+	}
+	if sm.Degree(0) != 0 || sm.Degree(1) != 1 || sm.Degree(2) != 1 {
+		t.Fatal("degrees wrong after cancellation")
+	}
+}
+
+func TestSparseBiases(t *testing.T) {
+	sm := NewSparse(2, []SparseEntry{{0, 1, 1}}, []float64{2, -1})
+	s := []int8{1, 1}
+	// E = −J σσ − (h0σ0 + h1σ1) = −1 − (2 − 1) = −2.
+	if e := sm.Energy(s); e != -2 {
+		t.Fatalf("energy %v, want -2", e)
+	}
+}
+
+func TestSparsePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0":        func() { NewSparse(0, nil, nil) },
+		"self":       func() { NewSparse(2, []SparseEntry{{1, 1, 1}}, nil) },
+		"range":      func() { NewSparse(2, []SparseEntry{{0, 5, 1}}, nil) },
+		"nan":        func() { NewSparse(2, []SparseEntry{{0, 1, math.NaN()}}, nil) },
+		"bias len":   func() { NewSparse(2, nil, []float64{1}) },
+		"energy len": func() { NewSparse(2, nil, nil).Energy([]int8{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkSparseApplyFlipDeg20(b *testing.B) {
+	r := rng.New(1)
+	n := 2000
+	entries := randomSparseEntries(n, 0.01, r)
+	sm := NewSparse(n, entries, nil)
+	s := RandomSpins(n, r)
+	f := sm.LocalFields(s, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.ApplyFlip(s, f, i%n)
+	}
+}

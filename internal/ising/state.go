@@ -1,0 +1,87 @@
+package ising
+
+import (
+	"fmt"
+
+	"mbrim/internal/rng"
+)
+
+// RandomSpins returns n spins drawn uniformly from {-1, +1}.
+func RandomSpins(n int, r *rng.Source) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = r.Spin()
+	}
+	return s
+}
+
+// CopySpins returns an independent copy of s.
+func CopySpins(s []int8) []int8 {
+	c := make([]int8, len(s))
+	copy(c, s)
+	return c
+}
+
+// ValidSpins reports whether every value is -1 or +1.
+func ValidSpins(s []int8) bool {
+	for _, v := range s {
+		if v != -1 && v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// HammingDistance returns the number of positions where a and b differ.
+// It is the "bit change" count of the paper's batch-mode accounting:
+// the data a chip must broadcast at an epoch boundary.
+func HammingDistance(a, b []int8) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ising: HammingDistance on lengths %d and %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// PackSpins encodes spins as a bitmap (+1 → 1, -1 → 0), the wire format
+// for state exchange: N spins cost ⌈N/8⌉ bytes, which is what the
+// fabric model charges for a full-state broadcast.
+func PackSpins(s []int8) []byte {
+	out := make([]byte, (len(s)+7)/8)
+	for i, v := range s {
+		if v > 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// UnpackSpins decodes a bitmap produced by PackSpins into n spins.
+func UnpackSpins(b []byte, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		if b[i/8]&(1<<(i%8)) != 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// Magnetization returns (Σ σ_i)/N in [-1, 1].
+func Magnetization(s []int8) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range s {
+		sum += int(v)
+	}
+	return float64(sum) / float64(len(s))
+}

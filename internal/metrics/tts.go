@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time-to-solution (TTS) is the standard cross-machine metric in the
+// Ising-machine literature (used by the SBM and CIM papers the
+// evaluation compares against): the expected time to reach a target
+// solution at least once with confidence q, given independent runs of
+// duration t that each succeed with probability p:
+//
+//	TTS(q) = t · ln(1−q) / ln(1−p)
+//
+// With p = 0 the TTS is +Inf; with p ≥ 1 a single run suffices and
+// TTS = t.
+
+// TTS returns the time-to-solution at confidence q for runs of
+// duration t (any time unit) succeeding with probability p.
+func TTS(t, p, q float64) float64 {
+	if t <= 0 {
+		panic(fmt.Sprintf("metrics: TTS duration %v", t))
+	}
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("metrics: TTS confidence %v", q))
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return t
+	}
+	return t * math.Log(1-q) / math.Log(1-p)
+}
+
+// SuccessProbability estimates p from a batch of final energies
+// against a target: the fraction of runs with energy ≤ target + tol.
+func SuccessProbability(energies []float64, target, tol float64) float64 {
+	if len(energies) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, e := range energies {
+		if e <= target+tol {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(energies))
+}
+
+// TTSFromRuns combines the two: the q-confidence TTS of a solver whose
+// runs of duration t produced the given energies, targeting energy ≤
+// target + tol. Zero successes yield +Inf, as they must.
+func TTSFromRuns(t float64, energies []float64, target, tol, q float64) float64 {
+	return TTS(t, SuccessProbability(energies, target, tol), q)
+}

@@ -1,0 +1,92 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+
+	"mbrim/internal/ising"
+)
+
+// AutoEpoch recommends the shortest epoch a bandwidth-limited system
+// can sustain without congestion stalls — the design decision Sec 5.3
+// leaves to the architect: concurrent mode wants the shortest epoch
+// (least ignorance), the fabric wants the longest (fewest, larger
+// syncs), and the crossover depends on the workload's flip rate.
+//
+// The tuner runs short calibration bursts at each candidate epoch on a
+// fresh system (same model, same seed) and returns the smallest
+// candidate whose stall fraction stays below tolerance, together with
+// the measured stall fraction per candidate. If even the largest
+// candidate stalls beyond tolerance it is returned with ok = false —
+// the fabric is undersized and the machine must slow down instead
+// (the paper's fallback).
+type AutoEpochResult struct {
+	// EpochNS is the recommendation; OK reports whether it meets the
+	// tolerance.
+	EpochNS float64
+	OK      bool
+	// StallFraction maps each candidate epoch to stall/elapsed
+	// measured during calibration.
+	StallFraction map[float64]float64
+}
+
+// AutoEpoch calibrates over the candidates (ascending; nil selects
+// {0.5, 1, 2, 3.3, 5, 8, 12, 20}) using bursts of burstNS model time
+// (0 selects 10× the largest candidate). tolerance is the acceptable
+// stall fraction (0 selects 0.05).
+func AutoEpoch(m *ising.Model, cfg Config, candidates []float64, burstNS, tolerance float64) *AutoEpochResult {
+	if candidates == nil {
+		candidates = []float64{0.5, 1, 2, 3.3, 5, 8, 12, 20}
+	}
+	if len(candidates) == 0 {
+		panic("multichip: AutoEpoch with no candidates")
+	}
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i] <= candidates[i-1] {
+			panic("multichip: AutoEpoch candidates must be ascending")
+		}
+	}
+	if tolerance == 0 {
+		tolerance = 0.05
+	}
+	if tolerance < 0 || tolerance >= 1 {
+		panic(fmt.Sprintf("multichip: AutoEpoch tolerance %v", tolerance))
+	}
+	if burstNS == 0 {
+		burstNS = 10 * candidates[len(candidates)-1]
+	}
+	if burstNS <= 0 {
+		panic(fmt.Sprintf("multichip: AutoEpoch burst %v", burstNS))
+	}
+
+	res := &AutoEpochResult{StallFraction: make(map[float64]float64, len(candidates))}
+	best := math.Inf(1)
+	for _, epoch := range candidates {
+		c := cfg
+		c.EpochNS = epoch
+		run := NewSystem(m, c).RunConcurrent(burstNS)
+		frac := 0.0
+		if run.ElapsedNS > 0 {
+			frac = run.StallNS / run.ElapsedNS
+		}
+		res.StallFraction[epoch] = frac
+		if frac <= tolerance && epoch < best {
+			best = epoch
+		}
+	}
+	if math.IsInf(best, 1) {
+		// Nothing met the tolerance: recommend the least-bad candidate.
+		leastBad, leastFrac := candidates[0], math.Inf(1)
+		for _, epoch := range candidates {
+			if f := res.StallFraction[epoch]; f < leastFrac {
+				leastBad, leastFrac = epoch, f
+			}
+		}
+		res.EpochNS = leastBad
+		res.OK = false
+		return res
+	}
+	res.EpochNS = best
+	res.OK = true
+	return res
+}

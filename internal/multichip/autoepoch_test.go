@@ -1,0 +1,73 @@
+package multichip
+
+import "testing"
+
+func TestAutoEpochUnlimitedPicksSmallest(t *testing.T) {
+	m := kgraph(48, 60)
+	res := AutoEpoch(m, Config{Chips: 4, Seed: 61}, nil, 40, 0)
+	if !res.OK {
+		t.Fatal("unlimited fabric failed calibration")
+	}
+	if res.EpochNS != 0.5 {
+		t.Fatalf("recommended %v, want the smallest candidate (nothing stalls)", res.EpochNS)
+	}
+	for epoch, frac := range res.StallFraction {
+		if frac != 0 {
+			t.Fatalf("epoch %v recorded stall fraction %v on unlimited fabric", epoch, frac)
+		}
+	}
+}
+
+func TestAutoEpochPrefersLongerUnderPressure(t *testing.T) {
+	m := kgraph(64, 62)
+	tight := Config{Chips: 4, Seed: 63, Channels: 1, ChannelBytesPerNS: 0.15}
+	res := AutoEpoch(m, tight, nil, 60, 0.05)
+	loose := AutoEpoch(m, Config{Chips: 4, Seed: 63}, nil, 60, 0.05)
+	if res.OK && res.EpochNS <= loose.EpochNS {
+		t.Fatalf("pressured fabric recommended %v, not longer than unlimited's %v",
+			res.EpochNS, loose.EpochNS)
+	}
+	// Stall fractions must be non-increasing in epoch size (longer
+	// epochs batch more per sync).
+	prev := 2.0
+	for _, epoch := range []float64{0.5, 1, 2, 3.3, 5, 8, 12, 20} {
+		f := res.StallFraction[epoch]
+		if f > prev+0.15 { // allow mild non-monotonicity from dynamics
+			t.Fatalf("stall fraction jumped at epoch %v: %v after %v", epoch, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestAutoEpochReportsFailure(t *testing.T) {
+	// A hopeless fabric: nothing meets the tolerance; the tuner must
+	// say so and still recommend the least-bad option.
+	m := kgraph(64, 64)
+	res := AutoEpoch(m, Config{Chips: 4, Seed: 65, Channels: 1, ChannelBytesPerNS: 1e-6},
+		[]float64{1, 4}, 20, 0.01)
+	if res.OK {
+		t.Fatal("hopeless fabric passed calibration")
+	}
+	if res.EpochNS != 1 && res.EpochNS != 4 {
+		t.Fatalf("recommendation %v not among candidates", res.EpochNS)
+	}
+}
+
+func TestAutoEpochPanics(t *testing.T) {
+	m := kgraph(16, 66)
+	for name, f := range map[string]func(){
+		"empty":     func() { AutoEpoch(m, Config{Chips: 2}, []float64{}, 10, 0) },
+		"unsorted":  func() { AutoEpoch(m, Config{Chips: 2}, []float64{2, 1}, 10, 0) },
+		"tolerance": func() { AutoEpoch(m, Config{Chips: 2}, nil, 10, 1.5) },
+		"burst":     func() { AutoEpoch(m, Config{Chips: 2}, nil, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+
+	"mbrim/internal/interconnect"
+	"mbrim/internal/ising"
+	"mbrim/internal/metrics"
+	"mbrim/internal/rng"
+)
+
+// BatchResult reports a batch-mode run.
+type BatchResult struct {
+	// Jobs holds the final global state of every job; Energies their
+	// energies; Best indexes the winner.
+	Jobs     [][]int8
+	Energies []float64
+	Best     int
+	// BestEnergy is Energies[Best].
+	BestEnergy float64
+	// Time ledger, as in Result.
+	ModelNS, StallNS, ElapsedNS float64
+	// Activity counters, as in Result. BitChanges here counts the
+	// cumulative per-epoch state changes actually communicated — the
+	// quantity whose ratio to Flips is Fig 13.
+	Flips, InducedFlips, BitChanges, InducedBitChanges int64
+	TrafficBytes, PeakDemandBytesPerNS                 float64
+	Epochs                                             int
+	// Trace holds (elapsed ns, best-job energy) samples.
+	Trace []metrics.Point
+	// EpochStats holds per-epoch activity if requested.
+	EpochStats []EpochStat
+}
+
+// RunBatch runs `jobs` staggered annealing jobs of the same problem
+// from different initial states (Sec 5.5). Each epoch, every chip
+// works on a different job: it loads the job's state, anneals its own
+// slice, and broadcasts the resulting bit changes. durationNS is the
+// annealing time each job receives.
+//
+// With Coordinated set, receivers reproduce the worker's induced
+// kicks from their synchronized PRNG replica, so kick-caused changes
+// are not transmitted — the Sec 5.4.2 saving applied to batch mode.
+func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
+	if jobs < 1 {
+		panic(fmt.Sprintf("multichip: jobs=%d", jobs))
+	}
+	if durationNS <= 0 {
+		panic(fmt.Sprintf("multichip: duration=%v", durationNS))
+	}
+	cfg := s.cfg
+	totalEpochs := int(math.Ceil(durationNS / cfg.EpochNS))
+	horizon := float64(totalEpochs) * cfg.EpochNS
+	for _, c := range s.chips {
+		c.machine.SetHorizon(horizon)
+	}
+
+	// Independent initial states per job, derived from the system seed.
+	jobRNG := rng.New(cfg.Seed).Fork(0xBA7C)
+	states := make([][]int8, jobs)
+	for j := range states {
+		states[j] = ising.RandomSpins(s.n, jobRNG)
+	}
+
+	res := &BatchResult{Jobs: states, Best: -1}
+	elapsed := 0.0
+	nextSample := 0.0
+	bestSoFar := math.Inf(1)
+
+	// Within an epoch each chip works a different job (when jobs >=
+	// chips), so the per-chip work is independent and can run on
+	// goroutines; per-chip results are merged after the barrier so the
+	// outcome is bit-identical either way.
+	type chipEpoch struct {
+		flips, induced     int64
+		changes, inducedCh int
+	}
+	perChip := make([]chipEpoch, len(s.chips))
+	parallelOK := jobs >= len(s.chips)
+
+	for e := 0; e < totalEpochs; e++ {
+		var st EpochStat
+		st.Epoch = e + 1
+		work := func(ci int, c *chip) {
+			job := (ci + e) % jobs
+			before := make([]int8, len(c.owned))
+			for li, g := range c.owned {
+				before[li] = states[job][g]
+			}
+			c.loadJobState(states[job])
+			c.resetEpochCounters()
+
+			// Anneal the slice in flip-interval chunks with induced
+			// kicks, exactly as in concurrent mode.
+			t := 0.0
+			for t < cfg.EpochNS-1e-9 {
+				chunk := math.Min(cfg.FlipIntervalNS, cfg.EpochNS-t)
+				c.machine.Run(chunk)
+				t += chunk
+				prob := cfg.InducedFlip.At((float64(e)*cfg.EpochNS + t) / horizon)
+				r := s.induceRNG[ci]
+				for li := range c.owned {
+					if r.Bool(prob) {
+						c.machine.Induce(li)
+					}
+				}
+			}
+
+			// Write back and count the broadcast.
+			after := c.machine.Spins()
+			changes, inducedChanges := 0, 0
+			for li, g := range c.owned {
+				if after[li] != before[li] {
+					changes++
+					if c.lastFlipInduced[li] {
+						inducedChanges++
+					}
+					states[job][g] = after[li]
+				}
+			}
+			perChip[ci] = chipEpoch{
+				flips:   c.epochFlips,
+				induced: c.epochInducedFlips,
+				changes: changes, inducedCh: inducedChanges,
+			}
+		}
+		if parallelOK {
+			s.forEachChip(work)
+		} else {
+			// jobs < chips: two chips may share a job state; keep the
+			// simulation sequential to stay deterministic.
+			for ci, c := range s.chips {
+				work(ci, c)
+			}
+		}
+		for ci, c := range s.chips {
+			pe := perChip[ci]
+			st.Flips += pe.flips
+			st.InducedFlips += pe.induced
+			st.BitChanges += int64(pe.changes)
+			st.InducedBitChanges += int64(pe.inducedCh)
+			transmitted := pe.changes
+			if cfg.Coordinated {
+				transmitted -= pe.inducedCh
+			}
+			if transmitted > 0 {
+				s.fabric.Record(ci,
+					interconnect.DeltaSyncBytes(transmitted, len(c.owned), len(s.chips)-1),
+					"sync")
+			}
+		}
+		stall := s.fabric.EndEpoch(cfg.EpochNS)
+		st.StallNS = stall
+		elapsed += cfg.EpochNS + stall
+		res.Epochs++
+		res.Flips += st.Flips
+		res.InducedFlips += st.InducedFlips
+		res.BitChanges += st.BitChanges
+		res.InducedBitChanges += st.InducedBitChanges
+		if cfg.RecordEpochStats {
+			res.EpochStats = append(res.EpochStats, st)
+		}
+		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
+			for _, state := range states {
+				if en := s.model.Energy(state); en < bestSoFar {
+					bestSoFar = en
+				}
+			}
+			res.Trace = append(res.Trace, metrics.Point{X: elapsed, Y: bestSoFar})
+			nextSample = elapsed + cfg.SampleEveryNS
+		}
+	}
+
+	res.ModelNS = float64(totalEpochs) * cfg.EpochNS
+	res.StallNS = s.fabric.StallNS()
+	res.ElapsedNS = elapsed
+	res.TrafficBytes = s.fabric.TotalBytes()
+	res.PeakDemandBytesPerNS = s.fabric.PeakDemand()
+	res.Energies = make([]float64, jobs)
+	res.BestEnergy = math.Inf(1)
+	for j, state := range states {
+		res.Energies[j] = s.model.Energy(state)
+		if res.Energies[j] < res.BestEnergy {
+			res.BestEnergy = res.Energies[j]
+			res.Best = j
+		}
+	}
+	return res
+}

@@ -1,0 +1,191 @@
+package multichip
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/sched"
+)
+
+func TestBatchFindsFerromagnetGround(t *testing.T) {
+	n := 32
+	m := ferromagnet(n)
+	s := NewSystem(m, Config{Chips: 4, Seed: 1, EpochNS: 5})
+	res := s.RunBatch(4, 100)
+	want := -float64(n*(n-1)) / 2
+	if res.BestEnergy != want {
+		t.Fatalf("best energy %v, want ground %v", res.BestEnergy, want)
+	}
+}
+
+func TestBatchEnergiesMatchStates(t *testing.T) {
+	m := kgraph(48, 2)
+	s := NewSystem(m, Config{Chips: 4, Seed: 3, EpochNS: 5})
+	res := s.RunBatch(4, 60)
+	if len(res.Jobs) != 4 || len(res.Energies) != 4 {
+		t.Fatalf("jobs/energies badly sized: %d/%d", len(res.Jobs), len(res.Energies))
+	}
+	for j, state := range res.Jobs {
+		if !ising.ValidSpins(state) {
+			t.Fatalf("job %d state invalid", j)
+		}
+		if d := math.Abs(res.Energies[j] - m.Energy(state)); d > 1e-9 {
+			t.Fatalf("job %d energy off by %v", j, d)
+		}
+	}
+	if res.Energies[res.Best] != res.BestEnergy {
+		t.Fatal("Best index inconsistent")
+	}
+	for _, e := range res.Energies {
+		if e < res.BestEnergy {
+			t.Fatal("BestEnergy not minimal")
+		}
+	}
+}
+
+func TestBatchDeterministic(t *testing.T) {
+	m := kgraph(40, 4)
+	a := NewSystem(m, Config{Chips: 4, Seed: 5, EpochNS: 5}).RunBatch(4, 40)
+	b := NewSystem(m, Config{Chips: 4, Seed: 5, EpochNS: 5}).RunBatch(4, 40)
+	if a.BestEnergy != b.BestEnergy || a.TrafficBytes != b.TrafficBytes {
+		t.Fatal("same seed produced different batch runs")
+	}
+	for j := range a.Jobs {
+		if ising.HammingDistance(a.Jobs[j], b.Jobs[j]) != 0 {
+			t.Fatalf("job %d states differ", j)
+		}
+	}
+}
+
+func TestBatchJobsDiffer(t *testing.T) {
+	// Different initial states must lead to genuinely different jobs.
+	m := kgraph(64, 6)
+	res := NewSystem(m, Config{Chips: 4, Seed: 7, EpochNS: 5}).RunBatch(4, 40)
+	distinct := false
+	for j := 1; j < len(res.Jobs); j++ {
+		if ising.HammingDistance(res.Jobs[0], res.Jobs[j]) != 0 {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all batch jobs identical")
+	}
+}
+
+func TestBatchToleratesLongEpochs(t *testing.T) {
+	// Fig 14's key contrast: batch-mode quality holds up at long
+	// epochs where concurrent mode collapses. Compare degradation.
+	m := kgraph(64, 8)
+	const shortE, longE = 2.0, 25.0
+	avg := func(f func(seed uint64) float64) float64 {
+		var sum float64
+		for i := 0; i < 4; i++ {
+			sum += f(uint64(200 + i))
+		}
+		return sum / 4
+	}
+	concShort := avg(func(seed uint64) float64 {
+		return NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: shortE}).RunConcurrent(100).Energy
+	})
+	concLong := avg(func(seed uint64) float64 {
+		return NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: longE}).RunConcurrent(100).Energy
+	})
+	batchLong := avg(func(seed uint64) float64 {
+		return NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: longE}).RunBatch(4, 100).BestEnergy
+	})
+	// Batch at long epochs must not be worse than concurrent at long
+	// epochs (it should be much better; leave slack for noise).
+	if batchLong > concLong+0.05*math.Abs(concLong) {
+		t.Fatalf("batch (%v) worse than concurrent (%v) at long epochs", batchLong, concLong)
+	}
+	_ = concShort // reported by the harness; no strict assertion here
+}
+
+func TestBatchBitChangesNeverExceedFlips(t *testing.T) {
+	m := kgraph(48, 9)
+	res := NewSystem(m, Config{Chips: 4, Seed: 10, EpochNS: 5}).RunBatch(4, 50)
+	if res.BitChanges > res.Flips {
+		t.Fatalf("bit changes %d > flips %d", res.BitChanges, res.Flips)
+	}
+	if res.InducedBitChanges > res.BitChanges {
+		t.Fatal("induced bit changes exceed bit changes")
+	}
+}
+
+func TestBatchCoordinatedSavesTraffic(t *testing.T) {
+	// Zero-coupling purity test, batch flavour: only kicks change
+	// state; coordination must remove them from the wire.
+	m := ising.NewModel(64)
+	kicks := sched.Constant(0.05)
+	plain := NewSystem(m, Config{Chips: 4, Seed: 11, EpochNS: 5, InducedFlip: kicks}).RunBatch(4, 50)
+	coord := NewSystem(m, Config{Chips: 4, Seed: 11, EpochNS: 5, InducedFlip: kicks, Coordinated: true}).RunBatch(4, 50)
+	if plain.TrafficBytes == 0 {
+		t.Fatal("uncoordinated batch kicks generated no traffic")
+	}
+	if coord.TrafficBytes != 0 {
+		t.Fatalf("coordinated batch still cost %v bytes", coord.TrafficBytes)
+	}
+}
+
+func TestBatchStallsWhenStarved(t *testing.T) {
+	m := kgraph(64, 12)
+	res := NewSystem(m, Config{
+		Chips: 4, Seed: 13, EpochNS: 5, Channels: 1, ChannelBytesPerNS: 0.001,
+	}).RunBatch(4, 40)
+	if res.StallNS <= 0 {
+		t.Fatal("starved fabric did not stall batch mode")
+	}
+	if res.ElapsedNS <= res.ModelNS {
+		t.Fatal("stall not reflected in elapsed time")
+	}
+}
+
+func TestBatchTraceAndEpochStats(t *testing.T) {
+	m := kgraph(32, 14)
+	res := NewSystem(m, Config{
+		Chips: 4, Seed: 15, EpochNS: 5, SampleEveryNS: 10, RecordEpochStats: true,
+	}).RunBatch(4, 50)
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace samples")
+	}
+	if len(res.EpochStats) != res.Epochs {
+		t.Fatalf("%d stats for %d epochs", len(res.EpochStats), res.Epochs)
+	}
+	// Best-so-far trace must be non-increasing.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Y > res.Trace[i-1].Y+1e-9 {
+			t.Fatal("best-so-far energy increased")
+		}
+	}
+}
+
+func TestBatchMoreJobsThanChips(t *testing.T) {
+	m := kgraph(32, 16)
+	res := NewSystem(m, Config{Chips: 2, Seed: 17, EpochNS: 5}).RunBatch(6, 60)
+	if len(res.Jobs) != 6 {
+		t.Fatalf("%d jobs", len(res.Jobs))
+	}
+	for j, state := range res.Jobs {
+		if !ising.ValidSpins(state) {
+			t.Fatalf("job %d invalid", j)
+		}
+	}
+}
+
+func TestBatchPanics(t *testing.T) {
+	m := ferromagnet(8)
+	for name, f := range map[string]func(){
+		"zero jobs":     func() { NewSystem(m, Config{Chips: 2}).RunBatch(0, 10) },
+		"zero duration": func() { NewSystem(m, Config{Chips: 2}).RunBatch(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,227 @@
+// Package multichip implements the paper's contribution: the
+// multiprocessor Ising machine of Sec 5. A problem of N spins is
+// sliced over k chips. Each chip holds:
+//
+//   - its owned spins, annealed by a full BRIM dynamical system over
+//     the owned×owned block of the coupling matrix;
+//   - shadow copies of every remote spin — registers holding a
+//     delayed ±1 view of the rest of the system — whose influence
+//     enters the local dynamics as an external bias current through
+//     the owned×remote cross-couplings (exactly g = μh + J_× σ of
+//     Eq. 3, realized in hardware rather than by glue software);
+//   - a slice of the digital fabric that carries spin updates.
+//
+// Two operating modes are provided: concurrent (Sec 5.4) in system.go
+// and batch (Sec 5.5) in batch.go, plus the coordinated induced-flip
+// optimization (Sec 5.4.2) in both. reconfig.go models the macrochip
+// and the reconfigurable module array of Secs 4.2/5.2. surprise.go
+// reproduces the energy-surprise probe of Fig 9.
+package multichip
+
+import (
+	"fmt"
+
+	"mbrim/internal/brim"
+	"mbrim/internal/ising"
+)
+
+// chip is one processor of the multiprocessor: a BRIM machine over its
+// owned spins plus shadow registers for everything else.
+type chip struct {
+	id    int
+	owned []int // global indices owned by this chip, ascending
+	local map[int]int
+
+	machine *brim.Machine
+	// shadow is this chip's belief about every global spin. Entries
+	// for owned spins mirror the machine readout; entries for remote
+	// spins update only when the fabric delivers news.
+	shadow []int8
+	// cross[i][j] is the scaled coupling Ĵ between owned spin i
+	// (local index) and global spin j, zero for owned j. Shadow flips
+	// turn into external-bias increments through these rows.
+	cross [][]float64
+
+	// lastFlipInduced tracks, per owned local spin, whether its most
+	// recent readout change was an induced kick — the attribution used
+	// to credit communication savings to coordination.
+	lastFlipInduced []bool
+
+	// Per-epoch counters, reset by the runtime at epoch boundaries.
+	epochFlips        int64
+	epochInducedFlips int64
+}
+
+// newChip builds chip id owning the given global indices of the
+// problem. scale is the global coupling normalization shared by all
+// chips; cfg configures the local dynamics (its InducedFlip schedule
+// is overridden to zero — the runtime coordinates kicks itself).
+func newChip(id int, m *ising.Model, owned []int, scale float64, cfg brim.Config, epochNS float64, initial []int8) *chip {
+	if len(owned) == 0 {
+		panic(fmt.Sprintf("multichip: chip %d owns no spins", id))
+	}
+	n := m.N()
+	c := &chip{
+		id:              id,
+		owned:           append([]int(nil), owned...),
+		local:           make(map[int]int, len(owned)),
+		shadow:          make([]int8, n),
+		cross:           make([][]float64, len(owned)),
+		lastFlipInduced: make([]bool, len(owned)),
+	}
+	for li, g := range c.owned {
+		c.local[g] = li
+	}
+
+	// Owned×owned sub-model; biases come along so the machine applies
+	// μh itself.
+	sub := ising.NewModel(len(owned))
+	sub.SetMu(m.Mu())
+	for a, ga := range c.owned {
+		sub.SetBias(a, m.Bias(ga))
+		for b := a + 1; b < len(c.owned); b++ {
+			if v := m.Coupling(ga, c.owned[b]); v != 0 {
+				sub.SetCoupling(a, b, v)
+			}
+		}
+	}
+
+	// Owned×remote cross rows, pre-scaled like the machine's own
+	// couplings.
+	for li, g := range c.owned {
+		row := make([]float64, n)
+		src := m.Row(g)
+		for j := 0; j < n; j++ {
+			if _, own := c.local[j]; own {
+				continue
+			}
+			row[j] = src[j] / scale
+		}
+		c.cross[li] = row
+	}
+
+	mcfg := cfg
+	mcfg.Scale = scale
+	mcfg.InducedFlip = zeroSchedule{}
+	if mcfg.KickHoldNS == 0 {
+		// Latch kicked nodes long enough that a coordinated kick rarely
+		// reverts before the next fabric synchronization (the
+		// persistence Sec 5.4.2's free-of-communication claim needs),
+		// but never so long that long epochs freeze the dynamics.
+		tau := mcfg.Tau
+		if tau == 0 {
+			tau = 1
+		}
+		mcfg.KickHoldNS = epochNS
+		if cap := 2 * tau; mcfg.KickHoldNS > cap {
+			mcfg.KickHoldNS = cap
+		}
+	}
+	c.machine = brim.New(sub, mcfg)
+	copy(c.shadow, initial)
+	localInit := make([]int8, len(owned))
+	for li, g := range c.owned {
+		localInit[li] = initial[g]
+	}
+	c.machine.SetSpins(localInit)
+	c.machine.OnFlip(func(node int, newSpin int8, induced bool) {
+		c.shadow[c.owned[node]] = newSpin
+		c.lastFlipInduced[node] = induced
+		c.epochFlips++
+		if induced {
+			c.epochInducedFlips++
+		}
+	})
+	c.recomputeExternalBias()
+	return c
+}
+
+// zeroSchedule disables the machine's internal induced flips.
+type zeroSchedule struct{}
+
+func (zeroSchedule) At(float64) float64 { return 0 }
+
+// recomputeExternalBias rebuilds the machine's external bias from the
+// shadow registers in O(owned × N). Used at construction and at batch
+// job switches; incremental updates handle the common path.
+func (c *chip) recomputeExternalBias() {
+	ext := make([]float64, len(c.owned))
+	for li := range c.owned {
+		row := c.cross[li]
+		acc := 0.0
+		for j, v := range row {
+			if v != 0 {
+				acc += v * float64(c.shadow[j])
+			}
+		}
+		ext[li] = acc
+	}
+	c.machine.SetExternalBias(ext)
+}
+
+// applyShadowUpdate records that remote global spin g now holds value
+// s, updating the shadow register and the machine's bias currents
+// incrementally. A no-op if the shadow already agrees.
+func (c *chip) applyShadowUpdate(g int, s int8) {
+	if _, own := c.local[g]; own {
+		panic(fmt.Sprintf("multichip: chip %d got shadow update for owned spin %d", c.id, g))
+	}
+	old := c.shadow[g]
+	if old == s {
+		return
+	}
+	c.shadow[g] = s
+	delta := float64(s - old) // ±2
+	for li := range c.owned {
+		if v := c.cross[li][g]; v != 0 {
+			c.machine.AddExternalBias(li, v*delta)
+		}
+	}
+}
+
+// applyShadowToggle flips the shadow register of remote global spin g
+// — the coordinated induced-flip path, where every chip reproduces the
+// same kick decision locally instead of receiving it over the fabric.
+func (c *chip) applyShadowToggle(g int) {
+	old := c.shadow[g]
+	if old == 0 {
+		old = -1
+	}
+	c.applyShadowUpdate(g, -old)
+}
+
+// ownedSpins copies the current readout of the owned spins in owned
+// order.
+func (c *chip) ownedSpins() []int8 {
+	return ising.CopySpins(c.machine.Spins())
+}
+
+// loadOwnedSpins warm-starts the machine at the given owned-order
+// spins and mirrors them into the shadow view.
+func (c *chip) loadOwnedSpins(s []int8) {
+	c.machine.SetSpins(s)
+	for li, g := range c.owned {
+		c.shadow[g] = s[li]
+	}
+}
+
+// loadJobState context-switches the chip onto a job: shadows take the
+// job's full global state, the machine warm-starts at the job's owned
+// slice, and the bias currents are rebuilt. This is batch mode's O(N)
+// state load (versus the O(bN²) reprogram a context switch would cost
+// if a whole job moved between machines, Sec 5.5).
+func (c *chip) loadJobState(global []int8) {
+	copy(c.shadow, global)
+	local := make([]int8, len(c.owned))
+	for li, g := range c.owned {
+		local[li] = global[g]
+	}
+	c.machine.SetSpins(local)
+	c.recomputeExternalBias()
+}
+
+// resetEpochCounters clears the per-epoch flip counters.
+func (c *chip) resetEpochCounters() {
+	c.epochFlips = 0
+	c.epochInducedFlips = 0
+}

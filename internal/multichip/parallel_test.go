@@ -1,0 +1,125 @@
+package multichip
+
+import (
+	"testing"
+
+	"mbrim/internal/interconnect"
+	"mbrim/internal/ising"
+)
+
+func TestParallelConcurrentMatchesSequential(t *testing.T) {
+	// Host parallelism is an implementation detail: the simulated
+	// system must be bit-identical.
+	m := kgraph(64, 1)
+	seq := NewSystem(m, Config{Chips: 4, Seed: 2}).RunConcurrent(30)
+	par := NewSystem(m, Config{Chips: 4, Seed: 2, Parallel: true}).RunConcurrent(30)
+	if seq.Energy != par.Energy || ising.HammingDistance(seq.Spins, par.Spins) != 0 {
+		t.Fatal("parallel concurrent run diverged from sequential")
+	}
+	if seq.Flips != par.Flips || seq.BitChanges != par.BitChanges ||
+		seq.TrafficBytes != par.TrafficBytes || seq.InducedFlips != par.InducedFlips {
+		t.Fatal("parallel counters diverged from sequential")
+	}
+}
+
+func TestParallelBatchMatchesSequential(t *testing.T) {
+	m := kgraph(64, 3)
+	seq := NewSystem(m, Config{Chips: 4, Seed: 4, EpochNS: 5}).RunBatch(4, 40)
+	par := NewSystem(m, Config{Chips: 4, Seed: 4, EpochNS: 5, Parallel: true}).RunBatch(4, 40)
+	if seq.BestEnergy != par.BestEnergy || seq.TrafficBytes != par.TrafficBytes {
+		t.Fatal("parallel batch diverged from sequential")
+	}
+	for j := range seq.Jobs {
+		if ising.HammingDistance(seq.Jobs[j], par.Jobs[j]) != 0 {
+			t.Fatalf("job %d state diverged", j)
+		}
+	}
+}
+
+func TestParallelBatchCoordinatedMatches(t *testing.T) {
+	m := kgraph(48, 5)
+	seq := NewSystem(m, Config{Chips: 4, Seed: 6, EpochNS: 5, Coordinated: true}).RunBatch(4, 30)
+	par := NewSystem(m, Config{Chips: 4, Seed: 6, EpochNS: 5, Coordinated: true, Parallel: true}).RunBatch(4, 30)
+	if seq.BestEnergy != par.BestEnergy || seq.TrafficBytes != par.TrafficBytes {
+		t.Fatal("coordinated parallel batch diverged")
+	}
+}
+
+func TestParallelFewerJobsThanChipsStaysCorrect(t *testing.T) {
+	// jobs < chips forces the sequential path even when Parallel is
+	// set; the results must still match a sequential run.
+	m := kgraph(48, 7)
+	seq := NewSystem(m, Config{Chips: 4, Seed: 8, EpochNS: 5}).RunBatch(2, 30)
+	par := NewSystem(m, Config{Chips: 4, Seed: 8, EpochNS: 5, Parallel: true}).RunBatch(2, 30)
+	if seq.BestEnergy != par.BestEnergy {
+		t.Fatal("jobs<chips parallel batch diverged")
+	}
+}
+
+func TestParallelSingleChip(t *testing.T) {
+	m := kgraph(32, 9)
+	res := NewSystem(m, Config{Chips: 1, Seed: 10, Parallel: true}).RunConcurrent(20)
+	if res.Flips == 0 {
+		t.Fatal("single-chip parallel run did nothing")
+	}
+}
+
+func TestTopologyAffectsStalls(t *testing.T) {
+	m := kgraph(64, 20)
+	run := func(topo interconnect.Topology) float64 {
+		return NewSystem(m, Config{
+			Chips: 4, Seed: 21, Channels: 1, ChannelBytesPerNS: 0.02,
+			Topology: topo,
+		}).RunConcurrent(30).StallNS
+	}
+	dedicated := run(interconnect.Dedicated)
+	bus := run(interconnect.SharedBus)
+	if dedicated <= 0 {
+		t.Fatal("starved dedicated fabric did not stall")
+	}
+	if bus <= dedicated {
+		t.Fatalf("shared bus (%v) should stall more than dedicated (%v)", bus, dedicated)
+	}
+}
+
+func TestCustomPartition(t *testing.T) {
+	m := kgraph(40, 30)
+	// Heterogeneous chips: 24 + 10 + 6 spins.
+	parts := [][]int{{}, {}, {}}
+	for i := 0; i < 24; i++ {
+		parts[0] = append(parts[0], i)
+	}
+	for i := 24; i < 34; i++ {
+		parts[1] = append(parts[1], i)
+	}
+	for i := 34; i < 40; i++ {
+		parts[2] = append(parts[2], i)
+	}
+	res := NewSystem(m, Config{Chips: 3, Seed: 31, Partition: parts}).RunConcurrent(30)
+	if !ising.ValidSpins(res.Spins) || len(res.Spins) != 40 {
+		t.Fatal("invalid result with custom partition")
+	}
+	if res.Energy >= 0 {
+		t.Fatalf("no progress: %v", res.Energy)
+	}
+}
+
+func TestCustomPartitionValidation(t *testing.T) {
+	m := kgraph(8, 32)
+	for name, parts := range map[string][][]int{
+		"wrong count": {{0, 1, 2, 3}, {4, 5, 6, 7}},
+		"duplicate":   {{0, 1, 2}, {2, 3, 4}, {5, 6, 7}},
+		"missing":     {{0, 1}, {2, 3}, {4, 5}},
+		"empty part":  {{0, 1, 2, 3, 4, 5, 6, 7}, {}, nil},
+		"range":       {{0, 1, 2}, {3, 4, 5}, {6, 7, 99}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			NewSystem(m, Config{Chips: 3, Seed: 1, Partition: parts})
+		}()
+	}
+}

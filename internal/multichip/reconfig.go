@@ -1,0 +1,229 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file models the structural architecture of Secs 4.2 and 5.2:
+// the macrochip built from a k×k array of chips, the waste it suffers
+// when solving smaller problems (Fig 4), and the reconfigurable module
+// array that lets one chip serve as a slice of multiprocessors of
+// different sizes (Fig 7).
+
+// ModuleMode is the operating mode of a node module (Fig 7's colors).
+type ModuleMode int
+
+// The three module modes of the reconfigurable chip.
+const (
+	Regular     ModuleMode = iota // blue: real nodes live here
+	ShadowCopy                    // orange: buffers of remote spins
+	PassThrough                   // green: wires only
+)
+
+// String names the mode.
+func (m ModuleMode) String() string {
+	switch m {
+	case Regular:
+		return "regular"
+	case ShadowCopy:
+		return "shadow"
+	case PassThrough:
+		return "pass-through"
+	default:
+		return fmt.Sprintf("ModuleMode(%d)", int(m))
+	}
+}
+
+// Layout describes how one reconfigurable chip of K×K modules (each
+// with ModuleN nodes and ModuleN² coupling units) is configured to
+// serve in a multiprocessor of Chips chips.
+type Layout struct {
+	K       int // module grid dimension (chip has K×K modules)
+	ModuleN int // nodes per module
+	Chips   int // multiprocessor size this layout serves
+
+	// RowsModules×ColsModules is the logical slice shape in modules:
+	// the chip covers a (RowsModules·ModuleN) × (ColsModules·ModuleN)
+	// block of the system coupling matrix.
+	RowsModules, ColsModules int
+	// Module counts by mode. RegularModules + ShadowModules =
+	// ColsModules; the rest pass through.
+	RegularModules, ShadowModules, PassThroughModules int
+	// SpinsPerChip and TotalSpins are the resulting capacities.
+	SpinsPerChip, TotalSpins int
+}
+
+// PlanLayout computes the configuration of a K×K-module chip for a
+// multiprocessor of `chips` chips. Valid values of chips are perfect
+// squares whose root divides K (the paper's examples for K=4:
+// 1 → 4n×4n, 4 → 2n×8n, 16 → 1n×16n).
+func PlanLayout(k, moduleN, chips int) (*Layout, error) {
+	if k < 1 || moduleN < 1 || chips < 1 {
+		return nil, fmt.Errorf("multichip: PlanLayout(%d, %d, %d): all arguments must be positive", k, moduleN, chips)
+	}
+	root := int(math.Round(math.Sqrt(float64(chips))))
+	if root*root != chips {
+		return nil, fmt.Errorf("multichip: %d chips is not a perfect square", chips)
+	}
+	if k%root != 0 {
+		return nil, fmt.Errorf("multichip: √%d = %d does not divide module grid K=%d", chips, root, k)
+	}
+	l := &Layout{
+		K:           k,
+		ModuleN:     moduleN,
+		Chips:       chips,
+		RowsModules: k / root,
+		ColsModules: k * root,
+	}
+	l.RegularModules = l.RowsModules
+	l.ShadowModules = l.ColsModules - l.RowsModules
+	l.PassThroughModules = k*k - l.ColsModules
+	l.SpinsPerChip = l.RowsModules * moduleN
+	l.TotalSpins = l.ColsModules * moduleN
+	return l, nil
+}
+
+// ModeGrid returns the K×K module-mode assignment in the physical
+// grid, column-major like Fig 7: the modules of the first
+// ColsModules/K physical columns are strung into the logical column.
+func (l *Layout) ModeGrid() [][]ModuleMode {
+	grid := make([][]ModuleMode, l.K)
+	for r := range grid {
+		grid[r] = make([]ModuleMode, l.K)
+		for c := range grid[r] {
+			grid[r][c] = PassThrough
+		}
+	}
+	// Walk modules in column-major order; the first RowsModules are
+	// regular, the next ShadowModules are shadows.
+	assigned := 0
+	for c := 0; c < l.K && assigned < l.ColsModules; c++ {
+		for r := 0; r < l.K && assigned < l.ColsModules; r++ {
+			if assigned < l.RegularModules {
+				grid[r][c] = Regular
+			} else {
+				grid[r][c] = ShadowCopy
+			}
+			assigned++
+		}
+	}
+	return grid
+}
+
+// Validate checks the layout's internal consistency.
+func (l *Layout) Validate() error {
+	if l.RegularModules+l.ShadowModules != l.ColsModules {
+		return fmt.Errorf("multichip: regular+shadow=%d, want cols=%d",
+			l.RegularModules+l.ShadowModules, l.ColsModules)
+	}
+	if l.RegularModules+l.ShadowModules+l.PassThroughModules != l.K*l.K {
+		return fmt.Errorf("multichip: module modes do not cover the %d×%d grid", l.K, l.K)
+	}
+	if l.RowsModules*l.ColsModules != l.K*l.K {
+		return fmt.Errorf("multichip: slice %d×%d does not use all %d coupling modules",
+			l.RowsModules, l.ColsModules, l.K*l.K)
+	}
+	if l.SpinsPerChip*l.Chips != l.TotalSpins {
+		return fmt.Errorf("multichip: %d chips × %d spins ≠ %d total",
+			l.Chips, l.SpinsPerChip, l.TotalSpins)
+	}
+	return nil
+}
+
+// --- Macrochip packing (Sec 4.2, Figs 4 and 5) -----------------------
+
+// Packing reports how a set of problems occupies Ising hardware.
+type Packing struct {
+	// ChipsUsed is how many chips carry at least one problem.
+	ChipsUsed int
+	// CouplersUsed is the number of coupling units actually
+	// programmed (Σ nᵢ² over placed problems).
+	CouplersUsed int
+	// CouplersTotal is the hardware's coupler count.
+	CouplersTotal int
+	// PerChip lists the problem sizes placed on each used chip.
+	PerChip [][]int
+}
+
+// Utilization is CouplersUsed / CouplersTotal.
+func (p *Packing) Utilization() float64 {
+	if p.CouplersTotal == 0 {
+		return 0
+	}
+	return float64(p.CouplersUsed) / float64(p.CouplersTotal)
+}
+
+// PackMonolithic places the problems block-diagonally on a monolithic
+// macrochip of k×k chips with chipN nodes each (Fig 4): the whole kN ×
+// kN coupler array is committed whether or not it is used. Errors if
+// the problems do not fit (Σ nᵢ > kN).
+func PackMonolithic(chipN, k int, problems []int) (*Packing, error) {
+	if chipN < 1 || k < 1 {
+		return nil, fmt.Errorf("multichip: PackMonolithic(%d, %d)", chipN, k)
+	}
+	capacity := chipN * k
+	sum, used := 0, 0
+	for _, n := range problems {
+		if n < 1 {
+			return nil, fmt.Errorf("multichip: problem of size %d", n)
+		}
+		sum += n
+		used += n * n
+	}
+	if sum > capacity {
+		return nil, fmt.Errorf("multichip: problems need %d nodes, macrochip has %d", sum, capacity)
+	}
+	return &Packing{
+		ChipsUsed:     k * k,
+		CouplersUsed:  used,
+		CouplersTotal: capacity * capacity,
+		PerChip:       [][]int{append([]int(nil), problems...)},
+	}, nil
+}
+
+// PackReconfigurable places the problems on independent chips of chipN
+// nodes each (Fig 5's independent mode), first-fit-decreasing, with
+// each chip solving its residents block-diagonally. Only the chips
+// actually used count toward the coupler total — the waste Fig 4
+// illustrates is avoided. Errors if any problem exceeds a single
+// chip's capacity (it would need collective mode instead).
+func PackReconfigurable(chipN int, problems []int) (*Packing, error) {
+	if chipN < 1 {
+		return nil, fmt.Errorf("multichip: PackReconfigurable(%d)", chipN)
+	}
+	sorted := append([]int(nil), problems...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var chips [][]int
+	var free []int
+	used := 0
+	for _, n := range sorted {
+		if n < 1 {
+			return nil, fmt.Errorf("multichip: problem of size %d", n)
+		}
+		if n > chipN {
+			return nil, fmt.Errorf("multichip: problem of %d nodes exceeds chip capacity %d (needs collective mode)", n, chipN)
+		}
+		used += n * n
+		placed := false
+		for i := range chips {
+			if free[i] >= n {
+				chips[i] = append(chips[i], n)
+				free[i] -= n
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			chips = append(chips, []int{n})
+			free = append(free, chipN-n)
+		}
+	}
+	return &Packing{
+		ChipsUsed:     len(chips),
+		CouplersUsed:  used,
+		CouplersTotal: len(chips) * chipN * chipN,
+		PerChip:       chips,
+	}, nil
+}

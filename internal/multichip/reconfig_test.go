@@ -1,0 +1,198 @@
+package multichip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanLayoutPaperExamples(t *testing.T) {
+	// Fig 7's three configurations for a 4×4-module chip.
+	cases := []struct {
+		chips                    int
+		rows, cols               int
+		regular, shadow, pass    int
+		spinsPerChip, totalSpins int
+	}{
+		{1, 4, 4, 4, 0, 12, 4, 4},    // ② 4n×4n standalone
+		{4, 2, 8, 2, 6, 8, 2, 8},     // ① 2n×8n in a 4-chip system
+		{16, 1, 16, 1, 15, 0, 1, 16}, // ③ 1n×16n in a 16-chip system
+	}
+	for _, c := range cases {
+		l, err := PlanLayout(4, 1, c.chips)
+		if err != nil {
+			t.Fatalf("chips=%d: %v", c.chips, err)
+		}
+		if l.RowsModules != c.rows || l.ColsModules != c.cols {
+			t.Fatalf("chips=%d: slice %dx%d, want %dx%d",
+				c.chips, l.RowsModules, l.ColsModules, c.rows, c.cols)
+		}
+		if l.RegularModules != c.regular || l.ShadowModules != c.shadow || l.PassThroughModules != c.pass {
+			t.Fatalf("chips=%d: modes %d/%d/%d, want %d/%d/%d", c.chips,
+				l.RegularModules, l.ShadowModules, l.PassThroughModules,
+				c.regular, c.shadow, c.pass)
+		}
+		if l.SpinsPerChip != c.spinsPerChip || l.TotalSpins != c.totalSpins {
+			t.Fatalf("chips=%d: spins %d/%d, want %d/%d", c.chips,
+				l.SpinsPerChip, l.TotalSpins, c.spinsPerChip, c.totalSpins)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("chips=%d: %v", c.chips, err)
+		}
+	}
+}
+
+func TestPlanLayoutModuleNScales(t *testing.T) {
+	l, err := PlanLayout(4, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4×4 modules of 2000 nodes → the paper's 8000-spin chip; four of
+	// them form a 16000-spin multiprocessor in this layout family.
+	if l.SpinsPerChip != 4000 || l.TotalSpins != 16000 {
+		t.Fatalf("spins %d/%d", l.SpinsPerChip, l.TotalSpins)
+	}
+}
+
+func TestPlanLayoutRejectsInvalid(t *testing.T) {
+	if _, err := PlanLayout(4, 1, 2); err == nil {
+		t.Fatal("accepted non-square chip count")
+	}
+	if _, err := PlanLayout(4, 1, 9); err == nil {
+		t.Fatal("accepted √chips that does not divide K")
+	}
+	if _, err := PlanLayout(0, 1, 1); err == nil {
+		t.Fatal("accepted K=0")
+	}
+	if _, err := PlanLayout(4, 0, 1); err == nil {
+		t.Fatal("accepted moduleN=0")
+	}
+	if _, err := PlanLayout(4, 1, 0); err == nil {
+		t.Fatal("accepted chips=0")
+	}
+}
+
+func TestModeGridCounts(t *testing.T) {
+	for _, chips := range []int{1, 4, 16} {
+		l, err := PlanLayout(4, 1, chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := l.ModeGrid()
+		counts := map[ModuleMode]int{}
+		for _, row := range grid {
+			for _, m := range row {
+				counts[m]++
+			}
+		}
+		if counts[Regular] != l.RegularModules ||
+			counts[ShadowCopy] != l.ShadowModules ||
+			counts[PassThrough] != l.PassThroughModules {
+			t.Fatalf("chips=%d: grid counts %v disagree with layout", chips, counts)
+		}
+	}
+}
+
+func TestModuleModeString(t *testing.T) {
+	if Regular.String() != "regular" || ShadowCopy.String() != "shadow" ||
+		PassThrough.String() != "pass-through" {
+		t.Fatal("mode names wrong")
+	}
+	if ModuleMode(7).String() != "ModuleMode(7)" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestPackMonolithicWaste(t *testing.T) {
+	// Fig 4's scenario: a 2×2 macrochip of N-node chips solving two
+	// N-node problems uses only the diagonal — utilization 1/2· (n²+n²)/(2n)².
+	p, err := PackMonolithic(100, 2, []int{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChipsUsed != 4 {
+		t.Fatalf("monolithic macrochip must commit all %d chips, got %d", 4, p.ChipsUsed)
+	}
+	if got, want := p.Utilization(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("utilization %v, want %v", got, want)
+	}
+}
+
+func TestPackMonolithicRejectsOverflow(t *testing.T) {
+	if _, err := PackMonolithic(100, 2, []int{150, 100}); err == nil {
+		t.Fatal("accepted problems exceeding macrochip capacity")
+	}
+	if _, err := PackMonolithic(100, 2, []int{0}); err == nil {
+		t.Fatal("accepted zero-size problem")
+	}
+}
+
+func TestPackReconfigurableAvoidsWaste(t *testing.T) {
+	// The same two N-node problems on reconfigurable chips use two
+	// chips at full utilization.
+	p, err := PackReconfigurable(100, []int{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChipsUsed != 2 {
+		t.Fatalf("chips used %d, want 2", p.ChipsUsed)
+	}
+	if p.Utilization() != 1 {
+		t.Fatalf("utilization %v, want 1", p.Utilization())
+	}
+}
+
+func TestPackReconfigurableBinPacks(t *testing.T) {
+	// 60+40 fit one chip; 80 needs its own.
+	p, err := PackReconfigurable(100, []int{60, 80, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChipsUsed != 2 {
+		t.Fatalf("chips used %d, want 2 (FFD packing)", p.ChipsUsed)
+	}
+	total := 0
+	for _, chip := range p.PerChip {
+		sum := 0
+		for _, n := range chip {
+			sum += n
+			total += n
+		}
+		if sum > 100 {
+			t.Fatalf("chip overloaded: %v", chip)
+		}
+	}
+	if total != 180 {
+		t.Fatalf("problems lost in packing: %d nodes placed", total)
+	}
+}
+
+func TestPackReconfigurableRejectsOversize(t *testing.T) {
+	if _, err := PackReconfigurable(100, []int{101}); err == nil {
+		t.Fatal("accepted problem larger than one chip")
+	}
+}
+
+func TestReconfigurableBeatsMonolithicUtilization(t *testing.T) {
+	// The headline of Sec 4.2: for k same-size problems, monolithic
+	// utilization is 1/k while reconfigurable stays 1.
+	for _, k := range []int{2, 3, 4} {
+		problems := make([]int, k)
+		for i := range problems {
+			problems[i] = 50
+		}
+		mono, err := PackMonolithic(50, k, problems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reconf, err := PackReconfigurable(50, problems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mono.Utilization()-1/float64(k)) > 1e-12 {
+			t.Fatalf("k=%d: monolithic utilization %v, want %v", k, mono.Utilization(), 1/float64(k))
+		}
+		if reconf.Utilization() != 1 {
+			t.Fatalf("k=%d: reconfigurable utilization %v", k, reconf.Utilization())
+		}
+	}
+}

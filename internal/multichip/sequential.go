@@ -1,0 +1,76 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+
+	"mbrim/internal/metrics"
+)
+
+// RunSequential anneals one job with the chips taking turns: in every
+// round each chip runs one epoch *alone* while the others hold, and
+// its state changes are synchronized before the next chip starts. No
+// chip ever works against a stale view — the "running the solvers
+// sequentially (without any ignorance)" baseline of Sec 5.4.1 — but
+// nothing overlaps, so the elapsed time is chips× the annealing each
+// chip receives. The paper's empirical claim is that concurrent
+// operation with short epochs matches or beats this mode's quality
+// while being chips× faster; RunSequential exists so that claim can be
+// tested rather than assumed.
+//
+// durationNS is the annealing time each chip receives (matching
+// RunConcurrent's semantics so qualities are comparable at equal
+// per-chip annealing).
+func (s *System) RunSequential(durationNS float64) *Result {
+	if durationNS <= 0 {
+		panic(fmt.Sprintf("multichip: duration=%v", durationNS))
+	}
+	cfg := s.cfg
+	for _, c := range s.chips {
+		c.machine.SetHorizon(durationNS)
+	}
+	res := &Result{}
+	elapsed := 0.0
+	model := 0.0
+	nextSample := 0.0
+	for model < durationNS-1e-9 {
+		epoch := math.Min(cfg.EpochNS, durationNS-model)
+		for ci, c := range s.chips {
+			c.resetEpochCounters()
+			t := 0.0
+			for t < epoch-1e-9 {
+				chunk := math.Min(cfg.FlipIntervalNS, epoch-t)
+				c.machine.Run(chunk)
+				t += chunk
+				s.drawInduced(ci, (model+t)/durationNS)
+			}
+			// Immediate synchronization: the next chip sees this one's
+			// fresh state. Traffic is charged exactly as in concurrent
+			// mode; the difference is purely that no work overlaps.
+			changes, inducedChanges := s.syncEpoch()
+			res.BitChanges += changes
+			res.InducedBitChanges += inducedChanges
+			if cfg.RecordEpochStats {
+				res.EpochStats = append(res.EpochStats, EpochStat{
+					Epoch:             res.Epochs + 1,
+					Flips:             c.epochFlips,
+					InducedFlips:      c.epochInducedFlips,
+					BitChanges:        changes,
+					InducedBitChanges: inducedChanges,
+				})
+			}
+			// Every chip's epoch occupies the wall clock: no overlap.
+			elapsed += epoch
+		}
+		stall := s.fabric.EndEpoch(epoch)
+		elapsed += stall
+		model += epoch
+		res.Epochs++
+		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
+			res.Trace = append(res.Trace, metrics.Point{X: elapsed, Y: s.model.Energy(s.GlobalSpins())})
+			nextSample = elapsed + cfg.SampleEveryNS
+		}
+	}
+	s.collect(res, model, elapsed)
+	return res
+}

@@ -1,0 +1,121 @@
+package multichip
+
+import (
+	"testing"
+
+	"mbrim/internal/metrics"
+)
+
+func TestEnergySurpriseEmitsSamples(t *testing.T) {
+	m := kgraph(128, 1)
+	samples := EnergySurprise(m, SurpriseConfig{
+		Solvers: 4, EpochMoves: 10, Epochs: 5, Runs: 2, Seed: 2,
+	})
+	want := 2 * 5 * 4 // runs × epochs × solvers
+	if len(samples) != want {
+		t.Fatalf("%d samples, want %d", len(samples), want)
+	}
+	for _, s := range samples {
+		if s.Ignorance < 0 || s.Ignorance > 1 {
+			t.Fatalf("ignorance %v outside [0,1]", s.Ignorance)
+		}
+	}
+}
+
+func TestEnergySurpriseIgnoranceGrowsWithEpoch(t *testing.T) {
+	// Fig 9's x-axis behaviour: longer epochs mean more external spins
+	// change per epoch, so ignorance increases.
+	m := kgraph(128, 3)
+	mean := func(moves int) float64 {
+		samples := EnergySurprise(m, SurpriseConfig{
+			Solvers: 4, EpochMoves: moves, Epochs: 5, Runs: 3, Seed: 4,
+		})
+		xs := make([]float64, len(samples))
+		for i, s := range samples {
+			xs[i] = s.Ignorance
+		}
+		return metrics.Summarize(xs).Mean
+	}
+	small := mean(4)    // a handful of moves on a 32-spin partition
+	large := mean(1000) // many sweeps' worth
+	if large <= small {
+		t.Fatalf("ignorance did not grow with epoch: %v (4 moves) vs %v (1000 moves)", small, large)
+	}
+}
+
+func TestEnergySurpriseLargeEpochsMostlyNegative(t *testing.T) {
+	// Fig 9's y-axis behaviour: with long epochs the surprise is
+	// predominantly negative (the true state is worse than believed).
+	// Partitions must be big enough (64 spins here) for cross-partition
+	// interference to dominate sampling noise.
+	m := kgraph(256, 5)
+	samples := EnergySurprise(m, SurpriseConfig{
+		Solvers: 4, EpochMoves: 1280, Epochs: 5, Runs: 3, Seed: 6,
+	})
+	neg := 0
+	for _, s := range samples {
+		if s.Surprise < 0 {
+			neg++
+		}
+	}
+	if frac := float64(neg) / float64(len(samples)); frac < 0.6 {
+		t.Fatalf("only %.0f%% of large-epoch surprises negative", frac*100)
+	}
+}
+
+func TestEnergySurpriseSmallEpochSmallerMagnitude(t *testing.T) {
+	// The magnified-origin panel of Fig 9: with short epochs the
+	// surprise magnitude shrinks.
+	m := kgraph(128, 7)
+	meanAbs := func(moves int) float64 {
+		samples := EnergySurprise(m, SurpriseConfig{
+			Solvers: 4, EpochMoves: moves, Epochs: 5, Runs: 3, Seed: 8,
+		})
+		xs := make([]float64, len(samples))
+		for i, s := range samples {
+			if s.Surprise < 0 {
+				xs[i] = -s.Surprise
+			} else {
+				xs[i] = s.Surprise
+			}
+		}
+		return metrics.Summarize(xs).Mean
+	}
+	small := meanAbs(4)
+	large := meanAbs(2000)
+	if small >= large {
+		t.Fatalf("surprise magnitude not smaller for short epochs: %v vs %v", small, large)
+	}
+}
+
+func TestEnergySurpriseDeterministic(t *testing.T) {
+	m := kgraph(64, 9)
+	cfg := SurpriseConfig{Solvers: 4, EpochMoves: 30, Epochs: 3, Runs: 2, Seed: 10}
+	a := EnergySurprise(m, cfg)
+	b := EnergySurprise(m, cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestEnergySurprisePanics(t *testing.T) {
+	m := kgraph(16, 11)
+	for name, f := range map[string]func(){
+		"zero moves":       func() { EnergySurprise(m, SurpriseConfig{EpochMoves: 0}) },
+		"too many solvers": func() { EnergySurprise(m, SurpriseConfig{Solvers: 17, EpochMoves: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,453 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mbrim/internal/brim"
+	"mbrim/internal/graph"
+	"mbrim/internal/interconnect"
+	"mbrim/internal/ising"
+	"mbrim/internal/metrics"
+	"mbrim/internal/rng"
+	"mbrim/internal/sched"
+)
+
+// Config parameterizes a multiprocessor system.
+type Config struct {
+	// Chips is the number of processors. Must be >= 1 and <= N.
+	Chips int
+	// Partition optionally assigns spins to chips explicitly — one
+	// index list per chip, jointly covering 0..N-1 exactly once. It
+	// overrides the default contiguous equal split and permits
+	// heterogeneous chips (e.g. mixing 8192- and 4096-spin dies).
+	// len(Partition) must equal Chips when set.
+	Partition [][]int
+	// EpochNS is the model time between fabric synchronizations.
+	// Default 3.3 (the paper's reference epoch).
+	EpochNS float64
+	// FlipIntervalNS is the model time between induced-flip draws.
+	// Default min(EpochNS, 1).
+	FlipIntervalNS float64
+	// InducedFlip is the per-spin kick probability schedule over run
+	// progress. Default decays 0.08 → 0.
+	InducedFlip sched.Schedule
+	// Coordinated enables the synchronized-PRNG induced-flip
+	// optimization of Sec 5.4.2: kicks are reproduced on every chip
+	// and never transmitted.
+	Coordinated bool
+	// Channels is the number of dedicated egress channels per chip.
+	// Default 3 (the mBRIM_HB configuration).
+	Channels int
+	// ChannelBytesPerNS is each channel's bandwidth in bytes/ns
+	// (1 GB/s = 1 byte/ns). Zero models unlimited bandwidth — the
+	// 3D-integrated mBRIM_3D.
+	ChannelBytesPerNS float64
+	// Topology selects the fabric congestion model (dedicated links,
+	// shared bus, or ring). Default: the paper's dedicated channels.
+	Topology interconnect.Topology
+	// Brim configures the per-chip dynamics. Its InducedFlip schedule
+	// is ignored (the runtime coordinates kicks); its Scale is
+	// overridden with the global normalization.
+	Brim brim.Config
+	// Seed drives the initial state and all stochastic choices.
+	Seed uint64
+	// SampleEveryNS, if > 0, records an (elapsed ns, energy) trace
+	// sample at least every so many ns of elapsed time.
+	SampleEveryNS float64
+	// Probes enables the per-epoch ignorance / energy-surprise
+	// measurement (costs O(N²) per epoch per chip).
+	Probes bool
+	// RecordEpochStats keeps per-epoch flip/bit-change/stall counts
+	// (the time axes of Figs 13 and 15).
+	RecordEpochStats bool
+	// Parallel runs the chips' epoch integrations on separate
+	// goroutines. Within an epoch chips touch only their own state
+	// (shadows change at boundaries), so the result is bit-identical
+	// to the sequential simulation — only the host wall time changes.
+	Parallel bool
+}
+
+func (c *Config) withDefaults(n int) Config {
+	out := *c
+	if out.Chips == 0 {
+		out.Chips = 4
+	}
+	if out.Chips < 1 || out.Chips > n {
+		panic(fmt.Sprintf("multichip: Chips=%d for N=%d", out.Chips, n))
+	}
+	if out.EpochNS == 0 {
+		out.EpochNS = 3.3
+	}
+	if out.EpochNS <= 0 {
+		panic(fmt.Sprintf("multichip: EpochNS=%v", out.EpochNS))
+	}
+	if out.FlipIntervalNS == 0 {
+		out.FlipIntervalNS = math.Min(out.EpochNS, 1)
+	}
+	if out.FlipIntervalNS <= 0 {
+		panic(fmt.Sprintf("multichip: FlipIntervalNS=%v", out.FlipIntervalNS))
+	}
+	if out.InducedFlip == nil {
+		out.InducedFlip = sched.Linear{From: 0.08, To: 0}
+	}
+	if out.Channels == 0 {
+		out.Channels = 3
+	}
+	if out.Channels < 1 {
+		panic(fmt.Sprintf("multichip: Channels=%d", out.Channels))
+	}
+	return out
+}
+
+// SurpriseSample is one Fig 9 data point: at an epoch boundary, one
+// chip's degree of ignorance (fraction of remote spins whose shadow is
+// stale) and its energy surprise E(believed) − E(true).
+type SurpriseSample struct {
+	Epoch     int
+	Chip      int
+	Ignorance float64
+	Surprise  float64
+}
+
+// EpochStat is one epoch's activity record — the per-epoch series
+// behind Figs 13 and 15.
+type EpochStat struct {
+	Epoch             int
+	Flips             int64
+	InducedFlips      int64
+	BitChanges        int64
+	InducedBitChanges int64
+	StallNS           float64
+}
+
+// Result reports a multiprocessor run.
+type Result struct {
+	Spins  []int8
+	Energy float64
+	// ModelNS is annealing time; StallNS is congestion hold time;
+	// ElapsedNS is their sum — the time-to-solution axis of Fig 12.
+	ModelNS, StallNS, ElapsedNS float64
+	// Flips counts all readout changes across chips; InducedFlips the
+	// kick-caused subset; BitChanges the net changes actually
+	// synchronized over the fabric (Fig 13's two curves);
+	// InducedBitChanges the synchronized changes whose most recent
+	// cause was an induced kick (Fig 15's numerator).
+	Flips, InducedFlips, BitChanges, InducedBitChanges int64
+	// TrafficBytes is total fabric traffic; PeakDemandBytesPerNS the
+	// worst per-chip per-epoch egress demand (Sec 6.5).
+	TrafficBytes, PeakDemandBytesPerNS float64
+	// Epochs performed.
+	Epochs int
+	// Trace holds (elapsed ns, energy) samples if sampling was on.
+	Trace []metrics.Point
+	// Surprises holds Fig 9 probe samples if Probes was on.
+	Surprises []SurpriseSample
+	// EpochStats holds per-epoch activity if RecordEpochStats was on.
+	EpochStats []EpochStat
+}
+
+// System is a k-chip multiprocessor holding one problem sliced over
+// its chips. Create with NewSystem, then run one mode.
+type System struct {
+	model  *ising.Model
+	cfg    Config
+	n      int
+	scale  float64
+	chips  []*chip
+	fabric *interconnect.Fabric
+	// receiverBelief[c][li] is what every other chip currently
+	// believes chip c's owned spin li holds. Boundary sync sends only
+	// disagreements; coordinated kicks update it for free.
+	receiverBelief [][]int8
+	// induceRNG[c] drives chip c's kick draws: clones of one master
+	// when coordinated, independent forks otherwise.
+	induceRNG []*rng.Source
+	initial   []int8
+}
+
+// NewSystem slices the model over cfg.Chips chips in contiguous
+// blocks and builds the fabric.
+func NewSystem(m *ising.Model, cfg Config) *System {
+	n := m.N()
+	c := cfg.withDefaults(n)
+	s := &System{model: m, cfg: c, n: n}
+	s.scale = m.MaxRowNorm2()
+	if s.scale == 0 {
+		s.scale = 1
+	}
+	master := rng.New(c.Seed)
+	s.initial = ising.RandomSpins(n, master)
+	parts := c.Partition
+	if parts == nil {
+		parts = graph.BlockPartition(n, c.Chips)
+	} else {
+		if len(parts) != c.Chips {
+			panic(fmt.Sprintf("multichip: Partition has %d parts for %d chips", len(parts), c.Chips))
+		}
+		seen := make([]bool, n)
+		for pi, part := range parts {
+			if len(part) == 0 {
+				panic(fmt.Sprintf("multichip: Partition part %d is empty", pi))
+			}
+			for _, g := range part {
+				if g < 0 || g >= n || seen[g] {
+					panic(fmt.Sprintf("multichip: Partition spin %d missing, repeated or out of range", g))
+				}
+				seen[g] = true
+			}
+		}
+		for g, ok := range seen {
+			if !ok {
+				panic(fmt.Sprintf("multichip: Partition does not cover spin %d", g))
+			}
+		}
+	}
+	s.chips = make([]*chip, c.Chips)
+	s.receiverBelief = make([][]int8, c.Chips)
+	s.induceRNG = make([]*rng.Source, c.Chips)
+	kickMaster := master.Fork(0xC0)
+	for i, part := range parts {
+		bc := c.Brim
+		bc.Seed = c.Seed + uint64(i)
+		s.chips[i] = newChip(i, m, part, s.scale, bc, c.EpochNS, s.initial)
+		s.receiverBelief[i] = s.chips[i].ownedSpins()
+		if c.Coordinated {
+			s.induceRNG[i] = kickMaster.Clone()
+		} else {
+			s.induceRNG[i] = kickMaster.Fork(uint64(i) + 1)
+		}
+	}
+	s.fabric = interconnect.New(c.Chips, c.Channels, c.ChannelBytesPerNS)
+	s.fabric.SetTopology(c.Topology)
+	return s
+}
+
+// NumChips returns the chip count.
+func (s *System) NumChips() int { return len(s.chips) }
+
+// Fabric exposes the fabric for traffic inspection.
+func (s *System) Fabric() *interconnect.Fabric { return s.fabric }
+
+// GlobalSpins assembles the true global state from every chip's
+// current readout.
+func (s *System) GlobalSpins() []int8 {
+	out := make([]int8, s.n)
+	for _, c := range s.chips {
+		spins := c.machine.Spins()
+		for li, g := range c.owned {
+			out[g] = spins[li]
+		}
+	}
+	return out
+}
+
+// drawInduced performs one induced-flip draw for chip c at the given
+// schedule progress. Coordinated mode draws a decision for every
+// global spin (same stream on every chip): owned spins get a kick,
+// remote spins get their shadow toggled for free. Uncoordinated mode
+// draws only for owned spins; the changes ride the next boundary sync.
+func (s *System) drawInduced(ci int, progress float64) {
+	prob := s.cfg.InducedFlip.At(progress)
+	c := s.chips[ci]
+	r := s.induceRNG[ci]
+	if s.cfg.Coordinated {
+		for g := 0; g < s.n; g++ {
+			if !r.Bool(prob) {
+				continue
+			}
+			if li, own := c.local[g]; own {
+				c.machine.Induce(li)
+				// Receivers toggled their shadows too; their belief
+				// tracks the kick without traffic.
+				s.receiverBelief[ci][li] = -s.receiverBelief[ci][li]
+			} else {
+				c.applyShadowToggle(g)
+			}
+		}
+		return
+	}
+	for li := range c.owned {
+		if r.Bool(prob) {
+			c.machine.Induce(li)
+		}
+	}
+}
+
+// syncEpoch performs the boundary synchronization: every chip
+// broadcasts the owned spins that differ from what receivers believe,
+// the fabric charges the traffic, and shadows update. It returns the
+// number of bit changes communicated and how many of them were last
+// caused by an induced kick.
+func (s *System) syncEpoch() (total, induced int64) {
+	type update struct {
+		g int
+		v int8
+	}
+	if len(s.chips) == 1 {
+		// No receivers: nothing is communicated. Keep the belief
+		// ledger coherent anyway.
+		c := s.chips[0]
+		copy(s.receiverBelief[0], c.machine.Spins())
+		return 0, 0
+	}
+	for ci, c := range s.chips {
+		cur := c.machine.Spins()
+		var ups []update
+		for li, g := range c.owned {
+			if cur[li] != s.receiverBelief[ci][li] {
+				ups = append(ups, update{g, cur[li]})
+				s.receiverBelief[ci][li] = cur[li]
+				if c.lastFlipInduced[li] {
+					induced++
+				}
+			}
+		}
+		if len(ups) == 0 {
+			continue
+		}
+		total += int64(len(ups))
+		s.fabric.Record(ci, interconnect.DeltaSyncBytes(len(ups), len(c.owned), len(s.chips)-1), "sync")
+		for di, d := range s.chips {
+			if di == ci {
+				continue
+			}
+			for _, u := range ups {
+				d.applyShadowUpdate(u.g, u.v)
+			}
+		}
+	}
+	return total, induced
+}
+
+// probe measures each chip's ignorance and energy surprise against the
+// true global state, *before* boundary sync repairs the shadows.
+func (s *System) probe(epoch int, out *[]SurpriseSample) {
+	truth := s.GlobalSpins()
+	trueEnergy := s.model.Energy(truth)
+	for ci, c := range s.chips {
+		stale := 0
+		remote := s.n - len(c.owned)
+		for g := 0; g < s.n; g++ {
+			if _, own := c.local[g]; own {
+				continue
+			}
+			if c.shadow[g] != truth[g] {
+				stale++
+			}
+		}
+		ign := 0.0
+		if remote > 0 {
+			ign = float64(stale) / float64(remote)
+		}
+		believed := s.model.Energy(c.shadow)
+		*out = append(*out, SurpriseSample{
+			Epoch:     epoch,
+			Chip:      ci,
+			Ignorance: ign,
+			Surprise:  believed - trueEnergy,
+		})
+	}
+}
+
+// RunConcurrent anneals one job across all chips for durationNS of
+// model time in concurrent mode (Sec 5.4): every chip integrates its
+// slice continuously, exchanging net spin changes at each epoch
+// boundary, stalling when the fabric cannot keep up.
+func (s *System) RunConcurrent(durationNS float64) *Result {
+	if durationNS <= 0 {
+		panic(fmt.Sprintf("multichip: duration=%v", durationNS))
+	}
+	cfg := s.cfg
+	for _, c := range s.chips {
+		c.machine.SetHorizon(durationNS)
+	}
+	res := &Result{}
+	nextSample := 0.0
+	elapsed := 0.0
+	model := 0.0
+	for model < durationNS-1e-9 {
+		epoch := math.Min(cfg.EpochNS, durationNS-model)
+		// Each chip integrates the epoch in flip-interval chunks;
+		// chips only read each other's state through shadows, which
+		// change at boundaries, so this is faithful to parallel
+		// hardware whether the host runs it sequentially or on one
+		// goroutine per chip.
+		s.forEachChip(func(ci int, c *chip) {
+			c.resetEpochCounters()
+			t := 0.0
+			for t < epoch-1e-9 {
+				chunk := math.Min(cfg.FlipIntervalNS, epoch-t)
+				c.machine.Run(chunk)
+				t += chunk
+				s.drawInduced(ci, (model+t)/durationNS)
+			}
+		})
+		model += epoch
+		res.Epochs++
+		if cfg.Probes {
+			s.probe(res.Epochs, &res.Surprises)
+		}
+		changes, inducedChanges := s.syncEpoch()
+		res.BitChanges += changes
+		res.InducedBitChanges += inducedChanges
+		stall := s.fabric.EndEpoch(epoch)
+		elapsed += epoch + stall
+		if cfg.RecordEpochStats {
+			st := EpochStat{
+				Epoch:             res.Epochs,
+				BitChanges:        changes,
+				InducedBitChanges: inducedChanges,
+				StallNS:           stall,
+			}
+			for _, c := range s.chips {
+				st.Flips += c.epochFlips
+				st.InducedFlips += c.epochInducedFlips
+			}
+			res.EpochStats = append(res.EpochStats, st)
+		}
+		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
+			res.Trace = append(res.Trace, metrics.Point{X: elapsed, Y: s.model.Energy(s.GlobalSpins())})
+			nextSample = elapsed + cfg.SampleEveryNS
+		}
+	}
+	s.collect(res, model, elapsed)
+	return res
+}
+
+// forEachChip applies f to every chip, on goroutines when the
+// configuration asks for host parallelism. Callers must ensure f(ci)
+// touches only chip ci's state.
+func (s *System) forEachChip(f func(ci int, c *chip)) {
+	if !s.cfg.Parallel || len(s.chips) == 1 {
+		for ci, c := range s.chips {
+			f(ci, c)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for ci, c := range s.chips {
+		wg.Add(1)
+		go func(ci int, c *chip) {
+			defer wg.Done()
+			f(ci, c)
+		}(ci, c)
+	}
+	wg.Wait()
+}
+
+// collect fills the common result fields.
+func (s *System) collect(res *Result, model, elapsed float64) {
+	res.ModelNS = model
+	res.ElapsedNS = elapsed
+	res.StallNS = s.fabric.StallNS()
+	res.TrafficBytes = s.fabric.TotalBytes()
+	res.PeakDemandBytesPerNS = s.fabric.PeakDemand()
+	for _, c := range s.chips {
+		res.Flips += c.machine.Flips()
+		res.InducedFlips += c.machine.InducedFlips()
+	}
+	res.Spins = s.GlobalSpins()
+	res.Energy = s.model.Energy(res.Spins)
+}

@@ -1,0 +1,122 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperChip is the design point of Sec 6.3: 8192 spins, 45 nm, three
+// fabric channels.
+func paperChip() Chip {
+	return Chip{Spins: 8192, Tech: Technology{Node: 45}, Channels: 3}
+}
+
+func TestCalibrationMatchesPaperClaims(t *testing.T) {
+	c := paperChip()
+	// "about 80 mm² in a 45 nm technology"
+	if a := c.AreaMM2(); a < 70 || a > 90 {
+		t.Fatalf("8192-spin 45nm area = %.1f mm², want ~80", a)
+	}
+	// "consume much less power (less than 10 W)"
+	if p := c.PowerW(); p >= 10 || p < 5 {
+		t.Fatalf("8192-spin power = %.1f W, want <10 and sane", p)
+	}
+}
+
+func TestAreaScalesQuadratically(t *testing.T) {
+	small := Chip{Spins: 1000, Tech: Technology{Node: 45}}
+	big := Chip{Spins: 2000, Tech: Technology{Node: 45}}
+	ratio := big.AreaMM2() / small.AreaMM2()
+	if ratio < 3.8 || ratio > 4.05 {
+		t.Fatalf("doubling spins scaled area %vx, want ~4x", ratio)
+	}
+}
+
+func TestShrinkHelps(t *testing.T) {
+	at45 := Chip{Spins: 4096, Tech: Technology{Node: 45}}
+	at16 := Chip{Spins: 4096, Tech: Technology{Node: 16}}
+	if at16.AreaMM2() >= at45.AreaMM2() {
+		t.Fatal("16 nm die not smaller than 45 nm")
+	}
+	if at16.PowerW() >= at45.PowerW() {
+		t.Fatal("16 nm analog power not lower than 45 nm")
+	}
+}
+
+func TestInterfacePowerAdds(t *testing.T) {
+	bare := Chip{Spins: 1024, Tech: Technology{Node: 45}}
+	linked := Chip{Spins: 1024, Tech: Technology{Node: 45}, Channels: 3}
+	if d := linked.PowerW() - bare.PowerW(); math.Abs(d-3*interfaceWPerChannel) > 1e-9 {
+		t.Fatalf("3 channels added %v W", d)
+	}
+}
+
+func TestSystemTotals(t *testing.T) {
+	sys := System{Chip: paperChip(), Chips: 4}
+	if sys.TotalAreaMM2() != 4*paperChip().AreaMM2() {
+		t.Fatal("system area not 4x chip area")
+	}
+	if sys.TotalPowerW() != 4*paperChip().PowerW() {
+		t.Fatal("system power not 4x chip power")
+	}
+}
+
+func TestEnergyPerSolve(t *testing.T) {
+	sys := System{Chip: paperChip(), Chips: 4}
+	// 1.1 µs at ~36 W is ~40 µJ.
+	e := sys.EnergyPerSolveJ(1100)
+	if e < 20e-6 || e > 80e-6 {
+		t.Fatalf("energy per 1.1 µs solve = %v J, want tens of µJ", e)
+	}
+}
+
+func TestAdvantageOverReferences(t *testing.T) {
+	// The introduction's claim: orders of magnitude better energy and
+	// time than every reference machine.
+	sys := System{Chip: paperChip(), Chips: 4}
+	for _, ref := range References() {
+		eRatio, tRatio := sys.AdvantageOver(ref, 1100)
+		if eRatio < 100 {
+			t.Fatalf("%s: energy advantage only %.0fx", ref.Name, eRatio)
+		}
+		if tRatio < 100 {
+			t.Fatalf("%s: time advantage only %.0fx", ref.Name, tRatio)
+		}
+	}
+}
+
+func TestMonotoneInSpinsProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw%8000) + 1
+		b := int(bRaw%8000) + 1
+		if a > b {
+			a, b = b, a
+		}
+		ca := Chip{Spins: a, Tech: Technology{Node: 45}}
+		cb := Chip{Spins: b, Tech: Technology{Node: 45}}
+		return ca.AreaMM2() <= cb.AreaMM2()+1e-12 && ca.PowerW() <= cb.PowerW()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero spins":   func() { Chip{Spins: 0, Tech: Technology{Node: 45}}.AreaMM2() },
+		"neg channels": func() { Chip{Spins: 1, Tech: Technology{Node: 45}, Channels: -1}.PowerW() },
+		"zero node":    func() { Chip{Spins: 1}.AreaMM2() },
+		"zero chips":   func() { System{Chip: paperChip()}.TotalPowerW() },
+		"zero modelNS": func() { System{Chip: paperChip(), Chips: 1}.EnergyPerSolveJ(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

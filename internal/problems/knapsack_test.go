@@ -1,0 +1,124 @@
+package problems
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/exact"
+	"mbrim/internal/sa"
+)
+
+// bruteKnapsack returns the optimal value by enumeration.
+func bruteKnapsack(k Knapsack) float64 {
+	best := 0.0
+	n := k.Items()
+	for mask := 0; mask < 1<<n; mask++ {
+		w, v := 0, 0.0
+		for α := 0; α < n; α++ {
+			if mask&(1<<α) != 0 {
+				w += k.Weights[α]
+				v += k.Values[α]
+			}
+		}
+		if w <= k.Capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestKnapsackExactSmall(t *testing.T) {
+	k := Knapsack{
+		Weights:  []int{2, 3, 4},
+		Values:   []float64{3, 4, 5},
+		Capacity: 5,
+	}
+	m, offset := k.Ising()
+	if m.N() != 8 { // 3 items + 5 slack bits
+		t.Fatalf("spins = %d, want 8", m.N())
+	}
+	res := exact.Solve(m)
+	// At the optimum H = −B·value with B = 1.
+	wantValue := bruteKnapsack(k) // items {2,3}: weight 5 ≤ 5, value 7? No: w2+w3=7>5; best = {0,1}: w=5, v=7
+	got := -(res.Energy + offset)
+	if math.Abs(got-wantValue) > 1e-6 {
+		t.Fatalf("encoded optimum value %v, brute force %v", got, wantValue)
+	}
+	items := k.Decode(res.Spins)
+	if !k.Feasible(items) {
+		t.Fatalf("decoded selection %v infeasible", items)
+	}
+	if math.Abs(k.TotalValue(items)-wantValue) > 1e-6 {
+		t.Fatalf("decoded value %v, want %v", k.TotalValue(items), wantValue)
+	}
+}
+
+func TestKnapsackConstraintBinds(t *testing.T) {
+	// One heavy, valuable item that does not fit: the optimum must
+	// skip it.
+	k := Knapsack{
+		Weights:  []int{6, 2},
+		Values:   []float64{100, 1},
+		Capacity: 5,
+	}
+	m, offset := k.Ising()
+	res := exact.Solve(m)
+	if got := -(res.Energy + offset); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("optimum value %v, want 1 (big item cannot fit)", got)
+	}
+}
+
+func TestKnapsackSAWithRepair(t *testing.T) {
+	k := Knapsack{
+		Weights:  []int{3, 5, 7, 2, 4, 6, 1, 8},
+		Values:   []float64{4, 7, 9, 2, 6, 7, 1, 10},
+		Capacity: 15,
+	}
+	m, _ := k.Ising()
+	br := sa.SolveBatch(m, sa.Config{Sweeps: 600, Seed: 1}, 8)
+	items := k.Decode(br.Best.Spins)
+	if !k.Feasible(items) {
+		t.Fatalf("repaired selection %v infeasible (weight %d)", items, k.TotalWeight(items))
+	}
+	want := bruteKnapsack(k)
+	if got := k.TotalValue(items); got < 0.8*want {
+		t.Fatalf("SA+repair value %v, optimum %v", got, want)
+	}
+}
+
+func TestKnapsackDecodeRepairsOverload(t *testing.T) {
+	k := Knapsack{Weights: []int{3, 3, 3}, Values: []float64{1, 2, 3}, Capacity: 4}
+	spins := make([]int8, k.Spins())
+	for i := range spins {
+		spins[i] = 1 // everything selected: weight 9 > 4
+	}
+	items := k.Decode(spins)
+	if !k.Feasible(items) {
+		t.Fatalf("repair left infeasible selection %v", items)
+	}
+	// The repair drops the worst value/weight items first, so item 2
+	// (value 3) must survive.
+	if len(items) != 1 || items[0] != 2 {
+		t.Fatalf("repair kept %v, want the most valuable item", items)
+	}
+}
+
+func TestKnapsackPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":        func() { Knapsack{Capacity: 1}.Ising() },
+		"len mismatch": func() { Knapsack{Weights: []int{1}, Values: []float64{1, 2}, Capacity: 1}.Ising() },
+		"zero weight":  func() { Knapsack{Weights: []int{0}, Values: []float64{1}, Capacity: 1}.Ising() },
+		"neg value":    func() { Knapsack{Weights: []int{1}, Values: []float64{-1}, Capacity: 1}.Ising() },
+		"zero cap":     func() { Knapsack{Weights: []int{1}, Values: []float64{1}}.Ising() },
+		"bad decode":   func() { Knapsack{Weights: []int{1}, Values: []float64{1}, Capacity: 2}.Decode(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

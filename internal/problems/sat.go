@@ -1,0 +1,158 @@
+package problems
+
+import (
+	"fmt"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+)
+
+// Literal is a possibly negated boolean variable.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// SAT is boolean satisfiability in CNF. The encoding is the classic
+// reduction through maximum independent set (Lucas §4.2 → §4.1 chain,
+// also Karp's original): one node per literal *occurrence*, edges
+// inside each clause (pick at most one literal per clause) and between
+// every pair of contradictory occurrences (x and ¬x can't both be
+// chosen). An independent set of size = #clauses exists iff the
+// formula is satisfiable.
+type SAT struct {
+	// Vars is the number of boolean variables (indices 0..Vars-1).
+	Vars int
+	// Clauses is the CNF: each clause is a disjunction of literals.
+	Clauses [][]Literal
+	// A, B forward to the underlying IndependentSet encoding.
+	A, B float64
+}
+
+// validate panics on malformed formulas.
+func (s SAT) validate() {
+	requirePositive("Vars", s.Vars)
+	if len(s.Clauses) == 0 {
+		panic("problems: SAT with no clauses")
+	}
+	for ci, cl := range s.Clauses {
+		if len(cl) == 0 {
+			panic(fmt.Sprintf("problems: empty clause %d", ci))
+		}
+		for _, l := range cl {
+			if l.Var < 0 || l.Var >= s.Vars {
+				panic(fmt.Sprintf("problems: clause %d references variable %d of %d", ci, l.Var, s.Vars))
+			}
+		}
+	}
+}
+
+// conflictGraph builds the occurrence graph; node order is clause
+// order then literal order, so Index(c, l) = Σ len(earlier clauses)+l.
+func (s SAT) conflictGraph() *graph.Graph {
+	s.validate()
+	total := 0
+	starts := make([]int, len(s.Clauses))
+	for ci, cl := range s.Clauses {
+		starts[ci] = total
+		total += len(cl)
+	}
+	g := graph.New(total)
+	// Intra-clause cliques.
+	for ci, cl := range s.Clauses {
+		for i := 0; i < len(cl); i++ {
+			for j := i + 1; j < len(cl); j++ {
+				g.AddEdge(starts[ci]+i, starts[ci]+j, 1)
+			}
+		}
+	}
+	// Contradiction edges across clauses.
+	for ci, cl := range s.Clauses {
+		for i, li := range cl {
+			for cj := ci + 1; cj < len(s.Clauses); cj++ {
+				for j, lj := range s.Clauses[cj] {
+					if li.Var == lj.Var && li.Negated != lj.Negated {
+						g.AddEdge(starts[ci]+i, starts[cj]+j, 1)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Ising returns the independent-set model of the occurrence graph.
+// Ground states with |set| = #clauses correspond to satisfying
+// assignments.
+func (s SAT) Ising() (m *ising.Model, offset float64) {
+	return IndependentSet{G: s.conflictGraph(), A: s.A, B: s.B}.Ising()
+}
+
+// Decode maps spins to a boolean assignment: chosen occurrences force
+// their literal true; unconstrained variables default to false. The
+// chosen set is first repaired to independence, so contradictory
+// forcings cannot occur.
+func (s SAT) Decode(spins []int8) []bool {
+	g := s.conflictGraph()
+	set := IndependentSet{G: g, A: s.A, B: s.B}.Decode(spins)
+	inSet := make(map[int]bool, len(set))
+	for _, v := range set {
+		inSet[v] = true
+	}
+	assign := make([]bool, s.Vars)
+	node := 0
+	for _, cl := range s.Clauses {
+		for _, l := range cl {
+			if inSet[node] {
+				assign[l.Var] = !l.Negated
+			}
+			node++
+		}
+	}
+	s.repair(assign)
+	return assign
+}
+
+// repair greedily flips any variable whose flip strictly increases the
+// satisfied-clause count, until no single flip helps — the standard
+// boolean-side cleanup of raw annealer output.
+func (s SAT) repair(assign []bool) {
+	current := s.NumSatisfied(assign)
+	for pass := 0; pass < s.Vars; pass++ {
+		improved := false
+		for v := 0; v < s.Vars; v++ {
+			assign[v] = !assign[v]
+			if got := s.NumSatisfied(assign); got > current {
+				current = got
+				improved = true
+			} else {
+				assign[v] = !assign[v]
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// NumSatisfied counts clauses satisfied by the assignment.
+func (s SAT) NumSatisfied(assign []bool) int {
+	if len(assign) != s.Vars {
+		panic("problems: SAT.NumSatisfied length mismatch")
+	}
+	sat := 0
+	for _, cl := range s.Clauses {
+		for _, l := range cl {
+			if assign[l.Var] != l.Negated {
+				sat++
+				break
+			}
+		}
+	}
+	return sat
+}
+
+// Satisfied reports whether the assignment satisfies every clause.
+func (s SAT) Satisfied(assign []bool) bool {
+	return s.NumSatisfied(assign) == len(s.Clauses)
+}

@@ -1,0 +1,183 @@
+package pt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+)
+
+// Population annealing is the other modern Monte Carlo baseline: a
+// population of replicas is cooled through a β ladder; at each rung
+// every replica is resampled with expected count ∝ exp(−Δβ·E), so
+// low-energy configurations multiply and high-energy ones die out,
+// with Metropolis sweeps re-equilibrating between rungs. Compared to
+// parallel tempering it trades the swap ladder for a birth/death
+// process — embarrassingly parallel and popular on spin glasses.
+
+// PopulationConfig parameterizes a population-annealing run.
+type PopulationConfig struct {
+	// Population is the replica count, held constant in expectation.
+	// Default 64.
+	Population int
+	// BetaMin/BetaMax bound the ladder; Rungs is the number of cooling
+	// steps. Defaults 0.1, 3, 20.
+	BetaMin, BetaMax float64
+	Rungs            int
+	// SweepsPerRung is the Metropolis re-equilibration effort at each
+	// rung. Default 1.
+	SweepsPerRung int
+	// Seed drives everything.
+	Seed uint64
+}
+
+// PopulationResult reports a run.
+type PopulationResult struct {
+	Spins  []int8
+	Energy float64
+	// MaxPopulation and MinPopulation track the resampling swing — a
+	// healthy run stays within a small factor of the target.
+	MaxPopulation, MinPopulation int
+	Wall                         time.Duration
+}
+
+// SolvePopulation runs population annealing and returns the best state
+// any replica ever held.
+func SolvePopulation(m *ising.Model, cfg PopulationConfig) *PopulationResult {
+	pop := cfg.Population
+	if pop == 0 {
+		pop = 64
+	}
+	if pop < 2 {
+		panic(fmt.Sprintf("pt: Population=%d", pop))
+	}
+	rungs := cfg.Rungs
+	if rungs == 0 {
+		rungs = 20
+	}
+	if rungs < 1 {
+		panic(fmt.Sprintf("pt: Rungs=%d", rungs))
+	}
+	sweeps := cfg.SweepsPerRung
+	if sweeps == 0 {
+		sweeps = 1
+	}
+	if sweeps < 1 {
+		panic(fmt.Sprintf("pt: SweepsPerRung=%d", sweeps))
+	}
+	betaMin, betaMax := cfg.BetaMin, cfg.BetaMax
+	if betaMin == 0 {
+		betaMin = 0.1
+	}
+	if betaMax == 0 {
+		betaMax = 3
+	}
+	if betaMin <= 0 || betaMax <= betaMin {
+		panic(fmt.Sprintf("pt: beta ladder [%v, %v]", betaMin, betaMax))
+	}
+
+	n := m.N()
+	r := rng.New(cfg.Seed)
+	members := make([]*replica, pop)
+	for i := range members {
+		spins := ising.RandomSpins(n, r)
+		fields := m.LocalFields(spins, nil)
+		members[i] = &replica{spins: spins, fields: fields,
+			energy: m.EnergyFromFields(spins, fields)}
+	}
+
+	res := &PopulationResult{Energy: math.Inf(1), MaxPopulation: pop, MinPopulation: pop}
+	record := func(rep *replica) {
+		if rep.energy < res.Energy {
+			res.Energy = rep.energy
+			res.Spins = ising.CopySpins(rep.spins)
+		}
+	}
+	for _, rep := range members {
+		record(rep)
+	}
+
+	betaAt := func(r int) float64 {
+		if rungs == 1 {
+			return betaMax
+		}
+		return betaMin + (betaMax-betaMin)*float64(r)/float64(rungs-1)
+	}
+
+	start := time.Now()
+	for rung := 0; rung < rungs; rung++ {
+		beta := betaAt(rung)
+		dBeta := 0.0
+		if rung > 0 {
+			dBeta = beta - betaAt(rung-1)
+		}
+
+		// Resample: expected copies ∝ exp(−Δβ(E − Ē)), normalized to
+		// keep the population near its target size.
+		if dBeta > 0 {
+			logW := make([]float64, len(members))
+			maxLW := math.Inf(-1)
+			for i, rep := range members {
+				logW[i] = -dBeta * rep.energy
+				if logW[i] > maxLW {
+					maxLW = logW[i]
+				}
+			}
+			sumW := 0.0
+			for i := range logW {
+				logW[i] = math.Exp(logW[i] - maxLW)
+				sumW += logW[i]
+			}
+			var next []*replica
+			for i, rep := range members {
+				expect := float64(pop) * logW[i] / sumW
+				copies := int(expect)
+				if r.Float64() < expect-float64(copies) {
+					copies++
+				}
+				for c := 0; c < copies; c++ {
+					clone := &replica{
+						spins:  ising.CopySpins(rep.spins),
+						fields: append([]float64(nil), rep.fields...),
+						energy: rep.energy,
+					}
+					next = append(next, clone)
+				}
+			}
+			if len(next) == 0 {
+				// Degenerate collapse: reseed from the best-so-far.
+				fields := m.LocalFields(res.Spins, nil)
+				next = append(next, &replica{
+					spins:  ising.CopySpins(res.Spins),
+					fields: fields,
+					energy: m.EnergyFromFields(res.Spins, fields),
+				})
+			}
+			members = next
+			if len(members) > res.MaxPopulation {
+				res.MaxPopulation = len(members)
+			}
+			if len(members) < res.MinPopulation {
+				res.MinPopulation = len(members)
+			}
+		}
+
+		// Re-equilibrate at the new temperature.
+		for _, rep := range members {
+			for s := 0; s < sweeps; s++ {
+				for k := 0; k < n; k++ {
+					delta := m.FlipDelta(rep.spins, rep.fields, k)
+					if delta <= 0 || r.Float64() < math.Exp(-beta*delta) {
+						m.ApplyFlip(rep.spins, rep.fields, k)
+						rep.energy += delta
+					}
+				}
+			}
+			record(rep)
+		}
+	}
+	res.Wall = time.Since(start)
+	return res
+}

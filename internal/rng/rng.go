@@ -1,0 +1,189 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators with explicit state.
+//
+// The multiprocessor architecture in the paper (Sec 5.4.2) relies on
+// every chip holding a replica of the same PRNG so that stochastically
+// induced spin flips can be applied everywhere without any
+// communication. That requires generators that are (a) deterministic
+// for a given seed, (b) cheaply cloneable so replicas can be handed to
+// each chip, and (c) forkable so independent subsystems (solvers, job
+// initializers, workload generators) do not share a stream by accident.
+//
+// The core generator is xoshiro256**, seeded through splitmix64, the
+// combination recommended by the xoshiro authors. It is not
+// cryptographically secure; it is a simulation PRNG.
+package rng
+
+import "math"
+
+// splitmix64 advances a 64-bit state and returns the next output.
+// It is used for seeding and for deriving fork seeds, because it is a
+// bijection with good avalanche behaviour even from small seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. The zero value is invalid; use
+// New. Source is not safe for concurrent use; clone or fork instead of
+// sharing.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64. Two Sources
+// created with the same seed produce identical streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator to the state derived from seed, as if it
+// had just been created by New(seed).
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro256** requires a state that is not all zero; splitmix64 of
+	// any seed cannot produce four zero words, but guard regardless.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 bits of the stream.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Clone returns an independent copy of r at its current state. The
+// clone and the original then produce identical streams — this is the
+// primitive behind coordinated induced spin flips: each chip gets a
+// clone and draws the same values at the same logical step.
+func (r *Source) Clone() *Source {
+	c := *r
+	return &c
+}
+
+// Fork derives a new, statistically independent Source from r without
+// disturbing replicas of r: the fork seed is drawn by hashing the
+// current state with a label rather than by advancing the stream.
+// Distinct labels give distinct streams.
+func (r *Source) Fork(label uint64) *Source {
+	seed := r.s[0] ^ rotl(r.s[2], 13) ^ (label * 0x9e3779b97f4a7c15)
+	mix := seed
+	return New(splitmix64(&mix))
+}
+
+// State returns the current internal state, for equality checks in
+// tests and for snapshotting a synchronized ensemble.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	// 53 high bits, standard conversion.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift with rejection for exact uniformity.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
+
+// Spin returns -1 or +1 with equal probability, the natural random
+// initial value for an Ising spin.
+func (r *Source) Spin() int8 {
+	if r.Uint64()&1 == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the
+// Marsaglia polar method. SBM-style solvers use Gaussian initial
+// positions and noise terms.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

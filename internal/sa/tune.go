@@ -1,0 +1,103 @@
+package sa
+
+import (
+	"fmt"
+	"math"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/sched"
+)
+
+// The paper observes (Sec 6.1, 6.3) that tuning the annealing schedule
+// for a specific graph changes SA's time-to-target by up to ~140x.
+// Tune automates the coarse version of what the cited authors did by
+// hand: grid-search β ladders at a small sweep budget, score each by
+// mean final energy over a few seeds, and return the winner.
+
+// TuneConfig parameterizes the schedule search.
+type TuneConfig struct {
+	// Sweeps is the budget per trial run. Default 50.
+	Sweeps int
+	// Seeds is how many restarts average each candidate's score.
+	// Default 3.
+	Seeds int
+	// Seed bases the trial seeds.
+	Seed uint64
+	// BetaStarts and BetaEnds are the grid axes. Defaults cover the
+	// useful range for couplings of unit scale.
+	BetaStarts, BetaEnds []float64
+}
+
+// TuneResult reports the search outcome.
+type TuneResult struct {
+	// Best is the winning schedule; use it as Config.Beta.
+	Best sched.Schedule
+	// BestStart and BestEnd are the winning ladder endpoints.
+	BestStart, BestEnd float64
+	// BestScore is the mean final energy the winner achieved; Scores
+	// holds every candidate's mean for inspection, keyed
+	// "start→end".
+	BestScore float64
+	Scores    map[string]float64
+	// Trials counts annealing runs spent searching.
+	Trials int
+}
+
+// Tune grid-searches linear β schedules for the model and returns the
+// best. The cost is len(BetaStarts)·len(BetaEnds)·Seeds short runs.
+func Tune(m *ising.Model, cfg TuneConfig) *TuneResult {
+	if cfg.Sweeps == 0 {
+		cfg.Sweeps = 50
+	}
+	if cfg.Sweeps < 1 {
+		panic(fmt.Sprintf("sa: Tune Sweeps=%d", cfg.Sweeps))
+	}
+	if cfg.Seeds == 0 {
+		cfg.Seeds = 3
+	}
+	if cfg.Seeds < 1 {
+		panic(fmt.Sprintf("sa: Tune Seeds=%d", cfg.Seeds))
+	}
+	starts := cfg.BetaStarts
+	if len(starts) == 0 {
+		starts = []float64{0.01, 0.05, 0.1, 0.3}
+	}
+	ends := cfg.BetaEnds
+	if len(ends) == 0 {
+		ends = []float64{1, 2, 3, 5, 10}
+	}
+
+	res := &TuneResult{
+		BestScore: math.Inf(1),
+		Scores:    make(map[string]float64),
+	}
+	for _, b0 := range starts {
+		for _, b1 := range ends {
+			if b1 <= b0 {
+				continue
+			}
+			schedule := sched.Linear{From: b0, To: b1}
+			sum := 0.0
+			for s := 0; s < cfg.Seeds; s++ {
+				r := Solve(m, Config{
+					Sweeps: cfg.Sweeps,
+					Beta:   schedule,
+					Seed:   cfg.Seed + uint64(s),
+				})
+				sum += r.Energy
+				res.Trials++
+			}
+			mean := sum / float64(cfg.Seeds)
+			res.Scores[fmt.Sprintf("%g→%g", b0, b1)] = mean
+			if mean < res.BestScore {
+				res.BestScore = mean
+				res.Best = schedule
+				res.BestStart, res.BestEnd = b0, b1
+			}
+		}
+	}
+	if res.Best == nil {
+		panic("sa: Tune had no valid (start, end) pair")
+	}
+	return res
+}

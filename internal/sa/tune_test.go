@@ -1,0 +1,91 @@
+package sa
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+	"mbrim/internal/sched"
+)
+
+func TestTuneFindsReasonableSchedule(t *testing.T) {
+	g := graph.Complete(64, rng.New(1))
+	m := g.ToIsing()
+	res := Tune(m, TuneConfig{Sweeps: 30, Seeds: 2, Seed: 2})
+	if res.Best == nil || res.BestStart >= res.BestEnd {
+		t.Fatalf("bad winner: %v→%v", res.BestStart, res.BestEnd)
+	}
+	if len(res.Scores) == 0 || res.Trials == 0 {
+		t.Fatal("no candidates scored")
+	}
+	// The winner must score at least as well as every candidate.
+	for key, score := range res.Scores {
+		if score < res.BestScore-1e-9 {
+			t.Fatalf("candidate %s (%v) beats claimed best (%v)", key, score, res.BestScore)
+		}
+	}
+}
+
+func TestTunedBeatsPathologicalSchedule(t *testing.T) {
+	// A schedule frozen at an extremely high β from the start cannot
+	// explore; the tuned one must beat it clearly on average.
+	g := graph.Complete(80, rng.New(3))
+	m := g.ToIsing()
+	tuned := Tune(m, TuneConfig{Sweeps: 40, Seeds: 3, Seed: 4})
+	var tunedSum, frozenSum float64
+	for s := uint64(0); s < 4; s++ {
+		tunedSum += Solve(m, Config{Sweeps: 40, Beta: tuned.Best, Seed: 100 + s}).Energy
+		frozenSum += Solve(m, Config{Sweeps: 40, Beta: sched.Constant(1e6), Seed: 100 + s}).Energy
+	}
+	if tunedSum >= frozenSum {
+		t.Fatalf("tuned (%v) no better than frozen-β (%v)", tunedSum/4, frozenSum/4)
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	g := graph.Complete(40, rng.New(5))
+	m := g.ToIsing()
+	a := Tune(m, TuneConfig{Sweeps: 10, Seeds: 2, Seed: 6})
+	b := Tune(m, TuneConfig{Sweeps: 10, Seeds: 2, Seed: 6})
+	if a.BestStart != b.BestStart || a.BestEnd != b.BestEnd ||
+		math.Abs(a.BestScore-b.BestScore) > 1e-12 {
+		t.Fatal("Tune is nondeterministic for a fixed seed")
+	}
+}
+
+func TestTuneCustomGrid(t *testing.T) {
+	g := graph.Complete(30, rng.New(7))
+	m := g.ToIsing()
+	res := Tune(m, TuneConfig{
+		Sweeps: 10, Seeds: 1, Seed: 8,
+		BetaStarts: []float64{0.1},
+		BetaEnds:   []float64{2},
+	})
+	if res.BestStart != 0.1 || res.BestEnd != 2 {
+		t.Fatalf("winner %v→%v from a single-candidate grid", res.BestStart, res.BestEnd)
+	}
+	if res.Trials != 1 {
+		t.Fatalf("Trials = %d, want 1", res.Trials)
+	}
+}
+
+func TestTunePanics(t *testing.T) {
+	m := ferromagnet(4)
+	for name, f := range map[string]func(){
+		"neg sweeps": func() { Tune(m, TuneConfig{Sweeps: -1}) },
+		"neg seeds":  func() { Tune(m, TuneConfig{Seeds: -1}) },
+		"empty grid": func() {
+			Tune(m, TuneConfig{BetaStarts: []float64{5}, BetaEnds: []float64{1}})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

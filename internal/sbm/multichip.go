@@ -1,0 +1,191 @@
+package sbm
+
+import (
+	"fmt"
+
+	"time"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+)
+
+// This file implements the multi-chip scale-out of simulated
+// bifurcation following Tatsumura, Yamasaki & Goto (Nature Electronics
+// 2021, reference [49]) — the 8-FPGA system the paper's Fig 12
+// compares against. The spins are partitioned over chips; each chip
+// advances its slice using *fresh* local positions and a *stale*
+// snapshot of remote positions that is re-exchanged every
+// ExchangeEvery steps. The staleness/quality trade mirrors the
+// mBRIM concurrent-mode epoch trade (Sec 5.4), which is exactly why
+// the paper can meaningfully compare the two architectures.
+
+// MultiChipConfig parameterizes a partitioned SB run.
+type MultiChipConfig struct {
+	Config
+	// Chips is the number of partitions. Must be >= 1.
+	Chips int
+	// ExchangeEvery is the number of steps between snapshot exchanges.
+	// Default 1 (exchange after every step, the [49] pipeline).
+	ExchangeEvery int
+}
+
+// MultiChipResult extends Result with exchange accounting.
+type MultiChipResult struct {
+	Result
+	// Exchanges counts snapshot synchronizations; BytesExchanged the
+	// total position traffic (4 bytes per remote position per chip,
+	// the fixed-point width of [49]).
+	Exchanges      int64
+	BytesExchanged float64
+}
+
+// SolveMultiChip runs partitioned simulated bifurcation.
+func SolveMultiChip(m *ising.Model, cfg MultiChipConfig) *MultiChipResult {
+	if cfg.Steps < 1 {
+		panic(fmt.Sprintf("sbm: Steps=%d", cfg.Steps))
+	}
+	if cfg.Chips < 1 {
+		panic(fmt.Sprintf("sbm: Chips=%d", cfg.Chips))
+	}
+	exchangeEvery := cfg.ExchangeEvery
+	if exchangeEvery == 0 {
+		exchangeEvery = 1
+	}
+	if exchangeEvery < 1 {
+		panic(fmt.Sprintf("sbm: ExchangeEvery=%d", cfg.ExchangeEvery))
+	}
+	dt := cfg.Dt
+	if dt == 0 {
+		dt = 0.5
+	}
+	a0 := cfg.A0
+	if a0 == 0 {
+		a0 = 1
+	}
+	c0 := cfg.C0
+	if c0 == 0 {
+		c0 = defaultC0(m)
+	}
+
+	n := m.N()
+	if cfg.Chips > n {
+		panic(fmt.Sprintf("sbm: Chips=%d for N=%d", cfg.Chips, n))
+	}
+	parts := graph.BlockPartition(n, cfg.Chips)
+	owner := make([]int, n)
+	for ci, part := range parts {
+		for _, g := range part {
+			owner[g] = ci
+		}
+	}
+
+	r := rng.New(cfg.Seed)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 0.1 * (r.Float64()*2 - 1)
+		y[i] = 0.1 * (r.Float64()*2 - 1)
+	}
+	// snapshot is every chip's view of remote positions, refreshed at
+	// exchange boundaries.
+	snapshot := make([]float64, n)
+	copy(snapshot, x)
+
+	spins := make([]int8, n)
+	force := make([]float64, n)
+	res := &MultiChipResult{}
+	start := time.Now()
+	for step := 0; step < cfg.Steps; step++ {
+		at := a0 * float64(step) / float64(cfg.Steps)
+		// Two-phase (Jacobi) update, matching Solve exactly: every
+		// force is computed from start-of-step positions, with remote
+		// positions taken from the possibly stale snapshot.
+		if cfg.Variant == Discrete {
+			for i := 0; i < n; i++ {
+				row := m.Row(i)
+				oi := owner[i]
+				acc := m.Mu() * m.Bias(i)
+				for j := 0; j < n; j++ {
+					v := row[j]
+					if v == 0 {
+						continue
+					}
+					pos := snapshot[j]
+					if owner[j] == oi {
+						pos = x[j]
+					}
+					if pos >= 0 {
+						acc += v
+					} else {
+						acc -= v
+					}
+				}
+				force[i] = acc
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				row := m.Row(i)
+				oi := owner[i]
+				acc := m.Mu() * m.Bias(i)
+				for j := 0; j < n; j++ {
+					v := row[j]
+					if v == 0 {
+						continue
+					}
+					if owner[j] == oi {
+						acc += v * x[j]
+					} else {
+						acc += v * snapshot[j]
+					}
+				}
+				force[i] = acc
+			}
+		}
+		for i := 0; i < n; i++ {
+			y[i] += (-(a0-at)*x[i] + c0*force[i]) * dt
+			x[i] += a0 * y[i] * dt
+			if x[i] > 1 {
+				x[i], y[i] = 1, 0
+			} else if x[i] < -1 {
+				x[i], y[i] = -1, 0
+			}
+		}
+		if (step+1)%exchangeEvery == 0 {
+			copy(snapshot, x)
+			res.Exchanges++
+			// Each chip broadcasts its positions to the other chips.
+			if cfg.Chips > 1 {
+				res.BytesExchanged += 4 * float64(n) * float64(cfg.Chips-1)
+			}
+		}
+		if cfg.OnStep != nil {
+			cfg.OnStep(step, m.Energy(readout(x, spins)))
+		}
+	}
+	res.Spins = ising.CopySpins(readout(x, spins))
+	res.Energy = m.Energy(res.Spins)
+	res.Steps = cfg.Steps
+	res.Wall = time.Since(start)
+	return res
+}
+
+// StalenessSweep measures final energy as a function of ExchangeEvery
+// — the SBM analogue of Fig 14's epoch sweep, averaged over seeds.
+func StalenessSweep(m *ising.Model, base MultiChipConfig, exchanges []int, seeds int) map[int]float64 {
+	if seeds < 1 {
+		panic(fmt.Sprintf("sbm: seeds=%d", seeds))
+	}
+	out := make(map[int]float64, len(exchanges))
+	for _, ee := range exchanges {
+		sum := 0.0
+		for s := 0; s < seeds; s++ {
+			cfg := base
+			cfg.ExchangeEvery = ee
+			cfg.Seed = base.Seed + uint64(s)
+			sum += SolveMultiChip(m, cfg).Energy
+		}
+		out[ee] = sum / float64(seeds)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package mbrim is a library-scale reproduction of "Increasing Ising
+// Machine Capacity with Multi-Chip Architectures" (Sharma, Afoakwa,
+// Ignjatovic & Huang, ISCA 2022): a multiprocessor Ising machine built
+// from BRIM-style chips with shadow copies of remote spins, a
+// bandwidth-modeled digital fabric, concurrent and batch operating
+// modes, and the coordinated induced-flip optimization — together with
+// every substrate the paper's evaluation needs (an Isakov-style
+// simulated annealer, tabu search, qbsolv-style divide-and-conquer,
+// and ballistic/discrete simulated bifurcation baselines).
+//
+// # Quick start
+//
+// Build a problem (here: MaxCut on a random ±1 complete graph, the
+// paper's K-graph family), then solve it with any engine through the
+// uniform Solve surface:
+//
+//	g := mbrim.CompleteGraph(512, 1)     // K512, seeded
+//	out, err := mbrim.Solve(mbrim.Request{
+//	    Kind:  mbrim.MBRIMConcurrent,    // 4-chip multiprocessor
+//	    Model: g.ToIsing(),
+//	    Graph: g,
+//	    Chips: 4,
+//	    DurationNS: 200,
+//	})
+//	// out.Cut is the cut value, out.ModelNS the machine time spent.
+//
+// For finer control, construct a multichip.System-equivalent directly
+// with NewSystem and drive RunConcurrent / RunBatch yourself; all
+// detailed knobs (epoch length, channel bandwidth, coordination,
+// per-epoch statistics, energy-surprise probes) live on SystemConfig.
+//
+// # Time semantics
+//
+// Machine engines (BRIM, mBRIM) report *model time* — nanoseconds of
+// the machine's own physics. Software engines (SA, tabu, SBM) report
+// measured wall time. Speedup comparisons divide one by the other,
+// exactly as the paper's methodology does (Sec 6.1).
+package mbrim
+
+import (
+	"io"
+
+	"mbrim/internal/core"
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/multichip"
+	"mbrim/internal/rng"
+	"mbrim/internal/sched"
+)
+
+// Core model types, re-exported from the internal packages.
+type (
+	// Model is a dense Ising problem: symmetric couplings J, biases h,
+	// global bias scale μ, and energy E = -Σ_{i<j}Jσσ - μΣhσ.
+	Model = ising.Model
+	// QUBO is a quadratic unconstrained binary optimization instance;
+	// convert with its ToIsing method.
+	QUBO = ising.QUBO
+	// SubProblem is one side of an Eq. 3 bipartition with effective
+	// biases folding the frozen complement.
+	SubProblem = ising.SubProblem
+	// Graph is an undirected weighted graph with MaxCut↔Ising mapping.
+	Graph = graph.Graph
+	// Edge is one weighted graph edge.
+	Edge = graph.Edge
+)
+
+// Solver orchestration types.
+type (
+	// Request selects and parameterizes a solver engine.
+	Request = core.Request
+	// Outcome is the uniform solve report.
+	Outcome = core.Outcome
+	// Kind names a solver engine.
+	Kind = core.Kind
+)
+
+// Multiprocessor types for direct (non-orchestrated) use.
+type (
+	// System is the k-chip multiprocessor Ising machine.
+	System = multichip.System
+	// SystemConfig holds all multiprocessor knobs.
+	SystemConfig = multichip.Config
+	// SystemResult reports a concurrent-mode run.
+	SystemResult = multichip.Result
+	// BatchResult reports a batch-mode run.
+	BatchResult = multichip.BatchResult
+	// Layout describes a reconfigurable chip configuration (Fig 7).
+	Layout = multichip.Layout
+	// Schedule maps run progress ∈ [0,1] to a control value.
+	Schedule = sched.Schedule
+	// RNG is a deterministic, cloneable random source.
+	RNG = rng.Source
+)
+
+// Engine kinds.
+const (
+	SA              = core.SA
+	Tabu            = core.Tabu
+	BSBM            = core.BSBM
+	DSBM            = core.DSBM
+	BRIM            = core.BRIM
+	QBSolv          = core.QBSolv
+	OursDnc         = core.OursDnc
+	MBRIMConcurrent = core.MBRIMConcurrent
+	MBRIMBatch      = core.MBRIMBatch
+	PT              = core.PT
+	MBRIMSequential = core.MBRIMSequential
+)
+
+// Bandwidth presets of the paper's Sec 6.3 configurations, in channel
+// bytes per nanosecond.
+const (
+	HBChannelBytesPerNS = core.HBChannelBytesPerNS
+	LBChannelBytesPerNS = core.LBChannelBytesPerNS
+)
+
+// NewModel returns an n-spin Ising model with zero couplings.
+func NewModel(n int) *Model { return ising.NewModel(n) }
+
+// NewQUBO returns an n-variable QUBO with zero coefficients.
+func NewQUBO(n int) *QUBO { return ising.NewQUBO(n) }
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// CompleteGraph returns the seeded K-graph K_n with ±1 weights — the
+// paper's benchmark family (K2000, K16384, ...).
+func CompleteGraph(n int, seed uint64) *Graph {
+	return graph.Complete(n, rng.New(seed))
+}
+
+// RandomGraph returns a seeded Erdős–Rényi G(n, p) graph with ±1
+// weights.
+func RandomGraph(n int, p float64, seed uint64) *Graph {
+	return graph.Random(n, p, rng.New(seed))
+}
+
+// ReadGraph parses the Gset text format ("n m" header, "u v w" edges,
+// 1-based vertices).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// Solve runs the requested engine and returns a uniform outcome.
+func Solve(req Request) (*Outcome, error) { return core.Solve(req) }
+
+// Kinds returns every engine name, sorted.
+func Kinds() []string { return core.Kinds() }
+
+// ParseKind validates a solver name.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// NewSystem builds a multiprocessor Ising machine over the model.
+func NewSystem(m *Model, cfg SystemConfig) *System {
+	return multichip.NewSystem(m, cfg)
+}
+
+// PlanLayout computes a reconfigurable chip's module configuration for
+// a multiprocessor of the given size (Sec 5.2 / Fig 7).
+func PlanLayout(k, moduleN, chips int) (*Layout, error) {
+	return multichip.PlanLayout(k, moduleN, chips)
+}
+
+// Stack describes a 3D-integrated multiprocessor (Fig 8).
+type Stack = multichip.Stack
+
+// PlanStack validates and builds a 3D stack of `layers` layers, each
+// carrying moduleN spins.
+func PlanStack(layers, moduleN int) (*Stack, error) {
+	return multichip.PlanStack(layers, moduleN)
+}
+
+// Packing reports how problems occupy Ising hardware (Fig 4's
+// utilization analysis).
+type Packing = multichip.Packing
+
+// PackMonolithic places problems block-diagonally on a monolithic k×k
+// macrochip; PackReconfigurable bin-packs them onto independent chips.
+func PackMonolithic(chipN, k int, problems []int) (*Packing, error) {
+	return multichip.PackMonolithic(chipN, k, problems)
+}
+
+// PackReconfigurable places problems onto independently operating
+// reconfigurable chips (Fig 5), avoiding the macrochip's waste.
+func PackReconfigurable(chipN int, problems []int) (*Packing, error) {
+	return multichip.PackReconfigurable(chipN, problems)
+}
+
+// NewRNG returns a deterministic random source for the seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Extract builds the Eq. 3 sub-problem over the given parent indices
+// with the complement frozen at spins.
+func Extract(parent *Model, sub []int, spins []int8) *SubProblem {
+	return ising.Extract(parent, sub, spins)
+}

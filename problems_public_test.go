@@ -1,0 +1,100 @@
+package mbrim_test
+
+import (
+	"math"
+	"testing"
+
+	"mbrim"
+)
+
+func TestSolveExactPublic(t *testing.T) {
+	m := mbrim.NewModel(3)
+	m.SetCoupling(0, 1, 1)
+	m.SetCoupling(1, 2, 1)
+	m.SetCoupling(0, 2, 1)
+	res := mbrim.SolveExact(m)
+	if res.Energy != -3 {
+		t.Fatalf("triangle ferromagnet optimum %v, want -3", res.Energy)
+	}
+	if err := mbrim.VerifyLocalOptimum(m, res.Spins, res.Energy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionProblemPublic(t *testing.T) {
+	p := mbrim.PartitionProblem{Numbers: []float64{4, 3, 3, 2}}
+	m, offset := p.Ising()
+	res := mbrim.SolveExact(m)
+	if got := res.Energy + offset; math.Abs(got) > 1e-9 {
+		t.Fatalf("imbalance² %v, want 0 (6/6 split exists)", got)
+	}
+}
+
+func TestSATProblemPublic(t *testing.T) {
+	s := mbrim.SATProblem{
+		Vars: 2,
+		Clauses: [][]mbrim.SATLiteral{
+			{{Var: 0}, {Var: 1}},
+			{{Var: 0, Negated: true}},
+		},
+	}
+	m, _ := s.Ising()
+	res := mbrim.SolveExact(m)
+	assign := s.Decode(res.Spins)
+	if !s.Satisfied(assign) {
+		t.Fatalf("decode %v does not satisfy", assign)
+	}
+	if assign[0] || !assign[1] {
+		t.Fatalf("expected x0=false x1=true, got %v", assign)
+	}
+}
+
+func TestEmbeddingPublic(t *testing.T) {
+	g := mbrim.CompleteGraph(6, 1)
+	e := mbrim.EmbedComplete(g.ToIsing(), 0)
+	if e.PhysicalNodes() != 30 {
+		t.Fatalf("physical nodes %d, want 30", e.PhysicalNodes())
+	}
+	if mbrim.EffectiveCapacity(30) != 6 {
+		t.Fatal("EffectiveCapacity inconsistent with embedding size")
+	}
+}
+
+func TestQUBORoundTripPublic(t *testing.T) {
+	g := mbrim.CompleteGraph(8, 2)
+	m := g.ToIsing()
+	q, off1 := mbrim.ToQUBO(m)
+	back, off2 := mbrim.FromQUBO(q)
+	spins := mbrim.NewRNG(3)
+	s := make([]int8, 8)
+	for i := range s {
+		s[i] = spins.Spin()
+	}
+	// E(σ) = Value(x) + off1 and Value(x) = E'(σ) + off2 ⇒ E = E' + off1 + off2.
+	if d := math.Abs(m.Energy(s) - (back.Energy(s) + off1 + off2)); d > 1e-9 {
+		t.Fatalf("double conversion drifted by %v", d)
+	}
+}
+
+func TestSparseWorkflowPublic(t *testing.T) {
+	g := mbrim.RandomGraph(500, 0.02, 9)
+	sm := g.ToSparseIsing()
+	res := mbrim.Anneal(sm, 200, 10)
+	cut := g.CutValue(res.Spins)
+	if cut <= 0 {
+		t.Fatalf("sparse anneal cut %v", cut)
+	}
+	// Sparse and dense agree on the energy of the found state.
+	if d := math.Abs(g.ToIsing().Energy(res.Spins) - res.Energy); d > 1e-6 {
+		t.Fatalf("sparse energy off by %v", d)
+	}
+}
+
+func TestSparsifyPublic(t *testing.T) {
+	m := mbrim.NewModel(4)
+	m.SetCoupling(0, 3, -2)
+	sm := mbrim.Sparsify(m)
+	if sm.NNZ() != 2 || sm.Degree(0) != 1 {
+		t.Fatalf("NNZ=%d deg0=%d", sm.NNZ(), sm.Degree(0))
+	}
+}
