@@ -32,9 +32,15 @@ func runFig12(args []string) error {
 	batchEpoch := fs.Float64("batchepoch", 16, "epoch size, ns (batch)")
 	runs := fs.Int("runs", 4, "jobs in batch mode / SBM+SA restarts")
 	seed := fs.Uint64("seed", 1, "random seed")
+	tracePath := traceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	g, m := kgraph(*n, *seed)
 	bwScale := float64(*n) / 16384
 
@@ -62,6 +68,7 @@ func runFig12(args []string) error {
 		cfg := multichip.Config{
 			Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true,
 			ChannelBytesPerNS: tr.rate, SampleEveryNS: *duration / 30,
+			Tracer: tracer,
 		}
 		conc := multichip.NewSystem(m, cfg).RunConcurrent(*duration)
 		s := addTrace(tr.name+" concurrent (elapsed ns)", conc.Trace)

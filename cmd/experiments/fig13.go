@@ -23,14 +23,21 @@ func runFig13(args []string) error {
 	duration := fs.Float64("duration", 200, "annealing time, ns")
 	epoch := fs.Float64("epoch", 3.3, "fixed epoch for the time series, ns")
 	seed := fs.Uint64("seed", 1, "random seed")
+	tracePath := traceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	_, m := kgraph(*n, *seed)
 
 	// Left panel: per-epoch series at the fixed epoch size.
 	res := multichip.NewSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true, RecordEpochStats: true,
+		Tracer: tracer,
 	}).RunConcurrent(*duration)
 
 	flips := &metrics.Series{Name: fmt.Sprintf("flips per epoch (epoch %.1f ns)", *epoch)}

@@ -23,9 +23,15 @@ func runFig14(args []string) error {
 	duration := fs.Float64("duration", 200, "annealing time, ns")
 	runs := fs.Int("runs", 4, "averaging runs per point (and batch jobs)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	tracePath := traceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	g, m := kgraph(*n, *seed)
 
 	conc := &metrics.Series{Name: "concurrent mode (avg cut)"}
@@ -36,11 +42,11 @@ func runFig14(args []string) error {
 		for r := 0; r < *runs; r++ {
 			s := uint64(int(*seed) + r*101)
 			cRes := multichip.NewSystem(m, multichip.Config{
-				Chips: *chips, EpochNS: e, Seed: s, Parallel: true,
+				Chips: *chips, EpochNS: e, Seed: s, Parallel: true, Tracer: tracer,
 			}).RunConcurrent(*duration)
 			cSum += g.CutFromEnergy(cRes.Energy)
 			bRes := multichip.NewSystem(m, multichip.Config{
-				Chips: *chips, EpochNS: e, Seed: s, Parallel: true,
+				Chips: *chips, EpochNS: e, Seed: s, Parallel: true, Tracer: tracer,
 			}).RunBatch(*runs, *duration)
 			bSum += g.CutFromEnergy(bRes.BestEnergy)
 		}

@@ -25,13 +25,20 @@ func runFig15(args []string) error {
 	duration := fs.Float64("duration", 200, "annealing time, ns")
 	epoch := fs.Float64("epoch", 3.3, "fixed epoch for the time series, ns")
 	seed := fs.Uint64("seed", 1, "random seed")
+	tracePath := traceFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, closeTrace, err := openTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	_, m := kgraph(*n, *seed)
 
 	res := multichip.NewSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true, RecordEpochStats: true,
+		Tracer: tracer,
 	}).RunConcurrent(*duration)
 
 	inducedSeries := &metrics.Series{Name: fmt.Sprintf("induced flips per epoch (epoch %.1f ns)", *epoch)}

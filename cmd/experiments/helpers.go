@@ -1,12 +1,15 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 	"mbrim/internal/sa"
 	"mbrim/internal/sbm"
@@ -16,6 +19,31 @@ import (
 func kgraph(n int, seed uint64) (*graph.Graph, *ising.Model) {
 	g := graph.Complete(n, rng.New(seed))
 	return g, g.ToIsing()
+}
+
+// traceFlag registers the shared -trace flag on a subcommand's flag
+// set; pass the parsed value to openTrace.
+func traceFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace", "", "archive the experiment's event stream to this JSONL file")
+}
+
+// openTrace opens the archival JSONL tracer named by -trace. The
+// returned cleanup flushes and closes the file; tracer and cleanup are
+// nil-safe no-ops when the flag was left empty.
+func openTrace(path string) (obs.Tracer, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := obs.NewJSONL(f)
+	return t, func() {
+		if err := t.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace %s: %v\n", path, err)
+		}
+	}, nil
 }
 
 // note prints paper-expectation commentary, stripped by tools that

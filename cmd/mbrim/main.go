@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -36,6 +38,13 @@ func main() {
 	capacity := flag.Int("cap", 500, "machine capacity for d&c engines")
 	printSpins := flag.Bool("spins", false, "print the solution spin vector")
 	jsonOut := flag.Bool("json", false, "emit the outcome as JSON instead of text")
+	traceFile := flag.String("trace", "", "write the run's event stream to this file as JSON Lines")
+	metricsOut := flag.Bool("metrics", false, "print a metrics-registry snapshot after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	sample := flag.Float64("sample", 0, "record an energy sample every so many ns (machine engines)")
+	epochStats := flag.Bool("epochstats", false, "record the multiprocessor's per-epoch activity ledger")
+	probes := flag.Bool("probes", false, "record the multiprocessor's energy-surprise probe")
+	parallel := flag.Bool("parallel", false, "run multiprocessor chips on host goroutines (bit-identical)")
 	flag.Parse()
 
 	kind, err := mbrim.ParseKind(*solver)
@@ -88,6 +97,40 @@ func main() {
 		model = g.ToIsing()
 	}
 
+	// Observability: a JSONL tracer when -trace is set, a metrics
+	// registry when -metrics or -pprof asked for one, and the pprof +
+	// /metrics debug server when -pprof names an address.
+	var tracer mbrim.Tracer
+	var jsonl *mbrim.JSONLTracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl = mbrim.NewJSONLTracer(f)
+		tracer = jsonl
+		defer jsonl.Close()
+	}
+	var registry *mbrim.Registry
+	if *metricsOut || *pprofAddr != "" {
+		registry = mbrim.NewRegistry()
+	}
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", registry)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "mbrim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(info, "pprof:   http://%s/debug/pprof/ (metrics at /metrics)\n", *pprofAddr)
+	}
+
 	out, err := mbrim.Solve(mbrim.Request{
 		Kind:              kind,
 		Model:             model,
@@ -102,12 +145,28 @@ func main() {
 		Coordinated:       *coordinated,
 		ChannelBytesPerNS: *bandwidth,
 		MachineCapacity:   *capacity,
+		SampleEveryNS:     *sample,
+		RecordEpochStats:  *epochStats,
+		Probes:            *probes,
+		Parallel:          *parallel,
+		Tracer:            tracer,
+		Metrics:           registry,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(info, "trace:   %s\n", *traceFile)
+	}
 
 	if *jsonOut {
+		var snap any
+		if *metricsOut && registry != nil {
+			snap = registry.Snapshot()
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
@@ -115,7 +174,8 @@ func main() {
 			WallNS    int64   `json:"wallNS"`
 			QUBOValue float64 `json:"quboValue,omitempty"`
 			HasGraph  bool    `json:"hasGraph"`
-		}{out, out.Wall.Nanoseconds(), out.Energy + quboOffset, g != nil}); err != nil {
+			Metrics   any     `json:"metrics,omitempty"`
+		}{out, out.Wall.Nanoseconds(), out.Energy + quboOffset, g != nil, snap}); err != nil {
 			fatal(err)
 		}
 		return
@@ -147,6 +207,12 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+	if *metricsOut && registry != nil {
+		fmt.Println("metrics:")
+		if err := registry.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package mbrim_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"mbrim"
@@ -20,6 +21,46 @@ func ExampleNewSystem() {
 	res := sys.RunConcurrent(50)
 	fmt.Println(res.StallNS > 0, res.BitChanges <= res.Flips)
 	// Output: true true
+}
+
+// ExampleSolve_tracing attaches a JSONL tracer and a metrics registry
+// to a solve: the tracer archives the typed event stream (RunStart,
+// per-epoch ChipStep/EpochSync/FabricTransfer, RunEnd), the registry
+// accumulates counters that agree with the outcome's own stats.
+func ExampleSolve_tracing() {
+	g := mbrim.CompleteGraph(64, 7)
+	var buf bytes.Buffer
+	tracer := mbrim.NewJSONLTracer(&buf)
+	reg := mbrim.NewRegistry()
+	out, err := mbrim.Solve(mbrim.Request{
+		Kind:       mbrim.MBRIMConcurrent,
+		Model:      g.ToIsing(),
+		Graph:      g,
+		Chips:      4,
+		DurationNS: 30,
+		Seed:       7,
+		Tracer:     tracer,
+		Metrics:    reg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		panic(err)
+	}
+
+	events, err := mbrim.ReadJSONL(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bracketed:", events[0].Kind, "...", events[len(events)-1].Kind)
+	snap := reg.Snapshot()
+	fmt.Println("counters agree:",
+		float64(snap.Counters["multichip.flips"]) == out.Stats["flips"],
+		snap.Counters["core.solves"] == 1)
+	// Output:
+	// bracketed: run_start ... run_end
+	// counters agree: true true
 }
 
 // ExamplePartitionProblem encodes number partitioning and solves it

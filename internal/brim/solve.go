@@ -5,6 +5,7 @@ import (
 
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
 )
 
 // Result is the outcome of a complete single-chip annealing run.
@@ -31,6 +32,12 @@ type SolveConfig struct {
 	SampleInterval float64
 	// Initial optionally warm-starts the machine at the given spins.
 	Initial []int8
+	// Tracer, if non-nil, receives an EnergySample event per trace
+	// sample (requires SampleInterval > 0). Nil disables tracing.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates run totals (brim.steps,
+	// brim.flips, brim.induced_flips, brim.runs).
+	Metrics *obs.Registry
 }
 
 // Solve runs one annealing job on a fresh machine and reports the
@@ -52,10 +59,15 @@ func Solve(m *ising.Model, cfg SolveConfig) *Result {
 				chunk = cfg.Duration - t
 			}
 			ma.Run(chunk)
+			en := m.Energy(ma.Spins())
 			res.Trace = append(res.Trace, metrics.Point{
 				X: ma.Time(),
-				Y: m.Energy(ma.Spins()),
+				Y: en,
 			})
+			if cfg.Tracer != nil {
+				cfg.Tracer.Emit(obs.Event{Kind: obs.EnergySample,
+					ModelNS: ma.Time(), Value: en})
+			}
 		}
 	} else {
 		ma.Run(cfg.Duration)
@@ -66,6 +78,12 @@ func Solve(m *ising.Model, cfg SolveConfig) *Result {
 	res.Flips = ma.Flips()
 	res.Induced = ma.InducedFlips()
 	res.Steps = ma.Steps()
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("brim.runs").Inc()
+		cfg.Metrics.Counter("brim.steps").Add(res.Steps)
+		cfg.Metrics.Counter("brim.flips").Add(res.Flips)
+		cfg.Metrics.Counter("brim.induced_flips").Add(res.Induced)
+	}
 	return res
 }
 

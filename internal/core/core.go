@@ -17,7 +17,9 @@ import (
 	"mbrim/internal/dnc"
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
+	"mbrim/internal/metrics"
 	"mbrim/internal/multichip"
+	"mbrim/internal/obs"
 	"mbrim/internal/pt"
 	"mbrim/internal/sa"
 	"mbrim/internal/sbm"
@@ -116,6 +118,28 @@ type Request struct {
 	MachineCapacity  int
 	MachineAnnealNS  float64
 	MachineProgramNS float64
+
+	// SampleEveryNS, if > 0, records (time, energy) samples into
+	// Outcome.Trace for the engines that support tracing (BRIM and the
+	// multiprocessor modes).
+	SampleEveryNS float64
+	// RecordEpochStats and Probes enable the multiprocessor's per-epoch
+	// activity ledger and energy-surprise probe (Outcome.EpochStats,
+	// Outcome.Surprises).
+	RecordEpochStats bool
+	Probes           bool
+	// Parallel runs the multiprocessor's chips on host goroutines; the
+	// result is bit-identical to the sequential simulation.
+	Parallel bool
+
+	// Tracer, if non-nil, receives the run's typed event stream: Solve
+	// emits the RunStart/RunEnd bracket and the engine emits its inner
+	// events (EpochSync, ChipStep, EnergySample, ...). Nil disables
+	// tracing at the cost of one branch per emission site.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates counters across runs (core.solves
+	// plus per-engine totals such as multichip.flips).
+	Metrics *obs.Registry
 }
 
 func (r *Request) withDefaults() Request {
@@ -160,16 +184,34 @@ type Outcome struct {
 	Wall    time.Duration
 	// Stats carries engine-specific extras (flips, traffic, stalls...).
 	Stats map[string]float64
+	// Trace holds (time, energy) samples when Request.SampleEveryNS was
+	// set and the engine supports tracing.
+	Trace []metrics.Point
+	// EpochStats and Surprises are the multiprocessor's optional
+	// per-epoch ledger and energy-surprise probe.
+	EpochStats []multichip.EpochStat
+	Surprises  []multichip.SurpriseSample
 }
 
 // Solve runs the requested engine and returns a uniform outcome.
+//
+// When a Tracer is configured, Solve brackets the engine's inner events
+// with a single RunStart/RunEnd pair — the uniform run ledger: engine
+// kind (Label), seed, problem size (Count), requested duration (Value)
+// on the way in; best energy (Value), model time and wall duration on
+// the way out.
 func Solve(req Request) (*Outcome, error) {
 	r := req.withDefaults()
 	out := &Outcome{Kind: r.Kind, Stats: map[string]float64{}}
+	if r.Tracer != nil {
+		r.Tracer.Emit(obs.Event{Kind: obs.RunStart, Label: string(r.Kind),
+			Seed: r.Seed, Count: int64(r.Model.N()), Value: r.DurationNS})
+	}
 	start := time.Now()
 	switch r.Kind {
 	case SA:
-		br := sa.SolveBatch(r.Model, sa.Config{Sweeps: r.Sweeps, Seed: r.Seed, Initial: r.Initial}, r.Runs)
+		br := sa.SolveBatch(r.Model, sa.Config{Sweeps: r.Sweeps, Seed: r.Seed, Initial: r.Initial,
+			Tracer: r.Tracer, Metrics: r.Metrics}, r.Runs)
 		out.Spins, out.Energy = br.Best.Spins, br.Best.Energy
 		var attempts, flips float64
 		for _, res := range br.Results {
@@ -197,15 +239,20 @@ func Solve(req Request) (*Outcome, error) {
 		if r.Kind == DSBM {
 			variant = sbm.Discrete
 		}
-		br := sbm.SolveBatch(r.Model, sbm.Config{Variant: variant, Steps: r.Steps, Seed: r.Seed}, r.Runs)
+		br := sbm.SolveBatch(r.Model, sbm.Config{Variant: variant, Steps: r.Steps, Seed: r.Seed,
+			Tracer: r.Tracer, Metrics: r.Metrics}, r.Runs)
 		out.Spins, out.Energy = br.Best.Spins, br.Best.Energy
 	case BRIM:
 		best, all := brim.SolveBatch(r.Model, brim.SolveConfig{
-			Duration: r.DurationNS,
-			Initial:  r.Initial,
-			Config:   brim.Config{Seed: r.Seed},
+			Duration:       r.DurationNS,
+			SampleInterval: r.SampleEveryNS,
+			Initial:        r.Initial,
+			Config:         brim.Config{Seed: r.Seed},
+			Tracer:         r.Tracer,
+			Metrics:        r.Metrics,
 		}, r.Runs)
 		out.Spins, out.Energy = best.Spins, best.Energy
+		out.Trace = best.Trace
 		for _, res := range all {
 			out.ModelNS += res.ModelNS
 			out.Stats["flips"] += float64(res.Flips)
@@ -219,9 +266,11 @@ func Solve(req Request) (*Outcome, error) {
 		}
 		var res *dnc.Result
 		if r.Kind == QBSolv {
-			res = dnc.QBSolv(r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed})
+			res = dnc.QBSolv(r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed,
+				Tracer: r.Tracer, Metrics: r.Metrics})
 		} else {
-			res = dnc.Ours(r.Model, mach, dnc.OursConfig{Seed: r.Seed})
+			res = dnc.Ours(r.Model, mach, dnc.OursConfig{Seed: r.Seed,
+				Tracer: r.Tracer, Metrics: r.Metrics})
 		}
 		out.Spins, out.Energy = res.Spins, res.Energy
 		out.ModelNS = res.HardwareNS + res.ProgramNS
@@ -233,23 +282,41 @@ func Solve(req Request) (*Outcome, error) {
 		res := sys.RunConcurrent(r.DurationNS)
 		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
 			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		out.Trace = res.Trace
+		out.EpochStats = res.EpochStats
+		out.Surprises = res.Surprises
 	case MBRIMSequential:
 		sys := multichip.NewSystem(r.Model, multichipConfig(r))
 		res := sys.RunSequential(r.DurationNS)
 		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
 			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		out.Trace = res.Trace
+		out.EpochStats = res.EpochStats
+		out.Surprises = res.Surprises
 	case MBRIMBatch:
 		sys := multichip.NewSystem(r.Model, multichipConfig(r))
 		res := sys.RunBatch(r.Runs, r.DurationNS)
 		best := res.Jobs[res.Best]
 		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
 			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		out.Trace = res.Trace
+		out.EpochStats = res.EpochStats
 	default:
 		return nil, fmt.Errorf("core: unknown solver %q", r.Kind)
 	}
 	out.Wall = time.Since(start)
 	if r.Graph != nil {
 		out.Cut = r.Graph.CutValue(out.Spins)
+	}
+	if r.Tracer != nil {
+		r.Tracer.Emit(obs.Event{Kind: obs.RunEnd, Label: string(r.Kind),
+			Seed: r.Seed, Value: out.Energy, ModelNS: out.ModelNS,
+			WallDurNS: out.Wall.Nanoseconds(), Count: int64(out.Stats["flips"])})
+	}
+	if r.Metrics != nil {
+		r.Metrics.Counter("core.solves").Inc()
+		r.Metrics.Counter("core.solves." + string(r.Kind)).Inc()
+		r.Metrics.Histogram("core.solve_wall_ns").Observe(float64(out.Wall.Nanoseconds()))
 	}
 	return out, nil
 }
@@ -262,6 +329,12 @@ func multichipConfig(r Request) multichip.Config {
 		Channels:          r.Channels,
 		ChannelBytesPerNS: r.ChannelBytesPerNS,
 		Seed:              r.Seed,
+		SampleEveryNS:     r.SampleEveryNS,
+		RecordEpochStats:  r.RecordEpochStats,
+		Probes:            r.Probes,
+		Parallel:          r.Parallel,
+		Tracer:            r.Tracer,
+		Metrics:           r.Metrics,
 	}
 }
 

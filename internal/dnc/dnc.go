@@ -26,6 +26,7 @@ import (
 
 	"mbrim/internal/brim"
 	"mbrim/internal/ising"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 	"mbrim/internal/sa"
 	"mbrim/internal/tabu"
@@ -138,6 +139,12 @@ type QBSolvConfig struct {
 	TabuIters int
 	// Seed drives all stochastic choices.
 	Seed uint64
+	// Tracer, if non-nil, receives a ChipStep event per machine launch
+	// and an EnergySample per outer pass.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates run totals (dnc.launches,
+	// dnc.glue_ops, dnc.passes, dnc.runs).
+	Metrics *obs.Registry
 }
 
 // QBSolv runs Algorithm 1 (D-Wave's qbsolv) with the given machine as
@@ -202,6 +209,11 @@ func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
 			res.HardwareNS += annealNS
 			res.ProgramNS += mach.ProgramNS()
 			res.Launches++
+			if cfg.Tracer != nil {
+				cfg.Tracer.Emit(obs.Event{Kind: obs.ChipStep, Epoch: res.Passes,
+					Chip: res.Launches - 1, ModelNS: annealNS,
+					Count: int64(sp.Model.N()), Label: "launch"})
+			}
 
 			sp.Project(sol, qtmp)
 		}
@@ -210,6 +222,10 @@ func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
 		tr = tabu.Solve(m, tabu.Config{MaxIters: tabuIters, Seed: r.Uint64(), Initial: qtmp})
 		index = orderByImpact(m, tr.Spins)
 		res.SoftwareWall += time.Since(swStart)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Kind: obs.EnergySample, Epoch: res.Passes,
+				Value: tr.Energy})
+		}
 
 		// Lines 24-32: best tracking and pass counting.
 		switch {
@@ -227,7 +243,20 @@ func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
 	}
 	res.Spins = qbest
 	res.Energy = vbest
+	recordRunMetrics(cfg.Metrics, res)
 	return res
+}
+
+// recordRunMetrics adds a finished divide-and-conquer run's totals to
+// the registry; a nil registry is a no-op.
+func recordRunMetrics(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("dnc.runs").Inc()
+	reg.Counter("dnc.launches").Add(int64(res.Launches))
+	reg.Counter("dnc.glue_ops").Add(res.GlueOps)
+	reg.Counter("dnc.passes").Add(int64(res.Passes))
 }
 
 // orderByImpact returns variable indices sorted by decreasing |ΔE| of

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mbrim/internal/ising"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 	"mbrim/internal/sa"
 )
@@ -20,6 +21,12 @@ type OursConfig struct {
 	SoftwareSweeps int
 	// Seed drives partitioning, initial state and solver seeds.
 	Seed uint64
+	// Tracer, if non-nil, receives a ChipStep event per hardware launch
+	// and an EnergySample per outer pass.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates run totals (dnc.launches,
+	// dnc.glue_ops, dnc.passes, dnc.runs).
+	Metrics *obs.Registry
 }
 
 // Ours runs Algorithm 2. The first partition is sized to the machine's
@@ -76,6 +83,11 @@ func Ours(m *ising.Model, mach Machine, cfg OursConfig) *Result {
 				res.HardwareNS += annealNS
 				res.ProgramNS += mach.ProgramNS()
 				res.Launches++
+				if cfg.Tracer != nil {
+					cfg.Tracer.Emit(obs.Event{Kind: obs.ChipStep, Epoch: res.Passes,
+						Chip: res.Launches - 1, ModelNS: annealNS,
+						Count: int64(sp.Model.N()), Label: "launch"})
+				}
 				sp.Project(sol, spins)
 			} else {
 				// Host partition: SA with the same frozen-complement
@@ -90,9 +102,14 @@ func Ours(m *ising.Model, mach Machine, cfg OursConfig) *Result {
 		}
 		// Line 15: Synchronise is implicit — the next pass's Extract
 		// reads the updated global state.
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Kind: obs.EnergySample, Epoch: res.Passes,
+				Value: m.Energy(spins)})
+		}
 	}
 
 	res.Spins = spins
 	res.Energy = m.Energy(spins)
+	recordRunMetrics(cfg.Metrics, res)
 	return res
 }

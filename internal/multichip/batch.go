@@ -7,6 +7,7 @@ import (
 	"mbrim/internal/interconnect"
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 )
 
@@ -64,9 +65,18 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 	}
 
 	res := &BatchResult{Jobs: states, Best: -1}
+	rc := &runCollector{}
+	if cfg.RecordEpochStats {
+		rc.epochStats = &res.EpochStats
+	}
+	if cfg.SampleEveryNS > 0 {
+		rc.trace = &res.Trace
+	}
+	tr := s.runTracer(rc)
 	elapsed := 0.0
 	nextSample := 0.0
 	bestSoFar := math.Inf(1)
+	lastBytes := s.fabric.TotalBytes()
 
 	// Within an epoch each chip works a different job (when jobs >=
 	// chips), so the per-chip work is independent and can run on
@@ -103,6 +113,7 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 				for li := range c.owned {
 					if r.Bool(prob) {
 						c.machine.Induce(li)
+						c.epochKicks++
 					}
 				}
 			}
@@ -158,16 +169,25 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 		res.InducedFlips += st.InducedFlips
 		res.BitChanges += st.BitChanges
 		res.InducedBitChanges += st.InducedBitChanges
-		if cfg.RecordEpochStats {
-			res.EpochStats = append(res.EpochStats, st)
+		if tr != nil {
+			model := float64(e+1) * cfg.EpochNS
+			s.emitChipEpoch(tr, e+1, model)
+			tr.Emit(obs.Event{Kind: obs.EpochSync, Epoch: e + 1, ModelNS: model,
+				Count: st.BitChanges, Induced: st.InducedBitChanges})
+			total := s.fabric.TotalBytes()
+			tr.Emit(obs.Event{Kind: obs.FabricTransfer, Epoch: e + 1, ModelNS: model,
+				Value: total - lastBytes, StallNS: stall})
+			lastBytes = total
 		}
+		s.cfg.Metrics.Histogram("multichip.epoch_stall_ns").Observe(stall)
 		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
 			for _, state := range states {
 				if en := s.model.Energy(state); en < bestSoFar {
 					bestSoFar = en
 				}
 			}
-			res.Trace = append(res.Trace, metrics.Point{X: elapsed, Y: bestSoFar})
+			tr.Emit(obs.Event{Kind: obs.EnergySample, Epoch: e + 1, ModelNS: elapsed,
+				Value: bestSoFar})
 			nextSample = elapsed + cfg.SampleEveryNS
 		}
 	}
@@ -177,6 +197,8 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 	res.ElapsedNS = elapsed
 	res.TrafficBytes = s.fabric.TotalBytes()
 	res.PeakDemandBytesPerNS = s.fabric.PeakDemand()
+	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
+		res.StallNS, res.TrafficBytes, res.Epochs)
 	res.Energies = make([]float64, jobs)
 	res.BestEnergy = math.Inf(1)
 	for j, state := range states {

@@ -48,8 +48,11 @@ type chip struct {
 	lastFlipInduced []bool
 
 	// Per-epoch counters, reset by the runtime at epoch boundaries.
+	// epochKicks counts the induced-kick draws applied to owned spins
+	// (the InducedKick trace event payload).
 	epochFlips        int64
 	epochInducedFlips int64
+	epochKicks        int64
 }
 
 // newChip builds chip id owning the given global indices of the
@@ -224,4 +227,5 @@ func (c *chip) loadJobState(global []int8) {
 func (c *chip) resetEpochCounters() {
 	c.epochFlips = 0
 	c.epochInducedFlips = 0
+	c.epochKicks = 0
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
 )
 
 // RunSequential anneals one job with the chips taking turns: in every
@@ -30,9 +30,18 @@ func (s *System) RunSequential(durationNS float64) *Result {
 		c.machine.SetHorizon(durationNS)
 	}
 	res := &Result{}
+	rc := &runCollector{}
+	if cfg.RecordEpochStats {
+		rc.epochStats = &res.EpochStats
+	}
+	if cfg.SampleEveryNS > 0 {
+		rc.trace = &res.Trace
+	}
+	tr := s.runTracer(rc)
 	elapsed := 0.0
 	model := 0.0
 	nextSample := 0.0
+	lastBytes := s.fabric.TotalBytes()
 	for model < durationNS-1e-9 {
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
 		for ci, c := range s.chips {
@@ -44,20 +53,23 @@ func (s *System) RunSequential(durationNS float64) *Result {
 				t += chunk
 				s.drawInduced(ci, (model+t)/durationNS)
 			}
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.ChipStep, Epoch: res.Epochs + 1, Chip: ci,
+					ModelNS: model + epoch, Count: c.epochFlips, Induced: c.epochInducedFlips})
+				if c.epochKicks > 0 {
+					tr.Emit(obs.Event{Kind: obs.InducedKick, Epoch: res.Epochs + 1, Chip: ci,
+						ModelNS: model + epoch, Count: c.epochKicks})
+				}
+			}
 			// Immediate synchronization: the next chip sees this one's
 			// fresh state. Traffic is charged exactly as in concurrent
 			// mode; the difference is purely that no work overlaps.
 			changes, inducedChanges := s.syncEpoch()
 			res.BitChanges += changes
 			res.InducedBitChanges += inducedChanges
-			if cfg.RecordEpochStats {
-				res.EpochStats = append(res.EpochStats, EpochStat{
-					Epoch:             res.Epochs + 1,
-					Flips:             c.epochFlips,
-					InducedFlips:      c.epochInducedFlips,
-					BitChanges:        changes,
-					InducedBitChanges: inducedChanges,
-				})
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.EpochSync, Epoch: res.Epochs + 1, Chip: ci,
+					ModelNS: model + epoch, Count: changes, Induced: inducedChanges})
 			}
 			// Every chip's epoch occupies the wall clock: no overlap.
 			elapsed += epoch
@@ -66,8 +78,16 @@ func (s *System) RunSequential(durationNS float64) *Result {
 		elapsed += stall
 		model += epoch
 		res.Epochs++
+		if tr != nil {
+			total := s.fabric.TotalBytes()
+			tr.Emit(obs.Event{Kind: obs.FabricTransfer, Epoch: res.Epochs, ModelNS: model,
+				Value: total - lastBytes, StallNS: stall})
+			lastBytes = total
+		}
+		s.cfg.Metrics.Histogram("multichip.epoch_stall_ns").Observe(stall)
 		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
-			res.Trace = append(res.Trace, metrics.Point{X: elapsed, Y: s.model.Energy(s.GlobalSpins())})
+			tr.Emit(obs.Event{Kind: obs.EnergySample, Epoch: res.Epochs, ModelNS: elapsed,
+				Value: s.model.Energy(s.GlobalSpins())})
 			nextSample = elapsed + cfg.SampleEveryNS
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"mbrim/internal/interconnect"
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 	"mbrim/internal/sched"
 )
@@ -67,6 +68,17 @@ type Config struct {
 	// (shadows change at boundaries), so the result is bit-identical
 	// to the sequential simulation — only the host wall time changes.
 	Parallel bool
+	// Tracer, if non-nil, receives the run's typed event stream
+	// (ChipStep, EpochSync, FabricTransfer, InducedKick, Probe,
+	// EnergySample). Events are emitted at epoch barriers in chip
+	// order, so the stream is deterministic for a given seed and
+	// config regardless of Parallel. Nil disables tracing at the cost
+	// of one branch per epoch.
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates run totals (flips, bit changes,
+	// stall and traffic) and per-epoch stall histograms into the named
+	// instruments of the registry.
+	Metrics *obs.Registry
 }
 
 func (c *Config) withDefaults(n int) Config {
@@ -259,6 +271,7 @@ func (s *System) drawInduced(ci int, progress float64) {
 			}
 			if li, own := c.local[g]; own {
 				c.machine.Induce(li)
+				c.epochKicks++
 				// Receivers toggled their shadows too; their belief
 				// tracks the kick without traffic.
 				s.receiverBelief[ci][li] = -s.receiverBelief[ci][li]
@@ -271,6 +284,7 @@ func (s *System) drawInduced(ci int, progress float64) {
 	for li := range c.owned {
 		if r.Bool(prob) {
 			c.machine.Induce(li)
+			c.epochKicks++
 		}
 	}
 }
@@ -322,8 +336,9 @@ func (s *System) syncEpoch() (total, induced int64) {
 }
 
 // probe measures each chip's ignorance and energy surprise against the
-// true global state, *before* boundary sync repairs the shadows.
-func (s *System) probe(epoch int, out *[]SurpriseSample) {
+// true global state, *before* boundary sync repairs the shadows, and
+// emits one Probe event per chip.
+func (s *System) probe(epoch int, tr obs.Tracer) {
 	truth := s.GlobalSpins()
 	trueEnergy := s.model.Energy(truth)
 	for ci, c := range s.chips {
@@ -342,11 +357,12 @@ func (s *System) probe(epoch int, out *[]SurpriseSample) {
 			ign = float64(stale) / float64(remote)
 		}
 		believed := s.model.Energy(c.shadow)
-		*out = append(*out, SurpriseSample{
-			Epoch:     epoch,
-			Chip:      ci,
-			Ignorance: ign,
-			Surprise:  believed - trueEnergy,
+		tr.Emit(obs.Event{
+			Kind:  obs.Probe,
+			Epoch: epoch,
+			Chip:  ci,
+			Value: believed - trueEnergy,
+			Aux:   ign,
 		})
 	}
 }
@@ -364,9 +380,21 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		c.machine.SetHorizon(durationNS)
 	}
 	res := &Result{}
+	rc := &runCollector{}
+	if cfg.RecordEpochStats {
+		rc.epochStats = &res.EpochStats
+	}
+	if cfg.Probes {
+		rc.surprises = &res.Surprises
+	}
+	if cfg.SampleEveryNS > 0 {
+		rc.trace = &res.Trace
+	}
+	tr := s.runTracer(rc)
 	nextSample := 0.0
 	elapsed := 0.0
 	model := 0.0
+	lastBytes := s.fabric.TotalBytes()
 	for model < durationNS-1e-9 {
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
 		// Each chip integrates the epoch in flip-interval chunks;
@@ -386,29 +414,31 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		})
 		model += epoch
 		res.Epochs++
+		if tr != nil {
+			s.emitChipEpoch(tr, res.Epochs, model)
+		}
 		if cfg.Probes {
-			s.probe(res.Epochs, &res.Surprises)
+			s.probe(res.Epochs, tr)
 		}
 		changes, inducedChanges := s.syncEpoch()
 		res.BitChanges += changes
 		res.InducedBitChanges += inducedChanges
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EpochSync, Epoch: res.Epochs, ModelNS: model,
+				Count: changes, Induced: inducedChanges})
+		}
 		stall := s.fabric.EndEpoch(epoch)
 		elapsed += epoch + stall
-		if cfg.RecordEpochStats {
-			st := EpochStat{
-				Epoch:             res.Epochs,
-				BitChanges:        changes,
-				InducedBitChanges: inducedChanges,
-				StallNS:           stall,
-			}
-			for _, c := range s.chips {
-				st.Flips += c.epochFlips
-				st.InducedFlips += c.epochInducedFlips
-			}
-			res.EpochStats = append(res.EpochStats, st)
+		if tr != nil {
+			total := s.fabric.TotalBytes()
+			tr.Emit(obs.Event{Kind: obs.FabricTransfer, Epoch: res.Epochs, ModelNS: model,
+				Value: total - lastBytes, StallNS: stall})
+			lastBytes = total
 		}
+		s.cfg.Metrics.Histogram("multichip.epoch_stall_ns").Observe(stall)
 		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
-			res.Trace = append(res.Trace, metrics.Point{X: elapsed, Y: s.model.Energy(s.GlobalSpins())})
+			tr.Emit(obs.Event{Kind: obs.EnergySample, Epoch: res.Epochs, ModelNS: elapsed,
+				Value: s.model.Energy(s.GlobalSpins())})
 			nextSample = elapsed + cfg.SampleEveryNS
 		}
 	}
@@ -450,4 +480,6 @@ func (s *System) collect(res *Result, model, elapsed float64) {
 	}
 	res.Spins = s.GlobalSpins()
 	res.Energy = s.model.Energy(res.Spins)
+	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
+		res.StallNS, res.TrafficBytes, res.Epochs)
 }

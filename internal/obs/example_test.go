@@ -1,0 +1,66 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"mbrim/internal/obs"
+)
+
+// A registry accumulates named instruments across runs; Snapshot gives
+// a point-in-time copy suitable for assertion or JSON export.
+func ExampleRegistry() {
+	reg := obs.NewRegistry()
+	reg.Counter("solver.flips").Add(41)
+	reg.Counter("solver.flips").Inc()
+	reg.Gauge("fabric.stall_ns").Set(12.5)
+	reg.Histogram("epoch_ns").Observe(3)
+	reg.Histogram("epoch_ns").Observe(5)
+
+	snap := reg.Snapshot()
+	fmt.Println("flips:", snap.Counters["solver.flips"])
+	fmt.Println("stall:", snap.Gauges["fabric.stall_ns"])
+	fmt.Println("epochs:", snap.Histograms["epoch_ns"].Count, "mean:", snap.Histograms["epoch_ns"].Mean)
+	// Output:
+	// flips: 42
+	// stall: 12.5
+	// epochs: 2 mean: 4
+}
+
+// A JSONL tracer archives the event stream one JSON object per line;
+// ReadJSONL parses it back for offline analysis.
+func ExampleJSONLTracer() {
+	var buf bytes.Buffer
+	tr := obs.NewJSONL(&buf)
+	tr.Emit(obs.Event{Kind: obs.RunStart, Label: "sa", Seed: 7})
+	tr.Emit(obs.Event{Kind: obs.EnergySample, Value: -128})
+	tr.Emit(obs.Event{Kind: obs.RunEnd, Label: "sa", Value: -130})
+	if err := tr.Flush(); err != nil {
+		panic(err)
+	}
+
+	events, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range events {
+		fmt.Println(e.Kind)
+	}
+	// Output:
+	// run_start
+	// energy_sample
+	// run_end
+}
+
+// Fanout drives several sinks from one stream — here an archival
+// JSONL writer and a live ring buffer.
+func ExampleFanout() {
+	var buf bytes.Buffer
+	ring := obs.NewRing(4)
+	tr := obs.Fanout(obs.NewJSONL(&buf), ring)
+	tr.Emit(obs.Event{Kind: obs.EpochSync, Epoch: 1, Count: 9})
+
+	fmt.Println("ring holds:", ring.Total())
+	// Output:
+	// ring holds: 1
+}

@@ -1,0 +1,138 @@
+// Package obs is the repository's observability layer: a lightweight,
+// zero-dependency (stdlib-only) tracing and metrics surface threaded
+// through every solver engine.
+//
+// # Event taxonomy
+//
+// A run emits a stream of typed, timestamped Events. The taxonomy
+// mirrors the quantities the paper's evaluation is built from:
+//
+//   - RunStart / RunEnd bracket one solve: engine, seed, problem size,
+//     then the uniform ledger (best energy, model ns vs wall ns, flip
+//     totals). Emitted by the core orchestration layer.
+//   - ChipStep: one chip finished integrating one epoch — per-epoch
+//     flip and induced-flip counts (the time axis of Figs 13/15).
+//   - InducedKick: the annealing kicks a chip applied during an epoch
+//     (Sec 5.4.2's coordinated-flip accounting).
+//   - EpochSync: a boundary belief synchronization — the bit changes
+//     actually communicated over the fabric, and the induced subset.
+//   - FabricTransfer: the fabric's epoch settlement — bytes moved and
+//     congestion stall (the Fig 12 time-to-solution components).
+//   - Probe: an ignorance / energy-surprise measurement (Fig 9).
+//   - EnergySample: an (elapsed time, energy) trajectory sample.
+//
+// # Sinks
+//
+// A Tracer is any consumer of the stream. The package ships a JSONL
+// sink (one JSON object per line, for archiving and offline analysis),
+// a fixed-capacity in-memory Ring (for tests and live inspection), and
+// Fanout to drive several sinks at once. Engine result series
+// (per-epoch stats, probe samples, energy traces) are themselves
+// assembled by internal consumers of this stream rather than by
+// parallel bookkeeping.
+//
+// # Overhead
+//
+// Tracing is off by default: a nil Tracer in an engine config skips
+// every emission site behind a single branch, and all sites sit at
+// epoch/sweep boundaries, never inside integration inner loops. The
+// no-op path adds no measurable cost to the hot benchmarks (see
+// BENCH_obs.json at the repository root). Sinks and the metrics
+// Registry are goroutine-safe, so Parallel chip goroutines may record
+// concurrently.
+package obs
+
+// Kind names an event type. Kinds marshal as readable strings so JSONL
+// traces are self-describing.
+type Kind string
+
+// The event taxonomy. See the package comment for semantics.
+const (
+	RunStart       Kind = "run_start"
+	ChipStep       Kind = "chip_step"
+	InducedKick    Kind = "induced_kick"
+	EpochSync      Kind = "epoch_sync"
+	FabricTransfer Kind = "fabric_transfer"
+	Probe          Kind = "probe"
+	EnergySample   Kind = "energy_sample"
+	RunEnd         Kind = "run_end"
+)
+
+// Event is one trace record. It is a flat value type so emission never
+// allocates; which fields are meaningful depends on Kind:
+//
+//	RunStart:       Label (engine), Seed, Count (problem spins),
+//	                Value (planned duration ns, 0 for software engines)
+//	ChipStep:       Epoch, Chip, Count (flips), Induced (induced
+//	                flips), ModelNS (model time at epoch end)
+//	InducedKick:    Epoch, Chip, Count (kicks applied this epoch)
+//	EpochSync:      Epoch, Count (bit changes), Induced (induced bit
+//	                changes), ModelNS
+//	FabricTransfer: Epoch, Value (bytes this epoch), StallNS, ModelNS
+//	Probe:          Epoch, Chip, Value (energy surprise), Aux (degree
+//	                of ignorance)
+//	EnergySample:   ModelNS (elapsed ns; sweep/step ordinal for
+//	                software engines), Value (energy), Epoch/Chip when
+//	                scoped
+//	RunEnd:         Label (engine), Value (best energy), ModelNS,
+//	                StallNS, Count (flips), Induced, WallDurNS
+//
+// WallNS is the wall-clock timestamp stamped by the sink at emission;
+// it is the only field excluded from determinism guarantees.
+type Event struct {
+	Kind      Kind    `json:"kind"`
+	WallNS    int64   `json:"wallNS,omitempty"`
+	ModelNS   float64 `json:"modelNS,omitempty"`
+	Epoch     int     `json:"epoch,omitempty"`
+	Chip      int     `json:"chip,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Count     int64   `json:"count,omitempty"`
+	Induced   int64   `json:"induced,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Aux       float64 `json:"aux,omitempty"`
+	StallNS   float64 `json:"stallNS,omitempty"`
+	WallDurNS int64   `json:"wallDurNS,omitempty"`
+	Label     string  `json:"label,omitempty"`
+}
+
+// Tracer consumes a run's event stream. Implementations must be safe
+// for concurrent Emit calls. Engine configs hold a Tracer that is nil
+// by default: every emission site guards with a nil check, which is
+// the entire cost of the disabled path.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Nop is a Tracer that discards everything — for callers that want an
+// explicit non-nil no-op.
+type Nop struct{}
+
+// Emit discards the event.
+func (Nop) Emit(Event) {}
+
+// Fanout composes tracers into one that forwards every event to each,
+// in order. Nil entries are skipped; zero live tracers yield nil (the
+// disabled path), one yields it unwrapped.
+func Fanout(ts ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}

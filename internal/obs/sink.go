@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLTracer writes one JSON object per event to an underlying
+// writer — the archival sink. Output is buffered; call Flush (or
+// Close) before reading the destination. Safe for concurrent use.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewJSONL builds a JSONL sink over w. If w is an io.Closer, Close
+// closes it after flushing.
+func NewJSONL(w io.Writer) *JSONLTracer {
+	bw := bufio.NewWriter(w)
+	t := &JSONLTracer{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit writes the event as one JSON line, stamping WallNS if the
+// producer left it zero.
+func (t *JSONLTracer) Emit(e Event) {
+	if e.WallNS == 0 {
+		e.WallNS = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Encode errors (e.g. a full disk) are deliberately swallowed:
+	// tracing must never fail a solve.
+	_ = t.enc.Encode(e)
+}
+
+// Flush drains the buffer to the underlying writer.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bw.Flush()
+}
+
+// Close flushes and, when the destination is an io.Closer, closes it.
+func (t *JSONLTracer) Close() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	if t.c != nil {
+		return t.c.Close()
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL trace back into events — the inverse of
+// JSONLTracer, for tests and offline analysis.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Ring is a fixed-capacity in-memory sink keeping the most recent
+// events — live inspection without unbounded growth. Safe for
+// concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing builds a ring holding the last n events. n must be >= 1.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		panic("obs: NewRing capacity must be >= 1")
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit records the event, evicting the oldest when full, stamping
+// WallNS if the producer left it zero.
+func (r *Ring) Emit(e Event) {
+	if e.WallNS == 0 {
+		e.WallNS = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were emitted over the ring's lifetime,
+// including evicted ones.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

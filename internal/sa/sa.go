@@ -17,6 +17,7 @@ import (
 
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 	"mbrim/internal/sched"
 )
@@ -49,6 +50,12 @@ type Config struct {
 	// Ops, if non-nil, accumulates operation counts for the
 	// first-principles analysis.
 	Ops *metrics.OpCounter
+	// Tracer, if non-nil, receives an EnergySample event per sweep
+	// (the energy is already tracked incrementally, so this is free).
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates run totals (sa.attempts,
+	// sa.flips, sa.sweeps, sa.runs).
+	Metrics *obs.Registry
 }
 
 // DefaultBeta is the β ramp used when Config.Beta is nil: a linear
@@ -132,6 +139,10 @@ func SolveProblem(m ising.Problem, cfg Config) *Result {
 		if cfg.OnSweep != nil {
 			cfg.OnSweep(sweep, energy)
 		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Kind: obs.EnergySample,
+				Epoch: sweep + 1, Value: energy})
+		}
 	}
 	res.Wall = time.Since(start)
 	res.Spins = spins
@@ -140,6 +151,12 @@ func SolveProblem(m ising.Problem, cfg Config) *Result {
 		cfg.Ops.Add("sa.attempts", res.Attempts)
 		cfg.Ops.Add("sa.flips", res.Flips)
 		cfg.Ops.Add("sa.instructions", res.Instructions)
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("sa.runs").Inc()
+		cfg.Metrics.Counter("sa.sweeps").Add(int64(cfg.Sweeps))
+		cfg.Metrics.Counter("sa.attempts").Add(res.Attempts)
+		cfg.Metrics.Counter("sa.flips").Add(res.Flips)
 	}
 	return res
 }

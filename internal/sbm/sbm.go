@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mbrim/internal/ising"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 )
 
@@ -65,6 +66,12 @@ type Config struct {
 	// OnStep, if non-nil, is called after each step with the step
 	// index and the energy of the current sign readout.
 	OnStep func(step int, energy float64)
+	// Tracer, if non-nil, receives EnergySample events on a bounded
+	// cadence (~64 samples per run; each sample costs an O(N²) energy
+	// evaluation, so per-step emission would dominate the run).
+	Tracer obs.Tracer
+	// Metrics, if non-nil, accumulates run totals (sbm.steps, sbm.runs).
+	Metrics *obs.Registry
 }
 
 // Result is the outcome of one SB run.
@@ -127,6 +134,13 @@ func Solve(m *ising.Model, cfg Config) *Result {
 	}
 	force := make([]float64, n)
 	spins := make([]int8, n)
+	sampleEvery := 0
+	if cfg.Tracer != nil {
+		sampleEvery = cfg.Steps / 64
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
 
 	start := time.Now()
 	for step := 0; step < cfg.Steps; step++ {
@@ -175,6 +189,10 @@ func Solve(m *ising.Model, cfg Config) *Result {
 		if cfg.OnStep != nil {
 			cfg.OnStep(step, m.Energy(readout(x, spins)))
 		}
+		if sampleEvery > 0 && (step+1)%sampleEvery == 0 {
+			cfg.Tracer.Emit(obs.Event{Kind: obs.EnergySample,
+				Epoch: step + 1, Value: m.Energy(readout(x, spins))})
+		}
 	}
 	res := &Result{
 		Spins: ising.CopySpins(readout(x, spins)),
@@ -182,6 +200,10 @@ func Solve(m *ising.Model, cfg Config) *Result {
 		Wall:  time.Since(start),
 	}
 	res.Energy = m.Energy(res.Spins)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("sbm.runs").Inc()
+		cfg.Metrics.Counter("sbm.steps").Add(int64(cfg.Steps))
+	}
 	return res
 }
 

@@ -44,6 +44,7 @@ import (
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
 	"mbrim/internal/multichip"
+	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 	"mbrim/internal/sched"
 )
@@ -74,6 +75,40 @@ type (
 	// Kind names a solver engine.
 	Kind = core.Kind
 )
+
+// Observability types, re-exported from internal/obs. Attach a Tracer
+// and/or a Registry to Request to capture a run's typed event stream
+// and cross-run counters; see the package example and README's
+// Observability section.
+type (
+	// Tracer receives typed run events; NewJSONLTracer and NewRing are
+	// the built-in sinks, and any Emit(Event) implementation works.
+	Tracer = obs.Tracer
+	// Event is one typed, timestamped run event.
+	Event = obs.Event
+	// EventKind discriminates Event payloads (run_start, epoch_sync, ...).
+	EventKind = obs.Kind
+	// Registry is a goroutine-safe set of named counters, gauges and
+	// histograms.
+	Registry = obs.Registry
+	// JSONLTracer streams events as JSON Lines to a writer.
+	JSONLTracer = obs.JSONLTracer
+	// Ring is a fixed-capacity in-memory event buffer.
+	Ring = obs.Ring
+)
+
+// NewJSONLTracer returns a tracer streaming events to w as JSON Lines.
+// Call Flush (or Close) when the run completes.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// NewRing returns an in-memory tracer keeping the last n events.
+func NewRing(n int) *Ring { return obs.NewRing(n) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ReadJSONL parses a JSON Lines trace back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
 
 // Multiprocessor types for direct (non-orchestrated) use.
 type (
