@@ -128,7 +128,7 @@ func BenchmarkFig12MultichipQuality(b *testing.B) {
 		b.Run("Concurrent"+tier.name, func(b *testing.B) {
 			var cut, elapsed float64
 			for i := 0; i < b.N; i++ {
-				res := multichip.NewSystem(m, multichip.Config{
+				res := multichip.MustSystem(m, multichip.Config{
 					Chips: 4, Seed: uint64(i), ChannelBytesPerNS: tier.rate,
 				}).RunConcurrent(60)
 				cut = g.CutFromEnergy(res.Energy)
@@ -140,7 +140,7 @@ func BenchmarkFig12MultichipQuality(b *testing.B) {
 		b.Run("Batch"+tier.name, func(b *testing.B) {
 			var cut, elapsed float64
 			for i := 0; i < b.N; i++ {
-				res := multichip.NewSystem(m, multichip.Config{
+				res := multichip.MustSystem(m, multichip.Config{
 					Chips: 4, Seed: uint64(i), EpochNS: 10, ChannelBytesPerNS: tier.rate,
 				}).RunBatch(4, 60)
 				cut = g.CutFromEnergy(res.BestEnergy)
@@ -160,7 +160,7 @@ func BenchmarkFig13FlipsVsBitChanges(b *testing.B) {
 		b.Run(epochName(epoch), func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				res := multichip.NewSystem(m, multichip.Config{
+				res := multichip.MustSystem(m, multichip.Config{
 					Chips: 4, EpochNS: epoch, Seed: uint64(i),
 				}).RunConcurrent(60)
 				if res.BitChanges > 0 {
@@ -190,7 +190,7 @@ func BenchmarkFig14EpochQuality(b *testing.B) {
 	b.Run("ConcurrentLongEpoch", func(b *testing.B) {
 		var cut float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, EpochNS: 20, Seed: uint64(i),
 			}).RunConcurrent(80)
 			cut = g.CutFromEnergy(res.Energy)
@@ -200,7 +200,7 @@ func BenchmarkFig14EpochQuality(b *testing.B) {
 	b.Run("BatchLongEpoch", func(b *testing.B) {
 		var cut float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, EpochNS: 20, Seed: uint64(i),
 			}).RunBatch(4, 80)
 			cut = g.CutFromEnergy(res.BestEnergy)
@@ -216,7 +216,7 @@ func BenchmarkFig15InducedFlips(b *testing.B) {
 	b.Run("Uncoordinated", func(b *testing.B) {
 		var traffic float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, Seed: uint64(i),
 			}).RunConcurrent(60)
 			traffic = res.TrafficBytes
@@ -226,7 +226,7 @@ func BenchmarkFig15InducedFlips(b *testing.B) {
 	b.Run("Coordinated", func(b *testing.B) {
 		var traffic float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, Seed: uint64(i), Coordinated: true,
 			}).RunConcurrent(60)
 			traffic = res.TrafficBytes
@@ -269,7 +269,7 @@ func BenchmarkAblationEpoch(b *testing.B) {
 		b.Run(ablName("Epoch", epoch), func(b *testing.B) {
 			var cut float64
 			for i := 0; i < b.N; i++ {
-				res := multichip.NewSystem(m, multichip.Config{
+				res := multichip.MustSystem(m, multichip.Config{
 					Chips: 4, EpochNS: epoch, Seed: uint64(i),
 				}).RunConcurrent(60)
 				cut = g.CutFromEnergy(res.Energy)
@@ -302,7 +302,7 @@ func BenchmarkAblationCoordinatedFlips(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var cut, traffic float64
 			for i := 0; i < b.N; i++ {
-				res := multichip.NewSystem(m, multichip.Config{
+				res := multichip.MustSystem(m, multichip.Config{
 					Chips: 4, Seed: uint64(i), Coordinated: coord,
 				}).RunConcurrent(60)
 				cut = g.CutFromEnergy(res.Energy)
@@ -365,7 +365,7 @@ func BenchmarkAblationBatchStagger(b *testing.B) {
 	b.Run("Staggered", func(b *testing.B) {
 		var traffic float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, EpochNS: 10, Seed: uint64(i),
 			}).RunBatch(4, 60)
 			traffic = res.TrafficBytes
@@ -402,7 +402,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var stall float64
 			for i := 0; i < b.N; i++ {
-				res := multichip.NewSystem(m, multichip.Config{
+				res := multichip.MustSystem(m, multichip.Config{
 					Chips: 4, Seed: uint64(i), Channels: 1, ChannelBytesPerNS: 0.05,
 					Topology: tc.topo,
 				}).RunConcurrent(30)
@@ -464,7 +464,7 @@ func BenchmarkHostParallelism(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				multichip.NewSystem(m, multichip.Config{
+				multichip.MustSystem(m, multichip.Config{
 					Chips: 4, Seed: uint64(i), Parallel: par,
 				}).RunConcurrent(10)
 			}
@@ -479,7 +479,7 @@ func BenchmarkSequentialMode(b *testing.B) {
 	b.Run("Concurrent", func(b *testing.B) {
 		var cut, elapsed float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, Seed: uint64(i), EpochNS: 1,
 			}).RunConcurrent(40)
 			cut, elapsed = g.CutFromEnergy(res.Energy), res.ElapsedNS
@@ -490,7 +490,7 @@ func BenchmarkSequentialMode(b *testing.B) {
 	b.Run("Sequential", func(b *testing.B) {
 		var cut, elapsed float64
 		for i := 0; i < b.N; i++ {
-			res := multichip.NewSystem(m, multichip.Config{
+			res := multichip.MustSystem(m, multichip.Config{
 				Chips: 4, Seed: uint64(i), EpochNS: 1,
 			}).RunSequential(40)
 			cut, elapsed = g.CutFromEnergy(res.Energy), res.ElapsedNS

@@ -31,7 +31,7 @@ func runAblation(args []string) error {
 	// per-chip area shrinks — the scalability claim in miniature.
 	chips := &metrics.Series{Name: "cut vs chip count (fixed N, epoch 3.3)"}
 	for _, k := range []int{1, 2, 4, 8} {
-		res := multichip.NewSystem(m, multichip.Config{
+		res := multichip.MustSystem(m, multichip.Config{
 			Chips: k, Seed: *seed, Parallel: true,
 		}).RunConcurrent(*duration)
 		chips.Add(float64(k), g.CutFromEnergy(res.Energy))
@@ -54,7 +54,7 @@ func runAblation(args []string) error {
 	coord := &metrics.Series{Name: "coordination: traffic bytes (x=0 off, x=1 on)"}
 	coordQ := &metrics.Series{Name: "coordination: cut (x=0 off, x=1 on)"}
 	for i, on := range []bool{false, true} {
-		res := multichip.NewSystem(m, multichip.Config{
+		res := multichip.MustSystem(m, multichip.Config{
 			Chips: 4, Seed: *seed, Coordinated: on,
 		}).RunConcurrent(*duration)
 		coord.Add(float64(i), res.TrafficBytes)

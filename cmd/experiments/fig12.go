@@ -70,7 +70,7 @@ func runFig12(args []string) error {
 			ChannelBytesPerNS: tr.rate, SampleEveryNS: *duration / 30,
 			Tracer: tracer,
 		}
-		conc := multichip.NewSystem(m, cfg).RunConcurrent(*duration)
+		conc := multichip.MustSystem(m, cfg).RunConcurrent(*duration)
 		s := addTrace(tr.name+" concurrent (elapsed ns)", conc.Trace)
 		note("%s concurrent: final cut %.0f, elapsed %.0f ns (stall %.0f ns, traffic %.0f B)",
 			tr.name, g.CutFromEnergy(conc.Energy), conc.ElapsedNS, conc.StallNS, conc.TrafficBytes)
@@ -83,7 +83,7 @@ func runFig12(args []string) error {
 		// which is the throughput comparison the paper makes (Sec 6.3).
 		bcfg := cfg
 		bcfg.EpochNS = *batchEpoch
-		batch := multichip.NewSystem(m, bcfg).RunBatch(*runs, *duration*float64(*chips))
+		batch := multichip.MustSystem(m, bcfg).RunBatch(*runs, *duration*float64(*chips))
 		bs := &metrics.Series{Name: tr.name + " batch (per-job elapsed ns)"}
 		for _, p := range batch.Trace {
 			bs.Add(p.X/float64(*runs), g.CutFromEnergy(p.Y))

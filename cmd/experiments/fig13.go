@@ -35,7 +35,7 @@ func runFig13(args []string) error {
 	_, m := kgraph(*n, *seed)
 
 	// Left panel: per-epoch series at the fixed epoch size.
-	res := multichip.NewSystem(m, multichip.Config{
+	res := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true, RecordEpochStats: true,
 		Tracer: tracer,
 	}).RunConcurrent(*duration)
@@ -55,7 +55,7 @@ func runFig13(args []string) error {
 	// Right panel: average ratio vs epoch size.
 	ratioVsEpoch := &metrics.Series{Name: "avg flips/bit-changes vs epoch size"}
 	for _, e := range []float64{0.5, 1, 2, 3.3, 5, 8, 12, 20} {
-		r := multichip.NewSystem(m, multichip.Config{
+		r := multichip.MustSystem(m, multichip.Config{
 			Chips: *chips, EpochNS: e, Seed: *seed, Parallel: true,
 		}).RunConcurrent(*duration)
 		if r.BitChanges > 0 {

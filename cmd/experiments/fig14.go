@@ -41,11 +41,11 @@ func runFig14(args []string) error {
 		var cSum, bSum float64
 		for r := 0; r < *runs; r++ {
 			s := uint64(int(*seed) + r*101)
-			cRes := multichip.NewSystem(m, multichip.Config{
+			cRes := multichip.MustSystem(m, multichip.Config{
 				Chips: *chips, EpochNS: e, Seed: s, Parallel: true, Tracer: tracer,
 			}).RunConcurrent(*duration)
 			cSum += g.CutFromEnergy(cRes.Energy)
-			bRes := multichip.NewSystem(m, multichip.Config{
+			bRes := multichip.MustSystem(m, multichip.Config{
 				Chips: *chips, EpochNS: e, Seed: s, Parallel: true, Tracer: tracer,
 			}).RunBatch(*runs, *duration)
 			bSum += g.CutFromEnergy(bRes.BestEnergy)

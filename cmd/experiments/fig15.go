@@ -36,7 +36,7 @@ func runFig15(args []string) error {
 	defer closeTrace()
 	_, m := kgraph(*n, *seed)
 
-	res := multichip.NewSystem(m, multichip.Config{
+	res := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true, RecordEpochStats: true,
 		Tracer: tracer,
 	}).RunConcurrent(*duration)
@@ -55,7 +55,7 @@ func runFig15(args []string) error {
 
 	shareVsEpoch := &metrics.Series{Name: "avg induced share vs epoch size (%)"}
 	for _, e := range []float64{0.5, 1, 2, 3.3, 5, 8, 12, 20} {
-		r := multichip.NewSystem(m, multichip.Config{
+		r := multichip.MustSystem(m, multichip.Config{
 			Chips: *chips, EpochNS: e, Seed: *seed, Parallel: true,
 		}).RunConcurrent(*duration)
 		if r.BitChanges > 0 {
@@ -66,10 +66,10 @@ func runFig15(args []string) error {
 	fmt.Print(metrics.Table("Fig 15: induced flips and bit changes", inducedSeries, changes, share, shareVsEpoch))
 
 	// Measured end-to-end saving from coordination.
-	plain := multichip.NewSystem(m, multichip.Config{
+	plain := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true,
 	}).RunConcurrent(*duration)
-	coord := multichip.NewSystem(m, multichip.Config{
+	coord := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Coordinated: true,
 	}).RunConcurrent(*duration)
 	saving := 0.0

@@ -80,7 +80,7 @@ func runFig9(args []string) error {
 func runFig9Hardware(m *ising.Model, chips int, duration float64, seed uint64) error {
 	var series []*metrics.Series
 	for _, epoch := range []float64{1, 3.3, 10, 25} {
-		res := multichip.NewSystem(m, multichip.Config{
+		res := multichip.MustSystem(m, multichip.Config{
 			Chips: chips, Seed: seed, EpochNS: epoch, Probes: true,
 		}).RunConcurrent(duration)
 		s := &metrics.Series{Name: fmt.Sprintf("epoch %.1f ns", epoch)}

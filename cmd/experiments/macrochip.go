@@ -45,13 +45,13 @@ func runMacrochip(args []string) error {
 		mono := brim.Solve(m, brim.SolveConfig{Duration: *duration, Config: brim.Config{Seed: s}})
 		monoSum += g.CutFromEnergy(mono.Energy)
 
-		conc := multichip.NewSystem(m, multichip.Config{
+		conc := multichip.MustSystem(m, multichip.Config{
 			Chips: *chips, Seed: s, EpochNS: 1, Parallel: true,
 		}).RunConcurrent(*duration)
 		concSum += g.CutFromEnergy(conc.Energy)
 		concElapsed += conc.ElapsedNS
 
-		seq := multichip.NewSystem(m, multichip.Config{
+		seq := multichip.MustSystem(m, multichip.Config{
 			Chips: *chips, Seed: s, EpochNS: 1,
 		}).RunSequential(*duration)
 		seqSum += g.CutFromEnergy(seq.Energy)

@@ -45,6 +45,7 @@ func TestEverySubcommandRuns(t *testing.T) {
 		"tts":             {"-n", "48", "-runs", "3", "-duration", "20", "-sweeps", "20", "-steps", "50"},
 		"nonideal":        {"-n", "48", "-duration", "20", "-runs", "1"},
 		"ablation":        {"-n", "48", "-duration", "20"},
+		"resilience":      {"-n", "48", "-duration", "20", "-schedules", "1"},
 		"suite":           {"-runs", "1", "-sweeps", "20", "-steps", "50", "-duration", "20"},
 	}
 	for name, cmd := range commands {
@@ -65,7 +66,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"firstprinciples", "summary", "capacity", "demand", "macrochip",
-		"reconfig", "machinemetrics", "tts", "nonideal", "ablation", "suite",
+		"reconfig", "machinemetrics", "tts", "nonideal", "ablation",
+		"resilience", "suite",
 	}
 	for _, name := range want {
 		if _, ok := commands[name]; !ok {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mbrim/internal/fault"
+	"mbrim/internal/metrics"
+	"mbrim/internal/multichip"
+)
+
+func init() {
+	register("resilience", "quality and TTS vs fabric fault rate, with and without recovery", runResilience)
+}
+
+// runResilience quantifies what the fault-injection layer is for: how
+// the multiprocessor's solution quality and time-to-solution degrade
+// as the fabric gets lossier, and how much of that degradation each
+// recovery policy buys back — at its honest cost in retransmit traffic
+// and recovery stall. Three tables:
+//
+//  1. message-drop sweep: cut and elapsed vs drop rate, bare vs
+//     CRC-detect+retransmit vs detect+watchdog;
+//  2. the recovery bill: retransmit/resync traffic and stall at each
+//     drop rate (nothing is free);
+//  3. chip loss: quality when a chip dies mid-run, frozen-slice vs
+//     graceful repartition onto the survivors.
+func runResilience(args []string) error {
+	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
+	n := fs.Int("n", 512, "K-graph size")
+	chips := fs.Int("chips", 4, "multiprocessor chips")
+	duration := fs.Float64("duration", 200, "annealing time, ns")
+	seed := fs.Uint64("seed", 1, "problem/system seed")
+	schedules := fs.Int("schedules", 3, "fault schedules averaged per point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, m := kgraph(*n, *seed)
+
+	type policy struct {
+		name string
+		rec  fault.Recovery
+	}
+	policies := []policy{
+		{"bare", fault.Recovery{}},
+		{"detect", fault.Recovery{Detect: true}},
+		{"detect+watchdog", fault.Recovery{Detect: true, WatchdogThreshold: 0.05}},
+	}
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.4}
+
+	run := func(rec fault.Recovery, drop float64, fseed uint64) *multichip.Result {
+		return multichip.MustSystem(m, multichip.Config{
+			Chips: *chips, Seed: *seed, Parallel: true,
+			Faults: fault.Config{
+				Seed:     fseed,
+				DropRate: drop,
+				Recovery: rec,
+			},
+		}).RunConcurrent(*duration)
+	}
+
+	note("degradation curves: cut quality vs message-drop rate, %d schedules per point", *schedules)
+	note("expectation: bare quality falls with drop rate (silent shadow staleness);")
+	note("detection holds quality but pays elapsed time; the watchdog backstops heavy loss")
+	quality := make([]*metrics.Series, len(policies))
+	elapsed := make([]*metrics.Series, len(policies))
+	bill := &metrics.Series{Name: "recovery bill: retransmit+resync bytes vs drop rate (detect+watchdog)"}
+	stallBill := &metrics.Series{Name: "recovery bill: recovery stall ns vs drop rate (detect+watchdog)"}
+	for pi, p := range policies {
+		quality[pi] = &metrics.Series{Name: fmt.Sprintf("cut vs drop rate (%s)", p.name)}
+		elapsed[pi] = &metrics.Series{Name: fmt.Sprintf("elapsed ns vs drop rate (%s)", p.name)}
+		for _, rate := range rates {
+			var cut, el, rbytes, rstall float64
+			for s := 0; s < *schedules; s++ {
+				res := run(p.rec, rate, uint64(s+1))
+				cut += g.CutFromEnergy(res.Energy)
+				el += res.ElapsedNS
+				rbytes += res.FaultStats.RetransmitBytes + res.FaultStats.ResyncBytes
+				rstall += res.FaultStats.RecoveryStallNS
+			}
+			k := float64(*schedules)
+			quality[pi].Add(rate, cut/k)
+			elapsed[pi].Add(rate, el/k)
+			if p.name == "detect+watchdog" {
+				bill.Add(rate, rbytes/k)
+				stallBill.Add(rate, rstall/k)
+			}
+		}
+	}
+	fmt.Print(metrics.Table("Resilience: degradation vs drop rate",
+		quality[0], quality[1], quality[2],
+		elapsed[0], elapsed[1], elapsed[2],
+		bill, stallBill))
+
+	// Chip loss: one chip dies a quarter of the way in. Without
+	// recovery its slice freezes (the survivors keep annealing against
+	// a dead neighborhood); with repartition the survivors absorb the
+	// slice and keep optimizing all of it.
+	note("chip loss at 25%% of the run: frozen slice vs repartition onto survivors")
+	lossEpoch := 1 + int(*duration/3.3/4)
+	loss := &metrics.Series{Name: "chip loss: cut (x=0 no loss, x=1 frozen slice, x=2 repartition)"}
+	lossTime := &metrics.Series{Name: "chip loss: elapsed ns (same x)"}
+	baseline := multichip.MustSystem(m, multichip.Config{
+		Chips: *chips, Seed: *seed, Parallel: true,
+	}).RunConcurrent(*duration)
+	loss.Add(0, g.CutFromEnergy(baseline.Energy))
+	lossTime.Add(0, baseline.ElapsedNS)
+	for i, rec := range []fault.Recovery{{}, {Repartition: true}} {
+		res := multichip.MustSystem(m, multichip.Config{
+			Chips: *chips, Seed: *seed, Parallel: true,
+			Faults: fault.Config{Seed: 1, ChipLossEpoch: lossEpoch, ChipLossChip: 0, Recovery: rec},
+		}).RunConcurrent(*duration)
+		loss.Add(float64(i+1), g.CutFromEnergy(res.Energy))
+		lossTime.Add(float64(i+1), res.ElapsedNS)
+		note("policy %d: live chips at end = %d, repartitions = %d, recovery stall = %.1f ns",
+			i+1, res.LiveChips, res.FaultStats.Repartitions, res.FaultStats.RecoveryStallNS)
+	}
+	fmt.Print(metrics.Table("Resilience: chip loss", loss, lossTime))
+	return nil
+}

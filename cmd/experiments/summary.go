@@ -33,7 +33,7 @@ func runSummary(args []string) error {
 	fmt.Printf("# Summary: measured vs paper-reported headline numbers (K%d, %d chips)\n", *n, *chips)
 
 	// 1. mBRIM_3D vs dSBM speedup at comparable quality.
-	m3d := multichip.NewSystem(m, multichip.Config{
+	m3d := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *epoch, Seed: *seed, Parallel: true,
 	}).RunConcurrent(*duration)
 	m3dCut := g.CutFromEnergy(m3d.Energy)
@@ -56,12 +56,12 @@ func runSummary(args []string) error {
 		{"mBRIM_HB", core.HBChannelBytesPerNS * bwScale},
 		{"mBRIM_LB", core.LBChannelBytesPerNS * bwScale},
 	} {
-		conc := multichip.NewSystem(m, multichip.Config{
+		conc := multichip.MustSystem(m, multichip.Config{
 			Chips: *chips, EpochNS: *epoch, Seed: *seed, ChannelBytesPerNS: tier.rate,
 		}).RunConcurrent(*duration)
 		// Batch: chips×duration of elapsed time yields `runs` finished
 		// jobs; the throughput comparison divides by the job count.
-		batch := multichip.NewSystem(m, multichip.Config{
+		batch := multichip.MustSystem(m, multichip.Config{
 			Chips: *chips, EpochNS: *batchEpoch, Seed: *seed, ChannelBytesPerNS: tier.rate,
 		}).RunBatch(*runs, *duration*float64(*chips))
 		perJob := batch.ElapsedNS / float64(*runs)
@@ -75,10 +75,10 @@ func runSummary(args []string) error {
 	note("reduced but still SBM-beating quality]")
 
 	// 3. Traffic reduction stack: long epochs + coordination.
-	shortE := multichip.NewSystem(m, multichip.Config{
+	shortE := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: 0.5, Seed: *seed,
 	}).RunConcurrent(*duration)
-	longB := multichip.NewSystem(m, multichip.Config{
+	longB := multichip.MustSystem(m, multichip.Config{
 		Chips: *chips, EpochNS: *batchEpoch, Seed: *seed, Coordinated: true,
 	}).RunBatch(*runs, *duration)
 	fmt.Printf("traffic: sub-ns-epoch concurrent %.0f B vs coordinated long-epoch batch %.0f B -> %.1fx reduction\n",

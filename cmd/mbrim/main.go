@@ -45,6 +45,18 @@ func main() {
 	epochStats := flag.Bool("epochstats", false, "record the multiprocessor's per-epoch activity ledger")
 	probes := flag.Bool("probes", false, "record the multiprocessor's energy-surprise probe")
 	parallel := flag.Bool("parallel", false, "run multiprocessor chips on host goroutines (bit-identical)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedule")
+	faultDrop := flag.Float64("fault-drop", 0, "per-message boundary-broadcast drop probability")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "per-message corruption probability (one update inverted)")
+	faultDelay := flag.Float64("fault-delay", 0, "per-message one-epoch delay probability")
+	faultStall := flag.Float64("fault-stall", 0, "per-chip per-epoch transient stall probability")
+	faultChipLoss := flag.Int("fault-chip-loss", 0, "kill one chip permanently at this 1-based epoch (0 = never)")
+	faultChip := flag.Int("fault-chip", -1, "which chip dies at -fault-chip-loss (-1 = pick from seed)")
+	recoverDetect := flag.Bool("recover", false, "enable CRC-style detection with bounded retransmit")
+	recoverRetries := flag.Int("recover-retries", 0, "max retransmits per faulted message (0 = default 3)")
+	recoverBackoff := flag.Float64("recover-backoff", 0, "stall per retransmit attempt, ns (0 = default 0.5)")
+	recoverWatchdog := flag.Float64("recover-watchdog", 0, "shadow-divergence fraction forcing a full-bitmap resync (0 = off)")
+	recoverRepartition := flag.Bool("recover-repartition", false, "repartition a dead chip's slice onto survivors")
 	flag.Parse()
 
 	kind, err := mbrim.ParseKind(*solver)
@@ -151,6 +163,22 @@ func main() {
 		Parallel:          *parallel,
 		Tracer:            tracer,
 		Metrics:           registry,
+		Faults: mbrim.FaultConfig{
+			Seed:          *faultSeed,
+			DropRate:      *faultDrop,
+			CorruptRate:   *faultCorrupt,
+			DelayRate:     *faultDelay,
+			StallRate:     *faultStall,
+			ChipLossEpoch: *faultChipLoss,
+			ChipLossChip:  *faultChip,
+			Recovery: mbrim.RecoveryConfig{
+				Detect:              *recoverDetect,
+				MaxRetransmits:      *recoverRetries,
+				RetransmitBackoffNS: *recoverBackoff,
+				WatchdogThreshold:   *recoverWatchdog,
+				Repartition:         *recoverRepartition,
+			},
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -193,7 +221,9 @@ func main() {
 		fmt.Printf("machine: %.1f ns model time\n", out.ModelNS)
 	}
 	fmt.Printf("wall:    %v\n", out.Wall)
-	for _, name := range []string{"flips", "bitChanges", "trafficBytes", "stallNS", "launches", "glueOps"} {
+	for _, name := range []string{"flips", "bitChanges", "trafficBytes", "stallNS", "launches", "glueOps",
+		"faultDrops", "faultCorruptions", "faultDelays", "faultStalls", "faultChipLosses",
+		"recoveryRetransmits", "recoveryResyncs", "recoveryRepartitions", "recoveryStallNS"} {
 		if v, ok := out.Stats[name]; ok && v != 0 {
 			fmt.Printf("%-8s %.0f\n", name+":", v)
 		}

@@ -11,7 +11,7 @@ import (
 // over epochs, bandwidth and operating mode.
 func ExampleNewSystem() {
 	g := mbrim.CompleteGraph(64, 7)
-	sys := mbrim.NewSystem(g.ToIsing(), mbrim.SystemConfig{
+	sys := mbrim.MustSystem(g.ToIsing(), mbrim.SystemConfig{
 		Chips:             4,
 		EpochNS:           3.3,
 		Channels:          1,

@@ -15,6 +15,7 @@ import (
 
 	"mbrim/internal/brim"
 	"mbrim/internal/dnc"
+	"mbrim/internal/fault"
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
@@ -132,6 +133,11 @@ type Request struct {
 	// result is bit-identical to the sequential simulation.
 	Parallel bool
 
+	// Faults configures the multiprocessor's deterministic
+	// fault-injection layer and recovery policies. The zero value
+	// injects nothing.
+	Faults fault.Config
+
 	// Tracer, if non-nil, receives the run's typed event stream: Solve
 	// emits the RunStart/RunEnd bracket and the engine emits its inner
 	// events (EpochSync, ChipStep, EnergySample, ...). Nil disables
@@ -142,10 +148,10 @@ type Request struct {
 	Metrics *obs.Registry
 }
 
-func (r *Request) withDefaults() Request {
+func (r *Request) withDefaults() (Request, error) {
 	out := *r
 	if out.Model == nil {
-		panic("core: Request.Model is nil")
+		return out, fmt.Errorf("core: Request.Model is nil")
 	}
 	if out.Runs == 0 {
 		out.Runs = 1
@@ -168,7 +174,7 @@ func (r *Request) withDefaults() Request {
 	if out.MachineProgramNS == 0 {
 		out.MachineProgramNS = 100
 	}
-	return out
+	return out, nil
 }
 
 // Outcome is a uniform solve report.
@@ -201,7 +207,10 @@ type Outcome struct {
 // on the way in; best energy (Value), model time and wall duration on
 // the way out.
 func Solve(req Request) (*Outcome, error) {
-	r := req.withDefaults()
+	r, err := req.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	out := &Outcome{Kind: r.Kind, Stats: map[string]float64{}}
 	if r.Tracer != nil {
 		r.Tracer.Emit(obs.Event{Kind: obs.RunStart, Label: string(r.Kind),
@@ -278,27 +287,39 @@ func Solve(req Request) (*Outcome, error) {
 		out.Stats["launches"] = float64(res.Launches)
 		out.Stats["softwareNS"] = float64(res.SoftwareWall.Nanoseconds())
 	case MBRIMConcurrent:
-		sys := multichip.NewSystem(r.Model, multichipConfig(r))
+		sys, err := multichip.NewSystem(r.Model, multichipConfig(r))
+		if err != nil {
+			return nil, err
+		}
 		res := sys.RunConcurrent(r.DurationNS)
 		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
 			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		fillFaultStats(out, res.FaultStats, res.LiveChips)
 		out.Trace = res.Trace
 		out.EpochStats = res.EpochStats
 		out.Surprises = res.Surprises
 	case MBRIMSequential:
-		sys := multichip.NewSystem(r.Model, multichipConfig(r))
+		sys, err := multichip.NewSystem(r.Model, multichipConfig(r))
+		if err != nil {
+			return nil, err
+		}
 		res := sys.RunSequential(r.DurationNS)
 		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
 			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		fillFaultStats(out, res.FaultStats, res.LiveChips)
 		out.Trace = res.Trace
 		out.EpochStats = res.EpochStats
 		out.Surprises = res.Surprises
 	case MBRIMBatch:
-		sys := multichip.NewSystem(r.Model, multichipConfig(r))
+		sys, err := multichip.NewSystem(r.Model, multichipConfig(r))
+		if err != nil {
+			return nil, err
+		}
 		res := sys.RunBatch(r.Runs, r.DurationNS)
 		best := res.Jobs[res.Best]
 		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
 			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		fillFaultStats(out, res.FaultStats, res.LiveChips)
 		out.Trace = res.Trace
 		out.EpochStats = res.EpochStats
 	default:
@@ -335,7 +356,28 @@ func multichipConfig(r Request) multichip.Config {
 		Parallel:          r.Parallel,
 		Tracer:            r.Tracer,
 		Metrics:           r.Metrics,
+		Faults:            r.Faults,
 	}
+}
+
+// fillFaultStats publishes the fault/recovery ledger into the uniform
+// Stats map when any fault activity occurred.
+func fillFaultStats(out *Outcome, fs fault.Stats, liveChips int) {
+	out.Stats["liveChips"] = float64(liveChips)
+	if !fs.Any() {
+		return
+	}
+	out.Stats["faultDrops"] = float64(fs.Drops)
+	out.Stats["faultCorruptions"] = float64(fs.Corruptions)
+	out.Stats["faultDelays"] = float64(fs.Delays)
+	out.Stats["faultStalls"] = float64(fs.Stalls)
+	out.Stats["faultChipLosses"] = float64(fs.ChipLosses)
+	out.Stats["recoveryRetransmits"] = float64(fs.Retransmits)
+	out.Stats["recoveryResyncs"] = float64(fs.Resyncs)
+	out.Stats["recoveryRepartitions"] = float64(fs.Repartitions)
+	out.Stats["recoveryRetransmitBytes"] = fs.RetransmitBytes
+	out.Stats["recoveryResyncBytes"] = fs.ResyncBytes
+	out.Stats["recoveryStallNS"] = fs.RecoveryStallNS
 }
 
 func fillMultichip(out *Outcome, spins []int8, energy, elapsed, stall float64,

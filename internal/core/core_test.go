@@ -156,13 +156,10 @@ func TestDeterministicOutcomes(t *testing.T) {
 	}
 }
 
-func TestNilModelPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nil model did not panic")
-		}
-	}()
-	_, _ = Solve(Request{Kind: SA})
+func TestNilModelErrors(t *testing.T) {
+	if _, err := Solve(Request{Kind: SA}); err == nil {
+		t.Fatal("nil model did not error")
+	}
 }
 
 func TestNoGraphNoCut(t *testing.T) {

@@ -30,31 +30,40 @@ type Fabric struct {
 	epochBytes []float64 // egress accumulated this epoch, per chip
 	totalBytes float64
 	byKind     map[string]float64
-	stallNS    float64
-	epochs     int
-	peakDemand float64 // max per-chip bytes/ns demand seen in any epoch
+	// epochByKind splits the open epoch's traffic by kind; EndEpoch
+	// snapshots it into lastEpochByKind and clears it, so injected
+	// retransmit/resync traffic stays distinguishable per epoch.
+	epochByKind     map[string]float64
+	lastEpochByKind map[string]float64
+	stallNS         float64
+	epochs          int
+	peakDemand      float64 // max per-chip bytes/ns demand seen in any epoch
 }
 
 // New builds a fabric for numChips chips, each with `channels`
 // dedicated egress channels of bytesPerNS bytes per nanosecond
 // (1 GB/s = 1 byte/ns). bytesPerNS = 0 models unlimited bandwidth.
-func New(numChips, channels int, bytesPerNS float64) *Fabric {
+// Invalid arguments are reported as an error — this is the public
+// configuration boundary.
+func New(numChips, channels int, bytesPerNS float64) (*Fabric, error) {
 	if numChips < 1 {
-		panic(fmt.Sprintf("interconnect: numChips=%d", numChips))
+		return nil, fmt.Errorf("interconnect: numChips=%d, want >= 1", numChips)
 	}
 	if channels < 1 {
-		panic(fmt.Sprintf("interconnect: channels=%d", channels))
+		return nil, fmt.Errorf("interconnect: channels=%d, want >= 1", channels)
 	}
 	if bytesPerNS < 0 || math.IsNaN(bytesPerNS) {
-		panic(fmt.Sprintf("interconnect: bytesPerNS=%v", bytesPerNS))
+		return nil, fmt.Errorf("interconnect: bytesPerNS=%v, want >= 0", bytesPerNS)
 	}
 	return &Fabric{
-		numChips:   numChips,
-		channels:   channels,
-		bytesPerNS: bytesPerNS,
-		epochBytes: make([]float64, numChips),
-		byKind:     make(map[string]float64),
-	}
+		numChips:        numChips,
+		channels:        channels,
+		bytesPerNS:      bytesPerNS,
+		epochBytes:      make([]float64, numChips),
+		byKind:          make(map[string]float64),
+		epochByKind:     make(map[string]float64),
+		lastEpochByKind: make(map[string]float64),
+	}, nil
 }
 
 // Unlimited reports whether the fabric has no bandwidth constraint.
@@ -85,6 +94,7 @@ func (f *Fabric) Record(chip int, bytes float64, kind string) {
 	f.epochBytes[chip] += bytes
 	f.totalBytes += bytes
 	f.byKind[kind] += bytes
+	f.epochByKind[kind] += bytes
 }
 
 // EndEpoch closes an epoch of epochNS model time: it returns the stall
@@ -105,6 +115,8 @@ func (f *Fabric) EndEpoch(epochNS float64) float64 {
 	for chip := range f.epochBytes {
 		f.epochBytes[chip] = 0
 	}
+	f.epochByKind, f.lastEpochByKind = f.lastEpochByKind, f.epochByKind
+	clear(f.epochByKind)
 	f.stallNS += stall
 	return stall
 }
@@ -112,11 +124,37 @@ func (f *Fabric) EndEpoch(epochNS float64) float64 {
 // TotalBytes returns all traffic recorded so far.
 func (f *Fabric) TotalBytes() float64 { return f.totalBytes }
 
-// BytesByKind returns the traffic recorded under the given tag.
+// BytesByKind returns the cumulative traffic recorded under the given
+// tag across the whole run.
 func (f *Fabric) BytesByKind(kind string) float64 { return f.byKind[kind] }
+
+// EpochBytesByKind returns the traffic recorded under the given tag
+// during the most recently closed epoch. The bucket resets at every
+// EndEpoch, so per-epoch breakdowns (sync vs retransmit vs resync)
+// stay distinguishable from the cumulative totals.
+func (f *Fabric) EpochBytesByKind(kind string) float64 { return f.lastEpochByKind[kind] }
+
+// Kinds returns the traffic tags seen so far, in no particular order.
+func (f *Fabric) Kinds() []string {
+	out := make([]string, 0, len(f.byKind))
+	for k := range f.byKind {
+		out = append(out, k)
+	}
+	return out
+}
 
 // StallNS returns the cumulative congestion stall.
 func (f *Fabric) StallNS() float64 { return f.stallNS }
+
+// AddStall charges extra hold time directly — the honest accounting
+// path for recovery costs (retransmit backoff, repartition
+// reprogramming) that stall the machine without being congestion.
+func (f *Fabric) AddStall(ns float64) {
+	if ns < 0 || math.IsNaN(ns) {
+		panic(fmt.Sprintf("interconnect: AddStall(%v)", ns))
+	}
+	f.stallNS += ns
+}
 
 // Epochs returns how many epochs have been closed.
 func (f *Fabric) Epochs() int { return f.epochs }

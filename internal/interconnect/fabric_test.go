@@ -6,8 +6,31 @@ import (
 	"testing/quick"
 )
 
+// mustNew builds a fabric from known-good arguments; constructor error
+// paths are covered by TestNewErrors.
+func mustNew(numChips, channels int, bytesPerNS float64) *Fabric {
+	f, err := New(numChips, channels, bytesPerNS)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestNewErrors(t *testing.T) {
+	for name, fn := range map[string]func() (*Fabric, error){
+		"zero chips":    func() (*Fabric, error) { return New(0, 1, 1) },
+		"zero channels": func() (*Fabric, error) { return New(1, 0, 1) },
+		"neg rate":      func() (*Fabric, error) { return New(1, 1, -1) },
+		"nan rate":      func() (*Fabric, error) { return New(1, 1, math.NaN()) },
+	} {
+		if f, err := fn(); err == nil || f != nil {
+			t.Fatalf("%s: want error, got fabric=%v err=%v", name, f, err)
+		}
+	}
+}
+
 func TestUnlimitedFabricNeverStalls(t *testing.T) {
-	f := New(4, 3, 0)
+	f := mustNew(4, 3, 0)
 	if !f.Unlimited() {
 		t.Fatal("zero rate should be unlimited")
 	}
@@ -23,7 +46,7 @@ func TestUnlimitedFabricNeverStalls(t *testing.T) {
 func TestStallComputation(t *testing.T) {
 	// 2 channels × 5 bytes/ns = 10 bytes/ns. 100 bytes in a 5 ns epoch
 	// needs 10 ns to drain → 5 ns stall.
-	f := New(2, 2, 5)
+	f := mustNew(2, 2, 5)
 	f.Record(0, 100, "flip")
 	if s := f.EndEpoch(5); math.Abs(s-5) > 1e-9 {
 		t.Fatalf("stall = %v, want 5", s)
@@ -34,7 +57,7 @@ func TestStallComputation(t *testing.T) {
 }
 
 func TestStallTakesWorstChip(t *testing.T) {
-	f := New(3, 1, 10)       // 10 bytes/ns per chip
+	f := mustNew(3, 1, 10)   // 10 bytes/ns per chip
 	f.Record(0, 50, "flip")  // needs 5 ns
 	f.Record(1, 200, "flip") // needs 20 ns
 	f.Record(2, 10, "flip")  // needs 1 ns
@@ -44,7 +67,7 @@ func TestStallTakesWorstChip(t *testing.T) {
 }
 
 func TestNoStallWhenWithinBudget(t *testing.T) {
-	f := New(2, 1, 100)
+	f := mustNew(2, 1, 100)
 	f.Record(0, 50, "sync")
 	if s := f.EndEpoch(1); s != 0 {
 		t.Fatalf("stall %v despite headroom", s)
@@ -52,7 +75,7 @@ func TestNoStallWhenWithinBudget(t *testing.T) {
 }
 
 func TestEpochBucketsReset(t *testing.T) {
-	f := New(1, 1, 10)
+	f := mustNew(1, 1, 10)
 	f.Record(0, 100, "flip")
 	f.EndEpoch(10) // exactly drains
 	// A second epoch with no traffic must not stall.
@@ -62,7 +85,7 @@ func TestEpochBucketsReset(t *testing.T) {
 }
 
 func TestTrafficAccounting(t *testing.T) {
-	f := New(2, 1, 0)
+	f := mustNew(2, 1, 0)
 	f.Record(0, 10, "flip")
 	f.Record(1, 20, "sync")
 	f.Record(0, 5, "flip")
@@ -77,8 +100,58 @@ func TestTrafficAccounting(t *testing.T) {
 	}
 }
 
+func TestEpochKindSplit(t *testing.T) {
+	// Per-epoch kind buckets snapshot at EndEpoch and reset, while the
+	// cumulative totals keep growing — the split the recovery policies'
+	// traffic accounting relies on.
+	f := mustNew(2, 1, 0)
+	f.Record(0, 10, "sync")
+	f.Record(1, 4, "retransmit")
+	f.EndEpoch(1)
+	if got := f.EpochBytesByKind("sync"); got != 10 {
+		t.Fatalf("epoch sync bytes = %v, want 10", got)
+	}
+	if got := f.EpochBytesByKind("retransmit"); got != 4 {
+		t.Fatalf("epoch retransmit bytes = %v, want 4", got)
+	}
+	f.Record(0, 7, "sync")
+	f.Record(0, 3, "resync")
+	f.EndEpoch(1)
+	if got := f.EpochBytesByKind("sync"); got != 7 {
+		t.Fatalf("epoch 2 sync bytes = %v, want 7 (bucket must reset)", got)
+	}
+	if got := f.EpochBytesByKind("retransmit"); got != 0 {
+		t.Fatalf("epoch 2 retransmit bytes = %v, want 0", got)
+	}
+	if got := f.EpochBytesByKind("resync"); got != 3 {
+		t.Fatalf("epoch 2 resync bytes = %v, want 3", got)
+	}
+	// Cumulative totals are unaffected by the per-epoch reset.
+	if f.BytesByKind("sync") != 17 || f.BytesByKind("retransmit") != 4 || f.BytesByKind("resync") != 3 {
+		t.Fatalf("cumulative kinds wrong: sync=%v retransmit=%v resync=%v",
+			f.BytesByKind("sync"), f.BytesByKind("retransmit"), f.BytesByKind("resync"))
+	}
+	if f.TotalBytes() != 24 {
+		t.Fatalf("TotalBytes = %v, want 24", f.TotalBytes())
+	}
+	kinds := f.Kinds()
+	if len(kinds) != 3 {
+		t.Fatalf("Kinds = %v, want 3 entries", kinds)
+	}
+}
+
+func TestAddStall(t *testing.T) {
+	f := mustNew(1, 1, 0)
+	f.Record(0, 8, "sync")
+	f.EndEpoch(1)
+	f.AddStall(2.5)
+	if got := f.StallNS(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("StallNS = %v, want 2.5", got)
+	}
+}
+
 func TestPeakDemand(t *testing.T) {
-	f := New(1, 1, 0)
+	f := mustNew(1, 1, 0)
 	f.Record(0, 100, "flip")
 	f.EndEpoch(10) // 10 bytes/ns
 	f.Record(0, 10, "flip")
@@ -95,7 +168,7 @@ func TestDeliveryInvariant(t *testing.T) {
 	// DESIGN.md invariant: bytes delivered ≤ bandwidth × (epoch+stall),
 	// per chip, for any traffic pattern.
 	f2 := func(loads []uint32, epochRaw uint16) bool {
-		f := New(4, 2, 3)
+		f := mustNew(4, 2, 3)
 		epoch := float64(epochRaw%1000) + 1
 		for i, l := range loads {
 			f.Record(i%4, float64(l%100000), "x")
@@ -170,15 +243,13 @@ func TestDeltaSyncBytesMonotoneProperty(t *testing.T) {
 
 func TestPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"zero chips":    func() { New(0, 1, 1) },
-		"zero channels": func() { New(1, 0, 1) },
-		"neg rate":      func() { New(1, 1, -1) },
-		"bad chip":      func() { New(2, 1, 1).Record(2, 1, "x") },
-		"neg bytes":     func() { New(2, 1, 1).Record(0, -1, "x") },
-		"zero epoch":    func() { New(2, 1, 1).EndEpoch(0) },
-		"bad changes":   func() { DeltaSyncBytes(11, 10, 1) },
-		"bad index n":   func() { SpinIndexBits(0) },
-		"neg fanout":    func() { FlipUpdateBytes(8, -1) },
+		"bad chip":    func() { mustNew(2, 1, 1).Record(2, 1, "x") },
+		"neg bytes":   func() { mustNew(2, 1, 1).Record(0, -1, "x") },
+		"zero epoch":  func() { mustNew(2, 1, 1).EndEpoch(0) },
+		"neg stall":   func() { mustNew(2, 1, 1).AddStall(-1) },
+		"bad changes": func() { DeltaSyncBytes(11, 10, 1) },
+		"bad index n": func() { SpinIndexBits(0) },
+		"neg fanout":  func() { FlipUpdateBytes(8, -1) },
 	} {
 		func() {
 			defer func() {

@@ -1,0 +1,85 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+)
+
+// The message-sizing functions are consumed by the fault layer with
+// attacker-ish inputs (arbitrary change counts after corruption,
+// shrinking fanouts after chip loss), so their domains are pinned by
+// fuzzing: no panics on valid input, and the index-list vs bitmap
+// crossover stays monotone.
+
+func FuzzSpinIndexBits(f *testing.F) {
+	f.Add(1)
+	f.Add(2)
+	f.Add(1024)
+	f.Add(1 << 20)
+	f.Fuzz(func(t *testing.T, n int) {
+		if n < 1 {
+			return // outside the documented domain
+		}
+		got := SpinIndexBits(n)
+		if got < 1 || got > 63 {
+			t.Fatalf("SpinIndexBits(%d) = %d out of range", n, got)
+		}
+		// Defining property: 2^got >= n and (for got > 1) 2^(got-1) < n.
+		if n > 1 && (1<<uint(got) < n || 1<<uint(got-1) >= n) {
+			t.Fatalf("SpinIndexBits(%d) = %d is not ceil(log2)", n, got)
+		}
+		// Monotone in n.
+		if n > 1 && SpinIndexBits(n-1) > got {
+			t.Fatalf("SpinIndexBits not monotone at %d", n)
+		}
+	})
+}
+
+func FuzzFlipUpdateBytes(f *testing.F) {
+	f.Add(8, 3)
+	f.Add(1, 0)
+	f.Add(1<<16, 64)
+	f.Fuzz(func(t *testing.T, n, fanout int) {
+		if n < 1 || fanout < 0 || fanout > 1<<20 {
+			return
+		}
+		got := FlipUpdateBytes(n, fanout)
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("FlipUpdateBytes(%d, %d) = %v", n, fanout, got)
+		}
+		if fanout == 0 && got != 0 {
+			t.Fatalf("zero fanout cost %v", got)
+		}
+		// Monotone in fanout.
+		if fanout > 0 && FlipUpdateBytes(n, fanout-1) > got {
+			t.Fatalf("FlipUpdateBytes not monotone in fanout at (%d, %d)", n, fanout)
+		}
+	})
+}
+
+func FuzzDeltaSyncBytes(f *testing.F) {
+	f.Add(10, 1000, 3)
+	f.Add(0, 1, 0)
+	f.Add(500, 1000, 1)
+	f.Fuzz(func(t *testing.T, changes, local, fanout int) {
+		if local < 1 || local > 1<<20 || changes < 0 || changes > local ||
+			fanout < 0 || fanout > 1<<16 {
+			return
+		}
+		got := DeltaSyncBytes(changes, local, fanout)
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("DeltaSyncBytes(%d, %d, %d) = %v", changes, local, fanout, got)
+		}
+		// Never exceeds the full bitmap (the encoder's fallback).
+		bitmap := float64(local) / 8 * float64(fanout)
+		if got > bitmap+1e-9 {
+			t.Fatalf("DeltaSyncBytes(%d, %d, %d) = %v exceeds bitmap %v",
+				changes, local, fanout, got, bitmap)
+		}
+		// Crossover monotonicity: more changes never cost less.
+		if changes > 0 && DeltaSyncBytes(changes-1, local, fanout) > got+1e-9 {
+			t.Fatalf("DeltaSyncBytes not monotone in changes at (%d, %d, %d)",
+				changes, local, fanout)
+		}
+	})
+}

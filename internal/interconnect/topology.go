@@ -37,7 +37,10 @@ func (t Topology) String() string {
 
 // SetTopology selects the congestion model. Call before any EndEpoch;
 // changing it mid-run would make the stall accounting incoherent.
-func (f *Fabric) SetTopology(t Topology) {
+// Unknown topologies are reported as an error (they arrive from user
+// configuration); calling after epochs closed is an internal invariant
+// violation and panics.
+func (f *Fabric) SetTopology(t Topology) error {
 	if f.epochs > 0 {
 		panic("interconnect: SetTopology after epochs have closed")
 	}
@@ -45,8 +48,9 @@ func (f *Fabric) SetTopology(t Topology) {
 	case Dedicated, SharedBus, Ring:
 		f.topology = t
 	default:
-		panic(fmt.Sprintf("interconnect: unknown topology %d", int(t)))
+		return fmt.Errorf("interconnect: unknown topology %d", int(t))
 	}
+	return nil
 }
 
 // Topology returns the congestion model in effect.

@@ -16,7 +16,7 @@ func TestTopologyString(t *testing.T) {
 }
 
 func TestDedicatedIsDefault(t *testing.T) {
-	f := New(2, 1, 10)
+	f := mustNew(2, 1, 10)
 	if f.Topology() != Dedicated {
 		t.Fatal("default topology not dedicated")
 	}
@@ -26,7 +26,7 @@ func TestSharedBusStallsOnTotal(t *testing.T) {
 	// Two chips, 10 B/ns bus. 60 B each in a 5 ns epoch: dedicated
 	// would need 6 ns per chip (1 ns stall); the bus needs 12 ns total
 	// (7 ns stall).
-	f := New(2, 1, 10)
+	f := mustNew(2, 1, 10)
 	f.SetTopology(SharedBus)
 	f.Record(0, 60, "x")
 	f.Record(1, 60, "x")
@@ -37,7 +37,7 @@ func TestSharedBusStallsOnTotal(t *testing.T) {
 
 func TestSharedBusWorseThanDedicated(t *testing.T) {
 	load := func(topo Topology) float64 {
-		f := New(4, 1, 10)
+		f := mustNew(4, 1, 10)
 		f.SetTopology(topo)
 		for c := 0; c < 4; c++ {
 			f.Record(c, 100, "x")
@@ -52,7 +52,7 @@ func TestSharedBusWorseThanDedicated(t *testing.T) {
 func TestRingStall(t *testing.T) {
 	// 4 chips: hops = ⌈3/2⌉ = 2, links = 4. Total 400 B → per-link
 	// 400·2/4 = 200 B at 10 B/ns = 20 ns; epoch 5 → stall 15.
-	f := New(4, 1, 10)
+	f := mustNew(4, 1, 10)
 	f.SetTopology(Ring)
 	for c := 0; c < 4; c++ {
 		f.Record(c, 100, "x")
@@ -66,7 +66,7 @@ func TestRingBetweenDedicatedAndBus(t *testing.T) {
 	// With uniform traffic the ring's per-link load sits between a
 	// private link (1 chip's bytes) and the bus (all bytes).
 	run := func(topo Topology) float64 {
-		f := New(6, 1, 10)
+		f := mustNew(6, 1, 10)
 		f.SetTopology(topo)
 		for c := 0; c < 6; c++ {
 			f.Record(c, 100, "x")
@@ -81,7 +81,7 @@ func TestRingBetweenDedicatedAndBus(t *testing.T) {
 
 func TestUnlimitedIgnoresTopology(t *testing.T) {
 	for _, topo := range []Topology{Dedicated, SharedBus, Ring} {
-		f := New(4, 1, 0)
+		f := mustNew(4, 1, 0)
 		f.SetTopology(topo)
 		f.Record(0, 1e12, "x")
 		if s := f.EndEpoch(1); s != 0 {
@@ -91,7 +91,7 @@ func TestUnlimitedIgnoresTopology(t *testing.T) {
 }
 
 func TestSingleChipRingNoHops(t *testing.T) {
-	f := New(1, 1, 10)
+	f := mustNew(1, 1, 10)
 	f.SetTopology(Ring)
 	f.Record(0, 1e6, "x")
 	if s := f.EndEpoch(1); s != 0 {
@@ -100,7 +100,7 @@ func TestSingleChipRingNoHops(t *testing.T) {
 }
 
 func TestSetTopologyPanics(t *testing.T) {
-	f := New(2, 1, 10)
+	f := mustNew(2, 1, 10)
 	f.Record(0, 1, "x")
 	f.EndEpoch(1)
 	func() {
@@ -111,12 +111,7 @@ func TestSetTopologyPanics(t *testing.T) {
 		}()
 		f.SetTopology(Ring)
 	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("unknown topology did not panic")
-			}
-		}()
-		New(2, 1, 10).SetTopology(Topology(42))
-	}()
+	if err := mustNew(2, 1, 10).SetTopology(Topology(42)); err == nil {
+		t.Fatal("unknown topology did not error")
+	}
 }

@@ -64,7 +64,7 @@ func AutoEpoch(m *ising.Model, cfg Config, candidates []float64, burstNS, tolera
 	for _, epoch := range candidates {
 		c := cfg
 		c.EpochNS = epoch
-		run := NewSystem(m, c).RunConcurrent(burstNS)
+		run := MustSystem(m, c).RunConcurrent(burstNS)
 		frac := 0.0
 		if run.ElapsedNS > 0 {
 			frac = run.StallNS / run.ElapsedNS

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mbrim/internal/fault"
 	"mbrim/internal/interconnect"
 	"mbrim/internal/ising"
 	"mbrim/internal/metrics"
@@ -32,6 +33,11 @@ type BatchResult struct {
 	Trace []metrics.Point
 	// EpochStats holds per-epoch activity if requested.
 	EpochStats []EpochStat
+	// FaultStats ledgers injected faults and recovery work when the
+	// fault layer was enabled (zero otherwise).
+	FaultStats fault.Stats
+	// LiveChips is the number of chips still operating at run end.
+	LiveChips int
 }
 
 // RunBatch runs `jobs` staggered annealing jobs of the same problem
@@ -81,18 +87,49 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 	// Within an epoch each chip works a different job (when jobs >=
 	// chips), so the per-chip work is independent and can run on
 	// goroutines; per-chip results are merged after the barrier so the
-	// outcome is bit-identical either way.
+	// outcome is bit-identical either way. Fault fates are resolved
+	// inside the worker (the injector is stateless), but all shared
+	// accounting — fabric charges, stats, events, delayed-writeback
+	// queuing — happens in the merge loop in chip order.
 	type chipEpoch struct {
 		flips, induced     int64
 		changes, inducedCh int
+		planned            bool // fault layer consulted for this send
+		plan               fault.MessagePlan
+		attempts           int      // retransmits spent (Detect)
+		lost               bool     // writeback never delivered
+		delayedJob         int      // destination of a delayed writeback
+		delayedUps         []update // payload of a delayed writeback
 	}
 	perChip := make([]chipEpoch, len(s.chips))
 	parallelOK := jobs >= len(s.chips)
 
 	for e := 0; e < totalEpochs; e++ {
+		if s.frt != nil {
+			s.beginFaultEpoch(e+1, float64(totalEpochs-e)*cfg.EpochNS, tr)
+			if len(perChip) != len(s.chips) {
+				// Repartition rebuilt the chip set.
+				perChip = make([]chipEpoch, len(s.chips))
+				parallelOK = jobs >= len(s.chips)
+			}
+			// Last epoch's delayed writebacks land before any chip
+			// loads a job — late but in-order delivery.
+			for _, wb := range s.frt.pendingBatch {
+				for _, u := range wb.ups {
+					states[wb.job][u.g] = u.v
+				}
+			}
+			s.frt.pendingBatch = s.frt.pendingBatch[:0]
+		}
 		var st EpochStat
 		st.Epoch = e + 1
 		work := func(ci int, c *chip) {
+			perChip[ci] = chipEpoch{}
+			if s.frt != nil && (s.frt.dead[ci] || s.frt.holds[ci]) {
+				// Dead or transiently stalled: this chip's job receives
+				// no annealing this epoch and writes nothing back.
+				return
+			}
 			job := (ci + e) % jobs
 			before := make([]int8, len(c.owned))
 			for li, g := range c.owned {
@@ -120,21 +157,39 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 
 			// Write back and count the broadcast.
 			after := c.machine.Spins()
-			changes, inducedChanges := 0, 0
+			pe := chipEpoch{flips: c.epochFlips, induced: c.epochInducedFlips}
+			var ups []update
 			for li, g := range c.owned {
 				if after[li] != before[li] {
-					changes++
+					ups = append(ups, update{li, g, after[li], c.lastFlipInduced[li]})
+					pe.changes++
 					if c.lastFlipInduced[li] {
-						inducedChanges++
+						pe.inducedCh++
 					}
-					states[job][g] = after[li]
 				}
 			}
-			perChip[ci] = chipEpoch{
-				flips:   c.epochFlips,
-				induced: c.epochInducedFlips,
-				changes: changes, inducedCh: inducedChanges,
+			if s.frt != nil && len(ups) > 0 {
+				// The whole epoch writeback is one message; resolve its
+				// fate here (pure draws), account at the barrier.
+				delivered, delayed, attempts, plan, payload := s.frt.resolveBatchSend(e+1, ci, ups)
+				pe.planned, pe.plan, pe.attempts = true, plan, attempts
+				switch {
+				case !delivered:
+					pe.lost = true // the epoch's work evaporates
+				case delayed:
+					pe.delayedJob = job
+					pe.delayedUps = payload
+				default:
+					for _, u := range payload {
+						states[job][u.g] = u.v
+					}
+				}
+			} else {
+				for _, u := range ups {
+					states[job][u.g] = u.v
+				}
 			}
+			perChip[ci] = pe
 		}
 		if parallelOK {
 			s.forEachChip(work)
@@ -155,13 +210,24 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 			if cfg.Coordinated {
 				transmitted -= pe.inducedCh
 			}
+			bytes := 0.0
 			if transmitted > 0 {
-				s.fabric.Record(ci,
-					interconnect.DeltaSyncBytes(transmitted, len(c.owned), len(s.chips)-1),
-					"sync")
+				bytes = interconnect.DeltaSyncBytes(transmitted, len(c.owned), len(s.chips)-1)
+				s.fabric.Record(ci, bytes, "sync")
+			}
+			if pe.planned {
+				s.accountBatchSend(e+1, ci, pe.plan, pe.attempts, pe.lost,
+					pe.delayedUps != nil, bytes, int64(pe.changes), tr)
+				if pe.delayedUps != nil {
+					s.frt.pendingBatch = append(s.frt.pendingBatch,
+						delayedWriteback{job: pe.delayedJob, ups: pe.delayedUps})
+				}
 			}
 		}
 		stall := s.fabric.EndEpoch(cfg.EpochNS)
+		if s.frt != nil {
+			stall += s.frt.takeEpochStall(s.fabric)
+		}
 		st.StallNS = stall
 		elapsed += cfg.EpochNS + stall
 		res.Epochs++
@@ -197,6 +263,10 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 	res.ElapsedNS = elapsed
 	res.TrafficBytes = s.fabric.TotalBytes()
 	res.PeakDemandBytesPerNS = s.fabric.PeakDemand()
+	res.LiveChips = s.liveChips()
+	if s.frt != nil {
+		res.FaultStats = s.frt.stats
+	}
 	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
 		res.StallNS, res.TrafficBytes, res.Epochs)
 	res.Energies = make([]float64, jobs)

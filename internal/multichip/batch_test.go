@@ -11,7 +11,7 @@ import (
 func TestBatchFindsFerromagnetGround(t *testing.T) {
 	n := 32
 	m := ferromagnet(n)
-	s := NewSystem(m, Config{Chips: 4, Seed: 1, EpochNS: 5})
+	s := MustSystem(m, Config{Chips: 4, Seed: 1, EpochNS: 5})
 	res := s.RunBatch(4, 100)
 	want := -float64(n*(n-1)) / 2
 	if res.BestEnergy != want {
@@ -21,7 +21,7 @@ func TestBatchFindsFerromagnetGround(t *testing.T) {
 
 func TestBatchEnergiesMatchStates(t *testing.T) {
 	m := kgraph(48, 2)
-	s := NewSystem(m, Config{Chips: 4, Seed: 3, EpochNS: 5})
+	s := MustSystem(m, Config{Chips: 4, Seed: 3, EpochNS: 5})
 	res := s.RunBatch(4, 60)
 	if len(res.Jobs) != 4 || len(res.Energies) != 4 {
 		t.Fatalf("jobs/energies badly sized: %d/%d", len(res.Jobs), len(res.Energies))
@@ -46,8 +46,8 @@ func TestBatchEnergiesMatchStates(t *testing.T) {
 
 func TestBatchDeterministic(t *testing.T) {
 	m := kgraph(40, 4)
-	a := NewSystem(m, Config{Chips: 4, Seed: 5, EpochNS: 5}).RunBatch(4, 40)
-	b := NewSystem(m, Config{Chips: 4, Seed: 5, EpochNS: 5}).RunBatch(4, 40)
+	a := MustSystem(m, Config{Chips: 4, Seed: 5, EpochNS: 5}).RunBatch(4, 40)
+	b := MustSystem(m, Config{Chips: 4, Seed: 5, EpochNS: 5}).RunBatch(4, 40)
 	if a.BestEnergy != b.BestEnergy || a.TrafficBytes != b.TrafficBytes {
 		t.Fatal("same seed produced different batch runs")
 	}
@@ -61,7 +61,7 @@ func TestBatchDeterministic(t *testing.T) {
 func TestBatchJobsDiffer(t *testing.T) {
 	// Different initial states must lead to genuinely different jobs.
 	m := kgraph(64, 6)
-	res := NewSystem(m, Config{Chips: 4, Seed: 7, EpochNS: 5}).RunBatch(4, 40)
+	res := MustSystem(m, Config{Chips: 4, Seed: 7, EpochNS: 5}).RunBatch(4, 40)
 	distinct := false
 	for j := 1; j < len(res.Jobs); j++ {
 		if ising.HammingDistance(res.Jobs[0], res.Jobs[j]) != 0 {
@@ -86,13 +86,13 @@ func TestBatchToleratesLongEpochs(t *testing.T) {
 		return sum / 4
 	}
 	concShort := avg(func(seed uint64) float64 {
-		return NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: shortE}).RunConcurrent(100).Energy
+		return MustSystem(m, Config{Chips: 4, Seed: seed, EpochNS: shortE}).RunConcurrent(100).Energy
 	})
 	concLong := avg(func(seed uint64) float64 {
-		return NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: longE}).RunConcurrent(100).Energy
+		return MustSystem(m, Config{Chips: 4, Seed: seed, EpochNS: longE}).RunConcurrent(100).Energy
 	})
 	batchLong := avg(func(seed uint64) float64 {
-		return NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: longE}).RunBatch(4, 100).BestEnergy
+		return MustSystem(m, Config{Chips: 4, Seed: seed, EpochNS: longE}).RunBatch(4, 100).BestEnergy
 	})
 	// Batch at long epochs must not be worse than concurrent at long
 	// epochs (it should be much better; leave slack for noise).
@@ -104,7 +104,7 @@ func TestBatchToleratesLongEpochs(t *testing.T) {
 
 func TestBatchBitChangesNeverExceedFlips(t *testing.T) {
 	m := kgraph(48, 9)
-	res := NewSystem(m, Config{Chips: 4, Seed: 10, EpochNS: 5}).RunBatch(4, 50)
+	res := MustSystem(m, Config{Chips: 4, Seed: 10, EpochNS: 5}).RunBatch(4, 50)
 	if res.BitChanges > res.Flips {
 		t.Fatalf("bit changes %d > flips %d", res.BitChanges, res.Flips)
 	}
@@ -118,8 +118,8 @@ func TestBatchCoordinatedSavesTraffic(t *testing.T) {
 	// state; coordination must remove them from the wire.
 	m := ising.NewModel(64)
 	kicks := sched.Constant(0.05)
-	plain := NewSystem(m, Config{Chips: 4, Seed: 11, EpochNS: 5, InducedFlip: kicks}).RunBatch(4, 50)
-	coord := NewSystem(m, Config{Chips: 4, Seed: 11, EpochNS: 5, InducedFlip: kicks, Coordinated: true}).RunBatch(4, 50)
+	plain := MustSystem(m, Config{Chips: 4, Seed: 11, EpochNS: 5, InducedFlip: kicks}).RunBatch(4, 50)
+	coord := MustSystem(m, Config{Chips: 4, Seed: 11, EpochNS: 5, InducedFlip: kicks, Coordinated: true}).RunBatch(4, 50)
 	if plain.TrafficBytes == 0 {
 		t.Fatal("uncoordinated batch kicks generated no traffic")
 	}
@@ -130,7 +130,7 @@ func TestBatchCoordinatedSavesTraffic(t *testing.T) {
 
 func TestBatchStallsWhenStarved(t *testing.T) {
 	m := kgraph(64, 12)
-	res := NewSystem(m, Config{
+	res := MustSystem(m, Config{
 		Chips: 4, Seed: 13, EpochNS: 5, Channels: 1, ChannelBytesPerNS: 0.001,
 	}).RunBatch(4, 40)
 	if res.StallNS <= 0 {
@@ -143,7 +143,7 @@ func TestBatchStallsWhenStarved(t *testing.T) {
 
 func TestBatchTraceAndEpochStats(t *testing.T) {
 	m := kgraph(32, 14)
-	res := NewSystem(m, Config{
+	res := MustSystem(m, Config{
 		Chips: 4, Seed: 15, EpochNS: 5, SampleEveryNS: 10, RecordEpochStats: true,
 	}).RunBatch(4, 50)
 	if len(res.Trace) == 0 {
@@ -162,7 +162,7 @@ func TestBatchTraceAndEpochStats(t *testing.T) {
 
 func TestBatchMoreJobsThanChips(t *testing.T) {
 	m := kgraph(32, 16)
-	res := NewSystem(m, Config{Chips: 2, Seed: 17, EpochNS: 5}).RunBatch(6, 60)
+	res := MustSystem(m, Config{Chips: 2, Seed: 17, EpochNS: 5}).RunBatch(6, 60)
 	if len(res.Jobs) != 6 {
 		t.Fatalf("%d jobs", len(res.Jobs))
 	}
@@ -176,8 +176,8 @@ func TestBatchMoreJobsThanChips(t *testing.T) {
 func TestBatchPanics(t *testing.T) {
 	m := ferromagnet(8)
 	for name, f := range map[string]func(){
-		"zero jobs":     func() { NewSystem(m, Config{Chips: 2}).RunBatch(0, 10) },
-		"zero duration": func() { NewSystem(m, Config{Chips: 2}).RunBatch(2, 0) },
+		"zero jobs":     func() { MustSystem(m, Config{Chips: 2}).RunBatch(0, 10) },
+		"zero duration": func() { MustSystem(m, Config{Chips: 2}).RunBatch(2, 0) },
 	} {
 		func() {
 			defer func() {

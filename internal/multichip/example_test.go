@@ -12,7 +12,7 @@ import (
 // epoch-boundary shadow synchronization.
 func ExampleSystem_RunConcurrent() {
 	g := graph.Complete(64, rng.New(1))
-	sys := multichip.NewSystem(g.ToIsing(), multichip.Config{
+	sys := multichip.MustSystem(g.ToIsing(), multichip.Config{
 		Chips:   4,
 		EpochNS: 3.3,
 		Seed:    1,
@@ -26,7 +26,7 @@ func ExampleSystem_RunConcurrent() {
 // and takes the best.
 func ExampleSystem_RunBatch() {
 	g := graph.Complete(64, rng.New(2))
-	sys := multichip.NewSystem(g.ToIsing(), multichip.Config{
+	sys := multichip.MustSystem(g.ToIsing(), multichip.Config{
 		Chips:   4,
 		EpochNS: 10,
 		Seed:    2,

@@ -3,6 +3,7 @@ package multichip
 import (
 	"testing"
 
+	"mbrim/internal/fault"
 	"mbrim/internal/interconnect"
 	"mbrim/internal/ising"
 )
@@ -11,8 +12,8 @@ func TestParallelConcurrentMatchesSequential(t *testing.T) {
 	// Host parallelism is an implementation detail: the simulated
 	// system must be bit-identical.
 	m := kgraph(64, 1)
-	seq := NewSystem(m, Config{Chips: 4, Seed: 2}).RunConcurrent(30)
-	par := NewSystem(m, Config{Chips: 4, Seed: 2, Parallel: true}).RunConcurrent(30)
+	seq := MustSystem(m, Config{Chips: 4, Seed: 2}).RunConcurrent(30)
+	par := MustSystem(m, Config{Chips: 4, Seed: 2, Parallel: true}).RunConcurrent(30)
 	if seq.Energy != par.Energy || ising.HammingDistance(seq.Spins, par.Spins) != 0 {
 		t.Fatal("parallel concurrent run diverged from sequential")
 	}
@@ -24,8 +25,8 @@ func TestParallelConcurrentMatchesSequential(t *testing.T) {
 
 func TestParallelBatchMatchesSequential(t *testing.T) {
 	m := kgraph(64, 3)
-	seq := NewSystem(m, Config{Chips: 4, Seed: 4, EpochNS: 5}).RunBatch(4, 40)
-	par := NewSystem(m, Config{Chips: 4, Seed: 4, EpochNS: 5, Parallel: true}).RunBatch(4, 40)
+	seq := MustSystem(m, Config{Chips: 4, Seed: 4, EpochNS: 5}).RunBatch(4, 40)
+	par := MustSystem(m, Config{Chips: 4, Seed: 4, EpochNS: 5, Parallel: true}).RunBatch(4, 40)
 	if seq.BestEnergy != par.BestEnergy || seq.TrafficBytes != par.TrafficBytes {
 		t.Fatal("parallel batch diverged from sequential")
 	}
@@ -38,8 +39,8 @@ func TestParallelBatchMatchesSequential(t *testing.T) {
 
 func TestParallelBatchCoordinatedMatches(t *testing.T) {
 	m := kgraph(48, 5)
-	seq := NewSystem(m, Config{Chips: 4, Seed: 6, EpochNS: 5, Coordinated: true}).RunBatch(4, 30)
-	par := NewSystem(m, Config{Chips: 4, Seed: 6, EpochNS: 5, Coordinated: true, Parallel: true}).RunBatch(4, 30)
+	seq := MustSystem(m, Config{Chips: 4, Seed: 6, EpochNS: 5, Coordinated: true}).RunBatch(4, 30)
+	par := MustSystem(m, Config{Chips: 4, Seed: 6, EpochNS: 5, Coordinated: true, Parallel: true}).RunBatch(4, 30)
 	if seq.BestEnergy != par.BestEnergy || seq.TrafficBytes != par.TrafficBytes {
 		t.Fatal("coordinated parallel batch diverged")
 	}
@@ -49,8 +50,8 @@ func TestParallelFewerJobsThanChipsStaysCorrect(t *testing.T) {
 	// jobs < chips forces the sequential path even when Parallel is
 	// set; the results must still match a sequential run.
 	m := kgraph(48, 7)
-	seq := NewSystem(m, Config{Chips: 4, Seed: 8, EpochNS: 5}).RunBatch(2, 30)
-	par := NewSystem(m, Config{Chips: 4, Seed: 8, EpochNS: 5, Parallel: true}).RunBatch(2, 30)
+	seq := MustSystem(m, Config{Chips: 4, Seed: 8, EpochNS: 5}).RunBatch(2, 30)
+	par := MustSystem(m, Config{Chips: 4, Seed: 8, EpochNS: 5, Parallel: true}).RunBatch(2, 30)
 	if seq.BestEnergy != par.BestEnergy {
 		t.Fatal("jobs<chips parallel batch diverged")
 	}
@@ -58,7 +59,7 @@ func TestParallelFewerJobsThanChipsStaysCorrect(t *testing.T) {
 
 func TestParallelSingleChip(t *testing.T) {
 	m := kgraph(32, 9)
-	res := NewSystem(m, Config{Chips: 1, Seed: 10, Parallel: true}).RunConcurrent(20)
+	res := MustSystem(m, Config{Chips: 1, Seed: 10, Parallel: true}).RunConcurrent(20)
 	if res.Flips == 0 {
 		t.Fatal("single-chip parallel run did nothing")
 	}
@@ -67,7 +68,7 @@ func TestParallelSingleChip(t *testing.T) {
 func TestTopologyAffectsStalls(t *testing.T) {
 	m := kgraph(64, 20)
 	run := func(topo interconnect.Topology) float64 {
-		return NewSystem(m, Config{
+		return MustSystem(m, Config{
 			Chips: 4, Seed: 21, Channels: 1, ChannelBytesPerNS: 0.02,
 			Topology: topo,
 		}).RunConcurrent(30).StallNS
@@ -95,7 +96,7 @@ func TestCustomPartition(t *testing.T) {
 	for i := 34; i < 40; i++ {
 		parts[2] = append(parts[2], i)
 	}
-	res := NewSystem(m, Config{Chips: 3, Seed: 31, Partition: parts}).RunConcurrent(30)
+	res := MustSystem(m, Config{Chips: 3, Seed: 31, Partition: parts}).RunConcurrent(30)
 	if !ising.ValidSpins(res.Spins) || len(res.Spins) != 40 {
 		t.Fatal("invalid result with custom partition")
 	}
@@ -113,13 +114,26 @@ func TestCustomPartitionValidation(t *testing.T) {
 		"empty part":  {{0, 1, 2, 3, 4, 5, 6, 7}, {}, nil},
 		"range":       {{0, 1, 2}, {3, 4, 5}, {6, 7, 99}},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s did not panic", name)
-				}
-			}()
-			NewSystem(m, Config{Chips: 3, Seed: 1, Partition: parts})
-		}()
+		if _, err := NewSystem(m, Config{Chips: 3, Seed: 1, Partition: parts}); err == nil {
+			t.Fatalf("%s did not error", name)
+		}
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	m := kgraph(8, 32)
+	for name, cfg := range map[string]Config{
+		"too many chips": {Chips: 9},
+		"neg chips":      {Chips: -1},
+		"neg epoch":      {Chips: 2, EpochNS: -1},
+		"neg interval":   {Chips: 2, FlipIntervalNS: -1},
+		"neg channels":   {Chips: 2, Channels: -1},
+		"bad topology":   {Chips: 2, Topology: interconnect.Topology(42)},
+		"bad fault rate": {Chips: 2, Faults: fault.Config{DropRate: 1.5}},
+		"bad loss chip":  {Chips: 2, Faults: fault.Config{ChipLossEpoch: 1, ChipLossChip: 7}},
+	} {
+		if _, err := NewSystem(m, cfg); err == nil {
+			t.Fatalf("%s did not error", name)
+		}
 	}
 }

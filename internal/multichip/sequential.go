@@ -44,12 +44,26 @@ func (s *System) RunSequential(durationNS float64) *Result {
 	lastBytes := s.fabric.TotalBytes()
 	for model < durationNS-1e-9 {
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
+		if s.frt != nil {
+			s.beginFaultEpoch(res.Epochs+1, durationNS-model, tr)
+		}
 		for ci, c := range s.chips {
 			c.resetEpochCounters()
+			if s.frt != nil && s.frt.dead[ci] {
+				// A lost chip's turn is skipped outright; the scheduler
+				// knows it is gone, so no wall time is spent on it.
+				continue
+			}
+			// A transiently stalled chip still occupies its turn on the
+			// wall clock — the hold is physical — but integrates
+			// nothing; its kick PRNG keeps clocking.
+			hold := s.frt != nil && s.frt.holds[ci]
 			t := 0.0
 			for t < epoch-1e-9 {
 				chunk := math.Min(cfg.FlipIntervalNS, epoch-t)
-				c.machine.Run(chunk)
+				if !hold {
+					c.machine.Run(chunk)
+				}
 				t += chunk
 				s.drawInduced(ci, (model+t)/durationNS)
 			}
@@ -64,7 +78,7 @@ func (s *System) RunSequential(durationNS float64) *Result {
 			// Immediate synchronization: the next chip sees this one's
 			// fresh state. Traffic is charged exactly as in concurrent
 			// mode; the difference is purely that no work overlaps.
-			changes, inducedChanges := s.syncEpoch()
+			changes, inducedChanges := s.syncEpoch(res.Epochs+1, tr)
 			res.BitChanges += changes
 			res.InducedBitChanges += inducedChanges
 			if tr != nil {
@@ -74,7 +88,13 @@ func (s *System) RunSequential(durationNS float64) *Result {
 			// Every chip's epoch occupies the wall clock: no overlap.
 			elapsed += epoch
 		}
+		if s.frt != nil {
+			s.watchdog(res.Epochs+1, tr)
+		}
 		stall := s.fabric.EndEpoch(epoch)
+		if s.frt != nil {
+			stall += s.frt.takeEpochStall(s.fabric)
+		}
 		elapsed += stall
 		model += epoch
 		res.Epochs++

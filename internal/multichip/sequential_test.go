@@ -8,7 +8,7 @@ import (
 func TestSequentialFindsFerromagnetGround(t *testing.T) {
 	n := 32
 	m := ferromagnet(n)
-	res := NewSystem(m, Config{Chips: 4, Seed: 1}).RunSequential(60)
+	res := MustSystem(m, Config{Chips: 4, Seed: 1}).RunSequential(60)
 	if want := -float64(n*(n-1)) / 2; res.Energy != want {
 		t.Fatalf("energy %v, want %v", res.Energy, want)
 	}
@@ -18,7 +18,7 @@ func TestSequentialNoIgnorance(t *testing.T) {
 	// After every chip's turn its changes are synced, so at the end
 	// all shadows agree with the truth.
 	m := kgraph(40, 2)
-	s := NewSystem(m, Config{Chips: 4, Seed: 3})
+	s := MustSystem(m, Config{Chips: 4, Seed: 3})
 	s.RunSequential(33)
 	truth := s.GlobalSpins()
 	for ci, c := range s.chips {
@@ -32,7 +32,7 @@ func TestSequentialNoIgnorance(t *testing.T) {
 
 func TestSequentialElapsedIsChipsTimesModel(t *testing.T) {
 	m := kgraph(32, 4)
-	res := NewSystem(m, Config{Chips: 4, Seed: 5}).RunSequential(30)
+	res := MustSystem(m, Config{Chips: 4, Seed: 5}).RunSequential(30)
 	if math.Abs(res.ModelNS-30) > 1e-6 {
 		t.Fatalf("model time %v, want 30", res.ModelNS)
 	}
@@ -43,8 +43,8 @@ func TestSequentialElapsedIsChipsTimesModel(t *testing.T) {
 
 func TestSequentialDeterministic(t *testing.T) {
 	m := kgraph(40, 6)
-	a := NewSystem(m, Config{Chips: 4, Seed: 7}).RunSequential(20)
-	b := NewSystem(m, Config{Chips: 4, Seed: 7}).RunSequential(20)
+	a := MustSystem(m, Config{Chips: 4, Seed: 7}).RunSequential(20)
+	b := MustSystem(m, Config{Chips: 4, Seed: 7}).RunSequential(20)
 	if a.Energy != b.Energy || a.BitChanges != b.BitChanges {
 		t.Fatal("sequential mode nondeterministic")
 	}
@@ -59,8 +59,8 @@ func TestConcurrentMatchesSequentialQuality(t *testing.T) {
 	const runs = 5
 	for i := 0; i < runs; i++ {
 		seed := uint64(300 + i)
-		conc += NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: 1}).RunConcurrent(60).Energy
-		seq += NewSystem(m, Config{Chips: 4, Seed: seed, EpochNS: 1}).RunSequential(60).Energy
+		conc += MustSystem(m, Config{Chips: 4, Seed: seed, EpochNS: 1}).RunConcurrent(60).Energy
+		seq += MustSystem(m, Config{Chips: 4, Seed: seed, EpochNS: 1}).RunSequential(60).Energy
 	}
 	if conc > seq+0.1*math.Abs(seq) {
 		t.Fatalf("concurrent (%v) clearly worse than sequential (%v)", conc/runs, seq/runs)
@@ -73,5 +73,5 @@ func TestSequentialPanicsOnBadDuration(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	NewSystem(ferromagnet(8), Config{Chips: 2}).RunSequential(0)
+	MustSystem(ferromagnet(8), Config{Chips: 2}).RunSequential(0)
 }

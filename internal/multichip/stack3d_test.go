@@ -87,7 +87,7 @@ func TestStackSystemIsUnlimited(t *testing.T) {
 	// And it actually runs as an mBRIM_3D.
 	m := kgraph(64, 1)
 	cfg.Seed = 2
-	res := NewSystem(m, cfg).RunConcurrent(20)
+	res := MustSystem(m, cfg).RunConcurrent(20)
 	if res.StallNS != 0 {
 		t.Fatal("3D system stalled")
 	}

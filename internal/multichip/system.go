@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"mbrim/internal/brim"
+	"mbrim/internal/fault"
 	"mbrim/internal/graph"
 	"mbrim/internal/interconnect"
 	"mbrim/internal/ising"
@@ -79,27 +80,34 @@ type Config struct {
 	// stall and traffic) and per-epoch stall histograms into the named
 	// instruments of the registry.
 	Metrics *obs.Registry
+	// Faults configures the deterministic fault-injection layer and
+	// its recovery policies. The zero value injects nothing and leaves
+	// every run mode bit-identical to a fault-free simulation.
+	Faults fault.Config
 }
 
-func (c *Config) withDefaults(n int) Config {
+// withDefaults fills defaults and validates user-supplied fields,
+// returning an error (not a panic) at this public configuration
+// boundary.
+func (c *Config) withDefaults(n int) (Config, error) {
 	out := *c
 	if out.Chips == 0 {
 		out.Chips = 4
 	}
 	if out.Chips < 1 || out.Chips > n {
-		panic(fmt.Sprintf("multichip: Chips=%d for N=%d", out.Chips, n))
+		return out, fmt.Errorf("multichip: Chips=%d for N=%d", out.Chips, n)
 	}
 	if out.EpochNS == 0 {
 		out.EpochNS = 3.3
 	}
-	if out.EpochNS <= 0 {
-		panic(fmt.Sprintf("multichip: EpochNS=%v", out.EpochNS))
+	if out.EpochNS <= 0 || math.IsNaN(out.EpochNS) {
+		return out, fmt.Errorf("multichip: EpochNS=%v", out.EpochNS)
 	}
 	if out.FlipIntervalNS == 0 {
 		out.FlipIntervalNS = math.Min(out.EpochNS, 1)
 	}
-	if out.FlipIntervalNS <= 0 {
-		panic(fmt.Sprintf("multichip: FlipIntervalNS=%v", out.FlipIntervalNS))
+	if out.FlipIntervalNS <= 0 || math.IsNaN(out.FlipIntervalNS) {
+		return out, fmt.Errorf("multichip: FlipIntervalNS=%v", out.FlipIntervalNS)
 	}
 	if out.InducedFlip == nil {
 		out.InducedFlip = sched.Linear{From: 0.08, To: 0}
@@ -108,9 +116,12 @@ func (c *Config) withDefaults(n int) Config {
 		out.Channels = 3
 	}
 	if out.Channels < 1 {
-		panic(fmt.Sprintf("multichip: Channels=%d", out.Channels))
+		return out, fmt.Errorf("multichip: Channels=%d", out.Channels)
 	}
-	return out
+	if err := out.Faults.Validate(out.Chips); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // SurpriseSample is one Fig 9 data point: at an epoch boundary, one
@@ -158,6 +169,13 @@ type Result struct {
 	Surprises []SurpriseSample
 	// EpochStats holds per-epoch activity if RecordEpochStats was on.
 	EpochStats []EpochStat
+	// FaultStats ledgers injected faults and recovery work when the
+	// fault layer was enabled (zero otherwise).
+	FaultStats fault.Stats
+	// LiveChips is the number of chips still operating at run end —
+	// less than the configured count after an unrecovered chip loss,
+	// and after a repartition (the survivors).
+	LiveChips int
 }
 
 // System is a k-chip multiprocessor holding one problem sliced over
@@ -177,13 +195,21 @@ type System struct {
 	// when coordinated, independent forks otherwise.
 	induceRNG []*rng.Source
 	initial   []int8
+	// frt is the fault-injection runtime; nil when Config.Faults is
+	// disabled, which keeps every run mode bit-identical to the
+	// fault-free simulation.
+	frt *faultRuntime
 }
 
 // NewSystem slices the model over cfg.Chips chips in contiguous
-// blocks and builds the fabric.
-func NewSystem(m *ising.Model, cfg Config) *System {
+// blocks and builds the fabric. Invalid user configuration is
+// reported as an error; only internal invariant violations panic.
+func NewSystem(m *ising.Model, cfg Config) (*System, error) {
 	n := m.N()
-	c := cfg.withDefaults(n)
+	c, err := cfg.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{model: m, cfg: c, n: n}
 	s.scale = m.MaxRowNorm2()
 	if s.scale == 0 {
@@ -196,23 +222,23 @@ func NewSystem(m *ising.Model, cfg Config) *System {
 		parts = graph.BlockPartition(n, c.Chips)
 	} else {
 		if len(parts) != c.Chips {
-			panic(fmt.Sprintf("multichip: Partition has %d parts for %d chips", len(parts), c.Chips))
+			return nil, fmt.Errorf("multichip: Partition has %d parts for %d chips", len(parts), c.Chips)
 		}
 		seen := make([]bool, n)
 		for pi, part := range parts {
 			if len(part) == 0 {
-				panic(fmt.Sprintf("multichip: Partition part %d is empty", pi))
+				return nil, fmt.Errorf("multichip: Partition part %d is empty", pi)
 			}
 			for _, g := range part {
 				if g < 0 || g >= n || seen[g] {
-					panic(fmt.Sprintf("multichip: Partition spin %d missing, repeated or out of range", g))
+					return nil, fmt.Errorf("multichip: Partition spin %d missing, repeated or out of range", g)
 				}
 				seen[g] = true
 			}
 		}
 		for g, ok := range seen {
 			if !ok {
-				panic(fmt.Sprintf("multichip: Partition does not cover spin %d", g))
+				return nil, fmt.Errorf("multichip: Partition does not cover spin %d", g)
 			}
 		}
 	}
@@ -231,8 +257,31 @@ func NewSystem(m *ising.Model, cfg Config) *System {
 			s.induceRNG[i] = kickMaster.Fork(uint64(i) + 1)
 		}
 	}
-	s.fabric = interconnect.New(c.Chips, c.Channels, c.ChannelBytesPerNS)
-	s.fabric.SetTopology(c.Topology)
+	s.fabric, err = interconnect.New(c.Chips, c.Channels, c.ChannelBytesPerNS)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.fabric.SetTopology(c.Topology); err != nil {
+		return nil, err
+	}
+	if c.Faults.Enabled() {
+		inj, err := fault.NewInjector(c.Faults, c.Chips)
+		if err != nil {
+			return nil, err
+		}
+		s.frt = newFaultRuntime(inj)
+	}
+	return s, nil
+}
+
+// MustSystem is NewSystem for callers with statically known-good
+// configuration (tests, benchmarks, experiment harnesses); it panics
+// on configuration errors.
+func MustSystem(m *ising.Model, cfg Config) *System {
+	s, err := NewSystem(m, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -289,15 +338,25 @@ func (s *System) drawInduced(ci int, progress float64) {
 	}
 }
 
+// update is one item of a boundary broadcast payload: the owner's
+// local index li / global index g now holds v; induced records whether
+// the change was last caused by a kick (Fig 15 accounting).
+type update struct {
+	li, g   int
+	v       int8
+	induced bool
+}
+
 // syncEpoch performs the boundary synchronization: every chip
 // broadcasts the owned spins that differ from what receivers believe,
 // the fabric charges the traffic, and shadows update. It returns the
 // number of bit changes communicated and how many of them were last
-// caused by an induced kick.
-func (s *System) syncEpoch() (total, induced int64) {
-	type update struct {
-		g int
-		v int8
+// caused by an induced kick. epochNo and tr feed the fault layer; with
+// faults disabled the path is byte-identical to the seed simulation.
+func (s *System) syncEpoch(epochNo int, tr obs.Tracer) (total, induced int64) {
+	if s.frt != nil {
+		// Last epoch's delayed broadcasts land first — late, in order.
+		s.deliverPending()
 	}
 	if len(s.chips) == 1 {
 		// No receivers: nothing is communicated. Keep the belief
@@ -307,19 +366,30 @@ func (s *System) syncEpoch() (total, induced int64) {
 		return 0, 0
 	}
 	for ci, c := range s.chips {
+		if s.frt != nil && s.frt.dead[ci] {
+			continue
+		}
 		cur := c.machine.Spins()
 		var ups []update
 		for li, g := range c.owned {
 			if cur[li] != s.receiverBelief[ci][li] {
-				ups = append(ups, update{g, cur[li]})
-				s.receiverBelief[ci][li] = cur[li]
-				if c.lastFlipInduced[li] {
-					induced++
-				}
+				ups = append(ups, update{li, g, cur[li], c.lastFlipInduced[li]})
 			}
 		}
 		if len(ups) == 0 {
 			continue
+		}
+		if s.frt != nil {
+			t, i := s.faultSend(epochNo, ci, ups, tr)
+			total += t
+			induced += i
+			continue
+		}
+		for _, u := range ups {
+			s.receiverBelief[ci][u.li] = u.v
+			if u.induced {
+				induced++
+			}
 		}
 		total += int64(len(ups))
 		s.fabric.Record(ci, interconnect.DeltaSyncBytes(len(ups), len(c.owned), len(s.chips)-1), "sync")
@@ -397,6 +467,11 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 	lastBytes := s.fabric.TotalBytes()
 	for model < durationNS-1e-9 {
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
+		if s.frt != nil {
+			// Chip loss (with optional repartition) and this epoch's
+			// stall draws, resolved at the barrier in chip order.
+			s.beginFaultEpoch(res.Epochs+1, durationNS-model, tr)
+		}
 		// Each chip integrates the epoch in flip-interval chunks;
 		// chips only read each other's state through shadows, which
 		// change at boundaries, so this is faithful to parallel
@@ -404,10 +479,22 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		// goroutine per chip.
 		s.forEachChip(func(ci int, c *chip) {
 			c.resetEpochCounters()
+			if s.frt != nil && s.frt.dead[ci] {
+				// A lost chip stops integrating AND stops clocking its
+				// kick PRNG; coordinated peers keep toggling its
+				// shadows blindly — that divergence is the damage.
+				return
+			}
+			// A transiently stalled chip holds its integrator but its
+			// digital PRNG keeps clocking, so coordinated clones stay
+			// aligned across the fleet.
+			hold := s.frt != nil && s.frt.holds[ci]
 			t := 0.0
 			for t < epoch-1e-9 {
 				chunk := math.Min(cfg.FlipIntervalNS, epoch-t)
-				c.machine.Run(chunk)
+				if !hold {
+					c.machine.Run(chunk)
+				}
 				t += chunk
 				s.drawInduced(ci, (model+t)/durationNS)
 			}
@@ -420,14 +507,24 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		if cfg.Probes {
 			s.probe(res.Epochs, tr)
 		}
-		changes, inducedChanges := s.syncEpoch()
+		changes, inducedChanges := s.syncEpoch(res.Epochs, tr)
 		res.BitChanges += changes
 		res.InducedBitChanges += inducedChanges
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.EpochSync, Epoch: res.Epochs, ModelNS: model,
 				Count: changes, Induced: inducedChanges})
 		}
+		if s.frt != nil {
+			// Watchdog resyncs record fabric traffic, so they must land
+			// inside the open epoch for congestion to see them.
+			s.watchdog(res.Epochs, tr)
+		}
 		stall := s.fabric.EndEpoch(epoch)
+		if s.frt != nil {
+			// Recovery stall (retransmit backoff, repartition
+			// reprogramming) holds the machine just like congestion.
+			stall += s.frt.takeEpochStall(s.fabric)
+		}
 		elapsed += epoch + stall
 		if tr != nil {
 			total := s.fabric.TotalBytes()
@@ -480,6 +577,10 @@ func (s *System) collect(res *Result, model, elapsed float64) {
 	}
 	res.Spins = s.GlobalSpins()
 	res.Energy = s.model.Energy(res.Spins)
+	res.LiveChips = s.liveChips()
+	if s.frt != nil {
+		res.FaultStats = s.frt.stats
+	}
 	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
 		res.StallNS, res.TrafficBytes, res.Epochs)
 }

@@ -28,7 +28,7 @@ func kgraph(n int, seed uint64) *ising.Model {
 func TestConcurrentFindsFerromagnetGround(t *testing.T) {
 	n := 32
 	m := ferromagnet(n)
-	s := NewSystem(m, Config{Chips: 4, Seed: 1})
+	s := MustSystem(m, Config{Chips: 4, Seed: 1})
 	res := s.RunConcurrent(60)
 	want := -float64(n*(n-1)) / 2
 	if res.Energy != want {
@@ -38,7 +38,7 @@ func TestConcurrentFindsFerromagnetGround(t *testing.T) {
 
 func TestConcurrentEnergyMatchesSpins(t *testing.T) {
 	m := kgraph(48, 2)
-	s := NewSystem(m, Config{Chips: 4, Seed: 3})
+	s := MustSystem(m, Config{Chips: 4, Seed: 3})
 	res := s.RunConcurrent(40)
 	if d := math.Abs(res.Energy - m.Energy(res.Spins)); d > 1e-9 {
 		t.Fatalf("energy off by %v", d)
@@ -50,8 +50,8 @@ func TestConcurrentEnergyMatchesSpins(t *testing.T) {
 
 func TestConcurrentDeterministic(t *testing.T) {
 	m := kgraph(40, 4)
-	a := NewSystem(m, Config{Chips: 4, Seed: 5}).RunConcurrent(30)
-	b := NewSystem(m, Config{Chips: 4, Seed: 5}).RunConcurrent(30)
+	a := MustSystem(m, Config{Chips: 4, Seed: 5}).RunConcurrent(30)
+	b := MustSystem(m, Config{Chips: 4, Seed: 5}).RunConcurrent(30)
 	if a.Energy != b.Energy || ising.HammingDistance(a.Spins, b.Spins) != 0 {
 		t.Fatal("same seed produced different runs")
 	}
@@ -64,7 +64,7 @@ func TestShadowConsistencyAfterSync(t *testing.T) {
 	// DESIGN.md invariant: after the final epoch boundary, every
 	// chip's shadow view equals the true global state.
 	m := kgraph(40, 6)
-	s := NewSystem(m, Config{Chips: 4, Seed: 7})
+	s := MustSystem(m, Config{Chips: 4, Seed: 7})
 	s.RunConcurrent(33) // exactly 10 epochs of 3.3
 	truth := s.GlobalSpins()
 	for ci, c := range s.chips {
@@ -79,7 +79,7 @@ func TestShadowConsistencyAfterSync(t *testing.T) {
 func TestExternalBiasMatchesShadows(t *testing.T) {
 	// The incremental bias updates must agree with a full recompute.
 	m := kgraph(32, 8)
-	s := NewSystem(m, Config{Chips: 4, Seed: 9})
+	s := MustSystem(m, Config{Chips: 4, Seed: 9})
 	s.RunConcurrent(20)
 	for ci, c := range s.chips {
 		got := append([]float64(nil), c.machine.ExternalBias()...)
@@ -95,7 +95,7 @@ func TestExternalBiasMatchesShadows(t *testing.T) {
 
 func TestBitChangesNeverExceedFlips(t *testing.T) {
 	m := kgraph(48, 10)
-	res := NewSystem(m, Config{Chips: 4, Seed: 11}).RunConcurrent(40)
+	res := MustSystem(m, Config{Chips: 4, Seed: 11}).RunConcurrent(40)
 	if res.BitChanges > res.Flips {
 		t.Fatalf("bit changes %d > flips %d", res.BitChanges, res.Flips)
 	}
@@ -110,8 +110,8 @@ func TestBitChangesNeverExceedFlips(t *testing.T) {
 func TestLongerEpochsImproveFlipToChangeRatio(t *testing.T) {
 	// Fig 13-right: the flips/bit-changes ratio grows with epoch size.
 	m := kgraph(64, 12)
-	short := NewSystem(m, Config{Chips: 4, Seed: 13, EpochNS: 1}).RunConcurrent(60)
-	long := NewSystem(m, Config{Chips: 4, Seed: 13, EpochNS: 15}).RunConcurrent(60)
+	short := MustSystem(m, Config{Chips: 4, Seed: 13, EpochNS: 1}).RunConcurrent(60)
+	long := MustSystem(m, Config{Chips: 4, Seed: 13, EpochNS: 15}).RunConcurrent(60)
 	ratio := func(r *Result) float64 {
 		if r.BitChanges == 0 {
 			return math.Inf(1)
@@ -125,7 +125,7 @@ func TestLongerEpochsImproveFlipToChangeRatio(t *testing.T) {
 
 func TestUnlimitedFabricNoStall(t *testing.T) {
 	m := kgraph(32, 14)
-	res := NewSystem(m, Config{Chips: 4, Seed: 15}).RunConcurrent(30)
+	res := MustSystem(m, Config{Chips: 4, Seed: 15}).RunConcurrent(30)
 	if res.StallNS != 0 {
 		t.Fatalf("unlimited fabric stalled %v ns", res.StallNS)
 	}
@@ -137,7 +137,7 @@ func TestUnlimitedFabricNoStall(t *testing.T) {
 func TestLimitedFabricStalls(t *testing.T) {
 	// A starved fabric must stall and stretch elapsed time.
 	m := kgraph(64, 16)
-	res := NewSystem(m, Config{
+	res := MustSystem(m, Config{
 		Chips: 4, Seed: 17, Channels: 1, ChannelBytesPerNS: 0.001,
 	}).RunConcurrent(30)
 	if res.StallNS <= 0 {
@@ -155,10 +155,10 @@ func TestCoordinatedSavesTraffic(t *testing.T) {
 	// and traffic is exactly zero.
 	m := ising.NewModel(64) // no couplings, no dynamics-driven flips
 	heavyKicks := sched.Constant(0.05)
-	plain := NewSystem(m, Config{
+	plain := MustSystem(m, Config{
 		Chips: 4, Seed: 19, InducedFlip: heavyKicks,
 	}).RunConcurrent(40)
-	coord := NewSystem(m, Config{
+	coord := MustSystem(m, Config{
 		Chips: 4, Seed: 19, InducedFlip: heavyKicks, Coordinated: true,
 	}).RunConcurrent(40)
 	if plain.TrafficBytes == 0 {
@@ -176,7 +176,7 @@ func TestCoordinatedShadowsStayConsistent(t *testing.T) {
 	// Coordinated kicks toggle shadows without traffic; after a sync
 	// boundary everything must still agree.
 	m := kgraph(40, 20)
-	s := NewSystem(m, Config{Chips: 4, Seed: 21, Coordinated: true,
+	s := MustSystem(m, Config{Chips: 4, Seed: 21, Coordinated: true,
 		InducedFlip: sched.Constant(0.05)})
 	s.RunConcurrent(33)
 	truth := s.GlobalSpins()
@@ -193,7 +193,7 @@ func TestSingleChipDegeneratesToMonolith(t *testing.T) {
 	// One chip has no remote spins: no traffic, no bit changes, but
 	// real annealing.
 	m := kgraph(32, 22)
-	res := NewSystem(m, Config{Chips: 1, Seed: 23}).RunConcurrent(40)
+	res := MustSystem(m, Config{Chips: 1, Seed: 23}).RunConcurrent(40)
 	if res.TrafficBytes != 0 || res.BitChanges != 0 {
 		t.Fatalf("single chip generated traffic: %v bytes, %d changes",
 			res.TrafficBytes, res.BitChanges)
@@ -208,7 +208,7 @@ func TestSingleChipDegeneratesToMonolith(t *testing.T) {
 
 func TestTraceSamples(t *testing.T) {
 	m := kgraph(32, 24)
-	res := NewSystem(m, Config{Chips: 4, Seed: 25, SampleEveryNS: 10}).RunConcurrent(40)
+	res := MustSystem(m, Config{Chips: 4, Seed: 25, SampleEveryNS: 10}).RunConcurrent(40)
 	if len(res.Trace) == 0 {
 		t.Fatal("no trace samples")
 	}
@@ -221,7 +221,7 @@ func TestTraceSamples(t *testing.T) {
 
 func TestEpochStatsRecorded(t *testing.T) {
 	m := kgraph(32, 26)
-	res := NewSystem(m, Config{Chips: 4, Seed: 27, RecordEpochStats: true}).RunConcurrent(33)
+	res := MustSystem(m, Config{Chips: 4, Seed: 27, RecordEpochStats: true}).RunConcurrent(33)
 	if len(res.EpochStats) != res.Epochs {
 		t.Fatalf("%d stats for %d epochs", len(res.EpochStats), res.Epochs)
 	}
@@ -237,7 +237,7 @@ func TestEpochStatsRecorded(t *testing.T) {
 
 func TestProbesEmitSamples(t *testing.T) {
 	m := kgraph(32, 28)
-	res := NewSystem(m, Config{Chips: 4, Seed: 29, Probes: true}).RunConcurrent(20)
+	res := MustSystem(m, Config{Chips: 4, Seed: 29, Probes: true}).RunConcurrent(20)
 	if len(res.Surprises) == 0 {
 		t.Fatal("no surprise samples with Probes on")
 	}
@@ -255,8 +255,8 @@ func TestQualityComparableToMonolith(t *testing.T) {
 	var mono, multi float64
 	runs := 4
 	for i := 0; i < runs; i++ {
-		mono += NewSystem(m, Config{Chips: 1, Seed: uint64(100 + i)}).RunConcurrent(50).Energy
-		multi += NewSystem(m, Config{Chips: 4, Seed: uint64(100 + i), EpochNS: 1}).RunConcurrent(50).Energy
+		mono += MustSystem(m, Config{Chips: 1, Seed: uint64(100 + i)}).RunConcurrent(50).Energy
+		multi += MustSystem(m, Config{Chips: 4, Seed: uint64(100 + i), EpochNS: 1}).RunConcurrent(50).Energy
 	}
 	mono /= float64(runs)
 	multi /= float64(runs)
@@ -269,10 +269,10 @@ func TestQualityComparableToMonolith(t *testing.T) {
 func TestPanicsOnBadConfig(t *testing.T) {
 	m := ferromagnet(8)
 	for name, f := range map[string]func(){
-		"too many chips": func() { NewSystem(m, Config{Chips: 9}) },
-		"neg epoch":      func() { NewSystem(m, Config{Chips: 2, EpochNS: -1}) },
-		"zero duration":  func() { NewSystem(m, Config{Chips: 2}).RunConcurrent(0) },
-		"neg interval":   func() { NewSystem(m, Config{Chips: 2, FlipIntervalNS: -1}) },
+		"too many chips": func() { MustSystem(m, Config{Chips: 9}) },
+		"neg epoch":      func() { MustSystem(m, Config{Chips: 2, EpochNS: -1}) },
+		"zero duration":  func() { MustSystem(m, Config{Chips: 2}).RunConcurrent(0) },
+		"neg interval":   func() { MustSystem(m, Config{Chips: 2, FlipIntervalNS: -1}) },
 	} {
 		func() {
 			defer func() {
@@ -292,7 +292,7 @@ func TestChipModelsReconstructGlobalEnergy(t *testing.T) {
 	// where E_cross = −Σ_{(i,j) across chips} J_ij σ_i σ_j (each pair
 	// once).
 	m := kgraph(40, 50)
-	s := NewSystem(m, Config{Chips: 4, Seed: 51})
+	s := MustSystem(m, Config{Chips: 4, Seed: 51})
 	spins := ising.RandomSpins(40, rng.New(52))
 
 	sumLocal := 0.0
@@ -326,7 +326,7 @@ func TestCrossRowsMatchGlobalModel(t *testing.T) {
 	// Every cross entry must be the global coupling divided by the
 	// shared scale, and zero for same-chip pairs.
 	m := kgraph(24, 53)
-	s := NewSystem(m, Config{Chips: 3, Seed: 54})
+	s := MustSystem(m, Config{Chips: 3, Seed: 54})
 	for _, c := range s.chips {
 		for li, g := range c.owned {
 			for j := 0; j < 24; j++ {
@@ -351,7 +351,7 @@ func TestSystemInvariantsProperty(t *testing.T) {
 		chips := int(chipsRaw)%4 + 1
 		epoch := 0.5 + float64(epochRaw%8)
 		m := kgraph(n, uint64(seed))
-		s := NewSystem(m, Config{
+		s := MustSystem(m, Config{
 			Chips: chips, Seed: uint64(seed), EpochNS: epoch,
 			Coordinated: coordinated,
 		})

@@ -20,7 +20,7 @@ func runTraced(t *testing.T, cfg Config, run func(*System) any) []obs.Event {
 	t.Helper()
 	ring := obs.NewRing(1 << 16)
 	cfg.Tracer = ring
-	run(NewSystem(kgraph(64, 1), cfg))
+	run(MustSystem(kgraph(64, 1), cfg))
 	evs := ring.Events()
 	if int64(len(evs)) != ring.Total() {
 		t.Fatalf("ring overflowed: %d retained of %d", len(evs), ring.Total())
@@ -89,7 +89,7 @@ func TestTraceDeterminismBatch(t *testing.T) {
 // to the run's own totals, and every event-series pair must agree.
 func TestCollectorMatchesResult(t *testing.T) {
 	ring := obs.NewRing(1 << 16)
-	sys := NewSystem(kgraph(64, 1), Config{Chips: 4, Seed: 2, EpochNS: 5,
+	sys := MustSystem(kgraph(64, 1), Config{Chips: 4, Seed: 2, EpochNS: 5,
 		RecordEpochStats: true, Tracer: ring})
 	res := sys.RunConcurrent(30)
 	if len(res.EpochStats) != res.Epochs {
@@ -125,7 +125,7 @@ func TestCollectorMatchesResult(t *testing.T) {
 // reported totals — the acceptance invariant of the -metrics flag.
 func TestMetricsMatchResult(t *testing.T) {
 	reg := obs.NewRegistry()
-	res := NewSystem(kgraph(64, 1), Config{Chips: 4, Seed: 2, EpochNS: 5,
+	res := MustSystem(kgraph(64, 1), Config{Chips: 4, Seed: 2, EpochNS: 5,
 		Metrics: reg}).RunConcurrent(30)
 	snap := reg.Snapshot()
 	if snap.Counters["multichip.flips"] != res.Flips {

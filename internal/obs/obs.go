@@ -20,6 +20,11 @@
 //     congestion stall (the Fig 12 time-to-solution components).
 //   - Probe: an ignorance / energy-surprise measurement (Fig 9).
 //   - EnergySample: an (elapsed time, energy) trajectory sample.
+//   - Fault: an injected fabric or chip fault (Label discriminates:
+//     "drop", "corrupt", "delay", "stall", "chip-loss").
+//   - Recovery: recovery-policy activity (Label discriminates:
+//     "retransmit", "resync", "repartition"), with the traffic and
+//     stall it cost.
 //
 // # Sinks
 //
@@ -55,6 +60,8 @@ const (
 	FabricTransfer Kind = "fabric_transfer"
 	Probe          Kind = "probe"
 	EnergySample   Kind = "energy_sample"
+	Fault          Kind = "fault"
+	Recovery       Kind = "recovery"
 	RunEnd         Kind = "run_end"
 )
 
@@ -74,6 +81,12 @@ const (
 //	EnergySample:   ModelNS (elapsed ns; sweep/step ordinal for
 //	                software engines), Value (energy), Epoch/Chip when
 //	                scoped
+//	Fault:          Label (fault class), Epoch, Chip, Count (updates
+//	                affected, when applicable)
+//	Recovery:       Label (policy), Epoch, Chip, Count (attempts or
+//	                spins moved), Value (bytes charged), StallNS
+//	                (recovery stall charged), Aux (divergence fraction
+//	                for "resync")
 //	RunEnd:         Label (engine), Value (best energy), ModelNS,
 //	                StallNS, Count (flips), Induced, WallDurNS
 //

@@ -41,6 +41,7 @@ import (
 	"io"
 
 	"mbrim/internal/core"
+	"mbrim/internal/fault"
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
 	"mbrim/internal/multichip"
@@ -122,6 +123,13 @@ type (
 	BatchResult = multichip.BatchResult
 	// Layout describes a reconfigurable chip configuration (Fig 7).
 	Layout = multichip.Layout
+	// FaultConfig parameterizes the deterministic fault-injection
+	// layer (set SystemConfig.Faults / Request.Faults).
+	FaultConfig = fault.Config
+	// RecoveryConfig selects and tunes the recovery policies.
+	RecoveryConfig = fault.Recovery
+	// FaultStats ledgers a run's injected faults and recovery work.
+	FaultStats = fault.Stats
 	// Schedule maps run progress ∈ [0,1] to a control value.
 	Schedule = sched.Schedule
 	// RNG is a deterministic, cloneable random source.
@@ -184,9 +192,16 @@ func Kinds() []string { return core.Kinds() }
 // ParseKind validates a solver name.
 func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
 
-// NewSystem builds a multiprocessor Ising machine over the model.
-func NewSystem(m *Model, cfg SystemConfig) *System {
+// NewSystem builds a multiprocessor Ising machine over the model,
+// reporting invalid configuration as an error.
+func NewSystem(m *Model, cfg SystemConfig) (*System, error) {
 	return multichip.NewSystem(m, cfg)
+}
+
+// MustSystem is NewSystem for statically known-good configuration; it
+// panics on configuration errors.
+func MustSystem(m *Model, cfg SystemConfig) *System {
+	return multichip.MustSystem(m, cfg)
 }
 
 // PlanLayout computes a reconfigurable chip's module configuration for

@@ -64,12 +64,12 @@ func TestReadGraphRoundTrip(t *testing.T) {
 
 func TestDirectSystemUse(t *testing.T) {
 	m := mbrim.CompleteGraph(32, 5).ToIsing()
-	sys := mbrim.NewSystem(m, mbrim.SystemConfig{Chips: 4, Seed: 6})
+	sys := mbrim.MustSystem(m, mbrim.SystemConfig{Chips: 4, Seed: 6})
 	res := sys.RunConcurrent(30)
 	if res.Energy >= 0 {
 		t.Fatalf("no progress: %v", res.Energy)
 	}
-	res2 := mbrim.NewSystem(m, mbrim.SystemConfig{Chips: 4, Seed: 6, EpochNS: 5}).RunBatch(4, 30)
+	res2 := mbrim.MustSystem(m, mbrim.SystemConfig{Chips: 4, Seed: 6, EpochNS: 5}).RunBatch(4, 30)
 	if res2.BestEnergy >= 0 {
 		t.Fatalf("batch no progress: %v", res2.BestEnergy)
 	}
