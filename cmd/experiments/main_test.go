@@ -47,6 +47,7 @@ func TestEverySubcommandRuns(t *testing.T) {
 		"ablation":        {"-n", "48", "-duration", "20"},
 		"resilience":      {"-n", "48", "-duration", "20", "-schedules", "1"},
 		"suite":           {"-runs", "1", "-sweeps", "20", "-steps", "50", "-duration", "20"},
+		"guardrails":      {"-n", "48", "-duration", "20", "-cut-epoch", "2"},
 	}
 	for name, cmd := range commands {
 		args, ok := tiny[name]
@@ -67,7 +68,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"firstprinciples", "summary", "capacity", "demand", "macrochip",
 		"reconfig", "machinemetrics", "tts", "nonideal", "ablation",
-		"resilience", "suite",
+		"resilience", "suite", "guardrails",
 	}
 	for _, name := range want {
 		if _, ok := commands[name]; !ok {

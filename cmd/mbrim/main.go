@@ -12,13 +12,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mbrim"
 )
@@ -57,6 +61,9 @@ func main() {
 	recoverBackoff := flag.Float64("recover-backoff", 0, "stall per retransmit attempt, ns (0 = default 0.5)")
 	recoverWatchdog := flag.Float64("recover-watchdog", 0, "shadow-divergence fraction forcing a full-bitmap resync (0 = off)")
 	recoverRepartition := flag.Bool("recover-repartition", false, "repartition a dead chip's slice onto survivors")
+	timeout := flag.Duration("timeout", 0, "cancel the solve after this wall-clock budget (0 = none)")
+	ckptPath := flag.String("checkpoint", "", "on interruption, write resume state to this file (multichip engines)")
+	resumePath := flag.String("resume", "", "resume a multichip solve from this checkpoint file")
 	flag.Parse()
 
 	kind, err := mbrim.ParseKind(*solver)
@@ -143,7 +150,29 @@ func main() {
 		fmt.Fprintf(info, "pprof:   http://%s/debug/pprof/ (metrics at /metrics)\n", *pprofAddr)
 	}
 
-	out, err := mbrim.Solve(mbrim.Request{
+	// Lifecycle: -timeout bounds the run, SIGINT/SIGTERM cancel it, and
+	// -resume feeds a prior run's checkpoint back in. Both cancellation
+	// paths stop the engine at its next barrier; for multichip engines
+	// the interruption carries resume bytes that -checkpoint persists.
+	var resumeBytes []byte
+	if *resumePath != "" {
+		b, err := os.ReadFile(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		resumeBytes = b
+		fmt.Fprintf(info, "resume:  %s (%d bytes)\n", *resumePath, len(b))
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	out, err := mbrim.SolveCtx(ctx, mbrim.Request{
 		Kind:              kind,
 		Model:             model,
 		Graph:             g,
@@ -179,7 +208,41 @@ func main() {
 				Repartition:         *recoverRepartition,
 			},
 		},
+		Resume: resumeBytes,
 	})
+	var intr *mbrim.InterruptedError
+	if errors.As(err, &intr) {
+		// Interrupted: summarize the best-so-far state, persist the
+		// checkpoint when one exists, and exit nonzero so scripts can
+		// tell a cut-short run from a completed one.
+		stop()
+		fmt.Fprintf(os.Stderr, "mbrim: interrupted: %v\n", intr.Cause)
+		if p := intr.Outcome; p != nil {
+			fmt.Fprintf(os.Stderr, "mbrim: best-so-far energy %.0f", p.Energy)
+			if g != nil {
+				fmt.Fprintf(os.Stderr, ", cut %.0f", p.Cut)
+			}
+			if p.ModelNS > 0 {
+				fmt.Fprintf(os.Stderr, ", %.1f ns model time", p.ModelNS)
+			}
+			fmt.Fprintf(os.Stderr, " (wall %v)\n", p.Wall)
+		}
+		if *ckptPath != "" {
+			if intr.Checkpoint == nil {
+				fmt.Fprintf(os.Stderr, "mbrim: engine %s has no resumable state; no checkpoint written\n", *solver)
+			} else if werr := os.WriteFile(*ckptPath, intr.Checkpoint, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "mbrim:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "mbrim: checkpoint written to %s (resume with -resume %s)\n", *ckptPath, *ckptPath)
+			}
+		}
+		if jsonl != nil {
+			if ferr := jsonl.Flush(); ferr != nil {
+				fmt.Fprintln(os.Stderr, "mbrim:", ferr)
+			}
+		}
+		os.Exit(3)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -40,6 +40,7 @@
 package brim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -101,6 +102,13 @@ type Config struct {
 	// goroutines — a host-side speedup for large chips with no effect
 	// on the simulated trajectory. Zero or one runs single-threaded.
 	Workers int
+	// MaxStepRetries bounds the numerical guardrail's step-halving
+	// backoff: a step whose candidate voltages come out NaN/Inf or
+	// blown far past the rails is discarded and retried at halved dt
+	// up to this many times before the run aborts with a
+	// *DivergenceError. Zero selects the default 8; negative disables
+	// retries (the first bad step aborts).
+	MaxStepRetries int
 }
 
 func (c *Config) withDefaults() Config {
@@ -128,6 +136,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.SpinThreshold == 0 {
 		out.SpinThreshold = 0.1
+	}
+	if out.MaxStepRetries == 0 {
+		out.MaxStepRetries = defaultMaxStepRetries
 	}
 	if out.Dt <= 0 || out.Tau <= 0 || out.FlipInterval <= 0 {
 		panic(fmt.Sprintf("brim: non-positive time parameter: %+v", out))
@@ -158,6 +169,8 @@ type Machine struct {
 	flips        int64 // readout sign changes (all causes)
 	induced      int64 // flips whose proximate cause was an induced kick
 	steps        int64
+	stepRetries  int64 // guardrail halved-step retries, cumulative
+	epochRetries int64 // retries since the last TakeEpochRetries drain
 	flipListener func(node int, newSpin int8, induced bool)
 
 	// Kick-hold state: nodes the annealing control is still driving.
@@ -169,8 +182,9 @@ type Machine struct {
 	invTauVar []float64
 	kappaVar  []float64
 
-	// scratch buffers for RK4
-	k1, k2, k3, k4, vtmp []float64
+	// scratch buffers for RK4; cand holds a step's candidate voltages
+	// so the guardrail can inspect them before any state commits.
+	k1, k2, k3, k4, vtmp, cand []float64
 }
 
 // New builds a machine for the model. The machine starts at random
@@ -202,6 +216,7 @@ func New(m *ising.Model, cfg Config) *Machine {
 		k3:    make([]float64, n),
 		k4:    make([]float64, n),
 		vtmp:  make([]float64, n),
+		cand:  make([]float64, n),
 
 		holdUntil:  make([]float64, n),
 		holdTarget: make([]int8, n),
@@ -450,8 +465,48 @@ func (ma *Machine) progress(t float64) float64 {
 	return p
 }
 
-// step advances one RK4 step of size dt.
-func (ma *Machine) step(dt float64) {
+// Numerical guardrail constants. A candidate voltage past blowupLimit
+// means the integrator left its stability region: physical voltages
+// clamp at ±1, and a stable step never overshoots the rails by six
+// orders of magnitude. defaultMaxStepRetries bounds the step-halving
+// backoff (2^8 ≈ 256× dt reduction reach).
+const (
+	blowupLimit           = 1e6
+	defaultMaxStepRetries = 8
+)
+
+// DivergenceError reports that the integrator left its numerical
+// stability region and the step-halving guardrail could not recover:
+// some candidate voltage came out NaN/Inf or beyond blowupLimit at
+// every attempted step size. The machine's committed state is still
+// the last stable one — no NaN ever reaches the voltages or readout.
+type DivergenceError struct {
+	// Node is the first offending node index (machine-local).
+	Node int
+	// TimeNS is the model time at which the failing step began.
+	TimeNS float64
+	// Value is the offending candidate voltage of the final attempt.
+	Value float64
+	// DtHistory lists every step size attempted, largest first.
+	DtHistory []float64
+}
+
+func (e *DivergenceError) Error() string {
+	last := math.NaN()
+	if len(e.DtHistory) > 0 {
+		last = e.DtHistory[len(e.DtHistory)-1]
+	}
+	return fmt.Sprintf("brim: integrator diverged at node %d, t=%.4g ns (candidate v=%g after %d step size(s) down to dt=%g)",
+		e.Node, e.TimeNS, e.Value, len(e.DtHistory), last)
+}
+
+// trialStep computes the RK4 candidate voltages for a step of size dt
+// into ma.cand without committing any state, and returns the first node
+// whose candidate is NaN/Inf or beyond blowupLimit (-1 when the step is
+// clean). Overflow in an intermediate stage surfaces in the candidate —
+// Inf propagates through the remaining stages and mixed-sign overflow
+// yields NaN — so checking the candidate catches stage blowups too.
+func (ma *Machine) trialStep(dt float64) (badNode int, badV float64) {
 	n := ma.n
 	p := ma.progress(ma.t)
 	pm := ma.progress(ma.t + dt/2)
@@ -470,8 +525,36 @@ func (ma *Machine) step(dt float64) {
 		ma.vtmp[i] = ma.v[i] + dt*ma.k3[i]
 	}
 	ma.deriv(ma.vtmp, pe, ma.k4)
+	badNode = -1
 	for i := 0; i < n; i++ {
 		v := ma.v[i] + dt/6*(ma.k1[i]+2*ma.k2[i]+2*ma.k3[i]+ma.k4[i])
+		ma.cand[i] = v
+		if badNode < 0 && (math.IsNaN(v) || v > blowupLimit || v < -blowupLimit) {
+			badNode, badV = i, v
+		}
+	}
+	return badNode, badV
+}
+
+// trialStepEuler is trialStep for the forward-Euler ablation.
+func (ma *Machine) trialStepEuler(dt float64) (badNode int, badV float64) {
+	ma.deriv(ma.v, ma.progress(ma.t), ma.k1)
+	badNode = -1
+	for i := 0; i < ma.n; i++ {
+		v := ma.v[i] + dt*ma.k1[i]
+		ma.cand[i] = v
+		if badNode < 0 && (math.IsNaN(v) || v > blowupLimit || v < -blowupLimit) {
+			badNode, badV = i, v
+		}
+	}
+	return badNode, badV
+}
+
+// commitStep commits the candidate voltages of a clean trial as one
+// step of size dt: rail-clamp, advance time, then noise, kick holds and
+// readout, exactly as an unguarded step would.
+func (ma *Machine) commitStep(dt float64) {
+	for i, v := range ma.cand {
 		// Rails: the physical voltage saturates at the supplies.
 		if v > 1 {
 			v = 1
@@ -489,26 +572,53 @@ func (ma *Machine) step(dt float64) {
 	ma.updateReadout(false)
 }
 
-// stepEuler advances one forward-Euler step; only the integrator
-// ablation uses it.
-func (ma *Machine) stepEuler(dt float64) {
-	ma.deriv(ma.v, ma.progress(ma.t), ma.k1)
-	for i := 0; i < ma.n; i++ {
-		v := ma.v[i] + dt*ma.k1[i]
-		if v > 1 {
-			v = 1
-		} else if v < -1 {
-			v = -1
+// guardedStep advances one integration step of size dt with the
+// numerical guardrail: a step whose candidate voltages are non-finite
+// or blown past blowupLimit is discarded and retried at halved dt, up
+// to MaxStepRetries times. A retried step commits the shortened step —
+// the machine simply takes more, smaller steps to cross the interval —
+// and retries consume no PRNG draws, so the guardrail never perturbs an
+// already-stable trajectory and guarded runs stay deterministic.
+func (ma *Machine) guardedStep(dt float64, trial func(float64) (int, float64)) error {
+	dt0 := dt
+	limit := ma.cfg.MaxStepRetries
+	if limit < 0 {
+		limit = 0
+	}
+	for attempt := 0; ; attempt++ {
+		bad, badV := trial(dt)
+		if bad < 0 {
+			ma.commitStep(dt)
+			if attempt > 0 {
+				ma.stepRetries += int64(attempt)
+				ma.epochRetries += int64(attempt)
+			}
+			return nil
 		}
-		ma.v[i] = v
+		if attempt >= limit {
+			hist := make([]float64, attempt+1)
+			d := dt0
+			for i := range hist {
+				hist[i] = d
+				d /= 2
+			}
+			return &DivergenceError{Node: bad, TimeNS: ma.t, Value: badV, DtHistory: hist}
+		}
+		dt /= 2
 	}
-	ma.t += dt
-	ma.steps++
-	if ma.cfg.NoiseAmp > 0 {
-		ma.applyNoise(dt)
-	}
-	ma.applyHolds()
-	ma.updateReadout(false)
+}
+
+// StepRetries returns the total halved-step retries the numerical
+// guardrail has spent so far.
+func (ma *Machine) StepRetries() int64 { return ma.stepRetries }
+
+// TakeEpochRetries drains the retry count accumulated since the last
+// call. The multiprocessor reads it at epoch barriers, in chip order,
+// to emit Numerical trace events deterministically under Parallel.
+func (ma *Machine) TakeEpochRetries() int64 {
+	r := ma.epochRetries
+	ma.epochRetries = 0
+	return r
 }
 
 // updateReadout applies the hysteresis comparator to every node and
@@ -557,17 +667,50 @@ func (ma *Machine) induceFlips() {
 
 // Run advances the machine by duration ns of model time, processing
 // induced-flip draws on schedule. If no horizon was declared, the
-// first Run call sets it to its own duration.
-func (ma *Machine) Run(duration float64) {
+// first Run call sets it to its own duration. A non-nil error is a
+// *DivergenceError: the machine's committed state is still the last
+// stable one.
+func (ma *Machine) Run(duration float64) error {
+	return ma.run(context.Background(), duration, ma.trialStep)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// at every flip-interval boundary, and ctx.Err() is returned when it
+// fires, leaving the machine at a consistent state mid-run.
+func (ma *Machine) RunCtx(ctx context.Context, duration float64) error {
+	return ma.run(ctx, duration, ma.trialStep)
+}
+
+// RunEuler is Run with forward-Euler integration, for the integrator
+// ablation bench only.
+func (ma *Machine) RunEuler(duration float64) error {
+	return ma.run(context.Background(), duration, ma.trialStepEuler)
+}
+
+// run is the shared advance loop: integrate to the next induced-flip
+// draw or the end, whichever comes first, with the numerical guardrail
+// around every step and a cancellation check per flip interval.
+func (ma *Machine) run(ctx context.Context, duration float64, trial func(float64) (int, float64)) error {
 	if duration <= 0 {
 		panic("brim: Run with non-positive duration")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if ma.horizon <= 0 {
 		ma.horizon = duration
 	}
 	end := ma.t + duration
 	const eps = 1e-12
+	done := ctx.Done()
 	for ma.t < end-eps {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		// Integrate up to the next induced-flip draw or the epoch end,
 		// whichever comes first.
 		next := end
@@ -579,41 +722,14 @@ func (ma *Machine) Run(duration float64) {
 			if ma.t+dt > next {
 				dt = next - ma.t
 			}
-			ma.step(dt)
-		}
-		if ma.t >= ma.nextFlip-eps {
-			ma.induceFlips()
-			ma.nextFlip += ma.cfg.FlipInterval
-		}
-	}
-}
-
-// RunEuler is Run with forward-Euler integration, for the integrator
-// ablation bench only.
-func (ma *Machine) RunEuler(duration float64) {
-	if duration <= 0 {
-		panic("brim: RunEuler with non-positive duration")
-	}
-	if ma.horizon <= 0 {
-		ma.horizon = duration
-	}
-	end := ma.t + duration
-	const eps = 1e-12
-	for ma.t < end-eps {
-		next := end
-		if ma.nextFlip < next {
-			next = ma.nextFlip
-		}
-		for ma.t < next-eps {
-			dt := ma.cfg.Dt
-			if ma.t+dt > next {
-				dt = next - ma.t
+			if err := ma.guardedStep(dt, trial); err != nil {
+				return err
 			}
-			ma.stepEuler(dt)
 		}
 		if ma.t >= ma.nextFlip-eps {
 			ma.induceFlips()
 			ma.nextFlip += ma.cfg.FlipInterval
 		}
 	}
+	return nil
 }

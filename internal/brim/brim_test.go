@@ -349,6 +349,8 @@ func BenchmarkStepN256(b *testing.B) {
 	ma.SetHorizon(float64(b.N) * ma.cfg.Dt)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ma.step(ma.cfg.Dt)
+		if bad, _ := ma.trialStep(ma.cfg.Dt); bad < 0 {
+			ma.commitStep(ma.cfg.Dt)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package brim
 
 import (
+	"context"
 	"fmt"
 
 	"mbrim/internal/ising"
@@ -17,6 +18,8 @@ type Result struct {
 	// Flips counts readout sign changes; Induced the subset caused by
 	// annealing kicks; Steps the RK4 steps taken.
 	Flips, Induced, Steps int64
+	// StepRetries counts the numerical guardrail's halved-step retries.
+	StepRetries int64
 	// Trace, if sampling was requested, holds (model time ns, energy)
 	// samples of the digital readout over the run.
 	Trace []metrics.Point
@@ -36,15 +39,34 @@ type SolveConfig struct {
 	// sample (requires SampleInterval > 0). Nil disables tracing.
 	Tracer obs.Tracer
 	// Metrics, if non-nil, accumulates run totals (brim.steps,
-	// brim.flips, brim.induced_flips, brim.runs).
+	// brim.flips, brim.induced_flips, brim.step_retries, brim.runs).
 	Metrics *obs.Registry
 }
 
 // Solve runs one annealing job on a fresh machine and reports the
-// final readout, its energy, and the machine-time ledger.
+// final readout, its energy, and the machine-time ledger. It panics on
+// integrator divergence; callers that need the typed error use
+// SolveCtx.
 func Solve(m *ising.Model, cfg SolveConfig) *Result {
+	res, err := SolveCtx(context.Background(), m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// SolveCtx is Solve with lifecycle control. Cancellation stops the run
+// at the next flip-interval (or sample) boundary and returns the
+// partial best-effort result alongside ctx.Err(); integrator
+// divergence returns the last stable state alongside a
+// *DivergenceError. The result is always non-nil and internally
+// consistent.
+func SolveCtx(ctx context.Context, m *ising.Model, cfg SolveConfig) (*Result, error) {
 	if cfg.Duration <= 0 {
 		panic(fmt.Sprintf("brim: Duration=%v", cfg.Duration))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	ma := New(m, cfg.Config)
 	ma.SetHorizon(cfg.Duration)
@@ -52,13 +74,17 @@ func Solve(m *ising.Model, cfg SolveConfig) *Result {
 		ma.SetSpins(cfg.Initial)
 	}
 	res := &Result{}
+	var runErr error
 	if cfg.SampleInterval > 0 {
-		for t := 0.0; t < cfg.Duration; t += cfg.SampleInterval {
+		for t := 0.0; t < cfg.Duration && runErr == nil; t += cfg.SampleInterval {
 			chunk := cfg.SampleInterval
 			if t+chunk > cfg.Duration {
 				chunk = cfg.Duration - t
 			}
-			ma.Run(chunk)
+			runErr = ma.RunCtx(ctx, chunk)
+			if runErr != nil {
+				break
+			}
 			en := m.Energy(ma.Spins())
 			res.Trace = append(res.Trace, metrics.Point{
 				X: ma.Time(),
@@ -70,7 +96,7 @@ func Solve(m *ising.Model, cfg SolveConfig) *Result {
 			}
 		}
 	} else {
-		ma.Run(cfg.Duration)
+		runErr = ma.RunCtx(ctx, cfg.Duration)
 	}
 	res.Spins = ising.CopySpins(ma.Spins())
 	res.Energy = m.Energy(res.Spins)
@@ -78,13 +104,15 @@ func Solve(m *ising.Model, cfg SolveConfig) *Result {
 	res.Flips = ma.Flips()
 	res.Induced = ma.InducedFlips()
 	res.Steps = ma.Steps()
+	res.StepRetries = ma.StepRetries()
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("brim.runs").Inc()
 		cfg.Metrics.Counter("brim.steps").Add(res.Steps)
 		cfg.Metrics.Counter("brim.flips").Add(res.Flips)
 		cfg.Metrics.Counter("brim.induced_flips").Add(res.Induced)
+		cfg.Metrics.Counter("brim.step_retries").Add(res.StepRetries)
 	}
-	return res
+	return res, runErr
 }
 
 // SolveBatch runs `runs` annealing jobs from different seeds on one
@@ -93,17 +121,31 @@ func Solve(m *ising.Model, cfg SolveConfig) *Result {
 // batch sequentially, which is exactly the baseline batch mode is
 // measured against.
 func SolveBatch(m *ising.Model, cfg SolveConfig, runs int) (best *Result, all []*Result) {
+	best, all, err := SolveBatchCtx(context.Background(), m, cfg, runs)
+	if err != nil {
+		panic(err)
+	}
+	return best, all
+}
+
+// SolveBatchCtx is SolveBatch with lifecycle control: on cancellation
+// or divergence it returns the completed runs plus the interrupted
+// partial, the best among them, and the error.
+func SolveBatchCtx(ctx context.Context, m *ising.Model, cfg SolveConfig, runs int) (best *Result, all []*Result, err error) {
 	if runs < 1 {
 		panic(fmt.Sprintf("brim: runs=%d", runs))
 	}
-	all = make([]*Result, runs)
-	for i := range all {
+	for i := 0; i < runs; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
-		all[i] = Solve(m, c)
-		if best == nil || all[i].Energy < best.Energy {
-			best = all[i]
+		res, rerr := SolveCtx(ctx, m, c)
+		all = append(all, res)
+		if best == nil || res.Energy < best.Energy {
+			best = res
+		}
+		if rerr != nil {
+			return best, all, rerr
 		}
 	}
-	return best, all
+	return best, all, nil
 }

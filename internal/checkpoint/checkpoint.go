@@ -1,0 +1,143 @@
+// Package checkpoint defines the versioned on-disk format for
+// interrupted solver runs. A checkpoint file is a single JSON object —
+// human-inspectable, stdlib-only, and exact: encoding/json round-trips
+// float64 values bit-for-bit (shortest-representation printing), and
+// the few quantities that can hold ±Inf are carried as IEEE-754 bit
+// patterns in uint64 fields, so a decoded checkpoint resumes
+// bit-identically to the run that wrote it.
+//
+// The envelope binds a snapshot to the run that produced it: a magic
+// string and format version, the engine kind, the seed, the problem
+// size, and a hash of the model itself. Resume refuses a checkpoint
+// whose envelope does not match the request, which turns the classic
+// silent failure — resuming chip state against a different problem —
+// into a typed error.
+//
+// Decode is hardened against arbitrary corrupt bytes: it validates the
+// envelope and returns errors, never panics. The deep validation of
+// the engine payload (dimensions, value ranges, PRNG positions)
+// happens in the engine's own Restore path, which is equally
+// panic-free; the two layers together make feeding a truncated,
+// bit-flipped or hostile file a recoverable error.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"mbrim/internal/ising"
+	"mbrim/internal/multichip"
+)
+
+// Magic identifies a checkpoint file; Version is the format revision.
+// Any incompatible change to the payload structs must bump Version.
+const (
+	Magic   = "mbrim-ckpt"
+	Version = 1
+)
+
+// File is the envelope plus the engine payload. Exactly one payload
+// field is set, matching Engine.
+type File struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Engine is the core solver kind the run used (e.g.
+	// "multichip-concurrent"); resume dispatches on it.
+	Engine string `json:"engine"`
+	// Seed and N describe the run; ModelHash fingerprints the problem
+	// (couplings, biases, μ) so a checkpoint cannot be resumed against
+	// a different model of the same size.
+	Seed      uint64 `json:"seed"`
+	N         int    `json:"n"`
+	ModelHash uint64 `json:"modelHash"`
+	// Multichip is the payload for the multichip engines.
+	Multichip *multichip.Checkpoint `json:"multichip,omitempty"`
+}
+
+// HashModel fingerprints a model with FNV-1a over its size, μ, every
+// coupling and every bias (as IEEE-754 bits, so -0 vs +0 and NaN
+// payloads distinguish). It is not cryptographic — it guards against
+// accidents, not adversaries.
+func HashModel(m *ising.Model) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	n := m.N()
+	mix(uint64(n))
+	mix(math.Float64bits(m.Mu()))
+	for i := 0; i < n; i++ {
+		for _, v := range m.Row(i) {
+			mix(math.Float64bits(v))
+		}
+	}
+	for _, v := range m.Biases() {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
+// Encode serializes a checkpoint file, stamping the magic and version.
+func Encode(f *File) ([]byte, error) {
+	if f == nil {
+		return nil, fmt.Errorf("checkpoint: nil file")
+	}
+	out := *f
+	out.Magic = Magic
+	out.Version = Version
+	data, err := json.Marshal(&out)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses checkpoint bytes and validates the envelope. It never
+// panics, whatever the input: corruption is reported as an error. The
+// payload's deep validation happens when the engine restores it.
+func Decode(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if f.Magic != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", f.Magic)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("checkpoint: version %d, this build reads %d", f.Version, Version)
+	}
+	if f.N < 1 {
+		return nil, fmt.Errorf("checkpoint: n=%d", f.N)
+	}
+	if f.Engine == "" {
+		return nil, fmt.Errorf("checkpoint: missing engine")
+	}
+	return &f, nil
+}
+
+// Validate checks a decoded file against the run it is about to
+// resume.
+func (f *File) Validate(engine string, seed uint64, m *ising.Model) error {
+	if f.Engine != engine {
+		return fmt.Errorf("checkpoint: written by engine %q, resuming %q", f.Engine, engine)
+	}
+	if f.Seed != seed {
+		return fmt.Errorf("checkpoint: written with seed %d, resuming %d", f.Seed, seed)
+	}
+	if f.N != m.N() {
+		return fmt.Errorf("checkpoint: written for %d spins, resuming %d", f.N, m.N())
+	}
+	if h := HashModel(m); f.ModelHash != h {
+		return fmt.Errorf("checkpoint: model hash %#x does not match this problem (%#x)", f.ModelHash, h)
+	}
+	return nil
+}

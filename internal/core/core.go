@@ -8,12 +8,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
 	"mbrim/internal/brim"
+	"mbrim/internal/checkpoint"
 	"mbrim/internal/dnc"
 	"mbrim/internal/fault"
 	"mbrim/internal/graph"
@@ -138,6 +142,15 @@ type Request struct {
 	// injects nothing.
 	Faults fault.Config
 
+	// Resume, if non-nil, is a checkpoint written by an interrupted
+	// earlier solve (InterruptedError.Checkpoint, or the bytes the CLI
+	// saved to disk). Only the multichip engines support resume; the
+	// envelope must match this request's engine, seed and model, and
+	// the run parameters (duration, jobs) must match the interrupted
+	// run's. A resumed run is bit-identical to one that was never
+	// interrupted.
+	Resume []byte
+
 	// Tracer, if non-nil, receives the run's typed event stream: Solve
 	// emits the RunStart/RunEnd bracket and the engine emits its inner
 	// events (EpochSync, ChipStep, EnergySample, ...). Nil disables
@@ -199,6 +212,52 @@ type Outcome struct {
 	Surprises  []multichip.SurpriseSample
 }
 
+// validate rejects malformed requests at the public boundary with
+// typed errors, before any engine can turn them into a panic or a NaN.
+// It runs after withDefaults, so zero values have been filled.
+func (r *Request) validate() error {
+	if err := r.Model.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidModel, err)
+	}
+	if r.Initial != nil {
+		if len(r.Initial) != r.Model.N() {
+			return fmt.Errorf("%w: Initial has %d spins for a %d-spin model",
+				ErrInvalidModel, len(r.Initial), r.Model.N())
+		}
+		for i, s := range r.Initial {
+			if s != -1 && s != 1 {
+				return fmt.Errorf("%w: Initial[%d]=%d is not a spin", ErrInvalidModel, i, s)
+			}
+		}
+	}
+	if r.Runs < 1 {
+		return fmt.Errorf("core: Runs=%d", r.Runs)
+	}
+	if r.Sweeps < 1 {
+		return fmt.Errorf("core: Sweeps=%d", r.Sweeps)
+	}
+	if r.Steps < 1 {
+		return fmt.Errorf("core: Steps=%d", r.Steps)
+	}
+	if r.DurationNS <= 0 || math.IsNaN(r.DurationNS) || math.IsInf(r.DurationNS, 0) {
+		return fmt.Errorf("core: DurationNS=%v", r.DurationNS)
+	}
+	if r.EpochNS < 0 || math.IsNaN(r.EpochNS) || math.IsInf(r.EpochNS, 0) {
+		return fmt.Errorf("core: EpochNS=%v", r.EpochNS)
+	}
+	if r.SampleEveryNS < 0 || math.IsNaN(r.SampleEveryNS) || math.IsInf(r.SampleEveryNS, 0) {
+		return fmt.Errorf("core: SampleEveryNS=%v", r.SampleEveryNS)
+	}
+	if len(r.Resume) > 0 {
+		switch r.Kind {
+		case MBRIMConcurrent, MBRIMSequential, MBRIMBatch:
+		default:
+			return fmt.Errorf("core: engine %s does not support resume", r.Kind)
+		}
+	}
+	return nil
+}
+
 // Solve runs the requested engine and returns a uniform outcome.
 //
 // When a Tracer is configured, Solve brackets the engine's inner events
@@ -207,52 +266,120 @@ type Outcome struct {
 // on the way in; best energy (Value), model time and wall duration on
 // the way out.
 func Solve(req Request) (*Outcome, error) {
+	return SolveCtx(context.Background(), req)
+}
+
+// SolveCtx is Solve with lifecycle control:
+//
+//   - The request is validated at this boundary: a model with NaN/Inf
+//     couplings or biases, a mis-sized warm start, or nonsensical run
+//     parameters yield a typed error (ErrInvalidModel for problem
+//     defects) before any engine runs.
+//   - Cancelling the context stops every engine at its next natural
+//     boundary (epoch, sweep, step, iteration or launch) and returns a
+//     *InterruptedError — matched by errors.Is(err, ErrInterrupted) —
+//     carrying the best-so-far Outcome and, for the multichip engines,
+//     serialized checkpoint bytes that Request.Resume accepts for a
+//     bit-identical continuation.
+//   - Integrator divergence in the BRIM dynamics surfaces as a typed
+//     *brim.DivergenceError in the chain, never as NaN spins.
+//   - An engine panic is converted into a *PanicError with the stack
+//     attached instead of unwinding the caller.
+func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 	r, err := req.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Kind: r.Kind, Stats: map[string]float64{}}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			out = nil
+			err = &PanicError{Engine: r.Kind, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	out = &Outcome{Kind: r.Kind, Stats: map[string]float64{}}
 	if r.Tracer != nil {
 		r.Tracer.Emit(obs.Event{Kind: obs.RunStart, Label: string(r.Kind),
 			Seed: r.Seed, Count: int64(r.Model.N()), Value: r.DurationNS})
 	}
 	start := time.Now()
+	// interrupted finalizes the partial outcome and wraps it with the
+	// optional checkpoint bytes.
+	interrupted := func(cause error, ck []byte) (*Outcome, error) {
+		out.Wall = time.Since(start)
+		if r.Graph != nil && out.Spins != nil {
+			out.Cut = r.Graph.CutValue(out.Spins)
+		}
+		return nil, &InterruptedError{Outcome: out, Checkpoint: ck, Cause: cause}
+	}
 	switch r.Kind {
 	case SA:
-		br := sa.SolveBatch(r.Model, sa.Config{Sweeps: r.Sweeps, Seed: r.Seed, Initial: r.Initial,
-			Tracer: r.Tracer, Metrics: r.Metrics}, r.Runs)
-		out.Spins, out.Energy = br.Best.Spins, br.Best.Energy
+		var best *sa.Result
 		var attempts, flips float64
-		for _, res := range br.Results {
+		for i := 0; i < r.Runs; i++ {
+			res, rerr := sa.SolveCtx(ctx, r.Model, sa.Config{Sweeps: r.Sweeps,
+				Seed: r.Seed + uint64(i), Initial: r.Initial,
+				Tracer: r.Tracer, Metrics: r.Metrics})
 			attempts += float64(res.Attempts)
 			flips += float64(res.Flips)
+			if best == nil || res.Energy < best.Energy {
+				best = res
+			}
+			if rerr != nil {
+				out.Spins, out.Energy = best.Spins, best.Energy
+				out.Stats["attempts"], out.Stats["flips"] = attempts, flips
+				return interrupted(rerr, nil)
+			}
 		}
+		out.Spins, out.Energy = best.Spins, best.Energy
 		out.Stats["attempts"] = attempts
 		out.Stats["flips"] = flips
 	case PT:
-		res := pt.Solve(r.Model, pt.Config{Replicas: max(2, r.Runs), Sweeps: r.Sweeps, Seed: r.Seed})
+		res, rerr := pt.SolveCtx(ctx, r.Model, pt.Config{Replicas: max(2, r.Runs), Sweeps: r.Sweeps, Seed: r.Seed})
 		out.Spins, out.Energy = res.Spins, res.Energy
 		out.Stats["swaps"] = float64(res.Swaps)
 		out.Stats["swapAttempts"] = float64(res.SwapAttempts)
+		if rerr != nil {
+			return interrupted(rerr, nil)
+		}
 	case Tabu:
-		best := tabu.Solve(r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed, Initial: r.Initial})
-		for i := 1; i < r.Runs; i++ {
-			res := tabu.Solve(r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed + uint64(i)})
+		best, rerr := tabu.SolveCtx(ctx, r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed, Initial: r.Initial})
+		for i := 1; i < r.Runs && rerr == nil; i++ {
+			var res *tabu.Result
+			res, rerr = tabu.SolveCtx(ctx, r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed + uint64(i)})
 			if res.Energy < best.Energy {
 				best = res
 			}
 		}
 		out.Spins, out.Energy = best.Spins, best.Energy
+		if rerr != nil {
+			return interrupted(rerr, nil)
+		}
 	case BSBM, DSBM:
 		variant := sbm.Ballistic
 		if r.Kind == DSBM {
 			variant = sbm.Discrete
 		}
-		br := sbm.SolveBatch(r.Model, sbm.Config{Variant: variant, Steps: r.Steps, Seed: r.Seed,
-			Tracer: r.Tracer, Metrics: r.Metrics}, r.Runs)
-		out.Spins, out.Energy = br.Best.Spins, br.Best.Energy
+		var best *sbm.Result
+		for i := 0; i < r.Runs; i++ {
+			res, rerr := sbm.SolveCtx(ctx, r.Model, sbm.Config{Variant: variant, Steps: r.Steps,
+				Seed: r.Seed + uint64(i), Tracer: r.Tracer, Metrics: r.Metrics})
+			if best == nil || res.Energy < best.Energy {
+				best = res
+			}
+			if rerr != nil {
+				out.Spins, out.Energy = best.Spins, best.Energy
+				return interrupted(rerr, nil)
+			}
+		}
+		out.Spins, out.Energy = best.Spins, best.Energy
 	case BRIM:
-		best, all := brim.SolveBatch(r.Model, brim.SolveConfig{
+		best, all, rerr := brim.SolveBatchCtx(ctx, r.Model, brim.SolveConfig{
 			Duration:       r.DurationNS,
 			SampleInterval: r.SampleEveryNS,
 			Initial:        r.Initial,
@@ -266,6 +393,12 @@ func Solve(req Request) (*Outcome, error) {
 			out.ModelNS += res.ModelNS
 			out.Stats["flips"] += float64(res.Flips)
 		}
+		if rerr != nil {
+			if isCtxErr(rerr) {
+				return interrupted(rerr, nil)
+			}
+			return nil, fmt.Errorf("core: %s: %w", r.Kind, rerr)
+		}
 	case QBSolv, OursDnc:
 		mach := &dnc.ProxyMachine{
 			Cap:      r.MachineCapacity,
@@ -274,11 +407,12 @@ func Solve(req Request) (*Outcome, error) {
 			Sweeps:   r.Sweeps,
 		}
 		var res *dnc.Result
+		var rerr error
 		if r.Kind == QBSolv {
-			res = dnc.QBSolv(r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed,
+			res, rerr = dnc.QBSolvCtx(ctx, r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed,
 				Tracer: r.Tracer, Metrics: r.Metrics})
 		} else {
-			res = dnc.Ours(r.Model, mach, dnc.OursConfig{Seed: r.Seed,
+			res, rerr = dnc.OursCtx(ctx, r.Model, mach, dnc.OursConfig{Seed: r.Seed,
 				Tracer: r.Tracer, Metrics: r.Metrics})
 		}
 		out.Spins, out.Energy = res.Spins, res.Energy
@@ -286,45 +420,21 @@ func Solve(req Request) (*Outcome, error) {
 		out.Stats["glueOps"] = float64(res.GlueOps)
 		out.Stats["launches"] = float64(res.Launches)
 		out.Stats["softwareNS"] = float64(res.SoftwareWall.Nanoseconds())
-	case MBRIMConcurrent:
-		sys, err := multichip.NewSystem(r.Model, multichipConfig(r))
-		if err != nil {
-			return nil, err
+		if rerr != nil {
+			return interrupted(rerr, nil)
 		}
-		res := sys.RunConcurrent(r.DurationNS)
-		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
-			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
-		fillFaultStats(out, res.FaultStats, res.LiveChips)
-		out.Trace = res.Trace
-		out.EpochStats = res.EpochStats
-		out.Surprises = res.Surprises
-	case MBRIMSequential:
-		sys, err := multichip.NewSystem(r.Model, multichipConfig(r))
-		if err != nil {
-			return nil, err
-		}
-		res := sys.RunSequential(r.DurationNS)
-		fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
-			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
-		fillFaultStats(out, res.FaultStats, res.LiveChips)
-		out.Trace = res.Trace
-		out.EpochStats = res.EpochStats
-		out.Surprises = res.Surprises
-	case MBRIMBatch:
-		sys, err := multichip.NewSystem(r.Model, multichipConfig(r))
-		if err != nil {
-			return nil, err
-		}
-		res := sys.RunBatch(r.Runs, r.DurationNS)
-		best := res.Jobs[res.Best]
-		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
-			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
-		fillFaultStats(out, res.FaultStats, res.LiveChips)
-		out.Trace = res.Trace
-		out.EpochStats = res.EpochStats
+	case MBRIMConcurrent, MBRIMSequential, MBRIMBatch:
+		return r.solveMultichip(ctx, out, start, interrupted)
 	default:
 		return nil, fmt.Errorf("core: unknown solver %q", r.Kind)
 	}
+	r.finish(out, start)
+	return out, nil
+}
+
+// finish stamps the uniform tail of a completed solve: wall time, cut
+// value, the RunEnd event and the registry counters.
+func (r *Request) finish(out *Outcome, start time.Time) {
 	out.Wall = time.Since(start)
 	if r.Graph != nil {
 		out.Cut = r.Graph.CutValue(out.Spins)
@@ -339,6 +449,84 @@ func Solve(req Request) (*Outcome, error) {
 		r.Metrics.Counter("core.solves." + string(r.Kind)).Inc()
 		r.Metrics.Histogram("core.solve_wall_ns").Observe(float64(out.Wall.Nanoseconds()))
 	}
+}
+
+// solveMultichip runs one of the multiprocessor modes with checkpoint
+// resume and capture. On cancellation the partial result is wrapped in
+// an InterruptedError whose Checkpoint bytes Request.Resume accepts;
+// on divergence the typed error propagates with no checkpoint.
+func (r *Request) solveMultichip(ctx context.Context, out *Outcome, start time.Time,
+	interrupted func(error, []byte) (*Outcome, error)) (*Outcome, error) {
+	sys, err := multichip.NewSystem(r.Model, multichipConfig(*r))
+	if err != nil {
+		return nil, err
+	}
+	var resume *multichip.Checkpoint
+	if len(r.Resume) > 0 {
+		f, err := checkpoint.Decode(r.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Validate(string(r.Kind), r.Seed, r.Model); err != nil {
+			return nil, err
+		}
+		if f.Multichip == nil {
+			return nil, fmt.Errorf("core: checkpoint has no multichip payload")
+		}
+		resume = f.Multichip
+	}
+	encode := func(ck *multichip.Checkpoint) ([]byte, error) {
+		return checkpoint.Encode(&checkpoint.File{
+			Engine:    string(r.Kind),
+			Seed:      r.Seed,
+			N:         r.Model.N(),
+			ModelHash: checkpoint.HashModel(r.Model),
+			Multichip: ck,
+		})
+	}
+	if r.Kind == MBRIMBatch {
+		res, ck, rerr := sys.RunBatchCtx(ctx, r.Runs, r.DurationNS, resume)
+		if rerr != nil && !isCtxErr(rerr) {
+			return nil, rerr
+		}
+		best := res.Jobs[res.Best]
+		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
+			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		fillFaultStats(out, res.FaultStats, res.LiveChips)
+		out.Trace = res.Trace
+		out.EpochStats = res.EpochStats
+		if rerr != nil {
+			data, eerr := encode(ck)
+			if eerr != nil {
+				return nil, eerr
+			}
+			return interrupted(rerr, data)
+		}
+		r.finish(out, start)
+		return out, nil
+	}
+	run := sys.RunConcurrentCtx
+	if r.Kind == MBRIMSequential {
+		run = sys.RunSequentialCtx
+	}
+	res, ck, rerr := run(ctx, r.DurationNS, resume)
+	if rerr != nil && !isCtxErr(rerr) {
+		return nil, rerr
+	}
+	fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
+		res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+	fillFaultStats(out, res.FaultStats, res.LiveChips)
+	out.Trace = res.Trace
+	out.EpochStats = res.EpochStats
+	out.Surprises = res.Surprises
+	if rerr != nil {
+		data, eerr := encode(ck)
+		if eerr != nil {
+			return nil, eerr
+		}
+		return interrupted(rerr, data)
+	}
+	r.finish(out, start)
 	return out, nil
 }
 

@@ -20,6 +20,7 @@
 package dnc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -151,6 +152,18 @@ type QBSolvConfig struct {
 // the sub-problem solver. The problem is supplied as an Ising model;
 // qbsolv's QUBO view and the Ising view are interchangeable (Sec 2.1).
 func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
+	res, _ := QBSolvCtx(context.Background(), m, mach, cfg)
+	return res
+}
+
+// QBSolvCtx is QBSolv with cancellation, checked between machine
+// launches and between outer passes: the run stops there and returns
+// the best state found so far alongside ctx.Err(). The result is
+// always non-nil and internally consistent.
+func QBSolvCtx(ctx context.Context, m *ising.Model, mach Machine, cfg QBSolvConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := m.N()
 	numRepeats := cfg.NumRepeats
 	if numRepeats == 0 {
@@ -187,12 +200,22 @@ func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
 	qtmp := ising.CopySpins(qbest)
 	total := int(fraction * float64(n))
 
+	done := ctx.Done()
+	var runErr error
 	passCount := 0
-	for passCount < numRepeats {
+	for passCount < numRepeats && runErr == nil {
 		res.Passes++
 		// Lines 15-21: clamp, launch machine, project — one pass over
 		// the impact-ordered variables in capacity-sized windows.
 		for i := 0; i < total; i += subSize {
+			select {
+			case <-done:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
 			end := i + subSize
 			if end > len(index) {
 				end = len(index)
@@ -216,6 +239,9 @@ func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
 			}
 
 			sp.Project(sol, qtmp)
+		}
+		if runErr != nil {
+			break
 		}
 		// Lines 22-23: whole-problem tabu polish and re-ordering.
 		swStart = time.Now()
@@ -244,7 +270,7 @@ func QBSolv(m *ising.Model, mach Machine, cfg QBSolvConfig) *Result {
 	res.Spins = qbest
 	res.Energy = vbest
 	recordRunMetrics(cfg.Metrics, res)
-	return res
+	return res, runErr
 }
 
 // recordRunMetrics adds a finished divide-and-conquer run's totals to

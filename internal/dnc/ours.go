@@ -1,6 +1,7 @@
 package dnc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,18 @@ type OursConfig struct {
 // this is where the glue cost lives) and solves them in sequence, as
 // Sec 3.3 argues they must be.
 func Ours(m *ising.Model, mach Machine, cfg OursConfig) *Result {
+	res, _ := OursCtx(context.Background(), m, mach, cfg)
+	return res
+}
+
+// OursCtx is Ours with cancellation, checked between partition solves
+// and between outer passes: the run stops there and returns the
+// current global state alongside ctx.Err(). The result is always
+// non-nil and internally consistent.
+func OursCtx(ctx context.Context, m *ising.Model, mach Machine, cfg OursConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := m.N()
 	numRepeats := cfg.NumRepeats
 	if numRepeats == 0 {
@@ -68,9 +81,19 @@ func Ours(m *ising.Model, mach Machine, cfg OursConfig) *Result {
 	spins := ising.RandomSpins(n, r)
 
 	// Lines 10-16: repeat passes of sequential per-partition solving.
-	for rep := 0; rep < numRepeats; rep++ {
+	done := ctx.Done()
+	var runErr error
+	for rep := 0; rep < numRepeats && runErr == nil; rep++ {
 		res.Passes++
 		for pi, part := range parts {
+			select {
+			case <-done:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
 			glueStart := time.Now()
 			sp := ising.Extract(m, part, spins)
 			res.GlueOps += sp.GlueOps
@@ -111,5 +134,5 @@ func Ours(m *ising.Model, mach Machine, cfg OursConfig) *Result {
 	res.Spins = spins
 	res.Energy = m.Energy(spins)
 	recordRunMetrics(cfg.Metrics, res)
-	return res
+	return res, runErr
 }

@@ -163,6 +163,87 @@ func (f *Fabric) Epochs() int { return f.epochs }
 // any single epoch — the peak-bandwidth number of Sec 6.5.
 func (f *Fabric) PeakDemand() float64 { return f.peakDemand }
 
+// --- Checkpointing ----------------------------------------------------
+
+// State is a snapshot of the fabric's cumulative accounting, for
+// checkpoint/resume. It must be captured at an epoch boundary — after
+// EndEpoch — when the open-epoch buckets are empty; the snapshot
+// therefore carries only closed-epoch totals.
+type State struct {
+	TotalBytes float64            `json:"totalBytes"`
+	StallNS    float64            `json:"stallNS"`
+	PeakDemand float64            `json:"peakDemand"`
+	Epochs     int                `json:"epochs"`
+	ByKind     map[string]float64 `json:"byKind,omitempty"`
+	// LastEpochByKind is the most recently closed epoch's per-kind
+	// breakdown, kept so EpochBytesByKind stays truthful across a
+	// resume.
+	LastEpochByKind map[string]float64 `json:"lastEpochByKind,omitempty"`
+}
+
+// Snapshot captures the fabric's accounting at an epoch boundary.
+func (f *Fabric) Snapshot() *State {
+	st := &State{
+		TotalBytes:      f.totalBytes,
+		StallNS:         f.stallNS,
+		PeakDemand:      f.peakDemand,
+		Epochs:          f.epochs,
+		ByKind:          make(map[string]float64, len(f.byKind)),
+		LastEpochByKind: make(map[string]float64, len(f.lastEpochByKind)),
+	}
+	for k, v := range f.byKind {
+		st.ByKind[k] = v
+	}
+	for k, v := range f.lastEpochByKind {
+		st.LastEpochByKind[k] = v
+	}
+	return st
+}
+
+// Restore loads a snapshot onto a fabric built with the same
+// configuration, clearing the open-epoch buckets. Snapshots may come
+// from untrusted checkpoint bytes, so invalid accounting is reported
+// as an error rather than loaded.
+func (f *Fabric) Restore(st *State) error {
+	if st == nil {
+		return fmt.Errorf("interconnect: nil fabric state")
+	}
+	if st.TotalBytes < 0 || math.IsNaN(st.TotalBytes) || math.IsInf(st.TotalBytes, 0) ||
+		st.StallNS < 0 || math.IsNaN(st.StallNS) || math.IsInf(st.StallNS, 0) ||
+		st.PeakDemand < 0 || math.IsNaN(st.PeakDemand) || math.IsInf(st.PeakDemand, 0) ||
+		st.Epochs < 0 {
+		return fmt.Errorf("interconnect: invalid fabric state: total=%v stall=%v peak=%v epochs=%d",
+			st.TotalBytes, st.StallNS, st.PeakDemand, st.Epochs)
+	}
+	for k, v := range st.ByKind {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("interconnect: invalid fabric state: byKind[%q]=%v", k, v)
+		}
+	}
+	for k, v := range st.LastEpochByKind {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("interconnect: invalid fabric state: lastEpochByKind[%q]=%v", k, v)
+		}
+	}
+	f.totalBytes = st.TotalBytes
+	f.stallNS = st.StallNS
+	f.peakDemand = st.PeakDemand
+	f.epochs = st.Epochs
+	f.byKind = make(map[string]float64, len(st.ByKind))
+	for k, v := range st.ByKind {
+		f.byKind[k] = v
+	}
+	f.lastEpochByKind = make(map[string]float64, len(st.LastEpochByKind))
+	for k, v := range st.LastEpochByKind {
+		f.lastEpochByKind[k] = v
+	}
+	clear(f.epochByKind)
+	for chip := range f.epochBytes {
+		f.epochBytes[chip] = 0
+	}
+	return nil
+}
+
 // --- Message sizing ---------------------------------------------------
 
 // SpinIndexBits returns the bits needed to name one of n spins —

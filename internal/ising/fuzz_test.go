@@ -2,6 +2,8 @@ package ising
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 )
@@ -55,6 +57,70 @@ func FuzzReadQUBO(f *testing.F) {
 				if diff/scale > 1e-9 {
 					t.Fatalf("objective changed: %v vs %v", a, b)
 				}
+			}
+		}
+	})
+}
+
+// FuzzModelConstruction drives Model construction with arbitrary
+// coupling/bias values — including NaN, ±Inf and denormals smuggled in
+// as raw bit patterns — and asserts the boundary contract: building
+// and validating never panics, Validate rejects exactly the models
+// containing a non-finite entry, and accepted models produce finite
+// energies.
+func FuzzModelConstruction(f *testing.F) {
+	f.Add(uint8(4), []byte{})
+	f.Add(uint8(3), []byte{0, 0x01, 0, 0, 0, 0, 0, 0, 0xf0, 0x7f}) // +Inf coupling
+	f.Add(uint8(2), []byte{1, 0x00, 1, 0, 0, 0, 0, 0, 0xf8, 0x7f}) // NaN bias
+	f.Add(uint8(8), []byte{0, 0x12, 1, 2, 3, 4, 5, 6, 7, 8, 1, 0x03, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw)%16 + 1
+		m := NewModel(n)
+		for at := 0; at+10 <= len(data); at += 10 {
+			sel := int(data[at+1])
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[at+2 : at+10]))
+			if data[at]%2 == 0 {
+				i, j := sel%n, (sel/n)%n
+				if i == j {
+					continue // SetCoupling on the diagonal panics by contract
+				}
+				m.SetCoupling(i, j, v)
+			} else {
+				m.SetBias(sel%n, v)
+			}
+		}
+		// Derive the expected verdict from the model itself: later
+		// writes can overwrite an earlier non-finite entry.
+		nonFinite := false
+		for i := 0; i < n; i++ {
+			for _, v := range m.Row(i) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					nonFinite = true
+				}
+			}
+		}
+		for _, v := range m.Biases() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				nonFinite = true
+			}
+		}
+		err := m.Validate()
+		if nonFinite && err == nil {
+			t.Fatal("Validate accepted a non-finite model")
+		}
+		if !nonFinite && err != nil {
+			t.Fatalf("Validate rejected a finite model: %v", err)
+		}
+		if err == nil {
+			spins := make([]int8, n)
+			for i := range spins {
+				spins[i] = 1
+				if i < len(data) && data[i]&1 == 1 {
+					spins[i] = -1
+				}
+			}
+			if e := m.Energy(spins); math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("finite model produced non-finite energy %v", e)
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package multichip
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,28 +50,76 @@ type BatchResult struct {
 // With Coordinated set, receivers reproduce the worker's induced
 // kicks from their synchronized PRNG replica, so kick-caused changes
 // are not transmitted — the Sec 5.4.2 saving applied to batch mode.
+// It panics on integrator divergence; callers that need lifecycle
+// control use RunBatchCtx.
 func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
+	res, _, err := s.RunBatchCtx(context.Background(), jobs, durationNS, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunBatchCtx is RunBatch with lifecycle control, with the same
+// contract as RunConcurrentCtx: cancellation returns the partial
+// result plus a resumable Checkpoint alongside ctx.Err() (checked at
+// epoch barriers); divergence aborts with the typed error and no
+// checkpoint. The checkpoint carries every job's state and the
+// rotation position, so a resumed run assigns job (chip+epoch) mod
+// jobs exactly as the uninterrupted one would.
+func (s *System) RunBatchCtx(ctx context.Context, jobs int, durationNS float64, resume *Checkpoint) (*BatchResult, *Checkpoint, error) {
 	if jobs < 1 {
 		panic(fmt.Sprintf("multichip: jobs=%d", jobs))
 	}
 	if durationNS <= 0 {
 		panic(fmt.Sprintf("multichip: duration=%v", durationNS))
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := s.cfg
 	totalEpochs := int(math.Ceil(durationNS / cfg.EpochNS))
 	horizon := float64(totalEpochs) * cfg.EpochNS
-	for _, c := range s.chips {
-		c.machine.SetHorizon(horizon)
-	}
 
-	// Independent initial states per job, derived from the system seed.
-	jobRNG := rng.New(cfg.Seed).Fork(0xBA7C)
-	states := make([][]int8, jobs)
-	for j := range states {
-		states[j] = ising.RandomSpins(s.n, jobRNG)
+	res := &BatchResult{Best: -1}
+	elapsed := 0.0
+	nextSample := 0.0
+	bestSoFar := math.Inf(1)
+	startEpoch := 0
+	var states [][]int8
+	if resume != nil {
+		if err := s.applyCheckpoint(resume, ModeBatch, durationNS, jobs); err != nil {
+			return nil, nil, err
+		}
+		states = make([][]int8, jobs)
+		for j := range states {
+			states[j] = append([]int8(nil), resume.JobStates[j]...)
+		}
+		startEpoch = resume.EpochsDone
+		res.Epochs = resume.EpochsDone
+		res.Flips = resume.Flips
+		res.InducedFlips = resume.InducedFlips
+		res.BitChanges = resume.BitChanges
+		res.InducedBitChanges = resume.InducedBitChanges
+		res.Trace = append([]metrics.Point(nil), resume.Trace...)
+		res.EpochStats = append([]EpochStat(nil), resume.EpochStats...)
+		elapsed = resume.ElapsedNS
+		nextSample = resume.NextSampleNS
+		bestSoFar = math.Float64frombits(resume.BestSoFarBits)
+	} else {
+		for _, c := range s.chips {
+			c.machine.SetHorizon(horizon)
+		}
+		// Independent initial states per job, derived from the system
+		// seed.
+		jobRNG := rng.New(cfg.Seed).Fork(0xBA7C)
+		states = make([][]int8, jobs)
+		for j := range states {
+			states[j] = ising.RandomSpins(s.n, jobRNG)
+		}
 	}
+	res.Jobs = states
 
-	res := &BatchResult{Jobs: states, Best: -1}
 	rc := &runCollector{}
 	if cfg.RecordEpochStats {
 		rc.epochStats = &res.EpochStats
@@ -79,10 +128,8 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 		rc.trace = &res.Trace
 	}
 	tr := s.runTracer(rc)
-	elapsed := 0.0
-	nextSample := 0.0
-	bestSoFar := math.Inf(1)
 	lastBytes := s.fabric.TotalBytes()
+	done := ctx.Done()
 
 	// Within an epoch each chip works a different job (when jobs >=
 	// chips), so the per-chip work is independent and can run on
@@ -104,7 +151,30 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 	perChip := make([]chipEpoch, len(s.chips))
 	parallelOK := jobs >= len(s.chips)
 
-	for e := 0; e < totalEpochs; e++ {
+	for e := startEpoch; e < totalEpochs; e++ {
+		select {
+		case <-done:
+			ck := &Checkpoint{Mode: ModeBatch, DurationNS: durationNS, Jobs: jobs}
+			ck.EpochsDone = res.Epochs
+			ck.ModelNS = float64(res.Epochs) * cfg.EpochNS
+			ck.ElapsedNS = elapsed
+			ck.NextSampleNS = nextSample
+			ck.BestSoFarBits = math.Float64bits(bestSoFar)
+			ck.Flips = res.Flips
+			ck.InducedFlips = res.InducedFlips
+			ck.BitChanges = res.BitChanges
+			ck.InducedBitChanges = res.InducedBitChanges
+			ck.Trace = append([]metrics.Point(nil), res.Trace...)
+			ck.EpochStats = append([]EpochStat(nil), res.EpochStats...)
+			ck.JobStates = make([][]int8, jobs)
+			for j := range states {
+				ck.JobStates[j] = append([]int8(nil), states[j]...)
+			}
+			s.captureInto(ck)
+			s.finalizeBatch(res, states, float64(res.Epochs)*cfg.EpochNS, elapsed)
+			return res, ck, ctx.Err()
+		default:
+		}
 		if s.frt != nil {
 			s.beginFaultEpoch(e+1, float64(totalEpochs-e)*cfg.EpochNS, tr)
 			if len(perChip) != len(s.chips) {
@@ -123,12 +193,12 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 		}
 		var st EpochStat
 		st.Epoch = e + 1
-		work := func(ci int, c *chip) {
+		work := func(ci int, c *chip) error {
 			perChip[ci] = chipEpoch{}
 			if s.frt != nil && (s.frt.dead[ci] || s.frt.holds[ci]) {
 				// Dead or transiently stalled: this chip's job receives
 				// no annealing this epoch and writes nothing back.
-				return
+				return nil
 			}
 			job := (ci + e) % jobs
 			before := make([]int8, len(c.owned))
@@ -143,7 +213,9 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 			t := 0.0
 			for t < cfg.EpochNS-1e-9 {
 				chunk := math.Min(cfg.FlipIntervalNS, cfg.EpochNS-t)
-				c.machine.Run(chunk)
+				if err := c.machine.Run(chunk); err != nil {
+					return err
+				}
 				t += chunk
 				prob := cfg.InducedFlip.At((float64(e)*cfg.EpochNS + t) / horizon)
 				r := s.induceRNG[ci]
@@ -190,15 +262,27 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 				}
 			}
 			perChip[ci] = pe
+			return nil
 		}
+		var badChip int
+		var chipErr error
 		if parallelOK {
-			s.forEachChip(work)
+			badChip, chipErr = s.forEachChip(work)
 		} else {
 			// jobs < chips: two chips may share a job state; keep the
 			// simulation sequential to stay deterministic.
+			badChip = -1
 			for ci, c := range s.chips {
-				work(ci, c)
+				if err := work(ci, c); err != nil {
+					badChip, chipErr = ci, err
+					break
+				}
 			}
+		}
+		if chipErr != nil {
+			emitIf(tr, obs.Event{Kind: obs.Numerical, Label: "divergence",
+				Epoch: e + 1, Chip: badChip, ModelNS: float64(e) * cfg.EpochNS})
+			return nil, nil, fmt.Errorf("multichip: chip %d: %w", badChip, chipErr)
 		}
 		for ci, c := range s.chips {
 			pe := perChip[ci]
@@ -235,6 +319,7 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 		res.InducedFlips += st.InducedFlips
 		res.BitChanges += st.BitChanges
 		res.InducedBitChanges += st.InducedBitChanges
+		s.drainStepRetries(tr, e+1, float64(e+1)*cfg.EpochNS)
 		if tr != nil {
 			model := float64(e+1) * cfg.EpochNS
 			s.emitChipEpoch(tr, e+1, model)
@@ -258,7 +343,16 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 		}
 	}
 
-	res.ModelNS = float64(totalEpochs) * cfg.EpochNS
+	s.finalizeBatch(res, states, float64(totalEpochs)*cfg.EpochNS, elapsed)
+	return res, nil, nil
+}
+
+// finalizeBatch fills the common batch-result fields: the time and
+// traffic ledger, per-job energies and the winner. It serves both the
+// normal completion path and the cancellation path (where the ledger
+// covers the epochs actually performed).
+func (s *System) finalizeBatch(res *BatchResult, states [][]int8, modelNS, elapsed float64) {
+	res.ModelNS = modelNS
 	res.StallNS = s.fabric.StallNS()
 	res.ElapsedNS = elapsed
 	res.TrafficBytes = s.fabric.TotalBytes()
@@ -269,8 +363,9 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 	}
 	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
 		res.StallNS, res.TrafficBytes, res.Epochs)
-	res.Energies = make([]float64, jobs)
+	res.Energies = make([]float64, len(states))
 	res.BestEnergy = math.Inf(1)
+	res.Best = -1
 	for j, state := range states {
 		res.Energies[j] = s.model.Energy(state)
 		if res.Energies[j] < res.BestEnergy {
@@ -278,5 +373,4 @@ func (s *System) RunBatch(jobs int, durationNS float64) *BatchResult {
 			res.Best = j
 		}
 	}
-	return res
 }

@@ -1,0 +1,390 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+
+	"mbrim/internal/brim"
+	"mbrim/internal/fault"
+	"mbrim/internal/interconnect"
+	"mbrim/internal/metrics"
+	"mbrim/internal/rng"
+)
+
+// This file implements deterministic checkpoint/resume for all three
+// run modes. A Checkpoint is captured only at an epoch barrier — the
+// one point where every chip's integrator sits between steps, the
+// fabric's open-epoch buckets are empty, and the delayed-message
+// queues are quiescent — so the snapshot is a consistent cut of the
+// whole machine. Resuming from it is bit-identical to a run that was
+// never interrupted: the snapshot carries the exact PRNG stream
+// positions (chip machines, induced-kick sources), every voltage and
+// shadow register, the batch-rotation position (EpochsDone), and the
+// in-flight fault state including delayed broadcasts.
+
+// Run-mode names recorded in Checkpoint.Mode.
+const (
+	ModeConcurrent = "concurrent"
+	ModeSequential = "sequential"
+	ModeBatch      = "batch"
+)
+
+// PendingUpdate is one serializable item of a boundary-broadcast
+// payload: the owner's local index Li / global index G now holds V;
+// Induced records whether the change was last caused by a kick.
+type PendingUpdate struct {
+	Li      int  `json:"li"`
+	G       int  `json:"g"`
+	V       int8 `json:"v"`
+	Induced bool `json:"induced,omitempty"`
+}
+
+// PendingMessage is one delayed boundary broadcast still in flight
+// (a fault-injected delay awaiting next-epoch delivery).
+type PendingMessage struct {
+	From    int             `json:"from"`
+	Updates []PendingUpdate `json:"updates"`
+}
+
+// PendingWriteback is one delayed batch-mode job writeback in flight.
+type PendingWriteback struct {
+	Job     int             `json:"job"`
+	Updates []PendingUpdate `json:"updates"`
+}
+
+// FaultState snapshots the fault runtime's mutable state. The injector
+// itself is stateless (fates are hashed from seed, epoch and chip), so
+// resuming needs only the accumulated damage: dead chips, in-flight
+// delayed messages, and the stats ledger.
+type FaultState struct {
+	Dead         []bool             `json:"dead"`
+	Pending      []PendingMessage   `json:"pending,omitempty"`
+	PendingBatch []PendingWriteback `json:"pendingBatch,omitempty"`
+	Stats        fault.Stats        `json:"stats"`
+}
+
+// ChipState snapshots one chip: its partition slice, the full BRIM
+// machine state (which carries the construction seed — after a
+// repartition, survivors keep their original seeds, not positional
+// ones), the shadow registers, and the kick-attribution bits.
+type ChipState struct {
+	Owned           []int       `json:"owned"`
+	Machine         *brim.State `json:"machine"`
+	Shadow          []int8      `json:"shadow"`
+	LastFlipInduced []bool      `json:"lastFlipInduced"`
+}
+
+// Checkpoint is a complete, resumable snapshot of a run in progress,
+// captured at an epoch barrier. It is an in-memory structure; the
+// versioned serialized form lives in internal/checkpoint.
+type Checkpoint struct {
+	// Mode and the run parameters the checkpoint was taken under; a
+	// resume validates them against the new call.
+	Mode       string  `json:"mode"`
+	DurationNS float64 `json:"durationNS"`
+	Jobs       int     `json:"jobs,omitempty"`
+	// Loop position. EpochsDone doubles as the batch-rotation
+	// position: epoch e assigns job (chip+e) mod jobs.
+	EpochsDone   int     `json:"epochsDone"`
+	ModelNS      float64 `json:"modelNS"`
+	ElapsedNS    float64 `json:"elapsedNS"`
+	NextSampleNS float64 `json:"nextSampleNS"`
+	// BestSoFarBits is batch mode's running best sampled energy as
+	// IEEE-754 bits — it starts at +Inf, which JSON cannot carry.
+	BestSoFarBits uint64 `json:"bestSoFarBits,omitempty"`
+	// Partial run counters (batch mode also accumulates flips in the
+	// result rather than reading machine totals at the end).
+	BitChanges        int64 `json:"bitChanges"`
+	InducedBitChanges int64 `json:"inducedBitChanges"`
+	Flips             int64 `json:"flips,omitempty"`
+	InducedFlips      int64 `json:"inducedFlips,omitempty"`
+	// Partial result series.
+	Trace      []metrics.Point  `json:"trace,omitempty"`
+	EpochStats []EpochStat      `json:"epochStats,omitempty"`
+	Surprises  []SurpriseSample `json:"surprises,omitempty"`
+	// Machine state.
+	Chips          []ChipState         `json:"chips"`
+	ReceiverBelief [][]int8            `json:"receiverBelief"`
+	InduceRNG      [][4]uint64         `json:"induceRNG"`
+	Fabric         *interconnect.State `json:"fabric"`
+	Fault          *FaultState         `json:"fault,omitempty"`
+	// JobStates is batch mode's per-job global state.
+	JobStates [][]int8 `json:"jobStates,omitempty"`
+}
+
+// PendingMessages returns the delayed boundary broadcasts currently in
+// flight — fault-injected delays awaiting next-epoch delivery. Without
+// this accessor a checkpoint would silently drop delayed messages and
+// the resumed run would diverge from an uninterrupted one. Empty when
+// the fault layer is off or nothing is delayed.
+func (s *System) PendingMessages() []PendingMessage {
+	if s.frt == nil || len(s.frt.pending) == 0 {
+		return nil
+	}
+	out := make([]PendingMessage, len(s.frt.pending))
+	for i, msg := range s.frt.pending {
+		out[i] = PendingMessage{From: msg.from, Updates: toPendingUpdates(msg.ups)}
+	}
+	return out
+}
+
+// PendingWritebacks returns batch mode's delayed job writebacks in
+// flight, for the same reason as PendingMessages.
+func (s *System) PendingWritebacks() []PendingWriteback {
+	if s.frt == nil || len(s.frt.pendingBatch) == 0 {
+		return nil
+	}
+	out := make([]PendingWriteback, len(s.frt.pendingBatch))
+	for i, wb := range s.frt.pendingBatch {
+		out[i] = PendingWriteback{Job: wb.job, Updates: toPendingUpdates(wb.ups)}
+	}
+	return out
+}
+
+func toPendingUpdates(ups []update) []PendingUpdate {
+	out := make([]PendingUpdate, len(ups))
+	for i, u := range ups {
+		out[i] = PendingUpdate{Li: u.li, G: u.g, V: u.v, Induced: u.induced}
+	}
+	return out
+}
+
+func fromPendingUpdates(ups []PendingUpdate) []update {
+	out := make([]update, len(ups))
+	for i, u := range ups {
+		out[i] = update{li: u.Li, g: u.G, v: u.V, induced: u.Induced}
+	}
+	return out
+}
+
+// captureInto fills ck's machine-state fields (chips, beliefs, RNG
+// positions, fabric, fault state) from the system at an epoch barrier.
+// The caller has already filled the loop-position and partial-result
+// fields, which belong to the run mode.
+func (s *System) captureInto(ck *Checkpoint) {
+	ck.Chips = make([]ChipState, len(s.chips))
+	for i, c := range s.chips {
+		ck.Chips[i] = ChipState{
+			Owned:           append([]int(nil), c.owned...),
+			Machine:         c.machine.Snapshot(),
+			Shadow:          append([]int8(nil), c.shadow...),
+			LastFlipInduced: append([]bool(nil), c.lastFlipInduced...),
+		}
+	}
+	ck.ReceiverBelief = make([][]int8, len(s.receiverBelief))
+	for i, b := range s.receiverBelief {
+		ck.ReceiverBelief[i] = append([]int8(nil), b...)
+	}
+	ck.InduceRNG = make([][4]uint64, len(s.induceRNG))
+	for i, r := range s.induceRNG {
+		ck.InduceRNG[i] = r.State()
+	}
+	ck.Fabric = s.fabric.Snapshot()
+	if s.frt != nil {
+		ck.Fault = &FaultState{
+			Dead:         append([]bool(nil), s.frt.dead...),
+			Pending:      s.PendingMessages(),
+			PendingBatch: s.PendingWritebacks(),
+			Stats:        s.frt.stats,
+		}
+	}
+}
+
+// applyCheckpoint validates ck against this freshly constructed system
+// and the resuming call's parameters, then loads it: the chip set is
+// rebuilt to the checkpoint's partition (which may be narrower than
+// the configuration after a repartition recovery) and every machine,
+// shadow, belief, RNG, fabric counter and fault queue is restored
+// exactly. Checkpoints may come from untrusted bytes, so every reach
+// into an array is validated first; failures are errors, never panics.
+func (s *System) applyCheckpoint(ck *Checkpoint, mode string, durationNS float64, jobs int) error {
+	if ck == nil {
+		return fmt.Errorf("multichip: nil checkpoint")
+	}
+	if ck.Mode != mode {
+		return fmt.Errorf("multichip: checkpoint was taken in %s mode, resuming %s", ck.Mode, mode)
+	}
+	if ck.DurationNS != durationNS {
+		return fmt.Errorf("multichip: checkpoint duration %v ns, resuming %v ns", ck.DurationNS, durationNS)
+	}
+	if ck.Jobs != jobs {
+		return fmt.Errorf("multichip: checkpoint has %d jobs, resuming %d", ck.Jobs, jobs)
+	}
+	if ck.EpochsDone < 0 || !isFiniteRange(ck.ModelNS, 0, durationNS) ||
+		!isFiniteRange(ck.ElapsedNS, 0, math.MaxFloat64) ||
+		!isFiniteRange(ck.NextSampleNS, 0, math.MaxFloat64) {
+		return fmt.Errorf("multichip: checkpoint position epochs=%d model=%v elapsed=%v",
+			ck.EpochsDone, ck.ModelNS, ck.ElapsedNS)
+	}
+	if ck.BitChanges < 0 || ck.InducedBitChanges < 0 || ck.Flips < 0 || ck.InducedFlips < 0 {
+		return fmt.Errorf("multichip: negative checkpoint counters")
+	}
+	if len(ck.Chips) == 0 || len(ck.Chips) > s.cfg.Chips {
+		return fmt.Errorf("multichip: checkpoint has %d chips for a %d-chip system", len(ck.Chips), s.cfg.Chips)
+	}
+	if len(ck.ReceiverBelief) != len(ck.Chips) || len(ck.InduceRNG) != len(ck.Chips) {
+		return fmt.Errorf("multichip: checkpoint belief/RNG tables do not match its %d chips", len(ck.Chips))
+	}
+	if ck.Fabric == nil {
+		return fmt.Errorf("multichip: checkpoint is missing fabric state")
+	}
+	if (ck.Fault != nil) != (s.frt != nil) {
+		return fmt.Errorf("multichip: checkpoint fault state does not match the fault configuration")
+	}
+
+	// The partition must cover every spin exactly once, each slice
+	// strictly ascending (the invariant newChip and the shadow-update
+	// paths rely on).
+	seen := make([]bool, s.n)
+	for pi, cs := range ck.Chips {
+		if len(cs.Owned) == 0 {
+			return fmt.Errorf("multichip: checkpoint chip %d owns no spins", pi)
+		}
+		prev := -1
+		for _, g := range cs.Owned {
+			if g < 0 || g >= s.n || g <= prev || seen[g] {
+				return fmt.Errorf("multichip: checkpoint chip %d has invalid owned list", pi)
+			}
+			seen[g] = true
+			prev = g
+		}
+		if cs.Machine == nil || len(cs.Machine.Spins) != len(cs.Owned) {
+			return fmt.Errorf("multichip: checkpoint chip %d machine state is missing or mis-sized", pi)
+		}
+		if len(cs.Shadow) != s.n || len(cs.LastFlipInduced) != len(cs.Owned) {
+			return fmt.Errorf("multichip: checkpoint chip %d shadow/attribution tables are mis-sized", pi)
+		}
+		if err := validateSpins(cs.Shadow); err != nil {
+			return fmt.Errorf("multichip: checkpoint chip %d shadow: %w", pi, err)
+		}
+		if err := validateSpins(ck.ReceiverBelief[pi]); err != nil {
+			return fmt.Errorf("multichip: checkpoint chip %d belief: %w", pi, err)
+		}
+		if len(ck.ReceiverBelief[pi]) != len(cs.Owned) {
+			return fmt.Errorf("multichip: checkpoint chip %d belief is mis-sized", pi)
+		}
+	}
+	for g, ok := range seen {
+		if !ok {
+			return fmt.Errorf("multichip: checkpoint partition does not cover spin %d", g)
+		}
+	}
+	if mode == ModeBatch {
+		if len(ck.JobStates) != jobs {
+			return fmt.Errorf("multichip: checkpoint has %d job states for %d jobs", len(ck.JobStates), jobs)
+		}
+		for j, st := range ck.JobStates {
+			if len(st) != s.n {
+				return fmt.Errorf("multichip: checkpoint job %d state is mis-sized", j)
+			}
+			if err := validateSpins(st); err != nil {
+				return fmt.Errorf("multichip: checkpoint job %d state: %w", j, err)
+			}
+		}
+		totalEpochs := int(math.Ceil(durationNS / s.cfg.EpochNS))
+		if ck.EpochsDone > totalEpochs {
+			return fmt.Errorf("multichip: checkpoint at epoch %d of %d", ck.EpochsDone, totalEpochs)
+		}
+	}
+	if ck.Fault != nil {
+		fs := ck.Fault
+		if len(fs.Dead) != len(ck.Chips) {
+			return fmt.Errorf("multichip: checkpoint fault dead-table is mis-sized")
+		}
+		for _, msg := range fs.Pending {
+			if msg.From < 0 || msg.From >= len(ck.Chips) {
+				return fmt.Errorf("multichip: checkpoint pending message from chip %d", msg.From)
+			}
+			owned := ck.Chips[msg.From].Owned
+			for _, u := range msg.Updates {
+				if u.Li < 0 || u.Li >= len(owned) || owned[u.Li] != u.G || (u.V != -1 && u.V != 1) {
+					return fmt.Errorf("multichip: checkpoint pending message has invalid update")
+				}
+			}
+		}
+		for _, wb := range fs.PendingBatch {
+			if wb.Job < 0 || wb.Job >= jobs {
+				return fmt.Errorf("multichip: checkpoint pending writeback for job %d", wb.Job)
+			}
+			for _, u := range wb.Updates {
+				if u.G < 0 || u.G >= s.n || (u.V != -1 && u.V != 1) {
+					return fmt.Errorf("multichip: checkpoint pending writeback has invalid update")
+				}
+			}
+		}
+	}
+
+	// Rebuild the chip set to the checkpoint's partition. The global
+	// warm-start handed to newChip is immediately overwritten by each
+	// machine's Restore; assembling it from the snapshots just keeps
+	// construction from inventing state.
+	global := make([]int8, s.n)
+	for _, cs := range ck.Chips {
+		for li, g := range cs.Owned {
+			global[g] = cs.Machine.Spins[li]
+		}
+	}
+	chips := make([]*chip, len(ck.Chips))
+	for i, cs := range ck.Chips {
+		bc := s.cfg.Brim
+		bc.Seed = cs.Machine.Seed
+		c := newChip(i, s.model, cs.Owned, s.scale, bc, s.cfg.EpochNS, global)
+		// Restore replaces voltages, readout, external bias, holds,
+		// timekeeping and the PRNG position verbatim; in particular the
+		// external bias must NOT be recomputed from shadows, because a
+		// fresh accumulation order would not be bit-identical to the
+		// incrementally maintained one.
+		if err := c.machine.Restore(cs.Machine); err != nil {
+			return fmt.Errorf("multichip: checkpoint chip %d: %w", i, err)
+		}
+		copy(c.shadow, cs.Shadow)
+		copy(c.lastFlipInduced, cs.LastFlipInduced)
+		chips[i] = c
+	}
+	s.chips = chips
+	s.receiverBelief = make([][]int8, len(ck.ReceiverBelief))
+	for i, b := range ck.ReceiverBelief {
+		s.receiverBelief[i] = append([]int8(nil), b...)
+	}
+	s.induceRNG = make([]*rng.Source, len(ck.InduceRNG))
+	for i, st := range ck.InduceRNG {
+		r := rng.New(0)
+		r.SetState(st)
+		s.induceRNG[i] = r
+	}
+	if err := s.fabric.Restore(ck.Fabric); err != nil {
+		return fmt.Errorf("multichip: %w", err)
+	}
+	if s.frt != nil {
+		fs := ck.Fault
+		s.frt.dead = append([]bool(nil), fs.Dead...)
+		s.frt.holds = make([]bool, len(chips))
+		s.frt.pending = nil
+		for _, msg := range fs.Pending {
+			s.frt.pending = append(s.frt.pending, delayedMsg{from: msg.From, ups: fromPendingUpdates(msg.Updates)})
+		}
+		s.frt.pendingBatch = nil
+		for _, wb := range fs.PendingBatch {
+			s.frt.pendingBatch = append(s.frt.pendingBatch, delayedWriteback{job: wb.Job, ups: fromPendingUpdates(wb.Updates)})
+		}
+		s.frt.epochStallNS = 0
+		s.frt.stats = fs.Stats
+	}
+	return nil
+}
+
+// isFiniteRange reports whether v is finite and within [lo, hi].
+func isFiniteRange(v, lo, hi float64) bool {
+	return !math.IsNaN(v) && v >= lo && v <= hi
+}
+
+// validateSpins rejects spin vectors the dynamics cannot have
+// produced (anything but ±1).
+func validateSpins(s []int8) error {
+	for i, v := range s {
+		if v != -1 && v != 1 {
+			return fmt.Errorf("spin[%d]=%d", i, v)
+		}
+	}
+	return nil
+}

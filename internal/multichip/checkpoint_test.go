@@ -1,0 +1,281 @@
+package multichip
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mbrim/internal/fault"
+	"mbrim/internal/ising"
+	"mbrim/internal/obs"
+)
+
+// epochCanceller cancels a context the moment the run's epoch barrier
+// reaches the target — a deterministic interruption point, unlike a
+// wall-clock timeout.
+type epochCanceller struct {
+	epoch  int
+	cancel context.CancelFunc
+}
+
+func (t *epochCanceller) Emit(e obs.Event) {
+	if e.Kind == obs.EpochSync && e.Epoch >= t.epoch {
+		t.cancel()
+	}
+}
+
+// resumeCase is one (mode × parallel × faults) configuration whose
+// interrupted-and-resumed run must be bit-identical to an
+// uninterrupted one.
+type resumeCase struct {
+	name     string
+	parallel bool
+	faults   fault.Config
+}
+
+func resumeCases() []resumeCase {
+	noisy := fault.Config{
+		Seed:        7,
+		DropRate:    0.15,
+		CorruptRate: 0.1,
+		DelayRate:   0.1,
+		StallRate:   0.05,
+		Recovery:    fault.Recovery{Detect: true, WatchdogThreshold: 0.05},
+	}
+	return []resumeCase{
+		{"clean", false, fault.Config{}},
+		{"clean/parallel", true, fault.Config{}},
+		{"faulty", false, noisy},
+		{"faulty/parallel", true, noisy},
+	}
+}
+
+func (rc resumeCase) config(chips int) Config {
+	return Config{Chips: chips, Seed: 5, Parallel: rc.parallel, Faults: rc.faults}
+}
+
+// sameLedger compares every deterministic field of two results.
+func sameLedger(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Energy != b.Energy || ising.HammingDistance(a.Spins, b.Spins) != 0 {
+		t.Fatalf("states differ: energy %v vs %v", a.Energy, b.Energy)
+	}
+	if a.Flips != b.Flips || a.InducedFlips != b.InducedFlips {
+		t.Fatalf("flip ledgers differ: %d/%d vs %d/%d", a.Flips, a.InducedFlips, b.Flips, b.InducedFlips)
+	}
+	if a.BitChanges != b.BitChanges || a.InducedBitChanges != b.InducedBitChanges {
+		t.Fatalf("bit-change ledgers differ: %d/%d vs %d/%d",
+			a.BitChanges, a.InducedBitChanges, b.BitChanges, b.InducedBitChanges)
+	}
+	if a.TrafficBytes != b.TrafficBytes || a.StallNS != b.StallNS || a.ElapsedNS != b.ElapsedNS {
+		t.Fatalf("fabric ledgers differ: traffic %v vs %v, stall %v vs %v, elapsed %v vs %v",
+			a.TrafficBytes, b.TrafficBytes, a.StallNS, b.StallNS, a.ElapsedNS, b.ElapsedNS)
+	}
+	if a.Epochs != b.Epochs || a.FaultStats != b.FaultStats {
+		t.Fatalf("epoch/fault ledgers differ: %d vs %d epochs, %+v vs %+v",
+			a.Epochs, b.Epochs, a.FaultStats, b.FaultStats)
+	}
+}
+
+// interruptAt runs the system under a context that the tracer cancels
+// at the given epoch and returns the checkpoint.
+func interruptAt(t *testing.T, m *ising.Model, cfg Config, epoch int,
+	run func(*System, context.Context, *Checkpoint) (*Result, *Checkpoint, error)) *Checkpoint {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Tracer = &epochCanceller{epoch: epoch, cancel: cancel}
+	s := MustSystem(m, cfg)
+	res, ck, err := run(s, ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected cancellation, got %v", err)
+	}
+	if ck == nil {
+		t.Fatal("cancelled run returned no checkpoint")
+	}
+	if res == nil || len(res.Spins) != m.N() || !ising.ValidSpins(res.Spins) {
+		t.Fatal("cancelled run returned no usable best-so-far state")
+	}
+	if ck.EpochsDone < epoch {
+		t.Fatalf("checkpoint at epoch %d, wanted at least %d", ck.EpochsDone, epoch)
+	}
+	return ck
+}
+
+func TestConcurrentResumeBitIdentical(t *testing.T) {
+	m := kgraph(48, 2)
+	const duration = 40
+	for _, rc := range resumeCases() {
+		t.Run(rc.name, func(t *testing.T) {
+			full := MustSystem(m, rc.config(4)).RunConcurrent(duration)
+			runC := func(s *System, ctx context.Context, ck *Checkpoint) (*Result, *Checkpoint, error) {
+				return s.RunConcurrentCtx(ctx, duration, ck)
+			}
+			ck := interruptAt(t, m, rc.config(4), 3, runC)
+			resumed, ck2, err := MustSystem(m, rc.config(4)).RunConcurrentCtx(context.Background(), duration, ck)
+			if err != nil || ck2 != nil {
+				t.Fatalf("resume: err=%v, checkpoint=%v", err, ck2)
+			}
+			sameLedger(t, full, resumed)
+		})
+	}
+}
+
+func TestSequentialResumeBitIdentical(t *testing.T) {
+	m := kgraph(40, 3)
+	const duration = 36
+	for _, rc := range resumeCases() {
+		t.Run(rc.name, func(t *testing.T) {
+			full := MustSystem(m, rc.config(4)).RunSequential(duration)
+			runS := func(s *System, ctx context.Context, ck *Checkpoint) (*Result, *Checkpoint, error) {
+				return s.RunSequentialCtx(ctx, duration, ck)
+			}
+			ck := interruptAt(t, m, rc.config(4), 2, runS)
+			resumed, ck2, err := MustSystem(m, rc.config(4)).RunSequentialCtx(context.Background(), duration, ck)
+			if err != nil || ck2 != nil {
+				t.Fatalf("resume: err=%v, checkpoint=%v", err, ck2)
+			}
+			sameLedger(t, full, resumed)
+		})
+	}
+}
+
+func TestBatchResumeBitIdentical(t *testing.T) {
+	m := kgraph(40, 4)
+	const duration, jobs = 40, 3
+	for _, rc := range resumeCases() {
+		t.Run(rc.name, func(t *testing.T) {
+			// Interrupt at epoch 4: with 3 jobs, that is mid-way through
+			// the job rotation, so the resume must also restore the
+			// (chip+epoch)%jobs assignment correctly.
+			full := MustSystem(m, rc.config(4)).RunBatch(jobs, duration)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cfg := rc.config(4)
+			cfg.Tracer = &epochCanceller{epoch: 4, cancel: cancel}
+			_, ck, err := MustSystem(m, cfg).RunBatchCtx(ctx, jobs, duration, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("expected cancellation, got %v", err)
+			}
+			if ck == nil || ck.EpochsDone < 4 || ck.EpochsDone%jobs == 0 {
+				t.Fatalf("wanted a mid-rotation checkpoint, got %+v", ck)
+			}
+			resumed, ck2, err := MustSystem(m, rc.config(4)).RunBatchCtx(context.Background(), jobs, duration, ck)
+			if err != nil || ck2 != nil {
+				t.Fatalf("resume: err=%v, checkpoint=%v", err, ck2)
+			}
+			if full.BestEnergy != resumed.BestEnergy || full.Best != resumed.Best {
+				t.Fatalf("best job differs: %d@%v vs %d@%v",
+					full.Best, full.BestEnergy, resumed.Best, resumed.BestEnergy)
+			}
+			for j := range full.Jobs {
+				if ising.HammingDistance(full.Jobs[j], resumed.Jobs[j]) != 0 {
+					t.Fatalf("job %d spins differ after resume", j)
+				}
+				if full.Energies[j] != resumed.Energies[j] {
+					t.Fatalf("job %d energy %v vs %v", j, full.Energies[j], resumed.Energies[j])
+				}
+			}
+			if full.Flips != resumed.Flips || full.BitChanges != resumed.BitChanges ||
+				full.TrafficBytes != resumed.TrafficBytes || full.StallNS != resumed.StallNS {
+				t.Fatal("batch ledgers differ after resume")
+			}
+		})
+	}
+}
+
+func TestResumeWithChipLossRepartition(t *testing.T) {
+	// Interrupt after a permanent chip loss has repartitioned the dead
+	// chip's slice onto the survivors: the checkpoint must carry the
+	// reshaped partition and the resumed run must still match.
+	m := kgraph(40, 6)
+	const duration = 40
+	cfg := Config{Chips: 4, Seed: 9, Faults: fault.Config{
+		Seed: 3, ChipLossEpoch: 2,
+		Recovery: fault.Recovery{Repartition: true},
+	}}
+	full := MustSystem(m, cfg).RunConcurrent(duration)
+	runC := func(s *System, ctx context.Context, ck *Checkpoint) (*Result, *Checkpoint, error) {
+		return s.RunConcurrentCtx(ctx, duration, ck)
+	}
+	ck := interruptAt(t, m, cfg, 4, runC)
+	if len(ck.Chips) != 3 {
+		t.Fatalf("checkpoint has %d chips, want 3 survivors", len(ck.Chips))
+	}
+	resumed, _, err := MustSystem(m, cfg).RunConcurrentCtx(context.Background(), duration, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLedger(t, full, resumed)
+}
+
+func TestApplyCheckpointRejectsMismatch(t *testing.T) {
+	m := kgraph(32, 2)
+	cfg := Config{Chips: 4, Seed: 5}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trcfg := cfg
+	trcfg.Tracer = &epochCanceller{epoch: 2, cancel: cancel}
+	_, ck, err := MustSystem(m, trcfg).RunConcurrentCtx(ctx, 30, nil)
+	if !errors.Is(err, context.Canceled) || ck == nil {
+		t.Fatalf("setup: err=%v ck=%v", err, ck)
+	}
+
+	// Wrong mode.
+	if _, _, err := MustSystem(m, cfg).RunSequentialCtx(context.Background(), 30, ck); err == nil {
+		t.Fatal("sequential accepted a concurrent checkpoint")
+	}
+	// Wrong duration.
+	if _, _, err := MustSystem(m, cfg).RunConcurrentCtx(context.Background(), 60, ck); err == nil {
+		t.Fatal("accepted a checkpoint for a different duration")
+	}
+	// Fault-layer parity.
+	fcfg := cfg
+	fcfg.Faults = fault.Config{Seed: 1, DropRate: 0.1}
+	if _, _, err := MustSystem(m, fcfg).RunConcurrentCtx(context.Background(), 30, ck); err == nil {
+		t.Fatal("fault-injecting system accepted a fault-free checkpoint")
+	}
+	// Corrupt spins.
+	bad := *ck
+	bad.Chips = append([]ChipState(nil), ck.Chips...)
+	badMachine := *ck.Chips[0].Machine
+	badMachine.Spins = append([]int8(nil), badMachine.Spins...)
+	badMachine.Spins[0] = 3
+	bad.Chips[0] = ChipState{Owned: ck.Chips[0].Owned, Machine: &badMachine,
+		Shadow: ck.Chips[0].Shadow, LastFlipInduced: ck.Chips[0].LastFlipInduced}
+	if _, _, err := MustSystem(m, cfg).RunConcurrentCtx(context.Background(), 30, &bad); err == nil {
+		t.Fatal("accepted corrupt spins")
+	}
+}
+
+func TestPendingAccessors(t *testing.T) {
+	// The in-flight inspection accessors must expose queued fabric
+	// messages at an interruption point without disturbing the run.
+	m := kgraph(40, 8)
+	cfg := Config{Chips: 4, Seed: 11, Faults: fault.Config{
+		Seed: 2, DelayRate: 0.6,
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Tracer = &epochCanceller{epoch: 3, cancel: cancel}
+	s := MustSystem(m, cfg)
+	_, ck, err := s.RunConcurrentCtx(ctx, 40, nil)
+	if !errors.Is(err, context.Canceled) || ck == nil {
+		t.Fatalf("setup: err=%v ck=%v", err, ck)
+	}
+	msgs := s.PendingMessages()
+	if ck.Fault == nil {
+		t.Fatal("fault state missing from checkpoint")
+	}
+	if len(msgs) != len(ck.Fault.Pending) {
+		t.Fatalf("accessor reports %d pending, checkpoint %d", len(msgs), len(ck.Fault.Pending))
+	}
+	for _, msg := range msgs {
+		if msg.From < 0 || msg.From >= 4 {
+			t.Fatalf("pending message from bogus chip %d", msg.From)
+		}
+	}
+	if got := s.PendingWritebacks(); len(got) != 0 {
+		t.Fatalf("concurrent mode has %d batch writebacks pending", len(got))
+	}
+}

@@ -1,9 +1,11 @@
 package multichip
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"mbrim/internal/metrics"
 	"mbrim/internal/obs"
 )
 
@@ -20,16 +22,50 @@ import (
 //
 // durationNS is the annealing time each chip receives (matching
 // RunConcurrent's semantics so qualities are comparable at equal
-// per-chip annealing).
+// per-chip annealing). It panics on integrator divergence; callers
+// that need lifecycle control use RunSequentialCtx.
 func (s *System) RunSequential(durationNS float64) *Result {
+	res, _, err := s.RunSequentialCtx(context.Background(), durationNS, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunSequentialCtx is RunSequential with lifecycle control, with the
+// same contract as RunConcurrentCtx: cancellation returns the partial
+// result plus a resumable Checkpoint alongside ctx.Err() (checked at
+// round barriers, where every chip has had its turn); divergence
+// aborts with the typed error and no checkpoint.
+func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resume *Checkpoint) (*Result, *Checkpoint, error) {
 	if durationNS <= 0 {
 		panic(fmt.Sprintf("multichip: duration=%v", durationNS))
 	}
-	cfg := s.cfg
-	for _, c := range s.chips {
-		c.machine.SetHorizon(durationNS)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	cfg := s.cfg
 	res := &Result{}
+	elapsed := 0.0
+	model := 0.0
+	nextSample := 0.0
+	if resume != nil {
+		if err := s.applyCheckpoint(resume, ModeSequential, durationNS, 0); err != nil {
+			return nil, nil, err
+		}
+		res.Epochs = resume.EpochsDone
+		res.BitChanges = resume.BitChanges
+		res.InducedBitChanges = resume.InducedBitChanges
+		res.Trace = append([]metrics.Point(nil), resume.Trace...)
+		res.EpochStats = append([]EpochStat(nil), resume.EpochStats...)
+		model = resume.ModelNS
+		elapsed = resume.ElapsedNS
+		nextSample = resume.NextSampleNS
+	} else {
+		for _, c := range s.chips {
+			c.machine.SetHorizon(durationNS)
+		}
+	}
 	rc := &runCollector{}
 	if cfg.RecordEpochStats {
 		rc.epochStats = &res.EpochStats
@@ -38,11 +74,18 @@ func (s *System) RunSequential(durationNS float64) *Result {
 		rc.trace = &res.Trace
 	}
 	tr := s.runTracer(rc)
-	elapsed := 0.0
-	model := 0.0
-	nextSample := 0.0
 	lastBytes := s.fabric.TotalBytes()
+	done := ctx.Done()
 	for model < durationNS-1e-9 {
+		select {
+		case <-done:
+			ck := &Checkpoint{Mode: ModeSequential, DurationNS: durationNS}
+			s.capturePosition(ck, res, model, elapsed, nextSample)
+			s.captureInto(ck)
+			s.collect(res, model, elapsed)
+			return res, ck, ctx.Err()
+		default:
+		}
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
 		if s.frt != nil {
 			s.beginFaultEpoch(res.Epochs+1, durationNS-model, tr)
@@ -62,7 +105,11 @@ func (s *System) RunSequential(durationNS float64) *Result {
 			for t < epoch-1e-9 {
 				chunk := math.Min(cfg.FlipIntervalNS, epoch-t)
 				if !hold {
-					c.machine.Run(chunk)
+					if err := c.machine.Run(chunk); err != nil {
+						emitIf(tr, obs.Event{Kind: obs.Numerical, Label: "divergence",
+							Epoch: res.Epochs + 1, Chip: ci, ModelNS: model + t})
+						return nil, nil, fmt.Errorf("multichip: chip %d: %w", ci, err)
+					}
 				}
 				t += chunk
 				s.drawInduced(ci, (model+t)/durationNS)
@@ -98,6 +145,7 @@ func (s *System) RunSequential(durationNS float64) *Result {
 		elapsed += stall
 		model += epoch
 		res.Epochs++
+		s.drainStepRetries(tr, res.Epochs, model)
 		if tr != nil {
 			total := s.fabric.TotalBytes()
 			tr.Emit(obs.Event{Kind: obs.FabricTransfer, Epoch: res.Epochs, ModelNS: model,
@@ -112,5 +160,5 @@ func (s *System) RunSequential(durationNS float64) *Result {
 		}
 	}
 	s.collect(res, model, elapsed)
-	return res
+	return res, nil, nil
 }

@@ -1,6 +1,7 @@
 package multichip
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -440,16 +441,57 @@ func (s *System) probe(epoch int, tr obs.Tracer) {
 // RunConcurrent anneals one job across all chips for durationNS of
 // model time in concurrent mode (Sec 5.4): every chip integrates its
 // slice continuously, exchanging net spin changes at each epoch
-// boundary, stalling when the fabric cannot keep up.
+// boundary, stalling when the fabric cannot keep up. It panics on
+// integrator divergence; callers that need lifecycle control use
+// RunConcurrentCtx.
 func (s *System) RunConcurrent(durationNS float64) *Result {
+	res, _, err := s.RunConcurrentCtx(context.Background(), durationNS, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunConcurrentCtx is RunConcurrent with lifecycle control.
+// Cancellation stops the run at the next epoch barrier and returns the
+// partial result plus a resumable Checkpoint alongside ctx.Err();
+// resuming from that checkpoint on a freshly built identical System
+// continues bit-identically to a run that was never interrupted.
+// Integrator divergence aborts with the typed error (no checkpoint —
+// the mid-epoch cut is not a consistent state).
+func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resume *Checkpoint) (*Result, *Checkpoint, error) {
 	if durationNS <= 0 {
 		panic(fmt.Sprintf("multichip: duration=%v", durationNS))
 	}
-	cfg := s.cfg
-	for _, c := range s.chips {
-		c.machine.SetHorizon(durationNS)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	cfg := s.cfg
 	res := &Result{}
+	nextSample := 0.0
+	elapsed := 0.0
+	model := 0.0
+	if resume != nil {
+		if err := s.applyCheckpoint(resume, ModeConcurrent, durationNS, 0); err != nil {
+			return nil, nil, err
+		}
+		// Machine horizons were restored verbatim (after a repartition
+		// they hold the remaining time, not the full duration), so they
+		// are not reset here.
+		res.Epochs = resume.EpochsDone
+		res.BitChanges = resume.BitChanges
+		res.InducedBitChanges = resume.InducedBitChanges
+		res.Trace = append([]metrics.Point(nil), resume.Trace...)
+		res.EpochStats = append([]EpochStat(nil), resume.EpochStats...)
+		res.Surprises = append([]SurpriseSample(nil), resume.Surprises...)
+		model = resume.ModelNS
+		elapsed = resume.ElapsedNS
+		nextSample = resume.NextSampleNS
+	} else {
+		for _, c := range s.chips {
+			c.machine.SetHorizon(durationNS)
+		}
+	}
 	rc := &runCollector{}
 	if cfg.RecordEpochStats {
 		rc.epochStats = &res.EpochStats
@@ -461,11 +503,18 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		rc.trace = &res.Trace
 	}
 	tr := s.runTracer(rc)
-	nextSample := 0.0
-	elapsed := 0.0
-	model := 0.0
 	lastBytes := s.fabric.TotalBytes()
+	done := ctx.Done()
 	for model < durationNS-1e-9 {
+		select {
+		case <-done:
+			ck := &Checkpoint{Mode: ModeConcurrent, DurationNS: durationNS}
+			s.capturePosition(ck, res, model, elapsed, nextSample)
+			s.captureInto(ck)
+			s.collect(res, model, elapsed)
+			return res, ck, ctx.Err()
+		default:
+		}
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
 		if s.frt != nil {
 			// Chip loss (with optional repartition) and this epoch's
@@ -477,13 +526,13 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		// change at boundaries, so this is faithful to parallel
 		// hardware whether the host runs it sequentially or on one
 		// goroutine per chip.
-		s.forEachChip(func(ci int, c *chip) {
+		badChip, chipErr := s.forEachChip(func(ci int, c *chip) error {
 			c.resetEpochCounters()
 			if s.frt != nil && s.frt.dead[ci] {
 				// A lost chip stops integrating AND stops clocking its
 				// kick PRNG; coordinated peers keep toggling its
 				// shadows blindly — that divergence is the damage.
-				return
+				return nil
 			}
 			// A transiently stalled chip holds its integrator but its
 			// digital PRNG keeps clocking, so coordinated clones stay
@@ -493,14 +542,23 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 			for t < epoch-1e-9 {
 				chunk := math.Min(cfg.FlipIntervalNS, epoch-t)
 				if !hold {
-					c.machine.Run(chunk)
+					if err := c.machine.Run(chunk); err != nil {
+						return err
+					}
 				}
 				t += chunk
 				s.drawInduced(ci, (model+t)/durationNS)
 			}
+			return nil
 		})
+		if chipErr != nil {
+			emitIf(tr, obs.Event{Kind: obs.Numerical, Label: "divergence",
+				Epoch: res.Epochs + 1, Chip: badChip, ModelNS: model})
+			return nil, nil, fmt.Errorf("multichip: chip %d: %w", badChip, chipErr)
+		}
 		model += epoch
 		res.Epochs++
+		s.drainStepRetries(tr, res.Epochs, model)
 		if tr != nil {
 			s.emitChipEpoch(tr, res.Epochs, model)
 		}
@@ -540,28 +598,70 @@ func (s *System) RunConcurrent(durationNS float64) *Result {
 		}
 	}
 	s.collect(res, model, elapsed)
-	return res
+	return res, nil, nil
+}
+
+// capturePosition fills a checkpoint's loop-position and partial-result
+// fields from a single-job run's state at an epoch barrier.
+func (s *System) capturePosition(ck *Checkpoint, res *Result, model, elapsed, nextSample float64) {
+	ck.EpochsDone = res.Epochs
+	ck.ModelNS = model
+	ck.ElapsedNS = elapsed
+	ck.NextSampleNS = nextSample
+	ck.BitChanges = res.BitChanges
+	ck.InducedBitChanges = res.InducedBitChanges
+	ck.Trace = append([]metrics.Point(nil), res.Trace...)
+	ck.EpochStats = append([]EpochStat(nil), res.EpochStats...)
+	ck.Surprises = append([]SurpriseSample(nil), res.Surprises...)
+}
+
+// drainStepRetries reports each chip's integrator-guardrail activity
+// for the epoch that just closed — halved-dt retries spent keeping the
+// step finite — as Numerical events (in chip order, at the barrier)
+// and a counter. Draining at every barrier also keeps the per-epoch
+// retry ledger out of checkpoints: it is always zero at a barrier.
+func (s *System) drainStepRetries(tr obs.Tracer, epoch int, modelNS float64) {
+	for ci, c := range s.chips {
+		r := c.machine.TakeEpochRetries()
+		if r == 0 {
+			continue
+		}
+		emitIf(tr, obs.Event{Kind: obs.Numerical, Label: "step-retry",
+			Epoch: epoch, Chip: ci, ModelNS: modelNS, Count: r})
+		s.cfg.Metrics.Counter("brim.step_retries").Add(r)
+	}
 }
 
 // forEachChip applies f to every chip, on goroutines when the
 // configuration asks for host parallelism. Callers must ensure f(ci)
-// touches only chip ci's state.
-func (s *System) forEachChip(f func(ci int, c *chip)) {
+// touches only chip ci's state. On failure it reports the lowest
+// failing chip index and its error (so the outcome is deterministic
+// regardless of Parallel); otherwise (-1, nil).
+func (s *System) forEachChip(f func(ci int, c *chip) error) (int, error) {
 	if !s.cfg.Parallel || len(s.chips) == 1 {
 		for ci, c := range s.chips {
-			f(ci, c)
+			if err := f(ci, c); err != nil {
+				return ci, err
+			}
 		}
-		return
+		return -1, nil
 	}
+	errs := make([]error, len(s.chips))
 	var wg sync.WaitGroup
 	for ci, c := range s.chips {
 		wg.Add(1)
 		go func(ci int, c *chip) {
 			defer wg.Done()
-			f(ci, c)
+			errs[ci] = f(ci, c)
 		}(ci, c)
 	}
 	wg.Wait()
+	for ci, err := range errs {
+		if err != nil {
+			return ci, err
+		}
+	}
+	return -1, nil
 }
 
 // collect fills the common result fields.

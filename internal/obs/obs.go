@@ -25,6 +25,9 @@
 //   - Recovery: recovery-policy activity (Label discriminates:
 //     "retransmit", "resync", "repartition"), with the traffic and
 //     stall it cost.
+//   - Numerical: integrator-guardrail activity — halved-step retries
+//     spent during an epoch, or the divergence abort itself (Label
+//     discriminates: "step-retry", "divergence").
 //
 // # Sinks
 //
@@ -62,6 +65,7 @@ const (
 	EnergySample   Kind = "energy_sample"
 	Fault          Kind = "fault"
 	Recovery       Kind = "recovery"
+	Numerical      Kind = "numerical"
 	RunEnd         Kind = "run_end"
 )
 
@@ -87,6 +91,11 @@ const (
 //	                spins moved), Value (bytes charged), StallNS
 //	                (recovery stall charged), Aux (divergence fraction
 //	                for "resync")
+//	Numerical:      integrator guardrail activity (Label
+//	                discriminates: "step-retry" with Count halved-step
+//	                retries a chip spent during the epoch;
+//	                "divergence" when the run aborts), Epoch, Chip,
+//	                ModelNS
 //	RunEnd:         Label (engine), Value (best energy), ModelNS,
 //	                StallNS, Count (flips), Induced, WallDurNS
 //

@@ -13,6 +13,7 @@
 package pt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -58,8 +59,19 @@ type replica struct {
 // Solve runs parallel tempering and returns the best state seen by any
 // replica at any time.
 func Solve(m *ising.Model, cfg Config) *Result {
+	res, _ := SolveCtx(context.Background(), m, cfg)
+	return res
+}
+
+// SolveCtx is Solve with cancellation: the run stops at the next sweep
+// boundary and returns the best state seen so far alongside ctx.Err().
+// The result is always non-nil and internally consistent.
+func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) {
 	if cfg.Sweeps < 1 {
 		panic(fmt.Sprintf("pt: Sweeps=%d", cfg.Sweeps))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	replicas := cfg.Replicas
 	if replicas == 0 {
@@ -117,7 +129,17 @@ func Solve(m *ising.Model, cfg Config) *Result {
 	}
 
 	start := time.Now()
+	done := ctx.Done()
+	var runErr error
 	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+		select {
+		case <-done:
+			runErr = ctx.Err()
+		default:
+		}
+		if runErr != nil {
+			break
+		}
 		for ri, rep := range reps {
 			beta := betas[ri]
 			for k := 0; k < n; k++ {
@@ -146,5 +168,5 @@ func Solve(m *ising.Model, cfg Config) *Result {
 		}
 	}
 	res.Wall = time.Since(start)
-	return res
+	return res, runErr
 }

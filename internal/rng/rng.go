@@ -94,6 +94,19 @@ func (r *Source) Fork(label uint64) *Source {
 // tests and for snapshotting a synchronized ensemble.
 func (r *Source) State() [4]uint64 { return r.s }
 
+// SetState restores a state previously captured with State, positioning
+// the stream exactly where the snapshot was taken — the primitive
+// behind bit-identical checkpoint/resume. An all-zero state is invalid
+// for xoshiro256** (the generator would emit zeros forever); it is
+// replaced with the same guard word Reseed uses, so a corrupt snapshot
+// degrades the stream but can never wedge it.
+func (r *Source) SetState(s [4]uint64) {
+	r.s = s
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
 	// 53 high bits, standard conversion.

@@ -11,6 +11,7 @@
 package sa
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -93,8 +94,25 @@ func Solve(m *ising.Model, cfg Config) *Result {
 // SolveProblem runs simulated annealing over any ising.Problem
 // (dense or sparse).
 func SolveProblem(m ising.Problem, cfg Config) *Result {
+	res, _ := SolveProblemCtx(context.Background(), m, cfg)
+	return res
+}
+
+// SolveCtx is Solve with cancellation: the run stops at the next sweep
+// boundary and returns the state reached so far alongside ctx.Err().
+// The result is always non-nil and internally consistent.
+func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) {
+	return SolveProblemCtx(ctx, m, cfg)
+}
+
+// SolveProblemCtx is SolveProblem with cancellation, checked at sweep
+// boundaries.
+func SolveProblemCtx(ctx context.Context, m ising.Problem, cfg Config) (*Result, error) {
 	if cfg.Sweeps < 1 {
 		panic(fmt.Sprintf("sa: Sweeps=%d", cfg.Sweeps))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	beta := cfg.Beta
 	if beta == nil {
@@ -123,7 +141,18 @@ func SolveProblem(m ising.Problem, cfg Config) *Result {
 
 	res := &Result{}
 	start := time.Now()
+	done := ctx.Done()
+	sweepsDone := 0
+	var runErr error
 	for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+		select {
+		case <-done:
+			runErr = ctx.Err()
+		default:
+		}
+		if runErr != nil {
+			break
+		}
 		b := beta.At(float64(sweep) / float64(cfg.Sweeps))
 		for i := 0; i < n; i++ {
 			res.Attempts++
@@ -136,6 +165,7 @@ func SolveProblem(m ising.Problem, cfg Config) *Result {
 			}
 			res.Instructions += instrPerAttempt
 		}
+		sweepsDone++
 		if cfg.OnSweep != nil {
 			cfg.OnSweep(sweep, energy)
 		}
@@ -154,11 +184,11 @@ func SolveProblem(m ising.Problem, cfg Config) *Result {
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("sa.runs").Inc()
-		cfg.Metrics.Counter("sa.sweeps").Add(int64(cfg.Sweeps))
+		cfg.Metrics.Counter("sa.sweeps").Add(int64(sweepsDone))
 		cfg.Metrics.Counter("sa.attempts").Add(res.Attempts)
 		cfg.Metrics.Counter("sa.flips").Add(res.Flips)
 	}
-	return res
+	return res, runErr
 }
 
 // SolveNaive runs the same Metropolis process but recomputes the full

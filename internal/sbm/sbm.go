@@ -18,6 +18,7 @@
 package sbm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -106,8 +107,20 @@ func defaultC0(m *ising.Model) float64 {
 
 // Solve runs simulated bifurcation on the model.
 func Solve(m *ising.Model, cfg Config) *Result {
+	res, _ := SolveCtx(context.Background(), m, cfg)
+	return res
+}
+
+// SolveCtx is Solve with cancellation: the run stops at the next
+// symplectic step boundary and returns the sign readout reached so far
+// alongside ctx.Err(). The result is always non-nil and internally
+// consistent.
+func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) {
 	if cfg.Steps < 1 {
 		panic(fmt.Sprintf("sbm: Steps=%d", cfg.Steps))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	dt := cfg.Dt
 	if dt == 0 {
@@ -143,7 +156,18 @@ func Solve(m *ising.Model, cfg Config) *Result {
 	}
 
 	start := time.Now()
+	done := ctx.Done()
+	stepsDone := 0
+	var runErr error
 	for step := 0; step < cfg.Steps; step++ {
+		select {
+		case <-done:
+			runErr = ctx.Err()
+		default:
+		}
+		if runErr != nil {
+			break
+		}
 		at := a0 * float64(step) / float64(cfg.Steps)
 		// Mean-field force. dSB uses sign(x), bSB uses x itself. The
 		// bias term enters like a coupling to a fixed +1 spin.
@@ -186,6 +210,7 @@ func Solve(m *ising.Model, cfg Config) *Result {
 				x[i], y[i] = -1, 0
 			}
 		}
+		stepsDone++
 		if cfg.OnStep != nil {
 			cfg.OnStep(step, m.Energy(readout(x, spins)))
 		}
@@ -196,15 +221,15 @@ func Solve(m *ising.Model, cfg Config) *Result {
 	}
 	res := &Result{
 		Spins: ising.CopySpins(readout(x, spins)),
-		Steps: cfg.Steps,
+		Steps: stepsDone,
 		Wall:  time.Since(start),
 	}
 	res.Energy = m.Energy(res.Spins)
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("sbm.runs").Inc()
-		cfg.Metrics.Counter("sbm.steps").Add(int64(cfg.Steps))
+		cfg.Metrics.Counter("sbm.steps").Add(int64(stepsDone))
 	}
-	return res
+	return res, runErr
 }
 
 // readout writes sign(x) into buf and returns it.

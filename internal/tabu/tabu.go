@@ -8,6 +8,7 @@
 package tabu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,8 +43,19 @@ type Result struct {
 // Solve runs tabu search on the model and returns the best state
 // encountered.
 func Solve(m *ising.Model, cfg Config) *Result {
+	res, _ := SolveCtx(context.Background(), m, cfg)
+	return res
+}
+
+// SolveCtx is Solve with cancellation: the search stops at the next
+// iteration boundary and returns the best state found so far alongside
+// ctx.Err(). The result is always non-nil and internally consistent.
+func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) {
 	if cfg.MaxIters < 1 {
 		panic(fmt.Sprintf("tabu: MaxIters=%d", cfg.MaxIters))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := m.N()
 	tenure := cfg.Tenure
@@ -73,8 +85,18 @@ func Solve(m *ising.Model, cfg Config) *Result {
 	sinceImprove := 0
 
 	start := time.Now()
+	done := ctx.Done()
+	var runErr error
 	iter := 0
 	for ; iter < cfg.MaxIters && sinceImprove < patience; iter++ {
+		select {
+		case <-done:
+			runErr = ctx.Err()
+		default:
+		}
+		if runErr != nil {
+			break
+		}
 		// Pick the admissible flip with the lowest resulting energy;
 		// break ties randomly so the search does not cycle on plateaus.
 		bestK := -1
@@ -118,5 +140,5 @@ func Solve(m *ising.Model, cfg Config) *Result {
 		Energy: bestEnergy,
 		Iters:  iter,
 		Wall:   time.Since(start),
-	}
+	}, runErr
 }

@@ -38,8 +38,10 @@
 package mbrim
 
 import (
+	"context"
 	"io"
 
+	"mbrim/internal/brim"
 	"mbrim/internal/core"
 	"mbrim/internal/fault"
 	"mbrim/internal/graph"
@@ -185,6 +187,40 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
 // Solve runs the requested engine and returns a uniform outcome.
 func Solve(req Request) (*Outcome, error) { return core.Solve(req) }
+
+// SolveCtx is Solve with lifecycle control: the request is validated at
+// the boundary, cancelling the context stops the engine at its next
+// natural boundary with an *InterruptedError carrying the best-so-far
+// Outcome (and, for multichip engines, resume bytes), integrator
+// divergence surfaces as a typed *DivergenceError, and engine panics
+// are converted to *PanicError.
+func SolveCtx(ctx context.Context, req Request) (*Outcome, error) {
+	return core.SolveCtx(ctx, req)
+}
+
+// Lifecycle sentinels: match with errors.Is.
+var (
+	// ErrInterrupted matches a solve stopped by context cancellation
+	// or deadline; the concrete error is *InterruptedError.
+	ErrInterrupted = core.ErrInterrupted
+	// ErrInvalidModel matches a request rejected at the Solve boundary
+	// (non-finite couplings/biases, asymmetry, mis-sized warm start).
+	ErrInvalidModel = core.ErrInvalidModel
+)
+
+// Lifecycle error types.
+type (
+	// InterruptedError reports a cancelled solve: the best-so-far
+	// Outcome plus, for multichip engines, serialized checkpoint bytes
+	// that Request.Resume accepts for a bit-identical continuation.
+	InterruptedError = core.InterruptedError
+	// PanicError reports an engine panic converted to an error at the
+	// Solve boundary, with the stack attached.
+	PanicError = core.PanicError
+	// DivergenceError reports BRIM integrator blowup that survived the
+	// step-halving guardrail, with per-node diagnostics.
+	DivergenceError = brim.DivergenceError
+)
 
 // Kinds returns every engine name, sorted.
 func Kinds() []string { return core.Kinds() }
