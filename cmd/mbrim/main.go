@@ -23,8 +23,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mbrim"
+	runsvc "mbrim/internal/runs"
 )
 
 func main() {
@@ -141,13 +143,25 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/metrics", registry)
+		// The same operations surface mbrimd serves: Prometheus at
+		// /metrics (JSON snapshot at /metrics.json), health/readiness,
+		// and the run-manager endpoints, so a long -pprof CLI session
+		// is scrapable and steerable like the daemon.
+		mgr := runsvc.NewManager(runsvc.Config{Registry: registry})
+		runsvc.Mount(mux, mgr, registry, nil)
+		srv := &http.Server{
+			Addr:    *pprofAddr,
+			Handler: mux,
+			// Slowloris guard: a client must finish its headers
+			// promptly or lose the connection.
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+			if err := srv.ListenAndServe(); err != nil {
 				fmt.Fprintln(os.Stderr, "mbrim: pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(info, "pprof:   http://%s/debug/pprof/ (metrics at /metrics)\n", *pprofAddr)
+		fmt.Fprintf(info, "pprof:   http://%s/debug/pprof/ (Prometheus at /metrics, JSON at /metrics.json)\n", *pprofAddr)
 	}
 
 	// Lifecycle: -timeout bounds the run, SIGINT/SIGTERM cancel it, and

@@ -1,0 +1,119 @@
+// Command mbrimd is the long-running solve service — the operations
+// plane a scraper and a dashboard point at. It accepts problems over
+// HTTP, executes them through the core orchestration layer with live
+// tracing attached, and exposes:
+//
+//	POST /runs                  submit a problem (JSON)
+//	GET  /runs                  list runs
+//	GET  /runs/{id}             one run's live status
+//	GET  /runs/{id}/events      Server-Sent Events tail of the trace
+//	POST /runs/{id}/cancel      stop at the next engine barrier
+//	GET  /runs/{id}/checkpoint  download the resume envelope
+//	GET  /metrics               Prometheus text exposition
+//	GET  /metrics.json          JSON metrics snapshot
+//	GET  /healthz, /readyz      liveness / readiness
+//
+// Example session:
+//
+//	mbrimd -addr localhost:8351 &
+//	curl -s -X POST localhost:8351/runs \
+//	  -d '{"engine":"mbrim","k":256,"chips":4,"durationNS":500}'
+//	curl -s localhost:8351/runs/run-1
+//	curl -s -N localhost:8351/runs/run-1/events
+//	curl -s localhost:8351/metrics | grep core_solve_wall_ns_bucket
+//
+// SIGINT/SIGTERM drain gracefully: readiness flips to 503, in-flight
+// runs are cancelled (multichip runs capture checkpoints, retrievable
+// until exit), and the listener shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mbrim/internal/obs"
+	"mbrim/internal/runs"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8351", "listen address (host:port; port 0 picks one)")
+	maxActive := flag.Int("max-active", 0, "max concurrently executing runs (0 = unlimited)")
+	maxSpins := flag.Int("max-spins", runs.DefaultMaxSpins, "largest accepted problem, in spins")
+	ringSize := flag.Int("ring", 4096, "recent events retained per run for replay")
+	sseBuffer := flag.Int("sse-buffer", obs.DefaultBroadcastBuffer, "per-subscriber live-tail buffer, events")
+	withPprof := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Duration("drain", 10*time.Second, "max wait for in-flight runs on shutdown")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	mgr := runs.NewManager(runs.Config{
+		Registry:        reg,
+		RingSize:        *ringSize,
+		BroadcastBuffer: *sseBuffer,
+		MaxActive:       *maxActive,
+		MaxSpins:        *maxSpins,
+	})
+
+	var draining atomic.Bool
+	mux := http.NewServeMux()
+	runs.Mount(mux, mgr, reg, func() bool { return !draining.Load() })
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbrimd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Handler: mux,
+		// Slowloris guard: a client must finish its headers promptly.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Printed (not logged) so scripts can scrape the bound address
+	// when -addr used port 0.
+	fmt.Printf("mbrimd: listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "mbrimd:", err)
+		os.Exit(1)
+	}
+
+	// Drain: stop advertising readiness, cancel in-flight runs (each
+	// multichip run captures its checkpoint on the way out), wait for
+	// them, then close the listener.
+	stop()
+	draining.Store(true)
+	if ids := mgr.CancelAll(); len(ids) > 0 {
+		fmt.Fprintf(os.Stderr, "mbrimd: draining, cancelled %d run(s): %v\n", len(ids), ids)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if !mgr.Wait(drainCtx) {
+		fmt.Fprintln(os.Stderr, "mbrimd: drain timeout; exiting with runs in flight")
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "mbrimd: shutdown:", err)
+	}
+}

@@ -445,9 +445,13 @@ func (r *Request) finish(out *Outcome, start time.Time) {
 			WallDurNS: out.Wall.Nanoseconds(), Count: int64(out.Stats["flips"])})
 	}
 	if r.Metrics != nil {
+		// core.solves is the cross-engine total; the engine-labeled
+		// series of the same family break it down per solver kind for
+		// the Prometheus exposition.
 		r.Metrics.Counter("core.solves").Inc()
-		r.Metrics.Counter("core.solves." + string(r.Kind)).Inc()
-		r.Metrics.Histogram("core.solve_wall_ns").Observe(float64(out.Wall.Nanoseconds()))
+		r.Metrics.CounterWith("core.solves", obs.Labels{"engine": string(r.Kind)}).Inc()
+		r.Metrics.HistogramWith("core.solve_wall_ns", obs.Labels{"engine": string(r.Kind)}).
+			Observe(float64(out.Wall.Nanoseconds()))
 	}
 }
 

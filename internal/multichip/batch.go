@@ -361,7 +361,7 @@ func (s *System) finalizeBatch(res *BatchResult, states [][]int8, modelNS, elaps
 	if s.frt != nil {
 		res.FaultStats = s.frt.stats
 	}
-	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
+	s.recordRunMetrics(ModeBatch, res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
 		res.StallNS, res.TrafficBytes, res.Epochs)
 	res.Energies = make([]float64, len(states))
 	res.BestEnergy = math.Inf(1)

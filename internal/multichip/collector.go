@@ -95,14 +95,18 @@ func (s *System) emitChipEpoch(tr obs.Tracer, epoch int, modelNS float64) {
 }
 
 // recordRunMetrics adds a finished run's totals to the configured
-// registry; a nil registry makes every call a no-op.
-func (s *System) recordRunMetrics(flips, inducedFlips, bitChanges, inducedBitChanges int64,
+// registry; a nil registry makes every call a no-op. The unlabeled
+// series are cross-mode totals; mode-labeled multichip.runs series
+// break the run count down by operating mode for the Prometheus
+// exposition.
+func (s *System) recordRunMetrics(mode string, flips, inducedFlips, bitChanges, inducedBitChanges int64,
 	stallNS, trafficBytes float64, epochs int) {
 	m := s.cfg.Metrics
 	if m == nil {
 		return
 	}
 	m.Counter("multichip.runs").Inc()
+	m.CounterWith("multichip.runs", obs.Labels{"mode": mode}).Inc()
 	m.Counter("multichip.flips").Add(flips)
 	m.Counter("multichip.induced_flips").Add(inducedFlips)
 	m.Counter("multichip.bit_changes").Add(bitChanges)

@@ -82,7 +82,7 @@ func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resum
 			ck := &Checkpoint{Mode: ModeSequential, DurationNS: durationNS}
 			s.capturePosition(ck, res, model, elapsed, nextSample)
 			s.captureInto(ck)
-			s.collect(res, model, elapsed)
+			s.collect(ModeSequential, res, model, elapsed)
 			return res, ck, ctx.Err()
 		default:
 		}
@@ -159,6 +159,6 @@ func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resum
 			nextSample = elapsed + cfg.SampleEveryNS
 		}
 	}
-	s.collect(res, model, elapsed)
+	s.collect(ModeSequential, res, model, elapsed)
 	return res, nil, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"mbrim/internal/brim"
@@ -511,7 +512,7 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 			ck := &Checkpoint{Mode: ModeConcurrent, DurationNS: durationNS}
 			s.capturePosition(ck, res, model, elapsed, nextSample)
 			s.captureInto(ck)
-			s.collect(res, model, elapsed)
+			s.collect(ModeConcurrent, res, model, elapsed)
 			return res, ck, ctx.Err()
 		default:
 		}
@@ -597,7 +598,7 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 			nextSample = elapsed + cfg.SampleEveryNS
 		}
 	}
-	s.collect(res, model, elapsed)
+	s.collect(ModeConcurrent, res, model, elapsed)
 	return res, nil, nil
 }
 
@@ -629,6 +630,10 @@ func (s *System) drainStepRetries(tr obs.Tracer, epoch int, modelNS float64) {
 		emitIf(tr, obs.Event{Kind: obs.Numerical, Label: "step-retry",
 			Epoch: epoch, Chip: ci, ModelNS: modelNS, Count: r})
 		s.cfg.Metrics.Counter("brim.step_retries").Add(r)
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.CounterWith("brim.chip_step_retries",
+				obs.Labels{"chip": strconv.Itoa(ci)}).Add(r)
+		}
 	}
 }
 
@@ -665,15 +670,21 @@ func (s *System) forEachChip(f func(ci int, c *chip) error) (int, error) {
 }
 
 // collect fills the common result fields.
-func (s *System) collect(res *Result, model, elapsed float64) {
+func (s *System) collect(mode string, res *Result, model, elapsed float64) {
 	res.ModelNS = model
 	res.ElapsedNS = elapsed
 	res.StallNS = s.fabric.StallNS()
 	res.TrafficBytes = s.fabric.TotalBytes()
 	res.PeakDemandBytesPerNS = s.fabric.PeakDemand()
-	for _, c := range s.chips {
+	for ci, c := range s.chips {
 		res.Flips += c.machine.Flips()
 		res.InducedFlips += c.machine.InducedFlips()
+		if s.cfg.Metrics != nil {
+			// Per-chip flip attribution for the exposition's chip
+			// label; the unlabeled multichip.flips stays the total.
+			s.cfg.Metrics.CounterWith("multichip.chip_flips",
+				obs.Labels{"chip": strconv.Itoa(ci)}).Add(c.machine.Flips())
+		}
 	}
 	res.Spins = s.GlobalSpins()
 	res.Energy = s.model.Energy(res.Spins)
@@ -681,6 +692,6 @@ func (s *System) collect(res *Result, model, elapsed float64) {
 	if s.frt != nil {
 		res.FaultStats = s.frt.stats
 	}
-	s.recordRunMetrics(res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
+	s.recordRunMetrics(mode, res.Flips, res.InducedFlips, res.BitChanges, res.InducedBitChanges,
 		res.StallNS, res.TrafficBytes, res.Epochs)
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReadJSONLTruncatedLine(t *testing.T) {
+	// The writer died mid-record: the final line is cut off. The
+	// readable prefix must still come back alongside the error.
+	in := `{"kind":"run_start","label":"sa","seed":7}
+{"kind":"chip_step","epoch":3,"count":11}
+{"kind":"epoch_sync","ep`
+	events, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("truncated trace parsed without error")
+	}
+	if len(events) != 2 {
+		t.Fatalf("recovered %d events, want 2", len(events))
+	}
+	if events[0].Kind != RunStart || events[0].Seed != 7 {
+		t.Fatalf("events[0] = %+v", events[0])
+	}
+	if events[1].Kind != ChipStep || events[1].Count != 11 {
+		t.Fatalf("events[1] = %+v", events[1])
+	}
+}
+
+func TestReadJSONLInvalidMidStream(t *testing.T) {
+	in := `{"kind":"run_start","label":"sa"}
+this is not json
+{"kind":"run_end","value":-12}
+`
+	events, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("corrupt mid-stream line parsed without error")
+	}
+	if len(events) != 1 || events[0].Kind != RunStart {
+		t.Fatalf("recovered %+v, want the single leading event", events)
+	}
+}
+
+func TestReadJSONLWrongTypes(t *testing.T) {
+	// Structurally valid JSON with mismatched field types must error,
+	// not silently zero the fields.
+	in := `{"kind":"chip_step","epoch":"three"}`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("type-mismatched record parsed without error")
+	}
+}
+
+func TestReadJSONLEmpty(t *testing.T) {
+	events, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty trace: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty trace produced %d events", len(events))
+	}
+}
+
+// TestSnapshotDuringObserve hammers Snapshot and the Prometheus encoder
+// against live instrument traffic; run with -race it pins that scrapes
+// never tear a moving registry.
+func TestSnapshotDuringObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("core.solves").Inc()
+				r.CounterWith("core.solves", Labels{"engine": "sa"}).Inc()
+				r.Gauge("runs.active").Add(1)
+				r.HistogramWith("core.solve_wall_ns", Labels{"engine": "sa"}).
+					Observe(float64(i%1000) + 0.5)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		sn := r.Snapshot()
+		hs := sn.Histograms[`core.solve_wall_ns{engine="sa"}`]
+		var bucketed int64
+		for _, b := range hs.Buckets {
+			bucketed += b.Count
+		}
+		// Buckets are incremented after count, so a snapshot can see at
+		// most Count bucketed observations.
+		if bucketed > hs.Count {
+			t.Fatalf("snapshot tore: %d bucketed > count %d", bucketed, hs.Count)
+		}
+		if err := r.WriteProm(&discard{}); err != nil {
+			t.Fatalf("WriteProm under load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format
+// (version 0.0.4) over the Registry: the standard scrape surface a
+// fleet operator points Prometheus at. The encoder is stdlib-only and
+// deterministic — families alphabetical, series sorted by label set —
+// so expositions diff cleanly and tests can pin exact output.
+//
+// Mapping:
+//
+//   - Counter  → `# TYPE name counter`, one sample per series.
+//   - Gauge    → `# TYPE name gauge`, one sample per series.
+//   - Histogram→ `# TYPE name histogram` with cumulative
+//     `name_bucket{le="..."}` samples over the populated power-of-two
+//     boundaries, a closing `le="+Inf"` bucket, and `name_sum` /
+//     `name_count` samples.
+//
+// Instrument names in this repository are dotted (multichip.flips);
+// sanitization rewrites every character outside [a-zA-Z0-9_:] to `_`
+// and prefixes a `_` when the name would start with a digit. If two
+// instrument kinds collide on one sanitized name, the later kind gets
+// a disambiguating `_gauge` / `_histogram` suffix rather than emitting
+// an invalid duplicate family.
+
+// promContentType is the Content-Type of the text exposition format.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// sanitizeMetricName rewrites s into a valid Prometheus metric name.
+func sanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName rewrites s into a valid Prometheus label name
+// (colons are not allowed in label names).
+func sanitizeLabelName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes # HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value. Prometheus accepts Go's shortest
+// 'g' representation; infinities spell +Inf/-Inf.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one exposition-ready series: sanitized label text
+// (without braces) plus the instrument it reads from.
+type promSeries struct {
+	labels []labelPair // sanitized names, raw values
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// labelText renders the series' labels plus any extras (the histogram
+// `le`), returning "" for an empty set and `{k="v",...}` otherwise.
+func labelText(pairs []labelPair, extra ...labelPair) string {
+	all := make([]labelPair, 0, len(pairs)+len(extra))
+	all = append(all, pairs...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFamily is one metric family: every series sharing a sanitized
+// name and instrument kind.
+type promFamily struct {
+	name   string // sanitized
+	raw    string // original instrument name, for help lookup
+	kind   string // "counter" | "gauge" | "histogram"
+	series []promSeries
+}
+
+// sortSeries orders a family's series by label text so output is
+// deterministic.
+func (f *promFamily) sortSeries() {
+	sort.Slice(f.series, func(a, b int) bool {
+		return labelText(f.series[a].labels) < labelText(f.series[b].labels)
+	})
+}
+
+// sanitizePairs sanitizes label names, preserving value text.
+func sanitizePairs(pairs []labelPair) []labelPair {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]labelPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = labelPair{Key: sanitizeLabelName(p.Key), Value: p.Value}
+	}
+	return out
+}
+
+// families assembles the exposition families under the registry lock:
+// instruments grouped by sanitized name, cross-kind collisions
+// disambiguated, series sorted. Values are read later (atomically), so
+// holding the lock here only pins the instrument set, not the counts.
+func (r *Registry) families() []promFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byName := map[string]*promFamily{}
+	order := []string{}
+	add := func(key, kind string, s promSeries) {
+		meta, ok := r.series[key]
+		if !ok {
+			meta = seriesMeta{name: key}
+		}
+		name := sanitizeMetricName(meta.name)
+		// A family is one (name, kind); a second kind on the same name
+		// gets a suffix so the exposition never repeats a TYPE line.
+		f, ok := byName[name]
+		if ok && f.kind != kind {
+			name = name + "_" + kind
+			f, ok = byName[name]
+		}
+		if !ok || f.kind != kind {
+			f = &promFamily{name: name, raw: meta.name, kind: kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		s.labels = sanitizePairs(meta.labels)
+		f.series = append(f.series, s)
+	}
+	for key, c := range r.counters {
+		add(key, "counter", promSeries{c: c})
+	}
+	if _, taken := r.counters[DroppedNaNName]; !taken && r.droppedNaN.Value() > 0 {
+		add(DroppedNaNName, "counter", promSeries{c: &r.droppedNaN})
+	}
+	for key, g := range r.gauges {
+		add(key, "gauge", promSeries{g: g})
+	}
+	for key, h := range r.hists {
+		add(key, "histogram", promSeries{h: h})
+	}
+	sort.Strings(order)
+	out := make([]promFamily, 0, len(order))
+	for _, name := range order {
+		f := byName[name]
+		f.sortSeries()
+		if help, ok := r.help[f.raw]; ok {
+			f.raw = help
+		} else {
+			f.raw = "mbrim instrument " + f.raw
+		}
+		out = append(out, *f)
+	}
+	return out
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): a `# HELP` and `# TYPE` header per family,
+// then one sample line per series — with `_bucket`/`_sum`/`_count`
+// expansion for histograms. Output is deterministic: families
+// alphabetical, series sorted by label set.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b bytes.Buffer
+	for _, f := range r.families() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.raw))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelText(s.labels), s.c.Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelText(s.labels), promFloat(s.g.Value()))
+			case "histogram":
+				writePromHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writePromHistogram expands one histogram series into cumulative
+// _bucket samples plus _sum and _count. Buckets and count are read
+// count-first so a concurrent Observe can never make the +Inf bucket
+// smaller than an inner one: an observation seen in a bucket but not
+// in count would break cumulativity, the reverse is a benign
+// undercount of the tail.
+func writePromHistogram(b *bytes.Buffer, name string, s promSeries) {
+	h := s.h
+	total := h.Count()
+	sum := h.Sum()
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum > total {
+			// A sample landed in its bucket between the Count() read and
+			// this one; clamp so the exposition stays cumulative.
+			cum = total
+		}
+		le := promFloat(math.Exp2(float64(i + histMinExp)))
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelText(s.labels, labelPair{Key: "le", Value: le}), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelText(s.labels, labelPair{Key: "le", Value: "+Inf"}), total)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelText(s.labels), promFloat(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelText(s.labels), total)
+}
+
+// PromHandler returns an http.Handler serving the Prometheus text
+// exposition — the GET /metrics endpoint of the operations plane.
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			http.Error(w, "obs: encoding exposition: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		w.Header().Set("Cache-Control", "no-store")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

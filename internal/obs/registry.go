@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -35,7 +37,12 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a float64 cell with atomic Set/Add, safe for concurrent
 // use. A nil Gauge is a no-op.
-type Gauge struct{ bits atomic.Uint64 }
+type Gauge struct {
+	bits atomic.Uint64
+	// dropped counts NaN deltas rejected by Add; wired to the owning
+	// registry's obs_dropped_nan counter (nil for a bare Gauge).
+	dropped *Counter
+}
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
@@ -44,9 +51,15 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
-// Add atomically adds d to the gauge.
+// Add atomically adds d to the gauge. A NaN delta would poison the
+// cell irrecoverably, so it is dropped and counted in the registry's
+// obs_dropped_nan counter instead.
 func (g *Gauge) Add(d float64) {
 	if g == nil {
+		return
+	}
+	if math.IsNaN(d) {
+		g.dropped.Inc()
 		return
 	}
 	for {
@@ -83,10 +96,13 @@ type Histogram struct {
 	minBits atomic.Uint64 // stored as math.Float64bits; init +Inf
 	maxBits atomic.Uint64 // init -Inf
 	buckets [histBuckets]atomic.Int64
+	// dropped counts NaN observations rejected by Observe; wired to
+	// the owning registry's obs_dropped_nan counter.
+	dropped *Counter
 }
 
-func newHistogram() *Histogram {
-	h := &Histogram{}
+func newHistogram(dropped *Counter) *Histogram {
+	h := &Histogram{dropped: dropped}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 	return h
@@ -115,9 +131,15 @@ func bucketIndex(v float64) int {
 	return idx
 }
 
-// Observe records one sample.
+// Observe records one sample. A NaN sample would poison sum, min and
+// max for the histogram's whole lifetime, so it is dropped and counted
+// in the registry's obs_dropped_nan counter instead.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		h.dropped.Inc()
 		return
 	}
 	h.count.Add(1)
@@ -159,6 +181,56 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Labels attaches dimensions to an instrument series. The
+// (name, labels) pair identifies one series: the same name with
+// different label values yields independent instruments that the
+// Prometheus exposition groups into one metric family. Label names
+// should be prometheus-compatible ([a-zA-Z_][a-zA-Z0-9_]*); other
+// characters are sanitized at exposition time.
+type Labels map[string]string
+
+// labelPair is one stored key/value; series hold them sorted by key.
+type labelPair struct {
+	Key, Value string
+}
+
+// seriesMeta records how a map key decomposes, so the Prometheus
+// encoder can group series into families without re-parsing keys.
+type seriesMeta struct {
+	name   string
+	labels []labelPair
+}
+
+// seriesKey builds the canonical map key for (name, labels): the bare
+// name when unlabeled (backward-compatible with pre-label registries),
+// else name{k="v",...} with keys sorted.
+func seriesKey(name string, labels Labels) (string, seriesMeta) {
+	meta := seriesMeta{name: name}
+	if len(labels) == 0 {
+		return name, meta
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labels[k])
+		b.WriteByte('"')
+		meta.labels = append(meta.labels, labelPair{Key: k, Value: labels[k]})
+	}
+	b.WriteByte('}')
+	return b.String(), meta
+}
+
 // Registry is a named set of counters, gauges and histograms shared
 // across engines. Get-or-create accessors and all instrument
 // operations are goroutine-safe, so Parallel chip goroutines can
@@ -169,7 +241,21 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// series maps every instrument key to its (name, labels)
+	// decomposition for the Prometheus encoder.
+	series map[string]seriesMeta
+	// help holds operator-registered # HELP text, keyed by raw
+	// (unsanitized) metric name.
+	help map[string]string
+	// droppedNaN counts NaN samples rejected by Gauge.Add and
+	// Histogram.Observe. It surfaces as obs_dropped_nan in snapshots
+	// and expositions once nonzero.
+	droppedNaN Counter
 }
+
+// DroppedNaNName is the counter name under which rejected NaN samples
+// surface in snapshots and Prometheus expositions.
+const DroppedNaNName = "obs_dropped_nan"
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
@@ -177,50 +263,92 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		series:   map[string]seriesMeta{},
+		help:     map[string]string{},
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
+// DroppedNaN returns how many NaN samples this registry's instruments
+// rejected.
+func (r *Registry) DroppedNaN() int64 {
 	if r == nil {
-		return nil
+		return 0
+	}
+	return r.droppedNaN.Value()
+}
+
+// SetHelp registers # HELP text for the named metric family (the raw
+// instrument name, before sanitization), shown in the Prometheus
+// exposition. Families without registered help get a generated line.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	r.help[name] = help
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return r.CounterWith(name, nil) }
+
+// CounterWith returns the counter series for (name, labels), creating
+// it on first use. Series sharing a name but differing in labels are
+// independent instruments in one exposition family.
+func (r *Registry) CounterWith(name string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	key, meta := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[key] = c
+		r.series[key] = meta
 	}
 	return c
 }
 
 // Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeWith(name, nil) }
+
+// GaugeWith returns the gauge series for (name, labels), creating it
+// on first use.
+func (r *Registry) GaugeWith(name string, labels Labels) *Gauge {
 	if r == nil {
 		return nil
 	}
+	key, meta := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		g = &Gauge{dropped: &r.droppedNaN}
+		r.gauges[key] = g
+		r.series[key] = meta
 	}
 	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
-func (r *Registry) Histogram(name string) *Histogram {
+func (r *Registry) Histogram(name string) *Histogram { return r.HistogramWith(name, nil) }
+
+// HistogramWith returns the histogram series for (name, labels),
+// creating it on first use.
+func (r *Registry) HistogramWith(name string, labels Labels) *Histogram {
 	if r == nil {
 		return nil
 	}
+	key, meta := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	h, ok := r.hists[key]
 	if !ok {
-		h = newHistogram()
-		r.hists[name] = h
+		h = newHistogram(&r.droppedNaN)
+		r.hists[key] = h
+		r.series[key] = meta
 	}
 	return h
 }
@@ -243,7 +371,8 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every instrument, suitable for
-// JSON export (expvar-style) or programmatic assertion.
+// JSON export (expvar-style) or programmatic assertion. Labeled series
+// appear under their full key, e.g. `core.solves{engine="sa"}`.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
@@ -270,25 +399,35 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	if n := r.droppedNaN.Value(); n > 0 {
+		if _, taken := r.counters[DroppedNaNName]; !taken {
+			s.Counters[DroppedNaNName] = n
+		}
+	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
-		if hs.Count > 0 {
-			hs.Min = math.Float64frombits(h.minBits.Load())
-			hs.Max = math.Float64frombits(h.maxBits.Load())
-			hs.Mean = hs.Sum / float64(hs.Count)
-		}
-		for i := range h.buckets {
-			if n := h.buckets[i].Load(); n > 0 {
-				hs.Buckets = append(hs.Buckets, HistogramBucket{
-					LE:    math.Exp2(float64(i + histMinExp)),
-					Count: n,
-				})
-			}
-		}
-		sort.Slice(hs.Buckets, func(a, b int) bool { return hs.Buckets[a].LE < hs.Buckets[b].LE })
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
+}
+
+// snapshot captures one histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	if hs.Count > 0 {
+		hs.Min = math.Float64frombits(h.minBits.Load())
+		hs.Max = math.Float64frombits(h.maxBits.Load())
+		hs.Mean = hs.Sum / float64(hs.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, HistogramBucket{
+				LE:    math.Exp2(float64(i + histMinExp)),
+				Count: n,
+			})
+		}
+	}
+	sort.Slice(hs.Buckets, func(a, b int) bool { return hs.Buckets[a].LE < hs.Buckets[b].LE })
+	return hs
 }
 
 // WriteJSON writes an indented JSON snapshot to w — the expvar-style
@@ -300,8 +439,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // ServeHTTP serves the JSON snapshot, so a registry can be mounted
-// next to a net/http/pprof listener.
+// next to a net/http/pprof listener. The snapshot is encoded into a
+// buffer first so an encode failure can still produce a 500 instead of
+// a truncated 200, and responses are marked uncacheable — a scrape
+// must always see live values.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		http.Error(w, "obs: encoding metrics snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = r.WriteJSON(w)
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(buf.Bytes())
 }

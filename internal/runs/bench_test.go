@@ -1,0 +1,56 @@
+package runs
+
+import (
+	"context"
+	"testing"
+
+	"mbrim/internal/core"
+	"mbrim/internal/graph"
+	"mbrim/internal/obs"
+	"mbrim/internal/rng"
+)
+
+// The A/B pair behind BENCH_ops.json: the identical concurrent-mode
+// solve run bare (the way the CLI and the experiment harness call it)
+// versus through the run manager with all three operations-plane sinks
+// attached — progress reducer, replay ring, live broadcast with one
+// draining subscriber. The acceptance bound is that attachment stays
+// within noise (~2%) of the detached solve.
+
+func benchRequest() core.Request {
+	g := graph.Complete(64, rng.New(1))
+	return core.Request{Kind: core.MBRIMConcurrent, Model: g.ToIsing(), Graph: g,
+		Seed: 7, DurationNS: 200, Chips: 4}
+}
+
+func BenchmarkSolveDetached(b *testing.B) {
+	req := benchRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveManaged(b *testing.B) {
+	req := benchRequest()
+	m := NewManager(Config{Registry: obs.NewRegistry()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := m.Submit(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, cancel := r.Subscribe()
+		go func() {
+			for range ch {
+			}
+		}()
+		<-r.Done()
+		cancel()
+		if _, err := r.Outcome(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package runs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mbrim/internal/core"
+	"mbrim/internal/graph"
+	"mbrim/internal/obs"
+	"mbrim/internal/rng"
+)
+
+// This file is the operations plane's HTTP surface:
+//
+//	POST /runs                  submit a problem (JSON body below)
+//	GET  /runs                  list run statuses
+//	GET  /runs/{id}             one run's status
+//	GET  /runs/{id}/events      SSE live tail of the trace stream
+//	POST /runs/{id}/cancel      context cancellation
+//	GET  /runs/{id}/checkpoint  download the resume envelope
+//	GET  /metrics               Prometheus text exposition
+//	GET  /metrics.json          expvar-style JSON snapshot
+//	GET  /healthz               liveness (always 200 while serving)
+//	GET  /readyz                readiness (503 once draining)
+//
+// Everything is stdlib net/http; patterns use Go 1.22+ method routing
+// and PathValue.
+
+// SubmitRequest is the POST /runs body. The problem is either a
+// generated K-graph (k > 0, seeded by graphSeed) or an explicit edge
+// list over n vertices (1-based endpoints, Gset convention). Omitted
+// solver knobs inherit the core defaults.
+type SubmitRequest struct {
+	// Engine is the solver kind (see core.Kinds). Required.
+	Engine string `json:"engine"`
+	// K generates a seeded complete ±1 graph K_k.
+	K int `json:"k,omitempty"`
+	// GraphSeed seeds the generated graph (default 1).
+	GraphSeed uint64 `json:"graphSeed,omitempty"`
+	// N and Edges give an explicit graph: n vertices, [u, v, w] rows
+	// with 1-based u, v.
+	N     int          `json:"n,omitempty"`
+	Edges [][3]float64 `json:"edges,omitempty"`
+
+	Seed              uint64  `json:"seed,omitempty"`
+	Runs              int     `json:"runs,omitempty"`
+	Sweeps            int     `json:"sweeps,omitempty"`
+	Steps             int     `json:"steps,omitempty"`
+	DurationNS        float64 `json:"durationNS,omitempty"`
+	Chips             int     `json:"chips,omitempty"`
+	EpochNS           float64 `json:"epochNS,omitempty"`
+	Coordinated       bool    `json:"coordinated,omitempty"`
+	Channels          int     `json:"channels,omitempty"`
+	ChannelBytesPerNS float64 `json:"channelBytesPerNS,omitempty"`
+	SampleEveryNS     float64 `json:"sampleEveryNS,omitempty"`
+	Parallel          bool    `json:"parallel,omitempty"`
+}
+
+// buildRequest turns a submit body into a core.Request, constructing
+// the problem graph.
+func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
+	var req core.Request
+	kind, err := core.ParseKind(sr.Engine)
+	if err != nil {
+		return req, err
+	}
+	var g *graph.Graph
+	switch {
+	case sr.K > 0 && len(sr.Edges) > 0:
+		return req, fmt.Errorf("runs: give k or edges, not both")
+	case sr.K > 0:
+		if sr.K > m.cfg.MaxSpins {
+			return req, fmt.Errorf("runs: k=%d exceeds the %d-spin limit", sr.K, m.cfg.MaxSpins)
+		}
+		gseed := sr.GraphSeed
+		if gseed == 0 {
+			gseed = 1
+		}
+		g = graph.Complete(sr.K, rng.New(gseed))
+	case len(sr.Edges) > 0:
+		if sr.N < 2 {
+			return req, fmt.Errorf("runs: edges need n >= 2 vertices")
+		}
+		if sr.N > m.cfg.MaxSpins {
+			return req, fmt.Errorf("runs: n=%d exceeds the %d-spin limit", sr.N, m.cfg.MaxSpins)
+		}
+		g = graph.New(sr.N)
+		for i, e := range sr.Edges {
+			u, v, w := int(e[0]), int(e[1]), e[2]
+			if u < 1 || u > sr.N || v < 1 || v > sr.N || u == v {
+				return req, fmt.Errorf("runs: edge %d (%d,%d) out of range for n=%d", i, u, v, sr.N)
+			}
+			g.AddEdge(u-1, v-1, w)
+		}
+	default:
+		return req, fmt.Errorf("runs: need k > 0 or an edge list")
+	}
+	seed := sr.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return core.Request{
+		Kind:              kind,
+		Model:             g.ToIsing(),
+		Graph:             g,
+		Seed:              seed,
+		Runs:              sr.Runs,
+		Sweeps:            sr.Sweeps,
+		Steps:             sr.Steps,
+		DurationNS:        sr.DurationNS,
+		Chips:             sr.Chips,
+		EpochNS:           sr.EpochNS,
+		Coordinated:       sr.Coordinated,
+		Channels:          sr.Channels,
+		ChannelBytesPerNS: sr.ChannelBytesPerNS,
+		SampleEveryNS:     sr.SampleEveryNS,
+		Parallel:          sr.Parallel,
+	}, nil
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxSubmitBody bounds the POST /runs body (explicit edge lists can
+// be large, but not unbounded).
+const maxSubmitBody = 64 << 20
+
+// Routes registers the run endpoints on mux.
+func (m *Manager) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /runs", m.handleSubmit)
+	mux.HandleFunc("GET /runs", m.handleList)
+	mux.HandleFunc("GET /runs/{id}", m.handleGet)
+	mux.HandleFunc("POST /runs/{id}/cancel", m.handleCancel)
+	mux.HandleFunc("GET /runs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /runs/{id}/checkpoint", m.handleCheckpoint)
+}
+
+// Mount registers the full operations surface — run endpoints,
+// Prometheus and JSON metrics, health and readiness — on mux. ready
+// reports readiness (nil means always ready); it flips false when the
+// daemon starts draining.
+func Mount(mux *http.ServeMux, m *Manager, reg *obs.Registry, ready func() bool) {
+	m.Routes(mux)
+	mux.Handle("GET /metrics", reg.PromHandler())
+	mux.Handle("GET /metrics.json", reg)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		if ready != nil && !ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sr SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("runs: parsing body: %w", err))
+		return
+	}
+	req, err := m.buildRequest(&sr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The run outlives the submit request: solve under the manager's
+	// lifetime, not the HTTP request context.
+	run, err := m.Submit(nil, req)
+	if errors.Is(err, ErrBusy) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.Status())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": m.List()})
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Status())
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	run.Cancel()
+	// Report the state after the cancel landed (the engine may need a
+	// moment to reach its next barrier; the client polls the status).
+	writeJSON(w, http.StatusAccepted, run.Status())
+}
+
+func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	st := run.Status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("runs: %s is %s; cancel it and wait for the interrupt", run.ID(), st.State))
+		return
+	}
+	ck := run.Checkpoint()
+	if len(ck) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("runs: %s holds no checkpoint (state %s)", run.ID(), st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", run.ID()+".ckpt"))
+	_, _ = w.Write(ck)
+}
+
+// handleEvents streams the run's trace as Server-Sent Events: each
+// event is one `event: trace` message carrying the obs.Event JSON.
+// ?replay=N prepends up to N retained events before the live tail
+// (replayed events may, in a narrow window, also arrive live — dedupe
+// by WallNS if exactness matters). The stream ends with `event: done`
+// carrying the final status once the run is terminal.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("runs: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(kind string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	// Subscribe before replay so no event can fall between the two.
+	ch, cancel := run.Subscribe()
+	defer cancel()
+	if n := atoiDefault(r.URL.Query().Get("replay"), 0); n > 0 {
+		recent := run.Recent()
+		if len(recent) > n {
+			recent = recent[len(recent)-n:]
+		}
+		for _, e := range recent {
+			if !send("trace", e) {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				// Run finished: the broadcast closed. Emit the terminal
+				// status and end the stream.
+				send("done", run.Status())
+				return
+			}
+			if !send("trace", e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// atoiDefault parses s as a non-negative int, returning def on any
+// failure.
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 0 {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,489 @@
+// Package runs is the live operations plane's run manager: it
+// registers every in-flight core.Solve under a run ID, maintains a
+// live progress view assembled incrementally from the run's own
+// obs.Tracer event stream, retains recent events for replay, fans the
+// stream out to any number of live subscribers (the SSE tail), and
+// keeps the terminal state — outcome, error, checkpoint bytes — for
+// later retrieval. The HTTP surface in this package (http.go) is what
+// cmd/mbrimd serves and what cmd/mbrim mounts next to its pprof
+// listener.
+//
+// A Manager owns a set of Runs. Submitting wires three sinks in front
+// of any caller-supplied tracer: a progress reducer (the live view), a
+// bounded Ring (recent-event replay), and a bounded Broadcast (live
+// fan-out that never blocks the solve). The solve itself executes on a
+// goroutine under a per-run context, so cancellation — and, for the
+// multichip engines, the checkpoint carried by the resulting
+// InterruptedError — flows through the PR 3 lifecycle machinery
+// unchanged.
+package runs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mbrim/internal/core"
+	"mbrim/internal/obs"
+)
+
+// State is a run's lifecycle phase.
+type State string
+
+// The run lifecycle. Pending covers the window between registration
+// and the solve goroutine starting; Interrupted means the run was
+// cancelled and holds its best-so-far outcome (plus, for multichip
+// engines, downloadable checkpoint bytes).
+const (
+	StatePending     State = "pending"
+	StateRunning     State = "running"
+	StateCompleted   State = "completed"
+	StateInterrupted State = "interrupted"
+	StateFailed      State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateInterrupted || s == StateFailed
+}
+
+// Progress is the live view of an in-flight solve, assembled
+// incrementally from the run's event stream. All counters are
+// cumulative over the run.
+type Progress struct {
+	// Engine is the solver kind from the RunStart event.
+	Engine string `json:"engine"`
+	// Phase is the coarse position: "submitted" → "annealing" (first
+	// engine event) → "done" (RunEnd observed).
+	Phase string `json:"phase"`
+	// Epoch is the highest epoch (multichip) or sample ordinal seen.
+	Epoch int `json:"epoch"`
+	// Chips is the highest chip index seen plus one (0 for
+	// single-chip/software engines).
+	Chips int `json:"chips"`
+	// Events counts every trace event observed.
+	Events int64 `json:"events"`
+	// Flips and BitChanges accumulate ChipStep / EpochSync counts.
+	Flips      int64 `json:"flips"`
+	BitChanges int64 `json:"bitChanges"`
+	// BestEnergy is the lowest energy seen in EnergySample/RunEnd
+	// events; HasEnergy reports whether any was observed yet.
+	BestEnergy float64 `json:"bestEnergy"`
+	LastEnergy float64 `json:"lastEnergy"`
+	HasEnergy  bool    `json:"hasEnergy"`
+	// ModelNS is the latest model-time stamp seen.
+	ModelNS float64 `json:"modelNS"`
+	// Faults, Recoveries and StepRetries count fault-layer and
+	// numerical-guardrail activity.
+	Faults      int64 `json:"faults"`
+	Recoveries  int64 `json:"recoveries"`
+	StepRetries int64 `json:"stepRetries"`
+	// UpdatedWallNS is the wall clock of the last observed event.
+	UpdatedWallNS int64 `json:"updatedWallNS"`
+}
+
+// observe folds one event into the view. Called under the run's lock.
+func (p *Progress) observe(e obs.Event) {
+	p.Events++
+	if e.WallNS != 0 {
+		p.UpdatedWallNS = e.WallNS
+	}
+	if e.Epoch > p.Epoch {
+		p.Epoch = e.Epoch
+	}
+	if e.Chip+1 > p.Chips {
+		p.Chips = e.Chip + 1
+	}
+	if e.ModelNS > p.ModelNS {
+		p.ModelNS = e.ModelNS
+	}
+	switch e.Kind {
+	case obs.RunStart:
+		p.Engine = e.Label
+		p.Phase = "annealing"
+	case obs.ChipStep:
+		p.Flips += e.Count
+	case obs.EpochSync:
+		p.BitChanges += e.Count
+	case obs.EnergySample, obs.RunEnd:
+		p.LastEnergy = e.Value
+		if !p.HasEnergy || e.Value < p.BestEnergy {
+			p.BestEnergy = e.Value
+		}
+		p.HasEnergy = true
+		if e.Kind == obs.RunEnd {
+			p.Phase = "done"
+		}
+	case obs.Fault:
+		p.Faults++
+	case obs.Recovery:
+		p.Recoveries++
+	case obs.Numerical:
+		if e.Label == "step-retry" {
+			p.StepRetries += e.Count
+		}
+	}
+}
+
+// OutcomeSummary is the JSON-friendly projection of a core.Outcome —
+// the solution metadata without the spin vector (which can be large;
+// fetch it via the full outcome if needed).
+type OutcomeSummary struct {
+	Energy  float64            `json:"energy"`
+	Cut     float64            `json:"cut,omitempty"`
+	ModelNS float64            `json:"modelNS,omitempty"`
+	WallNS  int64              `json:"wallNS"`
+	Spins   int                `json:"spins"`
+	Stats   map[string]float64 `json:"stats,omitempty"`
+}
+
+// Status is a run's externally visible state: what GET /runs/{id}
+// returns.
+type Status struct {
+	ID            string          `json:"id"`
+	State         State           `json:"state"`
+	Engine        string          `json:"engine"`
+	Spins         int             `json:"spins"`
+	Seed          uint64          `json:"seed"`
+	CreatedWallNS int64           `json:"createdWallNS"`
+	EndedWallNS   int64           `json:"endedWallNS,omitempty"`
+	Progress      Progress        `json:"progress"`
+	Outcome       *OutcomeSummary `json:"outcome,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	HasCheckpoint bool            `json:"hasCheckpoint"`
+	// EventsDropped counts live-tail deliveries lost to slow
+	// subscribers (the bounded fan-out's backpressure ledger).
+	EventsDropped int64 `json:"eventsDropped,omitempty"`
+}
+
+// Run is one registered solve. All mutable state is behind mu; the
+// event sinks and the solve goroutine touch it concurrently with HTTP
+// readers.
+type Run struct {
+	id    string
+	req   core.Request
+	ring  *obs.Ring
+	bcast *obs.Broadcast
+	// done closes when the solve goroutine finished and the terminal
+	// state is readable.
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      State
+	created    time.Time
+	ended      time.Time
+	progress   Progress
+	outcome    *core.Outcome
+	err        error
+	checkpoint []byte
+}
+
+// progressSink adapts a Run into a Tracer feeding its progress view.
+type progressSink struct{ r *Run }
+
+func (s progressSink) Emit(e obs.Event) {
+	if e.WallNS == 0 {
+		e.WallNS = time.Now().UnixNano()
+	}
+	s.r.mu.Lock()
+	s.r.progress.observe(e)
+	s.r.mu.Unlock()
+}
+
+// ID returns the run's identifier.
+func (r *Run) ID() string { return r.id }
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Subscribe attaches a live event consumer (see obs.Broadcast).
+func (r *Run) Subscribe() (<-chan obs.Event, func()) { return r.bcast.Subscribe() }
+
+// Recent returns the retained recent events, oldest first.
+func (r *Run) Recent() []obs.Event { return r.ring.Events() }
+
+// Cancel requests cancellation; the engine stops at its next natural
+// boundary. Safe to call in any state.
+func (r *Run) Cancel() { r.cancel() }
+
+// Checkpoint returns the serialized resume envelope captured when the
+// run was interrupted, or nil.
+func (r *Run) Checkpoint() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.checkpoint
+}
+
+// Outcome returns the terminal outcome (full, including spins) and
+// error. Before the run finishes both are nil.
+func (r *Run) Outcome() (*core.Outcome, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.outcome, r.err
+}
+
+// Status snapshots the run's externally visible state.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		ID:            r.id,
+		State:         r.state,
+		Engine:        string(r.req.Kind),
+		Seed:          r.req.Seed,
+		CreatedWallNS: r.created.UnixNano(),
+		Progress:      r.progress,
+		HasCheckpoint: len(r.checkpoint) > 0,
+		EventsDropped: r.bcast.Dropped(),
+	}
+	if r.req.Model != nil {
+		st.Spins = r.req.Model.N()
+	}
+	if !r.ended.IsZero() {
+		st.EndedWallNS = r.ended.UnixNano()
+	}
+	if r.outcome != nil {
+		o := r.outcome
+		st.Outcome = &OutcomeSummary{
+			Energy:  o.Energy,
+			Cut:     o.Cut,
+			ModelNS: o.ModelNS,
+			WallNS:  o.Wall.Nanoseconds(),
+			Spins:   len(o.Spins),
+			Stats:   o.Stats,
+		}
+	}
+	if r.err != nil {
+		st.Error = r.err.Error()
+	}
+	return st
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Registry receives the manager's own instruments and is the
+	// default Metrics for submitted requests. Nil disables both.
+	Registry *obs.Registry
+	// RingSize bounds the per-run recent-event buffer. Default 4096.
+	RingSize int
+	// BroadcastBuffer bounds each live subscriber's channel. Default
+	// obs.DefaultBroadcastBuffer.
+	BroadcastBuffer int
+	// MaxActive bounds concurrently executing runs; Submit returns
+	// ErrBusy beyond it. 0 means unlimited.
+	MaxActive int
+	// MaxSpins bounds submitted problem sizes at the HTTP boundary.
+	// 0 applies DefaultMaxSpins.
+	MaxSpins int
+}
+
+// DefaultMaxSpins bounds the problem size accepted over HTTP when the
+// manager does not configure its own limit.
+const DefaultMaxSpins = 1 << 16
+
+// ErrBusy reports that MaxActive runs are already executing.
+var ErrBusy = errors.New("runs: manager at capacity")
+
+// ErrNotFound reports an unknown run ID.
+var ErrNotFound = errors.New("runs: no such run")
+
+// Manager registers and executes runs.
+type Manager struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	order  []string
+	seq    int
+	active int
+}
+
+// NewManager returns a manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	if cfg.MaxSpins <= 0 {
+		cfg.MaxSpins = DefaultMaxSpins
+	}
+	m := &Manager{cfg: cfg, reg: cfg.Registry, runs: map[string]*Run{}}
+	if m.reg != nil {
+		m.reg.SetHelp("runs.active", "Solves currently executing under the run manager.")
+		m.reg.SetHelp("runs.submitted", "Runs accepted by the run manager since start.")
+		m.reg.SetHelp("runs.finished", "Runs reaching a terminal state, by engine and state.")
+		m.reg.SetHelp("runs.wall_ns", "Wall-clock duration of finished runs, by engine.")
+	}
+	return m
+}
+
+// Submit registers req and starts solving it on a goroutine. The
+// request's Tracer is composed with the run's progress, replay and
+// fan-out sinks; its Metrics defaults to the manager's registry.
+func (m *Manager) Submit(ctx context.Context, req core.Request) (*Run, error) {
+	if req.Model == nil {
+		return nil, fmt.Errorf("runs: request has no model")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	if m.cfg.MaxActive > 0 && m.active >= m.cfg.MaxActive {
+		m.mu.Unlock()
+		return nil, ErrBusy
+	}
+	m.seq++
+	id := "run-" + strconv.Itoa(m.seq)
+	rctx, cancel := context.WithCancel(ctx)
+	r := &Run{
+		id:      id,
+		req:     req,
+		ring:    obs.NewRing(m.cfg.RingSize),
+		bcast:   obs.NewBroadcast(m.cfg.BroadcastBuffer),
+		done:    make(chan struct{}),
+		cancel:  cancel,
+		state:   StatePending,
+		created: time.Now(),
+	}
+	r.progress.Phase = "submitted"
+	m.runs[id] = r
+	m.order = append(m.order, id)
+	m.active++
+	m.mu.Unlock()
+
+	req.Tracer = obs.Fanout(progressSink{r}, r.ring, r.bcast, req.Tracer)
+	if req.Metrics == nil {
+		req.Metrics = m.reg
+	}
+	m.reg.Counter("runs.submitted").Inc()
+	m.reg.Gauge("runs.active").Add(1)
+
+	go m.execute(rctx, r, req)
+	return r, nil
+}
+
+// execute runs the solve and publishes the terminal state.
+func (m *Manager) execute(ctx context.Context, r *Run, req core.Request) {
+	r.mu.Lock()
+	r.state = StateRunning
+	r.mu.Unlock()
+	start := time.Now()
+	out, err := core.SolveCtx(ctx, req)
+
+	r.mu.Lock()
+	r.ended = time.Now()
+	var intr *core.InterruptedError
+	switch {
+	case err == nil:
+		r.state = StateCompleted
+		r.outcome = out
+	case errors.As(err, &intr):
+		r.state = StateInterrupted
+		r.outcome = intr.Outcome
+		r.checkpoint = intr.Checkpoint
+		r.err = err
+	default:
+		r.state = StateFailed
+		r.err = err
+	}
+	state := r.state
+	r.mu.Unlock()
+
+	m.mu.Lock()
+	m.active--
+	m.mu.Unlock()
+	m.reg.Gauge("runs.active").Add(-1)
+	m.reg.CounterWith("runs.finished", obs.Labels{
+		"engine": string(req.Kind), "state": string(state)}).Inc()
+	m.reg.HistogramWith("runs.wall_ns", obs.Labels{"engine": string(req.Kind)}).
+		Observe(float64(time.Since(start).Nanoseconds()))
+	// Release the run's cancel context, close the live tail, then
+	// signal terminal state.
+	r.cancel()
+	r.bcast.Close()
+	close(r.done)
+}
+
+// Get returns the run with the given ID.
+func (m *Manager) Get(id string) (*Run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	return r, ok
+}
+
+// Cancel cancels the identified run; ErrNotFound for unknown IDs.
+func (m *Manager) Cancel(id string) error {
+	r, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	r.Cancel()
+	return nil
+}
+
+// List snapshots every run's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	runs := make([]*Run, 0, len(order))
+	for _, id := range order {
+		runs = append(runs, m.runs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.Status())
+	}
+	return out
+}
+
+// Active returns the number of currently executing runs.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// CancelAll cancels every non-terminal run and returns their IDs,
+// sorted — the drain step of a graceful shutdown.
+func (m *Manager) CancelAll() []string {
+	m.mu.Lock()
+	var cancelled []string
+	for id, r := range m.runs {
+		r.mu.Lock()
+		terminal := r.state.Terminal()
+		r.mu.Unlock()
+		if !terminal {
+			r.cancel()
+			cancelled = append(cancelled, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(cancelled)
+	return cancelled
+}
+
+// Wait blocks until every registered run reaches a terminal state or
+// the context expires; it reports whether the drain completed.
+func (m *Manager) Wait(ctx context.Context) bool {
+	m.mu.Lock()
+	runs := make([]*Run, 0, len(m.runs))
+	for _, r := range m.runs {
+		runs = append(runs, r)
+	}
+	m.mu.Unlock()
+	for _, r := range runs {
+		select {
+		case <-r.Done():
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,533 @@
+package runs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbrim/internal/core"
+	"mbrim/internal/graph"
+	"mbrim/internal/obs"
+	"mbrim/internal/rng"
+)
+
+// testProblem mirrors what buildRequest constructs for {"k":20,
+// "graphSeed":1}: the server-side and direct solves must agree on the
+// problem for the bit-identity assertions.
+func testProblem(k int) *graph.Graph {
+	return graph.Complete(k, rng.New(1))
+}
+
+func saRequest(k int) core.Request {
+	g := testProblem(k)
+	return core.Request{Kind: core.SA, Model: g.ToIsing(), Graph: g, Seed: 1, Sweeps: 10}
+}
+
+func mbrimSeqRequest(k int, durationNS float64) core.Request {
+	g := testProblem(k)
+	return core.Request{Kind: core.MBRIMSequential, Model: g.ToIsing(), Graph: g,
+		Seed: 3, DurationNS: durationNS, Chips: 4}
+}
+
+func waitDone(t *testing.T, r *Run) {
+	t.Helper()
+	select {
+	case <-r.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run %s did not finish", r.ID())
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Registry: reg})
+	r, err := m.Submit(context.Background(), saRequest(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "run-1" {
+		t.Fatalf("ID = %q", r.ID())
+	}
+	waitDone(t, r)
+
+	st := r.Status()
+	if st.State != StateCompleted {
+		t.Fatalf("state = %s, want completed", st.State)
+	}
+	if st.Engine != "sa" || st.Spins != 16 || st.Seed != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Outcome == nil || st.Outcome.Spins != 16 {
+		t.Fatalf("outcome = %+v", st.Outcome)
+	}
+	if st.Progress.Phase != "done" || st.Progress.Engine != "sa" {
+		t.Fatalf("progress = %+v", st.Progress)
+	}
+	if !st.Progress.HasEnergy || st.Progress.BestEnergy != st.Outcome.Energy {
+		t.Fatalf("progress energy %v vs outcome %v", st.Progress.BestEnergy, st.Outcome.Energy)
+	}
+	if st.EndedWallNS == 0 || st.HasCheckpoint {
+		t.Fatalf("terminal status = %+v", st)
+	}
+	out, err := r.Outcome()
+	if err != nil || out == nil || len(out.Spins) != 16 {
+		t.Fatalf("Outcome() = %v, %v", out, err)
+	}
+	// The ring retained the bracket events for replay.
+	recent := r.Recent()
+	if len(recent) == 0 || recent[0].Kind != obs.RunStart || recent[len(recent)-1].Kind != obs.RunEnd {
+		t.Fatalf("ring = %v events", len(recent))
+	}
+
+	if got, ok := m.Get("run-1"); !ok || got != r {
+		t.Fatal("Get(run-1) failed")
+	}
+	if _, ok := m.Get("run-99"); ok {
+		t.Fatal("Get(run-99) succeeded")
+	}
+	if err := m.Cancel("run-99"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(run-99) = %v", err)
+	}
+	if l := m.List(); len(l) != 1 || l[0].ID != "run-1" {
+		t.Fatalf("List = %+v", l)
+	}
+	if m.Active() != 0 {
+		t.Fatalf("Active = %d", m.Active())
+	}
+
+	sn := reg.Snapshot()
+	if sn.Counters["runs.submitted"] != 1 {
+		t.Fatalf("runs.submitted = %d", sn.Counters["runs.submitted"])
+	}
+	if sn.Gauges["runs.active"] != 0 {
+		t.Fatalf("runs.active = %v", sn.Gauges["runs.active"])
+	}
+	if sn.Counters[`runs.finished{engine="sa",state="completed"}`] != 1 {
+		t.Fatalf("finished counter missing: %v", sn.Counters)
+	}
+	if sn.Counters[`core.solves{engine="sa"}`] != 1 {
+		t.Fatalf("labeled core.solves missing: %v", sn.Counters)
+	}
+}
+
+func TestManagerMaxActiveAndDrain(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Registry: reg, MaxActive: 1})
+	long, err := m.Submit(context.Background(), mbrimSeqRequest(20, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(context.Background(), saRequest(8)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second submit = %v, want ErrBusy", err)
+	}
+
+	ids := m.CancelAll()
+	if len(ids) != 1 || ids[0] != long.ID() {
+		t.Fatalf("CancelAll = %v", ids)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if !m.Wait(ctx) {
+		t.Fatal("drain did not complete")
+	}
+	st := long.Status()
+	if st.State != StateInterrupted {
+		t.Fatalf("state = %s, want interrupted", st.State)
+	}
+	if !st.HasCheckpoint || len(long.Checkpoint()) == 0 {
+		t.Fatal("interrupted multichip run lost its checkpoint")
+	}
+	// A terminal run is not re-cancelled by a second drain.
+	if ids := m.CancelAll(); len(ids) != 0 {
+		t.Fatalf("second CancelAll = %v", ids)
+	}
+}
+
+func TestSubmitRejectsNilModel(t *testing.T) {
+	m := NewManager(Config{})
+	if _, err := m.Submit(context.Background(), core.Request{Kind: core.SA}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+// newTestServer mounts the full operations surface the way cmd/mbrimd
+// does, with a flippable readiness probe.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager, *atomic.Bool) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	m := NewManager(cfg)
+	var draining atomic.Bool
+	mux := http.NewServeMux()
+	Mount(mux, m, cfg.Registry, func() bool { return !draining.Load() })
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, m, &draining
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv, m, draining := newTestServer(t, Config{})
+
+	if resp, body := getBody(t, srv.URL+"/healthz"); resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := getBody(t, srv.URL+"/readyz"); resp.StatusCode != 200 {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+	draining.Store(true)
+	if resp, body := getBody(t, srv.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "draining") {
+		t.Fatalf("draining readyz = %d %q", resp.StatusCode, body)
+	}
+	draining.Store(false)
+
+	resp, body := postJSON(t, srv.URL+"/runs", `{"engine":"sa","k":16,"sweeps":10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Engine != "sa" || st.Spins != 16 {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	run, ok := m.Get(st.ID)
+	if !ok {
+		t.Fatal("submitted run not registered")
+	}
+	waitDone(t, run)
+
+	resp, body = getBody(t, srv.URL+"/runs/"+st.ID)
+	if resp.StatusCode != 200 {
+		t.Fatalf("get = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCompleted || st.Outcome == nil {
+		t.Fatalf("terminal status = %+v", st)
+	}
+
+	var list struct {
+		Runs []Status `json:"runs"`
+	}
+	resp, body = getBody(t, srv.URL+"/runs")
+	if resp.StatusCode != 200 {
+		t.Fatalf("list = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 1 || list.Runs[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	if resp, _ := getBody(t, srv.URL+"/runs/run-404"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing run = %d", resp.StatusCode)
+	}
+	// A completed software run holds no checkpoint.
+	if resp, _ := getBody(t, srv.URL+"/runs/"+st.ID+"/checkpoint"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("checkpoint of completed sa run = %d", resp.StatusCode)
+	}
+
+	// The Prometheus exposition carries the manager's and the solve's
+	// labeled series, histogram buckets included.
+	resp, body = getBody(t, srv.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", got)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE runs_wall_ns histogram",
+		`runs_wall_ns_bucket{engine="sa",le="`,
+		`runs_finished{engine="sa",state="completed"} 1`,
+		`core_solves{engine="sa"} 1`,
+		"runs_submitted 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, body = getBody(t, srv.URL+"/metrics.json")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics.json = %d", resp.StatusCode)
+	}
+	var sn obs.Snapshot
+	if err := json.Unmarshal(body, &sn); err != nil {
+		t.Fatalf("metrics.json not a snapshot: %v", err)
+	}
+	if sn.Counters["runs.submitted"] != 1 {
+		t.Fatalf("metrics.json counters = %v", sn.Counters)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{MaxSpins: 64})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad engine", `{"engine":"warp","k":8}`},
+		{"no problem", `{"engine":"sa"}`},
+		{"both problems", `{"engine":"sa","k":8,"n":2,"edges":[[1,2,1]]}`},
+		{"too many spins", `{"engine":"sa","k":65}`},
+		{"edges without n", `{"engine":"sa","edges":[[1,2,1]]}`},
+		{"edge out of range", `{"engine":"sa","n":4,"edges":[[1,5,1]]}`},
+		{"self edge", `{"engine":"sa","n":4,"edges":[[2,2,1]]}`},
+		{"unknown field", `{"engine":"sa","k":8,"warp":9}`},
+		{"syntax error", `{"engine":`},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, srv.URL+"/runs", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", c.name, resp.StatusCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope %s", c.name, body)
+		}
+	}
+}
+
+func TestHTTPExplicitEdgeList(t *testing.T) {
+	srv, m, _ := newTestServer(t, Config{})
+	// A 4-cycle with unit weights, Gset-style 1-based endpoints.
+	resp, body := postJSON(t, srv.URL+"/runs",
+		`{"engine":"sa","n":4,"edges":[[1,2,1],[2,3,1],[3,4,1],[4,1,1]],"sweeps":10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	run, _ := m.Get(st.ID)
+	waitDone(t, run)
+	out, err := run.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4-cycle's max cut is 4 (alternating bipartition).
+	if out.Cut != 4 {
+		t.Fatalf("cut = %v, want 4", out.Cut)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Events message.
+type sseEvent struct {
+	kind string
+	data []byte
+}
+
+// readSSE consumes messages from an event stream until pred returns
+// true (the returned slice ends with that message) or the stream ends.
+func readSSE(t *testing.T, sc *bufio.Scanner, pred func(sseEvent) bool) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.kind == "" && cur.data == nil {
+				continue
+			}
+			out = append(out, cur)
+			if pred(cur) {
+				return out
+			}
+			cur = sseEvent{}
+		}
+	}
+	return out
+}
+
+func TestSSEReplayOfFinishedRun(t *testing.T) {
+	srv, m, _ := newTestServer(t, Config{})
+	_, body := postJSON(t, srv.URL+"/runs", `{"engine":"sa","k":12,"sweeps":10}`)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	run, _ := m.Get(st.ID)
+	waitDone(t, run)
+
+	resp, err := http.Get(srv.URL + "/runs/" + st.ID + "/events?replay=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	msgs := readSSE(t, bufio.NewScanner(resp.Body), func(e sseEvent) bool { return e.kind == "done" })
+	if len(msgs) < 2 {
+		t.Fatalf("replay yielded %d messages", len(msgs))
+	}
+	var first obs.Event
+	if err := json.Unmarshal(msgs[0].data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].kind != "trace" || first.Kind != obs.RunStart {
+		t.Fatalf("first message = %s %+v", msgs[0].kind, first)
+	}
+	var final Status
+	if err := json.Unmarshal(msgs[len(msgs)-1].data, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCompleted {
+		t.Fatalf("done status = %+v", final)
+	}
+}
+
+// TestCancelCheckpointResumeOverHTTP is the acceptance pin: an SSE
+// client watches a live multichip solve, cancels it mid-run, downloads
+// the checkpoint, and a resumed solve reproduces the uninterrupted
+// run's spins bit for bit.
+func TestCancelCheckpointResumeOverHTTP(t *testing.T) {
+	const k, durationNS = 20, 10000.0
+
+	// The ground truth: the same problem solved without interruption.
+	baseline, err := core.Solve(mbrimSeqRequest(k, durationNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _, _ := newTestServer(t, Config{})
+	resp, body := postJSON(t, srv.URL+"/runs",
+		fmt.Sprintf(`{"engine":"mbrim-seq","k":%d,"seed":3,"durationNS":%g,"chips":4}`, k, durationNS))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+
+	// Tail the live event stream; the first trace event proves the
+	// solve is in flight.
+	stream, err := http.Get(srv.URL + "/runs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	live := readSSE(t, sc, func(e sseEvent) bool { return e.kind == "trace" })
+	if len(live) == 0 {
+		t.Fatal("no live trace event before run end")
+	}
+
+	// The checkpoint is not downloadable while the run is in flight.
+	if resp, _ := getBody(t, srv.URL+"/runs/"+id+"/checkpoint"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("in-flight checkpoint = %d, want 409", resp.StatusCode)
+	}
+
+	resp, body = postJSON(t, srv.URL+"/runs/"+id+"/cancel", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel = %d %s", resp.StatusCode, body)
+	}
+
+	// The stream must end with the terminal status.
+	msgs := readSSE(t, sc, func(e sseEvent) bool { return e.kind == "done" })
+	if len(msgs) == 0 || msgs[len(msgs)-1].kind != "done" {
+		t.Fatalf("stream ended without done event (%d messages)", len(msgs))
+	}
+	var final Status
+	if err := json.Unmarshal(msgs[len(msgs)-1].data, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateInterrupted {
+		t.Fatalf("state = %s, want interrupted (cancel raced run end?)", final.State)
+	}
+	if !final.HasCheckpoint || final.Outcome == nil || final.Error == "" {
+		t.Fatalf("interrupted status = %+v", final)
+	}
+
+	resp, ck := getBody(t, srv.URL+"/runs/"+id+"/checkpoint")
+	if resp.StatusCode != 200 {
+		t.Fatalf("checkpoint = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Fatalf("checkpoint Content-Type = %q", got)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Disposition"), id+".ckpt") {
+		t.Fatalf("Content-Disposition = %q", resp.Header.Get("Content-Disposition"))
+	}
+	if len(ck) == 0 {
+		t.Fatal("empty checkpoint download")
+	}
+
+	// Resume from the downloaded envelope: the continuation must be
+	// bit-identical to the run that was never interrupted.
+	req := mbrimSeqRequest(k, durationNS)
+	req.Resume = ck
+	resumed, err := core.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Energy != baseline.Energy {
+		t.Fatalf("resumed energy %v != baseline %v", resumed.Energy, baseline.Energy)
+	}
+	if !bytes.Equal(int8Bytes(resumed.Spins), int8Bytes(baseline.Spins)) {
+		t.Fatal("resumed spins differ from the uninterrupted run")
+	}
+}
+
+func int8Bytes(s []int8) []byte {
+	out := make([]byte, len(s))
+	for i, v := range s {
+		out[i] = byte(v)
+	}
+	return out
+}

@@ -98,6 +98,12 @@ type (
 	JSONLTracer = obs.JSONLTracer
 	// Ring is a fixed-capacity in-memory event buffer.
 	Ring = obs.Ring
+	// Broadcast fans the event stream out to live subscribers without
+	// ever blocking the solve (full subscribers drop and count).
+	Broadcast = obs.Broadcast
+	// MetricLabels attaches dimensions (engine, chip, mode...) to a
+	// registry series for the Prometheus exposition.
+	MetricLabels = obs.Labels
 )
 
 // NewJSONLTracer returns a tracer streaming events to w as JSON Lines.
@@ -112,6 +118,10 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // ReadJSONL parses a JSON Lines trace back into events.
 func ReadJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// NewBroadcast returns a bounded fan-out tracer whose subscribers each
+// get a buffered channel of n events (n <= 0 uses the default).
+func NewBroadcast(n int) *Broadcast { return obs.NewBroadcast(n) }
 
 // Multiprocessor types for direct (non-orchestrated) use.
 type (
