@@ -42,6 +42,7 @@ func main() {
 	coordinated := flag.Bool("coordinated", false, "coordinate induced flips via synchronized PRNGs")
 	bandwidth := flag.Float64("bandwidth", 0, "channel bandwidth, bytes/ns (0 = unlimited)")
 	capacity := flag.Int("cap", 500, "machine capacity for d&c engines")
+	backend := flag.String("backend", "auto", "coupling backend: auto, dense, csr or blocked (bit-identical; auto picks by density)")
 	printSpins := flag.Bool("spins", false, "print the solution spin vector")
 	jsonOut := flag.Bool("json", false, "emit the outcome as JSON instead of text")
 	traceFile := flag.String("trace", "", "write the run's event stream to this file as JSON Lines")
@@ -200,6 +201,7 @@ func main() {
 		Coordinated:       *coordinated,
 		ChannelBytesPerNS: *bandwidth,
 		MachineCapacity:   *capacity,
+		Backend:           *backend,
 		SampleEveryNS:     *sample,
 		RecordEpochStats:  *epochStats,
 		Probes:            *probes,
@@ -287,6 +289,9 @@ func main() {
 	}
 
 	fmt.Printf("solver:  %s\n", out.Kind)
+	if out.Backend != "" {
+		fmt.Printf("backend: %s\n", out.Backend)
+	}
 	if g != nil {
 		fmt.Printf("cut:     %.0f\n", out.Cut)
 	}

@@ -51,6 +51,7 @@ func main() {
 	ringSize := flag.Int("ring", 4096, "recent events retained per run for replay")
 	sseBuffer := flag.Int("sse-buffer", obs.DefaultBroadcastBuffer, "per-subscriber live-tail buffer, events")
 	withPprof := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+	backend := flag.String("backend", "auto", "default coupling backend for submitted runs: auto, dense, csr or blocked")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "max wait for in-flight runs on shutdown")
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		BroadcastBuffer: *sseBuffer,
 		MaxActive:       *maxActive,
 		MaxSpins:        *maxSpins,
+		DefaultBackend:  *backend,
 	})
 
 	var draining atomic.Bool

@@ -43,9 +43,9 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"mbrim/internal/ising"
+	"mbrim/internal/lattice"
 	"mbrim/internal/rng"
 	"mbrim/internal/sched"
 )
@@ -102,6 +102,10 @@ type Config struct {
 	// goroutines — a host-side speedup for large chips with no effect
 	// on the simulated trajectory. Zero or one runs single-threaded.
 	Workers int
+	// Backend selects the coupling-matrix layout feeding the RK4
+	// derivative (lattice.Auto resolves by measured density). Every
+	// backend is bit-identical; the choice only moves host time.
+	Backend lattice.Kind
 	// MaxStepRetries bounds the numerical guardrail's step-halving
 	// backoff: a step whose candidate voltages come out NaN/Inf or
 	// blown far past the rails is discarded and retried at halved dt
@@ -154,8 +158,8 @@ type Machine struct {
 	cfg   Config
 	r     *rng.Source
 
-	jhat  []float64 // scaled couplings, row-major
-	bhat  []float64 // scaled biases: μ·h_i / scale
+	lat   lattice.Coupling // scaled couplings Ĵ = J/scale behind the backend interface
+	bhat  []float64        // scaled biases: μ·h_i / scale
 	scale float64
 	n     int
 	v     []float64 // voltages
@@ -206,7 +210,6 @@ func New(m *ising.Model, cfg Config) *Machine {
 		r:     rng.New(c.Seed),
 		n:     n,
 		scale: scale,
-		jhat:  make([]float64, n*n),
 		bhat:  make([]float64, n),
 		v:     make([]float64, n),
 		spins: make([]int8, n),
@@ -221,11 +224,10 @@ func New(m *ising.Model, cfg Config) *Machine {
 		holdUntil:  make([]float64, n),
 		holdTarget: make([]int8, n),
 	}
+	// The backend stores Ĵ = J/scale — division, exactly as the old
+	// private jhat copy did, so trajectories are bit-identical.
+	ma.lat = lattice.FromDense(n, m.Couplings(), c.Backend, scale)
 	for i := 0; i < n; i++ {
-		row := m.Row(i)
-		for j := 0; j < n; j++ {
-			ma.jhat[i*n+j] = row[j] / scale
-		}
 		ma.bhat[i] = m.Mu() * m.Bias(i) / scale
 	}
 	for i := range ma.v {
@@ -378,26 +380,26 @@ func (ma *Machine) AddExternalBias(i int, delta float64) {
 func (ma *Machine) ExternalBias() []float64 { return ma.ext }
 
 // deriv computes dV/dt into out for voltages v at schedule progress p.
+// The shared kernel fans rows over Workers at fixed chunk boundaries;
+// rows are disjoint and the inputs read-only, so the result is
+// bit-identical to the sequential path at any worker count.
 func (ma *Machine) deriv(v []float64, p float64, out []float64) {
-	if w := ma.cfg.Workers; w > 1 && ma.n >= 2*w {
-		ma.derivParallel(v, p, out, w)
-		return
-	}
-	ma.derivRange(v, p, out, 0, ma.n)
+	lattice.ForRange(ma.n, ma.cfg.Workers, func(lo, hi int) {
+		ma.derivRange(v, p, out, lo, hi)
+	})
 }
 
-// derivRange computes rows [lo, hi) of the derivative.
+// derivRange computes rows [lo, hi) of the derivative: the coupling
+// matvec through the backend, then the bias and bistable-feedback tail
+// added in the historical association (acc = rowdot, then +(bhat+ext),
+// then +feedback, then ×1/τ).
 func (ma *Machine) derivRange(v []float64, p float64, out []float64, lo, hi int) {
-	n := ma.n
 	kappa := ma.cfg.FeedbackGain.At(p)
 	gamma := ma.cfg.Gamma
 	invTau := 1 / ma.cfg.Tau
+	ma.lat.MatVecRange(v, nil, out, lo, hi)
 	for i := lo; i < hi; i++ {
-		row := ma.jhat[i*n : (i+1)*n]
-		acc := 0.0
-		for j := 0; j < n; j++ {
-			acc += row[j] * v[j]
-		}
+		acc := out[i]
 		acc += ma.bhat[i] + ma.ext[i]
 		k := kappa
 		if ma.kappaVar != nil {
@@ -409,26 +411,6 @@ func (ma *Machine) derivRange(v []float64, p float64, out []float64, lo, hi int)
 			out[i] *= ma.invTauVar[i]
 		}
 	}
-}
-
-// derivParallel fans derivRange over w goroutines. Rows are disjoint
-// and the inputs are read-only, so the result is bit-identical to the
-// sequential path.
-func (ma *Machine) derivParallel(v []float64, p float64, out []float64, w int) {
-	var wg sync.WaitGroup
-	chunk := (ma.n + w - 1) / w
-	for lo := 0; lo < ma.n; lo += chunk {
-		hi := lo + chunk
-		if hi > ma.n {
-			hi = ma.n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			ma.derivRange(v, p, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // clampFactor keeps a process-variation factor physical.

@@ -321,7 +321,13 @@ func TestScaleConsistencyAcrossSlices(t *testing.T) {
 	m := ising.NewModel(2)
 	m.SetCoupling(0, 1, 4)
 	a := New(m, Config{Scale: 8})
-	if got := a.jhat[1]; got != 0.5 {
+	got := math.NaN()
+	a.lat.Scan(0, func(j int, v float64) {
+		if j == 1 {
+			got = v
+		}
+	})
+	if got != 0.5 {
 		t.Fatalf("scaled coupling = %v, want 0.5", got)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"mbrim/internal/fault"
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
+	"mbrim/internal/lattice"
 	"mbrim/internal/metrics"
 	"mbrim/internal/multichip"
 	"mbrim/internal/obs"
@@ -91,6 +92,16 @@ type Request struct {
 	Graph *graph.Graph
 	// Seed drives all stochastic choices.
 	Seed uint64
+	// Backend selects the coupling-matrix layout the engines' hot loops
+	// iterate: "auto" (default — dense unless the model's measured
+	// density is at most 5%), "dense", "csr" or "blocked". Every
+	// backend is bit-identical for a fixed seed; the choice only moves
+	// host time. Engines without a coupling hot loop (tabu, pt) ignore
+	// it. The resolved choice is reported in Outcome.Backend.
+	Backend string
+	// backend is Backend parsed and resolved against the model density
+	// (withDefaults fills it).
+	backend lattice.Kind
 	// Runs is the batch size for engines that anneal repeatedly
 	// (SA/SBM/BRIM batches; jobs for mbrim-batch). Default 1.
 	Runs int
@@ -187,14 +198,23 @@ func (r *Request) withDefaults() (Request, error) {
 	if out.MachineProgramNS == 0 {
 		out.MachineProgramNS = 100
 	}
+	bk, err := lattice.ParseKind(out.Backend)
+	if err != nil {
+		return out, fmt.Errorf("core: %v", err)
+	}
+	out.backend = lattice.Resolve(bk, out.Model.N(), lattice.CountNNZ(out.Model.Couplings()))
 	return out, nil
 }
 
 // Outcome is a uniform solve report.
 type Outcome struct {
-	Kind   Kind
-	Spins  []int8
-	Energy float64
+	Kind Kind
+	// Backend is the resolved coupling backend the solve ran on
+	// ("dense", "csr" or "blocked") — "auto" requests report what auto
+	// picked.
+	Backend string
+	Spins   []int8
+	Energy  float64
 	// Cut is the MaxCut value when a Graph was supplied, else 0.
 	Cut float64
 	// ModelNS is machine model time (0 for pure software engines);
@@ -302,7 +322,7 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 			err = &PanicError{Engine: r.Kind, Value: p, Stack: debug.Stack()}
 		}
 	}()
-	out = &Outcome{Kind: r.Kind, Stats: map[string]float64{}}
+	out = &Outcome{Kind: r.Kind, Backend: r.backend.String(), Stats: map[string]float64{}}
 	if r.Tracer != nil {
 		r.Tracer.Emit(obs.Event{Kind: obs.RunStart, Label: string(r.Kind),
 			Seed: r.Seed, Count: int64(r.Model.N()), Value: r.DurationNS})
@@ -323,7 +343,7 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 		var attempts, flips float64
 		for i := 0; i < r.Runs; i++ {
 			res, rerr := sa.SolveCtx(ctx, r.Model, sa.Config{Sweeps: r.Sweeps,
-				Seed: r.Seed + uint64(i), Initial: r.Initial,
+				Seed: r.Seed + uint64(i), Initial: r.Initial, Backend: r.backend,
 				Tracer: r.Tracer, Metrics: r.Metrics})
 			attempts += float64(res.Attempts)
 			flips += float64(res.Flips)
@@ -368,7 +388,8 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 		var best *sbm.Result
 		for i := 0; i < r.Runs; i++ {
 			res, rerr := sbm.SolveCtx(ctx, r.Model, sbm.Config{Variant: variant, Steps: r.Steps,
-				Seed: r.Seed + uint64(i), Tracer: r.Tracer, Metrics: r.Metrics})
+				Seed: r.Seed + uint64(i), Backend: r.backend,
+				Tracer: r.Tracer, Metrics: r.Metrics})
 			if best == nil || res.Energy < best.Energy {
 				best = res
 			}
@@ -383,7 +404,7 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 			Duration:       r.DurationNS,
 			SampleInterval: r.SampleEveryNS,
 			Initial:        r.Initial,
-			Config:         brim.Config{Seed: r.Seed},
+			Config:         brim.Config{Seed: r.Seed, Backend: r.backend},
 			Tracer:         r.Tracer,
 			Metrics:        r.Metrics,
 		}, r.Runs)
@@ -410,10 +431,10 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 		var rerr error
 		if r.Kind == QBSolv {
 			res, rerr = dnc.QBSolvCtx(ctx, r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed,
-				Tracer: r.Tracer, Metrics: r.Metrics})
+				Backend: r.backend, Tracer: r.Tracer, Metrics: r.Metrics})
 		} else {
 			res, rerr = dnc.OursCtx(ctx, r.Model, mach, dnc.OursConfig{Seed: r.Seed,
-				Tracer: r.Tracer, Metrics: r.Metrics})
+				Backend: r.backend, Tracer: r.Tracer, Metrics: r.Metrics})
 		}
 		out.Spins, out.Energy = res.Spins, res.Energy
 		out.ModelNS = res.HardwareNS + res.ProgramNS
@@ -450,6 +471,10 @@ func (r *Request) finish(out *Outcome, start time.Time) {
 		// the Prometheus exposition.
 		r.Metrics.Counter("core.solves").Inc()
 		r.Metrics.CounterWith("core.solves", obs.Labels{"engine": string(r.Kind)}).Inc()
+		// core.backend_solves breaks solves down by the resolved coupling
+		// backend (a separate series so core.solves keeps its shape).
+		r.Metrics.CounterWith("core.backend_solves",
+			obs.Labels{"engine": string(r.Kind), "backend": out.Backend}).Inc()
 		r.Metrics.HistogramWith("core.solve_wall_ns", obs.Labels{"engine": string(r.Kind)}).
 			Observe(float64(out.Wall.Nanoseconds()))
 	}
@@ -536,6 +561,7 @@ func (r *Request) solveMultichip(ctx context.Context, out *Outcome, start time.T
 
 func multichipConfig(r Request) multichip.Config {
 	return multichip.Config{
+		Backend:           r.backend,
 		Chips:             r.Chips,
 		EpochNS:           r.EpochNS,
 		Coordinated:       r.Coordinated,

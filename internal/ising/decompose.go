@@ -1,6 +1,10 @@
 package ising
 
-import "fmt"
+import (
+	"fmt"
+
+	"mbrim/internal/lattice"
+)
 
 // This file implements the bipartition rewrite of Eq. 3 in the paper:
 // an n-spin problem splits into sub-problems (J_u, g_u) and (J_l, g_l)
@@ -39,7 +43,21 @@ type SubProblem struct {
 // the complement's spins frozen at the given global assignment. The
 // indices must be distinct and in range; spins must cover the parent.
 func Extract(parent *Model, sub []int, spins []int8) *SubProblem {
+	return ExtractFrom(parent.View(lattice.Dense), parent, sub, spins)
+}
+
+// ExtractFrom is Extract through an explicit coupling backend: the
+// glue scan iterates only the stored nonzeros of each sub-spin's row,
+// so a CSR view turns the O(n)-per-spin dense walk into O(degree).
+// Divide-and-conquer flows that extract many windows from one parent
+// build the view once and pass it here. GlueOps accounting is
+// unchanged — the dense path always skipped zero couplings, and only
+// nonzero cross terms ever counted.
+func ExtractFrom(view lattice.Coupling, parent *Model, sub []int, spins []int8) *SubProblem {
 	n := parent.N()
+	if view.N() != n {
+		panic("ising: ExtractFrom view/parent size mismatch")
+	}
 	if len(spins) != n {
 		panic("ising: Extract with wrong spin vector length")
 	}
@@ -60,12 +78,7 @@ func Extract(parent *Model, sub []int, spins []int8) *SubProblem {
 	}
 	for local, g := range sub {
 		gi := parent.Mu() * parent.Bias(g)
-		row := parent.Row(g)
-		for j := 0; j < n; j++ {
-			v := row[j]
-			if v == 0 {
-				continue
-			}
+		view.Scan(g, func(j int, v float64) {
 			if lj := inSub[j]; lj != 0 {
 				if lj-1 > local {
 					sp.Model.SetCoupling(local, lj-1, v)
@@ -75,7 +88,7 @@ func Extract(parent *Model, sub []int, spins []int8) *SubProblem {
 				gi += v * float64(spins[j])
 				sp.GlueOps++
 			}
-		}
+		})
 		sp.Model.SetBias(local, gi)
 	}
 	return sp

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mbrim/internal/lattice"
 	"mbrim/internal/rng"
 )
 
@@ -196,5 +197,55 @@ func TestWholeProblemExtract(t *testing.T) {
 	}
 	if math.Abs(sp.Model.Energy(s)-m.Energy(s)) > 1e-9 {
 		t.Fatal("whole-problem extract changed the energy")
+	}
+}
+
+func TestExtractFromBackendsAgree(t *testing.T) {
+	// The regression pinned by the lattice refactor: routing the glue
+	// scan through any backend's sparse row iterator must reproduce the
+	// dense Extract exactly — same sub-model, same effective biases,
+	// and the same GlueOps ledger (the dense path always skipped zero
+	// couplings, so only nonzero cross terms ever counted).
+	r := rng.New(15)
+	for _, density := range []float64{1.0, 0.2} {
+		n := 24
+		m := NewModel(n)
+		m.SetMu(1.5)
+		for i := 0; i < n; i++ {
+			m.SetBias(i, r.Float64()-0.5)
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < density {
+					m.SetCoupling(i, j, float64(r.Spin()))
+				}
+			}
+		}
+		s := RandomSpins(n, r)
+		sub := r.Perm(n)[:9]
+		ref := Extract(m, sub, s)
+		for _, kind := range []lattice.Kind{lattice.Dense, lattice.CSR, lattice.Blocked} {
+			sp := ExtractFrom(m.View(kind), m, sub, s)
+			if sp.GlueOps != ref.GlueOps {
+				t.Errorf("density %v, %v: GlueOps = %d, dense Extract %d",
+					density, kind, sp.GlueOps, ref.GlueOps)
+			}
+			for a := 0; a < len(sub); a++ {
+				if sp.Model.Bias(a) != ref.Model.Bias(a) {
+					t.Fatalf("density %v, %v: bias[%d] = %v, want %v",
+						density, kind, a, sp.Model.Bias(a), ref.Model.Bias(a))
+				}
+				for b := a + 1; b < len(sub); b++ {
+					if sp.Model.Coupling(a, b) != ref.Model.Coupling(a, b) {
+						t.Fatalf("density %v, %v: coupling (%d,%d) differs", density, kind, a, b)
+					}
+				}
+			}
+		}
+		// The sparse view of a Sparsified parent agrees too.
+		sv := Sparsify(m).View()
+		sp := ExtractFrom(sv, m, sub, s)
+		if sp.GlueOps != ref.GlueOps {
+			t.Errorf("density %v, sparse-model view: GlueOps = %d, want %d",
+				density, sp.GlueOps, ref.GlueOps)
+		}
 	}
 }

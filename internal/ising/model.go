@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"mbrim/internal/lattice"
 )
 
 // Model is a dense Ising problem instance: n spins, a symmetric
@@ -90,6 +92,18 @@ func (m *Model) Row(i int) []float64 { return m.j[i*m.n : (i+1)*m.n] }
 
 // Biases returns the bias vector as a read-only slice (do not mutate).
 func (m *Model) Biases() []float64 { return m.h }
+
+// Couplings returns the full row-major coupling matrix as a read-only
+// slice (do not mutate). Backend constructors view it zero-copy.
+func (m *Model) Couplings() []float64 { return m.j }
+
+// View returns a coupling-matrix backend over this model's couplings
+// (unscaled). Auto resolves by measured density. The view aliases the
+// model for the dense layouts — do not mutate couplings while it is in
+// use.
+func (m *Model) View(kind lattice.Kind) lattice.Coupling {
+	return lattice.FromDense(m.n, m.j, kind, 0)
+}
 
 // Clone returns a deep copy of the model.
 func (m *Model) Clone() *Model {

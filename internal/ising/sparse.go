@@ -3,6 +3,8 @@ package ising
 import (
 	"fmt"
 	"math"
+
+	"mbrim/internal/lattice"
 )
 
 // Problem is the solver-facing surface shared by the dense Model and
@@ -136,6 +138,18 @@ func (sm *SparseModel) Densify() *Model {
 		}
 	}
 	return m
+}
+
+// CSR exposes the raw compressed-sparse-row triple (rowStart of length
+// n+1, ascending columns per row) as read-only slices. Backend
+// constructors view it zero-copy.
+func (sm *SparseModel) CSR() (rowStart, cols []int, vals []float64) {
+	return sm.rowStart, sm.cols, sm.vals
+}
+
+// View returns a CSR coupling backend aliasing this model's storage.
+func (sm *SparseModel) View() lattice.Coupling {
+	return lattice.FromCSR(sm.n, sm.rowStart, sm.cols, sm.vals, 0)
 }
 
 // N returns the spin count.

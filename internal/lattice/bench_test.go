@@ -1,0 +1,134 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The A side of the BENCH_kernel.json comparison: faithful copies of
+// the per-engine hot loops as they existed before the lattice layer,
+// so old-vs-new runs interleave on identical data.
+
+// oldBrimDeriv is the pre-lattice brim derivative loop: a serial dense
+// jhat scan with the bias and bistable-feedback tail.
+func oldBrimDeriv(n int, jhat, bhat, ext, v, out []float64, kappa, gamma, invTau float64) {
+	for i := 0; i < n; i++ {
+		row := jhat[i*n : (i+1)*n]
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += row[j] * v[j]
+		}
+		acc += bhat[i] + ext[i]
+		acc += kappa * (math.Tanh(gamma*v[i]) - v[i])
+		out[i] = acc * invTau
+	}
+}
+
+// oldSBMDiscreteForce is the pre-lattice dSBM force loop: dense scan
+// with zero skip over the sign readout.
+func oldSBMDiscreteForce(n int, j []float64, mu float64, h []float64, spins []int8, force []float64) {
+	for i := 0; i < n; i++ {
+		row := j[i*n : (i+1)*n]
+		acc := mu * h[i]
+		for k := 0; k < n; k++ {
+			if row[k] != 0 {
+				acc += row[k] * float64(spins[k])
+			}
+		}
+		force[i] = acc
+	}
+}
+
+type benchSetup struct {
+	n                  int
+	data               []float64
+	bhat, ext, v, out  []float64
+	spins              []int8
+	kappa, gamma, invT float64
+}
+
+func newBenchSetup(n int, density float64) *benchSetup {
+	return &benchSetup{
+		n:     n,
+		data:  randSym(n, density, 1),
+		bhat:  randVec(n, 2),
+		ext:   randVec(n, 3),
+		v:     randVec(n, 4),
+		out:   make([]float64, n),
+		spins: randSpins(n, 5),
+		kappa: 0.7, gamma: 1.5, invT: 1,
+	}
+}
+
+// kernelDeriv is the post-refactor brim derivative: the shared kernel
+// for the matvec, the same pointwise tail.
+func (s *benchSetup) kernelDeriv(c Coupling, workers int) {
+	ForRange(s.n, workers, func(lo, hi int) {
+		c.MatVecRange(s.v, nil, s.out, lo, hi)
+		for i := lo; i < hi; i++ {
+			acc := s.out[i]
+			acc += s.bhat[i] + s.ext[i]
+			acc += s.kappa * (math.Tanh(s.gamma*s.v[i]) - s.v[i])
+			s.out[i] = acc * s.invT
+		}
+	})
+}
+
+// BenchmarkBRIMDeriv compares one RK4 derivative evaluation (the BRIM
+// step's dominant cost — an RK4 step is four of these) between the old
+// serial dense loop and the shared kernel at several worker counts.
+func BenchmarkBRIMDeriv(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		s := newBenchSetup(n, 1)
+		b.Run(fmt.Sprintf("old/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oldBrimDeriv(s.n, s.data, s.bhat, s.ext, s.v, s.out, s.kappa, s.gamma, s.invT)
+			}
+		})
+		dense := FromDense(n, s.data, Dense, 0)
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("kernel/n=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s.kernelDeriv(dense, w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSparseFields compares the local-field accumulation on a
+// 5%-density model: the old dense zero-skipping scan versus the CSR
+// backend, which touches only stored entries.
+func BenchmarkSparseFields(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		s := newBenchSetup(n, 0.05)
+		b.Run(fmt.Sprintf("old-dense/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oldSBMDiscreteForce(s.n, s.data, 1, s.bhat, s.spins, s.out)
+			}
+		})
+		csr := FromDense(n, s.data, CSR, 0)
+		b.Run(fmt.Sprintf("csr/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Fields(csr, s.spins, s.bhat, s.out, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkBlockedMatVec compares the plain dense matvec against the
+// cache-blocked walk at a size whose input vector spills L1.
+func BenchmarkBlockedMatVec(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		s := newBenchSetup(n, 1)
+		for _, kind := range []Kind{Dense, Blocked} {
+			c := FromDense(n, s.data, kind, 0)
+			b.Run(fmt.Sprintf("%s/n=%d", kind, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					MatVec(c, s.v, nil, s.out, 1)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package lattice
+
+import "fmt"
+
+// csr is the compressed-sparse-row layout: row i's nonzeros live at
+// [rowStart[i], rowStart[i+1]) of cols/vals with ascending columns.
+type csr struct {
+	n        int
+	rowStart []int
+	cols     []int
+	vals     []float64
+}
+
+// FromCSR builds a backend over an existing compressed-sparse-row
+// triple with ascending column order per row (ising.SparseModel's
+// invariant — violations panic). div, when nonzero and not 1, divides
+// every value; otherwise the slices are aliased and must not be
+// mutated by the caller.
+func FromCSR(n int, rowStart, cols []int, vals []float64, div float64) Coupling {
+	if n <= 0 || len(rowStart) != n+1 || len(cols) != len(vals) || rowStart[n] != len(cols) {
+		panic(fmt.Sprintf("lattice: FromCSR inconsistent layout (n=%d, rows=%d, nnz=%d/%d)",
+			n, len(rowStart), len(cols), len(vals)))
+	}
+	for i := 0; i < n; i++ {
+		if rowStart[i] > rowStart[i+1] {
+			panic(fmt.Sprintf("lattice: FromCSR row %d has negative extent", i))
+		}
+		for k := rowStart[i] + 1; k < rowStart[i+1]; k++ {
+			if cols[k] <= cols[k-1] {
+				panic(fmt.Sprintf("lattice: FromCSR row %d columns not ascending", i))
+			}
+		}
+	}
+	c := &csr{n: n, rowStart: rowStart, cols: cols, vals: vals}
+	if div != 0 && div != 1 {
+		scaled := make([]float64, len(vals))
+		for i, v := range vals {
+			scaled[i] = v / div
+		}
+		c.vals = scaled
+	}
+	return c
+}
+
+// csrFromDense compresses a dense row-major matrix, dividing each kept
+// entry by div (0 means 1). Rows are scanned in ascending column
+// order, so the stored order preserves the dense accumulation order.
+func csrFromDense(n int, data []float64, div float64) *csr {
+	if div == 0 {
+		div = 1
+	}
+	nnz := CountNNZ(data)
+	c := &csr{
+		n:        n,
+		rowStart: make([]int, n+1),
+		cols:     make([]int, 0, nnz),
+		vals:     make([]float64, 0, nnz),
+	}
+	for i := 0; i < n; i++ {
+		c.rowStart[i] = len(c.cols)
+		for j, v := range data[i*n : (i+1)*n] {
+			if v != 0 {
+				c.cols = append(c.cols, j)
+				c.vals = append(c.vals, v/div)
+			}
+		}
+	}
+	c.rowStart[n] = len(c.cols)
+	return c
+}
+
+func (c *csr) N() int   { return c.n }
+func (c *csr) NNZ() int { return len(c.cols) }
+
+func (c *csr) Kind() Kind { return CSR }
+
+func (c *csr) RowNNZ(i int) int { return c.rowStart[i+1] - c.rowStart[i] }
+
+func (c *csr) Scan(i int, fn func(j int, v float64)) {
+	for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+		fn(c.cols[k], c.vals[k])
+	}
+}
+
+func (c *csr) MatVecRange(x, base, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		acc := 0.0
+		if base != nil {
+			acc = base[i]
+		}
+		for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+			acc += c.vals[k] * x[c.cols[k]]
+		}
+		out[i] = acc
+	}
+}
+
+func (c *csr) FieldsRange(spins []int8, base, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		acc := 0.0
+		if base != nil {
+			acc = base[i]
+		}
+		for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+			acc += c.vals[k] * float64(spins[c.cols[k]])
+		}
+		out[i] = acc
+	}
+}
+
+func (c *csr) FlipFanout(fields []float64, k int, delta float64) {
+	for idx := c.rowStart[k]; idx < c.rowStart[k+1]; idx++ {
+		fields[c.cols[idx]] += c.vals[idx] * delta
+	}
+}
+
+func (c *csr) FlipDelta(spins []int8, fields []float64, k int, muH float64) float64 {
+	return flipDelta(spins, fields, k, muH)
+}

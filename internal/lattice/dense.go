@@ -1,0 +1,117 @@
+package lattice
+
+import "fmt"
+
+// dense is the row-major n×n layout.
+type dense struct {
+	n    int
+	data []float64 // row-major, symmetric, zero diagonal
+	nnz  int
+}
+
+// FromDense builds a backend over a row-major n×n symmetric matrix.
+// div, when nonzero and not 1, divides every entry — the resistor
+// normalization the BRIM machines apply (Ĵ = J/scale); division, not
+// multiplication by a reciprocal, so the stored values match the
+// historical per-engine loops bit for bit. With div 0 or 1 the dense
+// layouts alias data instead of copying — callers must not mutate it.
+// Auto resolves by measured density.
+func FromDense(n int, data []float64, kind Kind, div float64) Coupling {
+	if n <= 0 || len(data) != n*n {
+		panic(fmt.Sprintf("lattice: FromDense with %d entries for n=%d", len(data), n))
+	}
+	nnz := CountNNZ(data)
+	switch Resolve(kind, n, nnz) {
+	case CSR:
+		return csrFromDense(n, data, div)
+	case Blocked:
+		return &blocked{dense{n: n, data: scaleDense(data, div), nnz: nnz}}
+	default:
+		return &dense{n: n, data: scaleDense(data, div), nnz: nnz}
+	}
+}
+
+// scaleDense returns data/div, aliasing data when div is 0 or 1.
+func scaleDense(data []float64, div float64) []float64 {
+	if div == 0 || div == 1 {
+		return data
+	}
+	scaled := make([]float64, len(data))
+	for i, v := range data {
+		scaled[i] = v / div
+	}
+	return scaled
+}
+
+func (d *dense) N() int   { return d.n }
+func (d *dense) NNZ() int { return d.nnz }
+
+func (d *dense) Kind() Kind { return Dense }
+
+func (d *dense) row(i int) []float64 { return d.data[i*d.n : (i+1)*d.n] }
+
+func (d *dense) RowNNZ(i int) int {
+	c := 0
+	for _, v := range d.row(i) {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func (d *dense) Scan(i int, fn func(j int, v float64)) {
+	for j, v := range d.row(i) {
+		if v != 0 {
+			fn(j, v)
+		}
+	}
+}
+
+func (d *dense) MatVecRange(x, base, out []float64, lo, hi int) {
+	n := d.n
+	x = x[:n]
+	for i := lo; i < hi; i++ {
+		row := d.data[i*n : (i+1)*n]
+		acc := 0.0
+		if base != nil {
+			acc = base[i]
+		}
+		for j := 0; j < n; j++ {
+			acc += row[j] * x[j]
+		}
+		out[i] = acc
+	}
+}
+
+func (d *dense) FieldsRange(spins []int8, base, out []float64, lo, hi int) {
+	n := d.n
+	spins = spins[:n]
+	for i := lo; i < hi; i++ {
+		row := d.data[i*n : (i+1)*n]
+		acc := 0.0
+		if base != nil {
+			acc = base[i]
+		}
+		for j := 0; j < n; j++ {
+			if v := row[j]; v != 0 {
+				acc += v * float64(spins[j])
+			}
+		}
+		out[i] = acc
+	}
+}
+
+// FlipFanout walks the whole row, zeros included, exactly as the dense
+// model's ApplyFlip always has: adding J_kj·d = ±0 to a field that is
+// never −0 is the identity, so the result matches the zero-skipping
+// backends bit for bit while keeping the dense O(N) cost model.
+func (d *dense) FlipFanout(fields []float64, k int, delta float64) {
+	for j, v := range d.row(k) {
+		fields[j] += v * delta
+	}
+}
+
+func (d *dense) FlipDelta(spins []int8, fields []float64, k int, muH float64) float64 {
+	return flipDelta(spins, fields, k, muH)
+}

@@ -1,0 +1,193 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/rng"
+)
+
+// randSym builds an n×n symmetric row-major matrix with zero diagonal
+// where each upper pair is nonzero with probability density, values
+// ±1 like the K-graph family (density 1 gives a complete graph).
+func randSym(n int, density float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	data := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < density {
+				v := float64(r.Spin())
+				data[i*n+j] = v
+				data[j*n+i] = v
+			}
+		}
+	}
+	return data
+}
+
+func randSpins(n int, seed uint64) []int8 {
+	r := rng.New(seed)
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = r.Spin()
+	}
+	return s
+}
+
+func allBackends(t *testing.T, n int, data []float64, div float64) map[Kind]Coupling {
+	t.Helper()
+	return map[Kind]Coupling{
+		Dense:   FromDense(n, data, Dense, div),
+		CSR:     FromDense(n, data, CSR, div),
+		Blocked: FromDense(n, data, Blocked, div),
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"": Auto, "auto": Auto, "AUTO": Auto, " dense ": Dense,
+		"csr": CSR, "Blocked": Blocked,
+	}
+	for in, want := range cases {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) accepted")
+	}
+	for _, k := range []Kind{Auto, Dense, CSR, Blocked} {
+		rt, err := ParseKind(k.String())
+		if err != nil || rt != k {
+			t.Errorf("round trip %v -> %q -> %v, %v", k, k.String(), rt, err)
+		}
+	}
+}
+
+func TestResolveByDensity(t *testing.T) {
+	// 5% of 100×100 = 500 stored entries is the CSR cutoff.
+	if got := Resolve(Auto, 100, 500); got != CSR {
+		t.Errorf("Auto at cutoff density -> %v, want csr", got)
+	}
+	if got := Resolve(Auto, 100, 501); got != Dense {
+		t.Errorf("Auto above cutoff -> %v, want dense", got)
+	}
+	for _, k := range []Kind{Dense, CSR, Blocked} {
+		if got := Resolve(k, 100, 0); got != k {
+			t.Errorf("Resolve(%v) = %v, want pass-through", k, got)
+		}
+	}
+}
+
+func TestFromDenseAutoPicksByDensity(t *testing.T) {
+	n := 64
+	if k := FromDense(n, randSym(n, 1, 1), Auto, 0).Kind(); k != Dense {
+		t.Errorf("complete graph resolved to %v, want dense", k)
+	}
+	if k := FromDense(n, randSym(n, 0.02, 1), Auto, 0).Kind(); k != CSR {
+		t.Errorf("2%%-density graph resolved to %v, want csr", k)
+	}
+}
+
+func TestBackendStructure(t *testing.T) {
+	n := 37
+	data := randSym(n, 0.3, 7)
+	nnz := CountNNZ(data)
+	for kind, c := range allBackends(t, n, data, 0) {
+		if c.Kind() != kind {
+			t.Errorf("%v: Kind() = %v", kind, c.Kind())
+		}
+		if c.N() != n || c.NNZ() != nnz {
+			t.Errorf("%v: N=%d NNZ=%d, want %d/%d", kind, c.N(), c.NNZ(), n, nnz)
+		}
+		for i := 0; i < n; i++ {
+			prev := -1
+			cnt := 0
+			c.Scan(i, func(j int, v float64) {
+				if j <= prev {
+					t.Fatalf("%v: row %d columns not ascending (%d after %d)", kind, i, j, prev)
+				}
+				prev = j
+				cnt++
+				if v != data[i*n+j] {
+					t.Fatalf("%v: entry (%d,%d) = %v, want %v", kind, i, j, v, data[i*n+j])
+				}
+			})
+			if cnt != c.RowNNZ(i) {
+				t.Errorf("%v: row %d scanned %d entries, RowNNZ says %d", kind, i, cnt, c.RowNNZ(i))
+			}
+		}
+	}
+}
+
+func TestDivScalesLikeTheEngines(t *testing.T) {
+	n := 16
+	data := randSym(n, 1, 3)
+	const scale = 3.7
+	for kind, c := range allBackends(t, n, data, scale) {
+		c.Scan(0, func(j int, v float64) {
+			if want := data[j] / scale; v != want {
+				t.Fatalf("%v: scaled entry (0,%d) = %v, want %v", kind, j, v, want)
+			}
+		})
+	}
+}
+
+func TestFlipDeltaAndFanout(t *testing.T) {
+	n := 24
+	data := randSym(n, 0.5, 11)
+	spins := randSpins(n, 12)
+	for kind, c := range allBackends(t, n, data, 0) {
+		fields := make([]float64, n)
+		Fields(c, spins, nil, fields, 1)
+		// ΔE from the rule must match a brute-force energy difference.
+		k := 5
+		muH := 0.25
+		want := 2 * float64(spins[k]) * (fields[k] + muH)
+		if got := c.FlipDelta(spins, fields, k, muH); got != want {
+			t.Errorf("%v: FlipDelta = %v, want %v", kind, got, want)
+		}
+		// Fanout must land the fields exactly where a recompute does.
+		old := spins[k]
+		spins[k] = -spins[k]
+		c.FlipFanout(fields, k, -2*float64(old))
+		fresh := make([]float64, n)
+		Fields(c, spins, nil, fresh, 1)
+		for i := range fields {
+			if i == k {
+				continue // L_k does not depend on σ_k; fanout leaves it stale by design
+			}
+			if math.Abs(fields[i]-fresh[i]) > 1e-12 {
+				t.Errorf("%v: field %d after fanout %v, recompute %v", kind, i, fields[i], fresh[i])
+			}
+		}
+		spins[k] = old
+	}
+}
+
+func TestFromCSRRejectsBadLayout(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"short rowStart": func() { FromCSR(2, []int{0, 0}, nil, nil, 0) },
+		"nnz mismatch":   func() { FromCSR(1, []int{0, 1}, []int{0}, nil, 0) },
+		"descending":     func() { FromCSR(1, []int{0, 2}, []int{1, 0}, []float64{1, 2}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromCSR %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromDenseRejectsBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromDense with wrong size did not panic")
+		}
+	}()
+	FromDense(3, make([]float64, 8), Dense, 0)
+}

@@ -328,7 +328,7 @@ func (s *System) applyCheckpoint(ck *Checkpoint, mode string, durationNS float64
 	for i, cs := range ck.Chips {
 		bc := s.cfg.Brim
 		bc.Seed = cs.Machine.Seed
-		c := newChip(i, s.model, cs.Owned, s.scale, bc, s.cfg.EpochNS, global)
+		c := newChip(i, s.model, s.lat, cs.Owned, s.scale, bc, s.cfg.EpochNS, global)
 		// Restore replaces voltages, readout, external bias, holds,
 		// timekeeping and the PRNG position verbatim; in particular the
 		// external bias must NOT be recomputed from shadows, because a

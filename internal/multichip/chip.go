@@ -23,6 +23,7 @@ import (
 
 	"mbrim/internal/brim"
 	"mbrim/internal/ising"
+	"mbrim/internal/lattice"
 )
 
 // chip is one processor of the multiprocessor: a BRIM machine over its
@@ -56,10 +57,13 @@ type chip struct {
 }
 
 // newChip builds chip id owning the given global indices of the
-// problem. scale is the global coupling normalization shared by all
-// chips; cfg configures the local dynamics (its InducedFlip schedule
-// is overridden to zero — the runtime coordinates kicks itself).
-func newChip(id int, m *ising.Model, owned []int, scale float64, cfg brim.Config, epochNS float64, initial []int8) *chip {
+// problem. lat is the system's coupling view of m — extraction scans
+// its stored nonzeros once per owned row, so sparse problems pay
+// O(degree) instead of O(N) per spin. scale is the global coupling
+// normalization shared by all chips; cfg configures the local dynamics
+// (its InducedFlip schedule is overridden to zero — the runtime
+// coordinates kicks itself).
+func newChip(id int, m *ising.Model, lat lattice.Coupling, owned []int, scale float64, cfg brim.Config, epochNS float64, initial []int8) *chip {
 	if len(owned) == 0 {
 		panic(fmt.Sprintf("multichip: chip %d owns no spins", id))
 	}
@@ -76,31 +80,25 @@ func newChip(id int, m *ising.Model, owned []int, scale float64, cfg brim.Config
 		c.local[g] = li
 	}
 
-	// Owned×owned sub-model; biases come along so the machine applies
-	// μh itself.
+	// One scan of each owned row splits it into the owned×owned
+	// sub-model (biases come along so the machine applies μh itself)
+	// and the owned×remote cross row, pre-scaled like the machine's own
+	// couplings.
 	sub := ising.NewModel(len(owned))
 	sub.SetMu(m.Mu())
 	for a, ga := range c.owned {
 		sub.SetBias(a, m.Bias(ga))
-		for b := a + 1; b < len(c.owned); b++ {
-			if v := m.Coupling(ga, c.owned[b]); v != 0 {
-				sub.SetCoupling(a, b, v)
-			}
-		}
-	}
-
-	// Owned×remote cross rows, pre-scaled like the machine's own
-	// couplings.
-	for li, g := range c.owned {
 		row := make([]float64, n)
-		src := m.Row(g)
-		for j := 0; j < n; j++ {
-			if _, own := c.local[j]; own {
-				continue
+		lat.Scan(ga, func(j int, v float64) {
+			if lj, own := c.local[j]; own {
+				if lj > a {
+					sub.SetCoupling(a, lj, v)
+				}
+			} else {
+				row[j] = v / scale
 			}
-			row[j] = src[j] / scale
-		}
-		c.cross[li] = row
+		})
+		c.cross[a] = row
 	}
 
 	mcfg := cfg

@@ -175,7 +175,7 @@ func (s *System) repartition(victim, epochNo int, remainingNS float64, tr obs.Tr
 		sort.Ints(part)
 		bc := s.cfg.Brim
 		bc.Seed = s.cfg.Seed + uint64(survivors[i])
-		nc := newChip(i, s.model, part, s.scale, bc, s.cfg.EpochNS, global)
+		nc := newChip(i, s.model, s.lat, part, s.scale, bc, s.cfg.EpochNS, global)
 		nc.machine.SetHorizon(remainingNS)
 		newChips[i] = nc
 		newBelief[i] = nc.ownedSpins()

@@ -12,6 +12,7 @@ import (
 	"mbrim/internal/graph"
 	"mbrim/internal/interconnect"
 	"mbrim/internal/ising"
+	"mbrim/internal/lattice"
 	"mbrim/internal/metrics"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
@@ -51,9 +52,15 @@ type Config struct {
 	// Topology selects the fabric congestion model (dedicated links,
 	// shared bus, or ring). Default: the paper's dedicated channels.
 	Topology interconnect.Topology
+	// Backend selects the coupling-matrix layout used for chip
+	// extraction and the per-chip dynamics (lattice.Auto resolves by
+	// measured density). Every backend is bit-identical; only host time
+	// moves.
+	Backend lattice.Kind
 	// Brim configures the per-chip dynamics. Its InducedFlip schedule
 	// is ignored (the runtime coordinates kicks); its Scale is
-	// overridden with the global normalization.
+	// overridden with the global normalization and its Backend follows
+	// Config.Backend.
 	Brim brim.Config
 	// Seed drives the initial state and all stochastic choices.
 	Seed uint64
@@ -123,6 +130,7 @@ func (c *Config) withDefaults(n int) (Config, error) {
 	if err := out.Faults.Validate(out.Chips); err != nil {
 		return out, err
 	}
+	out.Brim.Backend = out.Backend
 	return out, nil
 }
 
@@ -183,9 +191,12 @@ type Result struct {
 // System is a k-chip multiprocessor holding one problem sliced over
 // its chips. Create with NewSystem, then run one mode.
 type System struct {
-	model  *ising.Model
-	cfg    Config
-	n      int
+	model *ising.Model
+	cfg   Config
+	n     int
+	// lat is the coupling view chip extraction scans; built once per
+	// system and shared by every (re)partition.
+	lat    lattice.Coupling
 	scale  float64
 	chips  []*chip
 	fabric *interconnect.Fabric
@@ -213,6 +224,7 @@ func NewSystem(m *ising.Model, cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{model: m, cfg: c, n: n}
+	s.lat = m.View(c.Backend)
 	s.scale = m.MaxRowNorm2()
 	if s.scale == 0 {
 		s.scale = 1
@@ -251,7 +263,7 @@ func NewSystem(m *ising.Model, cfg Config) (*System, error) {
 	for i, part := range parts {
 		bc := c.Brim
 		bc.Seed = c.Seed + uint64(i)
-		s.chips[i] = newChip(i, m, part, s.scale, bc, c.EpochNS, s.initial)
+		s.chips[i] = newChip(i, m, s.lat, part, s.scale, bc, c.EpochNS, s.initial)
 		s.receiverBelief[i] = s.chips[i].ownedSpins()
 		if c.Coordinated {
 			s.induceRNG[i] = kickMaster.Clone()

@@ -8,6 +8,7 @@ import (
 
 	"mbrim/internal/core"
 	"mbrim/internal/graph"
+	"mbrim/internal/lattice"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 )
@@ -56,6 +57,10 @@ type SubmitRequest struct {
 	ChannelBytesPerNS float64 `json:"channelBytesPerNS,omitempty"`
 	SampleEveryNS     float64 `json:"sampleEveryNS,omitempty"`
 	Parallel          bool    `json:"parallel,omitempty"`
+	// Backend selects the coupling-matrix backend ("auto", "dense",
+	// "csr" or "blocked"); empty means auto. Bit-identical — only host
+	// time moves.
+	Backend string `json:"backend,omitempty"`
 }
 
 // buildRequest turns a submit body into a core.Request, constructing
@@ -101,6 +106,15 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	backend := sr.Backend
+	if backend == "" {
+		backend = m.cfg.DefaultBackend
+	}
+	// Reject unknown backends here so the client gets a 400 instead of
+	// a failed run.
+	if _, err := lattice.ParseKind(backend); err != nil {
+		return req, fmt.Errorf("runs: %v", err)
+	}
 	return core.Request{
 		Kind:              kind,
 		Model:             g.ToIsing(),
@@ -117,6 +131,7 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		ChannelBytesPerNS: sr.ChannelBytesPerNS,
 		SampleEveryNS:     sr.SampleEveryNS,
 		Parallel:          sr.Parallel,
+		Backend:           backend,
 	}, nil
 }
 

@@ -138,6 +138,7 @@ type OutcomeSummary struct {
 	ModelNS float64            `json:"modelNS,omitempty"`
 	WallNS  int64              `json:"wallNS"`
 	Spins   int                `json:"spins"`
+	Backend string             `json:"backend,omitempty"`
 	Stats   map[string]float64 `json:"stats,omitempty"`
 }
 
@@ -255,6 +256,7 @@ func (r *Run) Status() Status {
 			ModelNS: o.ModelNS,
 			WallNS:  o.Wall.Nanoseconds(),
 			Spins:   len(o.Spins),
+			Backend: o.Backend,
 			Stats:   o.Stats,
 		}
 	}
@@ -280,6 +282,9 @@ type Config struct {
 	// MaxSpins bounds submitted problem sizes at the HTTP boundary.
 	// 0 applies DefaultMaxSpins.
 	MaxSpins int
+	// DefaultBackend is the coupling backend applied to submitted runs
+	// that do not name one. Empty leaves them on "auto".
+	DefaultBackend string
 }
 
 // DefaultMaxSpins bounds the problem size accepted over HTTP when the

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mbrim/internal/ising"
+	"mbrim/internal/lattice"
 	"mbrim/internal/metrics"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
@@ -48,6 +49,11 @@ type Config struct {
 	// OnSweep, if non-nil, is called after each sweep with the sweep
 	// index and current energy. Quality-vs-time traces hook in here.
 	OnSweep func(sweep int, energy float64)
+	// Backend selects the coupling-matrix layout behind the field cache
+	// when the problem is a concrete model (lattice.Auto resolves by
+	// measured density). Every backend reproduces the model methods bit
+	// for bit, so this only moves host time.
+	Backend lattice.Kind
 	// Ops, if non-nil, accumulates operation counts for the
 	// first-principles analysis.
 	Ops *metrics.OpCounter
@@ -129,8 +135,45 @@ func SolveProblemCtx(ctx context.Context, m ising.Problem, cfg Config) (*Result,
 		}
 		spins = ising.CopySpins(spins)
 	}
-	fields := m.LocalFields(spins, nil)
+	// Concrete models route the hot loop through the shared lattice
+	// backend; the field build, per-attempt delta, and accepted-flip
+	// fanout all reproduce the model methods bit for bit (same
+	// ascending-column accumulation). Other Problem implementations keep
+	// the interface path.
+	var lat lattice.Coupling
+	var biasMu []float64
+	switch p := m.(type) {
+	case *ising.Model:
+		lat = p.View(cfg.Backend)
+		biasMu = make([]float64, n)
+		for i := range biasMu {
+			biasMu[i] = p.Mu() * p.Bias(i)
+		}
+	case *ising.SparseModel:
+		lat = p.View()
+		biasMu = make([]float64, n)
+		for i := range biasMu {
+			biasMu[i] = p.Mu() * p.Bias(i)
+		}
+	}
+	var fields []float64
+	if lat != nil {
+		fields = make([]float64, n)
+		lattice.Fields(lat, spins, nil, fields, 1)
+	} else {
+		fields = m.LocalFields(spins, nil)
+	}
 	energy := m.EnergyFromFields(spins, fields)
+	flipDelta := func(i int) float64 { return m.FlipDelta(spins, fields, i) }
+	applyFlip := func(i int) { m.ApplyFlip(spins, fields, i) }
+	if lat != nil {
+		flipDelta = func(i int) float64 { return lat.FlipDelta(spins, fields, i, biasMu[i]) }
+		applyFlip = func(i int) {
+			old := float64(spins[i])
+			spins[i] = -spins[i]
+			lat.FlipFanout(fields, i, -2*old)
+		}
+	}
 
 	// The modeled cost of an accepted flip is the field-update fanout:
 	// the full row for a dense model, the degree for a sparse one.
@@ -156,9 +199,9 @@ func SolveProblemCtx(ctx context.Context, m ising.Problem, cfg Config) (*Result,
 		b := beta.At(float64(sweep) / float64(cfg.Sweeps))
 		for i := 0; i < n; i++ {
 			res.Attempts++
-			delta := m.FlipDelta(spins, fields, i)
+			delta := flipDelta(i)
 			if delta <= 0 || r.Float64() < math.Exp(-b*delta) {
-				m.ApplyFlip(spins, fields, i)
+				applyFlip(i)
 				energy += delta
 				res.Flips++
 				res.Instructions += rowCost(i)

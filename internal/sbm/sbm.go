@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"mbrim/internal/ising"
+	"mbrim/internal/lattice"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	// OnStep, if non-nil, is called after each step with the step
 	// index and the energy of the current sign readout.
 	OnStep func(step int, energy float64)
+	// Backend selects the coupling-matrix layout behind the force
+	// accumulation (lattice.Auto resolves by measured density) and
+	// Workers fans it over goroutines. Both only move host time: every
+	// backend × worker count produces bit-identical trajectories.
+	Backend lattice.Kind
+	Workers int
 	// Tracer, if non-nil, receives EnergySample events on a bounded
 	// cadence (~64 samples per run; each sample costs an O(N²) energy
 	// evaluation, so per-step emission would dominate the run).
@@ -85,17 +92,26 @@ type Result struct {
 
 // defaultC0 is Goto's heuristic coupling scale.
 func defaultC0(m *ising.Model) float64 {
-	n := m.N()
+	return defaultC0From(m.View(lattice.Dense))
+}
+
+// defaultC0From computes the heuristic from a coupling view. The
+// moment statistics run over every upper-triangle pair, zeros included
+// — the historical population — so cnt is n(n−1)/2 directly while the
+// sums iterate only stored nonzeros (adding a zero never changes an
+// accumulator's bits).
+func defaultC0From(lat lattice.Coupling) float64 {
+	n := lat.N()
 	var sum, sumSq float64
-	cnt := 0
 	for i := 0; i < n; i++ {
-		row := m.Row(i)
-		for j := i + 1; j < n; j++ {
-			sum += row[j]
-			sumSq += row[j] * row[j]
-			cnt++
-		}
+		lat.Scan(i, func(j int, v float64) {
+			if j > i {
+				sum += v
+				sumSq += v * v
+			}
+		})
 	}
+	cnt := n * (n - 1) / 2
 	if cnt == 0 {
 		return 1
 	}
@@ -133,11 +149,18 @@ func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) 
 	if a0 == 0 {
 		a0 = 1
 	}
+	n := m.N()
+	lat := m.View(cfg.Backend)
+	// The bias term enters the force like a coupling to a fixed +1 spin;
+	// precomputed once, it seeds every row's accumulator.
+	base := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base[i] = m.Mu() * m.Bias(i)
+	}
 	c0 := cfg.C0
 	if c0 == 0 {
-		c0 = defaultC0(m)
+		c0 = defaultC0From(lat)
 	}
-	n := m.N()
 	r := rng.New(cfg.Seed)
 	x := make([]float64, n)
 	y := make([]float64, n)
@@ -169,8 +192,7 @@ func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) 
 			break
 		}
 		at := a0 * float64(step) / float64(cfg.Steps)
-		// Mean-field force. dSB uses sign(x), bSB uses x itself. The
-		// bias term enters like a coupling to a fixed +1 spin.
+		// Mean-field force. dSB uses sign(x), bSB uses x itself.
 		switch cfg.Variant {
 		case Discrete:
 			for j := 0; j < n; j++ {
@@ -180,25 +202,9 @@ func SolveCtx(ctx context.Context, m *ising.Model, cfg Config) (*Result, error) 
 					spins[j] = -1
 				}
 			}
-			for i := 0; i < n; i++ {
-				row := m.Row(i)
-				acc := m.Mu() * m.Bias(i)
-				for j := 0; j < n; j++ {
-					if row[j] != 0 {
-						acc += row[j] * float64(spins[j])
-					}
-				}
-				force[i] = acc
-			}
+			lattice.Fields(lat, spins, base, force, cfg.Workers)
 		default:
-			for i := 0; i < n; i++ {
-				row := m.Row(i)
-				acc := m.Mu() * m.Bias(i)
-				for j := 0; j < n; j++ {
-					acc += row[j] * x[j]
-				}
-				force[i] = acc
-			}
+			lattice.MatVec(lat, x, base, force, cfg.Workers)
 		}
 		for i := 0; i < n; i++ {
 			y[i] += (-(a0-at)*x[i] + c0*force[i]) * dt

@@ -170,6 +170,17 @@ const (
 	LBChannelBytesPerNS = core.LBChannelBytesPerNS
 )
 
+// Coupling-backend names for Request.Backend. Every backend produces
+// bit-identical results for a fixed seed; the choice only moves host
+// time. BackendAuto (the empty default) picks dense unless the model's
+// measured density is at most 5%, where CSR wins.
+const (
+	BackendAuto    = "auto"
+	BackendDense   = "dense"
+	BackendCSR     = "csr"
+	BackendBlocked = "blocked"
+)
+
 // NewModel returns an n-spin Ising model with zero couplings.
 func NewModel(n int) *Model { return ising.NewModel(n) }
 
