@@ -48,6 +48,7 @@ func TestEverySubcommandRuns(t *testing.T) {
 		"resilience":      {"-n", "48", "-duration", "20", "-schedules", "1"},
 		"suite":           {"-runs", "1", "-sweeps", "20", "-steps", "50", "-duration", "20"},
 		"guardrails":      {"-n", "48", "-duration", "20", "-cut-epoch", "2"},
+		"diagnose":        {"-n", "48", "-duration", "40"},
 	}
 	for name, cmd := range commands {
 		args, ok := tiny[name]
@@ -68,7 +69,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"firstprinciples", "summary", "capacity", "demand", "macrochip",
 		"reconfig", "machinemetrics", "tts", "nonideal", "ablation",
-		"resilience", "suite", "guardrails",
+		"resilience", "suite", "guardrails", "diagnose",
 	}
 	for _, name := range want {
 		if _, ok := commands[name]; !ok {

@@ -5,6 +5,7 @@
 //
 //	mbrim -solver mbrim -chips 4 -duration 500 graph.gset
 //	mbrim -solver sa -sweeps 1000 -runs 10 -k 512
+//	mbrim -solver mbrim -chips 3 -k 256 -span-trace run.trace.json -diag
 //
 // With -k N a seeded K-graph is generated instead of reading a file.
 // The exit status is 0 on success; the solution, cut value, energy and
@@ -46,6 +47,8 @@ func main() {
 	printSpins := flag.Bool("spins", false, "print the solution spin vector")
 	jsonOut := flag.Bool("json", false, "emit the outcome as JSON instead of text")
 	traceFile := flag.String("trace", "", "write the run's event stream to this file as JSON Lines")
+	spanTraceFile := flag.String("span-trace", "", "record hierarchical solve spans and write a Chrome trace (load in ui.perfetto.dev) to this file")
+	diagOut := flag.Bool("diag", false, "print convergence and partition-quality diagnostics after the run")
 	metricsOut := flag.Bool("metrics", false, "print a metrics-registry snapshot after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	sample := flag.Float64("sample", 0, "record an energy sample every so many ns (machine engines)")
@@ -137,6 +140,24 @@ func main() {
 	if *metricsOut || *pprofAddr != "" {
 		registry = mbrim.NewRegistry()
 	}
+	// Introspection: -span-trace captures the whole event stream (span
+	// events included) for the post-run Chrome trace export, and -diag
+	// attaches the live diagnostics reducer. Both ride the same tracer
+	// fan-out as -trace, and neither perturbs the solve trajectory.
+	var capture *captureTracer
+	var reducer *mbrim.DiagReducer
+	if *spanTraceFile != "" || *diagOut {
+		sinks := []mbrim.Tracer{tracer}
+		if *spanTraceFile != "" {
+			capture = &captureTracer{}
+			sinks = append(sinks, capture)
+		}
+		if *diagOut {
+			reducer = mbrim.NewDiagReducer(mbrim.DiagConfig{Registry: registry})
+			sinks = append(sinks, reducer)
+		}
+		tracer = mbrim.Fanout(sinks...)
+	}
 	if *pprofAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -207,6 +228,8 @@ func main() {
 		Probes:            *probes,
 		Parallel:          *parallel,
 		Tracer:            tracer,
+		SpanTrace:         *spanTraceFile != "",
+		Diag:              *diagOut,
 		Metrics:           registry,
 		Faults: mbrim.FaultConfig{
 			Seed:          *faultSeed,
@@ -257,6 +280,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mbrim:", ferr)
 			}
 		}
+		if capture != nil {
+			// Best-effort: a truncated run's spans still load (open
+			// intervals are closed at the last observed timestamp).
+			if werr := writeSpanTrace(*spanTraceFile, capture.events); werr != nil {
+				fmt.Fprintln(os.Stderr, "mbrim:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "mbrim: span trace written to %s\n", *spanTraceFile)
+			}
+		}
 		os.Exit(3)
 	}
 	if err != nil {
@@ -268,11 +300,21 @@ func main() {
 		}
 		fmt.Fprintf(info, "trace:   %s\n", *traceFile)
 	}
+	if capture != nil {
+		if err := writeSpanTrace(*spanTraceFile, capture.events); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(info, "spans:   %s (Chrome trace; load in ui.perfetto.dev)\n", *spanTraceFile)
+	}
 
 	if *jsonOut {
 		var snap any
 		if *metricsOut && registry != nil {
 			snap = registry.Snapshot()
+		}
+		var diagSnap any
+		if reducer != nil {
+			diagSnap = reducer.Snapshot()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -282,7 +324,8 @@ func main() {
 			QUBOValue float64 `json:"quboValue,omitempty"`
 			HasGraph  bool    `json:"hasGraph"`
 			Metrics   any     `json:"metrics,omitempty"`
-		}{out, out.Wall.Nanoseconds(), out.Energy + quboOffset, g != nil, snap}); err != nil {
+			Diag      any     `json:"diag,omitempty"`
+		}{out, out.Wall.Nanoseconds(), out.Energy + quboOffset, g != nil, snap, diagSnap}); err != nil {
 			fatal(err)
 		}
 		return
@@ -320,12 +363,38 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if reducer != nil {
+		fmt.Println("diag:")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reducer.Snapshot()); err != nil {
+			fatal(err)
+		}
+	}
 	if *metricsOut && registry != nil {
 		fmt.Println("metrics:")
 		if err := registry.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// captureTracer keeps the whole event stream in memory so the Chrome
+// trace export can run after the solve completes.
+type captureTracer struct{ events []mbrim.Event }
+
+func (c *captureTracer) Emit(e mbrim.Event) { c.events = append(c.events, e) }
+
+func writeSpanTrace(path string, events []mbrim.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mbrim.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -7,6 +7,9 @@
 //	GET  /runs                  list runs
 //	GET  /runs/{id}             one run's live status
 //	GET  /runs/{id}/events      Server-Sent Events tail of the trace
+//	                            (ids + Last-Event-ID resume)
+//	GET  /runs/{id}/diag        convergence / partition-quality report
+//	GET  /runs/{id}/trace       Chrome trace download (ui.perfetto.dev)
 //	POST /runs/{id}/cancel      stop at the next engine barrier
 //	GET  /runs/{id}/checkpoint  download the resume envelope
 //	GET  /metrics               Prometheus text exposition
@@ -20,6 +23,8 @@
 //	  -d '{"engine":"mbrim","k":256,"chips":4,"durationNS":500}'
 //	curl -s localhost:8351/runs/run-1
 //	curl -s -N localhost:8351/runs/run-1/events
+//	curl -s localhost:8351/runs/run-1/diag
+//	curl -s localhost:8351/runs/run-1/trace > run-1.trace.json
 //	curl -s localhost:8351/metrics | grep core_solve_wall_ns_bucket
 //
 // SIGINT/SIGTERM drain gracefully: readiness flips to 503, in-flight

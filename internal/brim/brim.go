@@ -175,6 +175,11 @@ type Machine struct {
 	steps        int64
 	stepRetries  int64 // guardrail halved-step retries, cumulative
 	epochRetries int64 // retries since the last TakeEpochRetries drain
+	// retryLog, when enabled, records where on the model timeline the
+	// guardrail spent retries — the raw feed of "rk4_retry" trace spans.
+	// Appended only on the (rare) retry path, never per step.
+	retryLog     []RetryRecord
+	logRetries   bool
 	flipListener func(node int, newSpin int8, induced bool)
 
 	// Kick-hold state: nodes the annealing control is still driving.
@@ -574,6 +579,10 @@ func (ma *Machine) guardedStep(dt float64, trial func(float64) (int, float64)) e
 			if attempt > 0 {
 				ma.stepRetries += int64(attempt)
 				ma.epochRetries += int64(attempt)
+				if ma.logRetries {
+					ma.retryLog = append(ma.retryLog,
+						RetryRecord{TimeNS: ma.t, Retries: attempt, FinalDt: dt})
+				}
 			}
 			return nil
 		}
@@ -601,6 +610,28 @@ func (ma *Machine) TakeEpochRetries() int64 {
 	r := ma.epochRetries
 	ma.epochRetries = 0
 	return r
+}
+
+// RetryRecord is one guardedStep invocation that needed halved-dt
+// retries: the model-time position it committed at, how many halvings
+// it spent, and the step size that finally went through.
+type RetryRecord struct {
+	TimeNS  float64
+	Retries int
+	FinalDt float64
+}
+
+// SetRetryLog enables (or disables) recording of per-retry positions
+// for span tracing. Off by default: the log costs an append on the
+// retry path only, but span consumers must opt in explicitly.
+func (ma *Machine) SetRetryLog(on bool) { ma.logRetries = on }
+
+// TakeRetryLog drains the recorded retry positions. Reading it at a
+// run or epoch boundary keeps emission off the integration path.
+func (ma *Machine) TakeRetryLog() []RetryRecord {
+	log := ma.retryLog
+	ma.retryLog = nil
+	return log
 }
 
 // updateReadout applies the hysteresis comparator to every node and

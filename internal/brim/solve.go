@@ -41,6 +41,17 @@ type SolveConfig struct {
 	// Metrics, if non-nil, accumulates run totals (brim.steps,
 	// brim.flips, brim.induced_flips, brim.step_retries, brim.runs).
 	Metrics *obs.Registry
+	// Spans, if non-nil, records the run as a "brim_run" interval under
+	// SpanParent, with one "rk4_retry" child interval per guardrail
+	// retry burst. Emission happens at run boundaries only and never
+	// perturbs the trajectory.
+	Spans *obs.Spanner
+	// SpanParent is the enclosing interval (zero = root).
+	SpanParent obs.Span
+	// SpanOffsetNS shifts the run's intervals on the trace timeline —
+	// batch drivers lay runs end to end with it, since each machine's
+	// own model clock starts at zero.
+	SpanOffsetNS float64
 }
 
 // Solve runs one annealing job on a fresh machine and reports the
@@ -72,6 +83,11 @@ func SolveCtx(ctx context.Context, m *ising.Model, cfg SolveConfig) (*Result, er
 	ma.SetHorizon(cfg.Duration)
 	if cfg.Initial != nil {
 		ma.SetSpins(cfg.Initial)
+	}
+	var runSpan obs.Span
+	if cfg.Spans != nil {
+		runSpan = cfg.Spans.Start("brim_run", cfg.SpanParent, -1, cfg.SpanOffsetNS)
+		ma.SetRetryLog(true)
 	}
 	res := &Result{}
 	var runErr error
@@ -105,6 +121,13 @@ func SolveCtx(ctx context.Context, m *ising.Model, cfg SolveConfig) (*Result, er
 	res.Induced = ma.InducedFlips()
 	res.Steps = ma.Steps()
 	res.StepRetries = ma.StepRetries()
+	if cfg.Spans != nil {
+		for _, rr := range ma.TakeRetryLog() {
+			cfg.Spans.Complete("rk4_retry", runSpan, -1,
+				cfg.SpanOffsetNS+rr.TimeNS, 0, 0, &obs.Event{Count: int64(rr.Retries), Aux: rr.FinalDt})
+		}
+		runSpan.End(cfg.SpanOffsetNS+ma.Time(), &obs.Event{Count: res.Flips})
+	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("brim.runs").Inc()
 		cfg.Metrics.Counter("brim.steps").Add(res.Steps)
@@ -135,10 +158,13 @@ func SolveBatchCtx(ctx context.Context, m *ising.Model, cfg SolveConfig, runs in
 	if runs < 1 {
 		panic(fmt.Sprintf("brim: runs=%d", runs))
 	}
+	offset := cfg.SpanOffsetNS
 	for i := 0; i < runs; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
+		c.SpanOffsetNS = offset
 		res, rerr := SolveCtx(ctx, m, c)
+		offset += res.ModelNS
 		all = append(all, res)
 		if best == nil || res.Energy < best.Energy {
 			best = res

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -167,9 +169,26 @@ type Request struct {
 	// events (EpochSync, ChipStep, EnergySample, ...). Nil disables
 	// tracing at the cost of one branch per emission site.
 	Tracer obs.Tracer
+	// SpanTrace additionally threads hierarchical span events (solve →
+	// epoch → chip step → sync/recovery) through the Tracer, and labels
+	// the solve's goroutines for runtime/pprof profiles. It is opt-in —
+	// plain Tracer consumers keep the flat PR-1 stream — and requires a
+	// non-nil Tracer. Span emission never perturbs the trajectory: a
+	// seeded solve is bit-identical with it on or off.
+	SpanTrace bool
+	// Diag additionally emits partition-quality diagnostics (per
+	// chip-pair shadow-disagreement PairStat events) for the multichip
+	// engines — the raw feed of internal/diag. Opt-in for the same
+	// reason as SpanTrace; read-only, trajectory-neutral.
+	Diag bool
 	// Metrics, if non-nil, accumulates counters across runs (core.solves
 	// plus per-engine totals such as multichip.flips).
 	Metrics *obs.Registry
+
+	// spans and rootSpan are the live span context (withDefaults +
+	// SolveCtx fill them when SpanTrace is set).
+	spans    *obs.Spanner
+	rootSpan obs.Span
 }
 
 func (r *Request) withDefaults() (Request, error) {
@@ -327,6 +346,30 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 		r.Tracer.Emit(obs.Event{Kind: obs.RunStart, Label: string(r.Kind),
 			Seed: r.Seed, Count: int64(r.Model.N()), Value: r.DurationNS})
 	}
+	if r.SpanTrace && r.Tracer != nil {
+		r.spans = obs.NewSpanner(r.Tracer)
+		r.rootSpan = r.spans.Start("solve", obs.Span{}, -1, 0)
+		// The root span closes on every exit path — success, interrupt,
+		// divergence, even a recovered panic — so exports always have a
+		// complete tree. It lands after RunEnd in the stream; consumers
+		// match spans by ID, not position.
+		defer func() {
+			var model float64
+			if out != nil {
+				model = out.ModelNS
+			}
+			r.rootSpan.End(model, nil)
+		}()
+		// Label this goroutine (and, transitively, the chip workers the
+		// engines fork from this ctx) so CPU profiles attribute samples
+		// to the solve.
+		prev := ctx
+		ctx = pprof.WithLabels(ctx, pprof.Labels(
+			"mbrim_engine", string(r.Kind),
+			"mbrim_seed", strconv.FormatUint(r.Seed, 10)))
+		pprof.SetGoroutineLabels(ctx)
+		defer pprof.SetGoroutineLabels(prev)
+	}
 	start := time.Now()
 	// interrupted finalizes the partial outcome and wraps it with the
 	// optional checkpoint bytes.
@@ -407,6 +450,8 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 			Config:         brim.Config{Seed: r.Seed, Backend: r.backend},
 			Tracer:         r.Tracer,
 			Metrics:        r.Metrics,
+			Spans:          r.spans,
+			SpanParent:     r.rootSpan,
 		}, r.Runs)
 		out.Spins, out.Energy = best.Spins, best.Energy
 		out.Trace = best.Trace
@@ -575,6 +620,9 @@ func multichipConfig(r Request) multichip.Config {
 		Tracer:            r.Tracer,
 		Metrics:           r.Metrics,
 		Faults:            r.Faults,
+		Spans:             r.spans,
+		SpanRoot:          r.rootSpan,
+		PairStats:         r.Diag,
 	}
 }
 

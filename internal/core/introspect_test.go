@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"mbrim/internal/diag"
+	"mbrim/internal/obs"
+)
+
+// collector accumulates every emitted event in order.
+type collector struct{ events []obs.Event }
+
+func (c *collector) Emit(e obs.Event) { c.events = append(c.events, e) }
+
+// TestIntrospectionIsTrajectoryNeutral is the introspection
+// equivalence guarantee: a seeded solve produces bit-identical spins,
+// energy and ledger whether span tracing and diagnostics are off (the
+// benchmark path) or fully on (tracer fan-out with a diag reducer, as
+// the run manager attaches). Observability must observe, not perturb.
+func TestIntrospectionIsTrajectoryNeutral(t *testing.T) {
+	for _, kind := range []Kind{BRIM, MBRIMConcurrent, MBRIMSequential, MBRIMBatch} {
+		_, base := testProblem(36, 9)
+		req := *base
+		req.Kind = kind
+		req.DurationNS = 120
+		req.Chips = 3
+		req.EpochNS = 10
+		req.Runs = 2
+		req.SampleEveryNS = 10
+
+		bare := req
+		plain, err := Solve(bare)
+		if err != nil {
+			t.Fatalf("%s bare: %v", kind, err)
+		}
+
+		instr := req
+		col := &collector{}
+		instr.Tracer = obs.Fanout(col, diag.New(diag.Config{}))
+		instr.SpanTrace = true
+		instr.Diag = true
+		traced, err := Solve(instr)
+		if err != nil {
+			t.Fatalf("%s traced: %v", kind, err)
+		}
+
+		if plain.Energy != traced.Energy || plain.Cut != traced.Cut ||
+			plain.ModelNS != traced.ModelNS {
+			t.Fatalf("%s: outcome diverged with introspection on: E %v vs %v, cut %v vs %v, model %v vs %v",
+				kind, plain.Energy, traced.Energy, plain.Cut, traced.Cut, plain.ModelNS, traced.ModelNS)
+		}
+		for i := range plain.Spins {
+			if plain.Spins[i] != traced.Spins[i] {
+				t.Fatalf("%s: spin %d diverged with introspection on", kind, i)
+			}
+		}
+		for k, v := range plain.Stats {
+			if traced.Stats[k] != v {
+				t.Fatalf("%s: stat %q diverged: %v vs %v", kind, k, v, traced.Stats[k])
+			}
+		}
+		spans := 0
+		for _, e := range col.events {
+			if e.Kind == obs.SpanStart || e.Kind == obs.SpanEnd {
+				spans++
+			}
+		}
+		if spans == 0 {
+			t.Fatalf("%s: SpanTrace on but no span events captured", kind)
+		}
+	}
+}
+
+// TestSpanStreamDeterministic pins the span stream itself: two solves
+// with the same seed emit identical event sequences (IDs, parents,
+// labels, model timestamps) once the wall-clock fields — the only
+// nondeterminism-exempt fields of the obs contract — are cleared.
+func TestSpanStreamDeterministic(t *testing.T) {
+	run := func() []obs.Event {
+		_, base := testProblem(30, 4)
+		req := *base
+		req.Kind = MBRIMConcurrent
+		req.DurationNS = 90
+		req.Chips = 3
+		req.EpochNS = 10
+		req.SampleEveryNS = 15
+		req.SpanTrace = true
+		req.Diag = true
+		col := &collector{}
+		req.Tracer = col
+		if _, err := Solve(req); err != nil {
+			t.Fatal(err)
+		}
+		for i := range col.events {
+			col.events[i].WallNS = 0
+			col.events[i].WallDurNS = 0
+		}
+		return col.events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("event counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}

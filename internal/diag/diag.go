@@ -1,0 +1,526 @@
+// Package diag reduces a solve's live event stream into convergence
+// and partition-quality diagnostics: energy-trajectory analytics
+// (improvement rate, plateau detection, best-so-far staleness),
+// per-chip and chip-pair shadow-spin disagreement derived from the
+// PairStat events the multichip runtime emits, per-epoch traffic and
+// stall attribution, and a live time-to-solution estimate with Wilson
+// confidence bounds built on internal/metrics.
+//
+// A Reducer is an obs.Tracer: compose it into a run's fan-out (the run
+// manager does this when diagnostics are requested) and call Snapshot
+// at any time for the current view. Reduction is pure folding over the
+// stream — the Reducer never touches solver state, so attaching it
+// cannot perturb a seeded trajectory.
+//
+// The chip-pair disagreement measure follows the partitioned-solver
+// analyses of Burns & Huang (multi-FPGA Ising partitioning) and the
+// source paper's Sec 5.4 ignorance discussion: for ordered pair
+// (observer a, owner b), the fraction of b's owned spins that a's
+// shadow registers hold wrong. Sampled before boundary sync it is the
+// ignorance a annealed against during the epoch; its complement is the
+// pair's coherence rate.
+package diag
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"mbrim/internal/metrics"
+	"mbrim/internal/obs"
+)
+
+// Config parameterizes a Reducer. The zero value is usable.
+type Config struct {
+	// PlateauWindowNS is the model-time window over which the energy
+	// trajectory must improve by at least PlateauEpsilon (relative) to
+	// not be considered plateaued. Default 1000 model ns.
+	PlateauWindowNS float64
+	// PlateauEpsilon is the relative improvement threshold. Default 1e-3.
+	PlateauEpsilon float64
+
+	// TargetEnergy is the success threshold for the live TTS estimate.
+	// When HasTarget is false the running best-so-far energy is the
+	// target — the estimate then reads "time to re-reach the best known
+	// solution", the self-referential TTS a live run can always compute.
+	TargetEnergy float64
+	HasTarget    bool
+	// Tol is the absolute tolerance added to the target. When zero and
+	// no explicit target is set, 1% of |best| is used.
+	Tol float64
+	// Confidence is the TTS confidence level q. Default 0.99.
+	Confidence float64
+	// TrialSamples is how many consecutive trajectory samples form one
+	// TTS trial window. Default 8.
+	TrialSamples int
+
+	// Registry, when set, receives labeled gauge series mirroring the
+	// snapshot: diag.pair_disagreement{run,from,to}, diag.plateau{run},
+	// diag.best_staleness_ns{run}, diag.sync_cost_bytes{run} and
+	// diag.stall_ns{run}. RunID is the "run" label value.
+	Registry *obs.Registry
+	RunID    string
+}
+
+func (c *Config) defaults() {
+	if c.PlateauWindowNS <= 0 {
+		c.PlateauWindowNS = 1000
+	}
+	if c.PlateauEpsilon <= 0 {
+		c.PlateauEpsilon = 1e-3
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.99
+	}
+	if c.TrialSamples <= 0 {
+		c.TrialSamples = 8
+	}
+}
+
+// sample is one (model time, energy) trajectory point.
+type sample struct {
+	t, e float64
+}
+
+// pairKey identifies a directed (observer, owner) chip pair.
+type pairKey struct{ observer, owner int }
+
+// pairAcc accumulates one pair's disagreement series.
+type pairAcc struct {
+	latest    float64
+	latestN   int64
+	sum, max  float64
+	samples   int
+	lastEpoch int
+}
+
+// Reducer folds an event stream into a diagnostics view. Safe for
+// concurrent Emit and Snapshot.
+type Reducer struct {
+	mu  sync.Mutex
+	cfg Config
+
+	engine  string
+	seed    uint64
+	epoch   int
+	chips   int
+	modelNS float64
+
+	samples   []sample
+	hasEnergy bool
+	best      float64
+	bestAtNS  float64
+	last      float64
+
+	pairs map[pairKey]*pairAcc
+
+	trafficBytes    float64
+	stallNS         float64
+	recoveryStallNS float64
+	syncBitChanges  int64
+	fabricEpochs    int
+}
+
+// New returns a Reducer with the given configuration.
+func New(cfg Config) *Reducer {
+	cfg.defaults()
+	if reg := cfg.Registry; reg != nil {
+		reg.SetHelp("diag.pair_disagreement", "Latest shadow-spin disagreement fraction per directed chip pair (observer from, owner to).")
+		reg.SetHelp("diag.plateau", "1 when the energy trajectory is plateaued over the configured window, else 0.")
+		reg.SetHelp("diag.best_staleness_ns", "Model time since the best-so-far energy last improved.")
+		reg.SetHelp("diag.sync_cost_bytes", "Cumulative fabric bytes attributed to the run's boundary synchronization.")
+		reg.SetHelp("diag.stall_ns", "Cumulative fabric and recovery stall charged to the run.")
+	}
+	return &Reducer{cfg: cfg, pairs: map[pairKey]*pairAcc{}}
+}
+
+// Emit folds one event. Implements obs.Tracer.
+func (r *Reducer) Emit(e obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.Epoch > r.epoch {
+		r.epoch = e.Epoch
+	}
+	if e.Chip+1 > r.chips {
+		r.chips = e.Chip + 1
+	}
+	if e.ModelNS > r.modelNS {
+		r.modelNS = e.ModelNS
+	}
+	switch e.Kind {
+	case obs.RunStart:
+		r.engine = e.Label
+		r.seed = e.Seed
+	case obs.EnergySample, obs.RunEnd:
+		r.observeEnergy(e.ModelNS, e.Value)
+	case obs.PairStat:
+		r.observePair(e)
+	case obs.EpochSync:
+		r.syncBitChanges += e.Count
+	case obs.FabricTransfer:
+		r.trafficBytes += e.Value
+		r.stallNS += e.StallNS
+		r.fabricEpochs++
+		if reg := r.cfg.Registry; reg != nil {
+			reg.GaugeWith("diag.sync_cost_bytes", obs.Labels{"run": r.cfg.RunID}).Set(r.trafficBytes)
+			reg.GaugeWith("diag.stall_ns", obs.Labels{"run": r.cfg.RunID}).Set(r.stallNS + r.recoveryStallNS)
+		}
+	case obs.Recovery:
+		r.recoveryStallNS += e.StallNS
+	}
+}
+
+func (r *Reducer) observeEnergy(t, e float64) {
+	r.samples = append(r.samples, sample{t, e})
+	r.last = e
+	if !r.hasEnergy || e < r.best {
+		r.best = e
+		r.bestAtNS = t
+		r.hasEnergy = true
+	}
+	if reg := r.cfg.Registry; reg != nil {
+		labels := obs.Labels{"run": r.cfg.RunID}
+		reg.GaugeWith("diag.best_staleness_ns", labels).Set(t - r.bestAtNS)
+		plateau := 0.0
+		if r.plateauedLocked() {
+			plateau = 1
+		}
+		reg.GaugeWith("diag.plateau", labels).Set(plateau)
+	}
+}
+
+func (r *Reducer) observePair(e obs.Event) {
+	if e.Peer <= 0 {
+		return
+	}
+	k := pairKey{observer: e.Chip, owner: e.Peer - 1}
+	acc := r.pairs[k]
+	if acc == nil {
+		acc = &pairAcc{}
+		r.pairs[k] = acc
+	}
+	acc.latest = e.Value
+	acc.latestN = e.Count
+	acc.sum += e.Value
+	if e.Value > acc.max {
+		acc.max = e.Value
+	}
+	acc.samples++
+	acc.lastEpoch = e.Epoch
+	if reg := r.cfg.Registry; reg != nil {
+		reg.GaugeWith("diag.pair_disagreement", obs.Labels{
+			"run":  r.cfg.RunID,
+			"from": strconv.Itoa(k.observer),
+			"to":   strconv.Itoa(k.owner),
+		}).Set(e.Value)
+	}
+}
+
+// plateauedLocked reports whether the trajectory failed to improve by
+// the configured relative epsilon over the configured window. Requires
+// the window to be covered by samples; a short run is never plateaued.
+func (r *Reducer) plateauedLocked() bool {
+	n := len(r.samples)
+	if n < 2 {
+		return false
+	}
+	lastT := r.samples[n-1].t
+	winStart := lastT - r.cfg.PlateauWindowNS
+	// Best energy at or before the window start; if no sample precedes
+	// the window the trajectory hasn't covered it yet.
+	baseline := math.Inf(1)
+	covered := false
+	for _, s := range r.samples {
+		if s.t <= winStart {
+			covered = true
+			if s.e < baseline {
+				baseline = s.e
+			}
+		}
+	}
+	if !covered {
+		return false
+	}
+	// Improvement inside the window, relative to the baseline scale.
+	improvement := baseline - r.best
+	scale := math.Max(math.Abs(baseline), 1e-12)
+	return improvement/scale < r.cfg.PlateauEpsilon
+}
+
+// improvementRateLocked is the mean energy decrease per model ns over
+// the plateau window (positive while improving), 0 when undefined.
+func (r *Reducer) improvementRateLocked() float64 {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	last := r.samples[n-1]
+	winStart := last.t - r.cfg.PlateauWindowNS
+	ref := r.samples[0]
+	for _, s := range r.samples {
+		if s.t <= winStart {
+			ref = s
+		} else {
+			break
+		}
+	}
+	if last.t <= ref.t {
+		return 0
+	}
+	return (ref.e - last.e) / (last.t - ref.t)
+}
+
+// Snapshot returns the current diagnostics view.
+func (r *Reducer) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Engine:  r.engine,
+		Seed:    r.seed,
+		Epoch:   r.epoch,
+		Chips:   r.chips,
+		ModelNS: r.modelNS,
+		Samples: len(r.samples),
+	}
+	if r.hasEnergy {
+		s.HasEnergy = true
+		s.BestEnergy = r.best
+		s.LastEnergy = r.last
+		s.BestStalenessNS = r.samples[len(r.samples)-1].t - r.bestAtNS
+		s.ImprovementRate = r.improvementRateLocked()
+		s.Plateaued = r.plateauedLocked()
+	}
+	s.Pairs = r.pairSnapshotsLocked()
+	s.ChipCoherence = chipViews(s.Pairs, r.chips)
+	s.Traffic = TrafficDiag{
+		TotalBytes:      r.trafficBytes,
+		StallNS:         r.stallNS,
+		RecoveryStallNS: r.recoveryStallNS,
+		SyncBitChanges:  r.syncBitChanges,
+		Epochs:          r.fabricEpochs,
+	}
+	if r.fabricEpochs > 0 {
+		s.Traffic.BytesPerEpoch = r.trafficBytes / float64(r.fabricEpochs)
+	}
+	if total := r.modelNS + r.stallNS; total > 0 {
+		s.Traffic.StallFraction = r.stallNS / total
+	}
+	s.TTS = r.ttsLocked()
+	return s
+}
+
+func (r *Reducer) pairSnapshotsLocked() []PairDiag {
+	if len(r.pairs) == 0 {
+		return nil
+	}
+	out := make([]PairDiag, 0, len(r.pairs))
+	for k, acc := range r.pairs {
+		out = append(out, PairDiag{
+			Observer:         k.observer,
+			Owner:            k.owner,
+			Disagreement:     acc.latest,
+			StaleSpins:       acc.latestN,
+			MeanDisagreement: acc.sum / float64(acc.samples),
+			MaxDisagreement:  acc.max,
+			Samples:          acc.samples,
+			LastEpoch:        acc.lastEpoch,
+		})
+	}
+	// Deterministic order: by observer, then owner.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Observer < b.Observer || (a.Observer == b.Observer && a.Owner < b.Owner) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// chipViews aggregates directed pair stats into per-chip coherence:
+// Ignorance is the mean latest disagreement where the chip observes
+// others, Visibility the mean where others observe it, Coherence the
+// complement of Ignorance.
+func chipViews(pairs []PairDiag, chips int) []ChipDiag {
+	if len(pairs) == 0 {
+		return nil
+	}
+	type agg struct {
+		asObs, asOwn float64
+		nObs, nOwn   int
+	}
+	accs := make([]agg, chips)
+	for _, p := range pairs {
+		if p.Observer < chips {
+			accs[p.Observer].asObs += p.Disagreement
+			accs[p.Observer].nObs++
+		}
+		if p.Owner < chips {
+			accs[p.Owner].asOwn += p.Disagreement
+			accs[p.Owner].nOwn++
+		}
+	}
+	out := make([]ChipDiag, 0, chips)
+	for ci, a := range accs {
+		if a.nObs == 0 && a.nOwn == 0 {
+			continue
+		}
+		d := ChipDiag{Chip: ci, Coherence: 1}
+		if a.nObs > 0 {
+			d.Ignorance = a.asObs / float64(a.nObs)
+			d.Coherence = 1 - d.Ignorance
+		}
+		if a.nOwn > 0 {
+			d.Visibility = a.asOwn / float64(a.nOwn)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ttsLocked computes the live TTS estimate: consecutive trajectory
+// samples are chunked into trials of cfg.TrialSamples each, a trial
+// succeeds when its best sample reaches target+tol, and the success
+// probability carries a Wilson interval that inverts into TTS bounds.
+// Nil until at least one full trial window exists.
+func (r *Reducer) ttsLocked() *TTSEstimate {
+	w := r.cfg.TrialSamples
+	if len(r.samples) < w || w < 1 {
+		return nil
+	}
+	target, tol := r.cfg.TargetEnergy, r.cfg.Tol
+	if !r.cfg.HasTarget {
+		target = r.best
+		if tol <= 0 {
+			tol = 0.01 * math.Abs(r.best)
+		}
+	}
+	trials := len(r.samples) / w
+	mins := make([]float64, 0, trials)
+	var spanSum float64
+	for i := 0; i < trials; i++ {
+		win := r.samples[i*w : (i+1)*w]
+		best := win[0].e
+		for _, s := range win[1:] {
+			if s.e < best {
+				best = s.e
+			}
+		}
+		mins = append(mins, best)
+		spanSum += win[len(win)-1].t - win[0].t
+	}
+	trialNS := spanSum / float64(trials)
+	if trialNS <= 0 {
+		return nil
+	}
+	p, lo, hi := metrics.SuccessProbabilityCI(mins, target, tol, 0)
+	est := &TTSEstimate{
+		TargetEnergy: target,
+		Tol:          tol,
+		Confidence:   r.cfg.Confidence,
+		TrialNS:      trialNS,
+		Trials:       trials,
+		SuccessP:     p,
+		PLow:         lo,
+		PHigh:        hi,
+	}
+	q := r.cfg.Confidence
+	// Higher success probability means lower TTS, so the interval flips.
+	est.TTSNS = sanitizeTTS(metrics.TTS(trialNS, p, q))
+	est.TTSLowNS = sanitizeTTS(metrics.TTS(trialNS, hi, q))
+	est.TTSHighNS = sanitizeTTS(metrics.TTS(trialNS, lo, q))
+	return est
+}
+
+// sanitizeTTS maps +Inf (zero successes) to the JSON-safe sentinel -1.
+func sanitizeTTS(v float64) float64 {
+	if math.IsInf(v, 1) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+// Snapshot is the JSON view GET /runs/{id}/diag serves.
+type Snapshot struct {
+	Engine  string  `json:"engine,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+	Epoch   int     `json:"epoch"`
+	Chips   int     `json:"chips"`
+	ModelNS float64 `json:"modelNS"`
+	Samples int     `json:"samples"`
+
+	HasEnergy  bool    `json:"hasEnergy"`
+	BestEnergy float64 `json:"bestEnergy,omitempty"`
+	LastEnergy float64 `json:"lastEnergy,omitempty"`
+	// ImprovementRate is the mean energy decrease per model ns over the
+	// plateau window; positive while the solve is still improving.
+	ImprovementRate float64 `json:"improvementRate,omitempty"`
+	// Plateaued reports that the trajectory improved less than the
+	// configured relative epsilon over the configured window.
+	Plateaued bool `json:"plateaued"`
+	// BestStalenessNS is the model time since best-so-far last improved.
+	BestStalenessNS float64 `json:"bestStalenessNS,omitempty"`
+
+	Pairs         []PairDiag  `json:"pairs,omitempty"`
+	ChipCoherence []ChipDiag  `json:"chipCoherence,omitempty"`
+	Traffic       TrafficDiag `json:"traffic"`
+	// TTS is nil until enough trajectory samples accumulated for one
+	// trial window.
+	TTS *TTSEstimate `json:"tts,omitempty"`
+}
+
+// PairDiag is one directed chip pair's disagreement summary.
+type PairDiag struct {
+	Observer int `json:"observer"`
+	Owner    int `json:"owner"`
+	// Disagreement is the latest stale fraction of the owner's slice in
+	// the observer's shadow registers; StaleSpins the absolute count.
+	Disagreement     float64 `json:"disagreement"`
+	StaleSpins       int64   `json:"staleSpins"`
+	MeanDisagreement float64 `json:"meanDisagreement"`
+	MaxDisagreement  float64 `json:"maxDisagreement"`
+	Samples          int     `json:"samples"`
+	LastEpoch        int     `json:"lastEpoch"`
+}
+
+// ChipDiag aggregates a chip's pair stats: Ignorance is the mean
+// disagreement of its shadows about others, Visibility the mean
+// disagreement others hold about it, Coherence = 1 − Ignorance.
+type ChipDiag struct {
+	Chip       int     `json:"chip"`
+	Ignorance  float64 `json:"ignorance"`
+	Visibility float64 `json:"visibility"`
+	Coherence  float64 `json:"coherence"`
+}
+
+// TrafficDiag attributes fabric traffic and stall over the run.
+type TrafficDiag struct {
+	TotalBytes      float64 `json:"totalBytes"`
+	BytesPerEpoch   float64 `json:"bytesPerEpoch,omitempty"`
+	StallNS         float64 `json:"stallNS"`
+	RecoveryStallNS float64 `json:"recoveryStallNS,omitempty"`
+	// StallFraction is fabric stall over total elapsed (model + stall).
+	StallFraction  float64 `json:"stallFraction,omitempty"`
+	SyncBitChanges int64   `json:"syncBitChanges"`
+	Epochs         int     `json:"epochs"`
+}
+
+// TTSEstimate is the live time-to-solution estimate: trials of TrialNS
+// model ns succeed with probability SuccessP (Wilson bounds [PLow,
+// PHigh]), inverting into TTS bounds at the configured confidence.
+// A TTS of -1 encodes +Inf (no trial succeeded yet).
+type TTSEstimate struct {
+	TargetEnergy float64 `json:"targetEnergy"`
+	Tol          float64 `json:"tol"`
+	Confidence   float64 `json:"confidence"`
+	TrialNS      float64 `json:"trialNS"`
+	Trials       int     `json:"trials"`
+	SuccessP     float64 `json:"successP"`
+	PLow         float64 `json:"pLow"`
+	PHigh        float64 `json:"pHigh"`
+	TTSNS        float64 `json:"ttsNS"`
+	TTSLowNS     float64 `json:"ttsLowNS"`
+	TTSHighNS    float64 `json:"ttsHighNS"`
+}

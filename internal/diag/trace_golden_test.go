@@ -1,0 +1,77 @@
+package diag_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mbrim/internal/core"
+	"mbrim/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden Chrome trace")
+
+// TestChromeTraceGolden pins the whole introspection pipeline end to
+// end: a seeded 2-chip run's captured event stream, rendered through
+// WriteChromeTrace, must reproduce the checked-in golden byte for
+// byte. The export timeline is model time and span IDs are allocated
+// at barriers in chip order, so after clearing the two wall-clock
+// fields (the obs contract's only nondeterminism) the document is
+// fully deterministic — any drift here means the span layout, ID
+// allocation order, or exporter changed and the golden must be
+// regenerated deliberately with -update.
+func TestChromeTraceGolden(t *testing.T) {
+	m := kgraph(24, 5)
+	col := &collectTracer{}
+	out, err := core.Solve(core.Request{
+		Kind:          core.MBRIMConcurrent,
+		Model:         m,
+		Seed:          5,
+		Chips:         2,
+		DurationNS:    80,
+		EpochNS:       10,
+		SampleEveryNS: 20,
+		Tracer:        col,
+		SpanTrace:     true,
+		Diag:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Energy >= 0 {
+		t.Fatalf("no optimization progress (E=%v)", out.Energy)
+	}
+	events := col.events
+	for i := range events {
+		events[i].WallNS = 0
+		events[i].WallDurNS = 0
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_k24_c2.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/diag -run ChromeTraceGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace drifted from golden (%d vs %d bytes); if the span layout change is intended, regenerate with -update",
+			buf.Len(), len(want))
+	}
+}
+
+// collectTracer accumulates the event stream in order.
+type collectTracer struct{ events []obs.Event }
+
+func (c *collectTracer) Emit(e obs.Event) { c.events = append(c.events, e) }

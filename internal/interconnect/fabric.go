@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"mbrim/internal/obs"
 )
 
 // Fabric tracks traffic and stalls for a k-chip system.
@@ -118,6 +120,20 @@ func (f *Fabric) EndEpoch(epochNS float64) float64 {
 	f.epochByKind, f.lastEpochByKind = f.lastEpochByKind, f.epochByKind
 	clear(f.epochByKind)
 	f.stallNS += stall
+	return stall
+}
+
+// EndEpochSpanned is EndEpoch with the settlement recorded for span
+// tracing: when the epoch stalls (demand exceeded supply), the stall
+// becomes a "fabric_settle" interval of its own length, anchored at
+// atNS on the trace timeline and nested under parent. A nil spanner —
+// or a congestion-free epoch — reduces to EndEpoch exactly.
+func (f *Fabric) EndEpochSpanned(epochNS float64, sp *obs.Spanner, parent obs.Span, atNS float64) float64 {
+	stall := f.EndEpoch(epochNS)
+	if sp != nil && stall > 0 {
+		sp.Complete("fabric_settle", parent, -1, atNS, stall, 0,
+			&obs.Event{StallNS: stall})
+	}
 	return stall
 }
 

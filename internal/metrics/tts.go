@@ -49,6 +49,37 @@ func SuccessProbability(energies []float64, target, tol float64) float64 {
 	return float64(hits) / float64(len(energies))
 }
 
+// SuccessProbabilityCI is SuccessProbability with a Wilson score
+// interval: it returns the point estimate p̂ together with the
+// [lo, hi] confidence bounds at z standard normal deviates (z ≤ 0
+// selects the conventional 95% band, z = 1.95996…). The Wilson
+// interval stays inside [0, 1] and remains informative at the small
+// run counts a live TTS estimate works with — unlike the normal
+// approximation, it does not collapse to a zero-width band when every
+// run hit (or missed) the target.
+func SuccessProbabilityCI(energies []float64, target, tol, z float64) (p, lo, hi float64) {
+	p = SuccessProbability(energies, target, tol)
+	n := float64(len(energies))
+	if n == 0 {
+		return 0, 0, 1
+	}
+	if z <= 0 {
+		z = 1.959963984540054
+	}
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return p, lo, hi
+}
+
 // TTSFromRuns combines the two: the q-confidence TTS of a solver whose
 // runs of duration t produced the given energies, targeting energy ≤
 // target + tol. Zero successes yield +Inf, as they must.

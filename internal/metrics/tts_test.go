@@ -90,3 +90,43 @@ func TestTTSFromRuns(t *testing.T) {
 		t.Fatal("unreachable target should give +Inf")
 	}
 }
+
+func TestSuccessProbabilityCI(t *testing.T) {
+	energies := []float64{-10, -9, -8, -5}
+	p, lo, hi := SuccessProbabilityCI(energies, -9, 0, 0)
+	if p != 0.5 {
+		t.Fatalf("p = %v, want 0.5", p)
+	}
+	// Wilson 95% band for 2/4: roughly [0.15, 0.85].
+	if !(lo > 0.1 && lo < 0.2 && hi > 0.8 && hi < 0.9) {
+		t.Fatalf("95%% band [%v, %v] outside expected range", lo, hi)
+	}
+	if !(lo < p && p < hi) {
+		t.Fatalf("point estimate %v outside band [%v, %v]", p, lo, hi)
+	}
+
+	// All hits: the band must stay below 1 with width > 0 (the whole
+	// point of Wilson over the normal approximation).
+	p, lo, hi = SuccessProbabilityCI([]float64{-10, -10, -10}, -10, 0, 0)
+	if p != 1 || hi != 1 || lo >= 1 || lo < 0.3 {
+		t.Fatalf("all-hit band = %v [%v, %v]", p, lo, hi)
+	}
+	// No hits: symmetric.
+	p, lo, hi = SuccessProbabilityCI([]float64{-1, -1, -1}, -10, 0, 0)
+	if p != 0 || lo != 0 || hi <= 0 || hi > 0.7 {
+		t.Fatalf("no-hit band = %v [%v, %v]", p, lo, hi)
+	}
+
+	// A wider z widens the band.
+	_, lo95, hi95 := SuccessProbabilityCI(energies, -9, 0, 1.96)
+	_, lo99, hi99 := SuccessProbabilityCI(energies, -9, 0, 2.576)
+	if !(lo99 < lo95 && hi99 > hi95) {
+		t.Fatalf("z=2.576 band [%v,%v] not wider than z=1.96 [%v,%v]", lo99, hi99, lo95, hi95)
+	}
+
+	// Empty sample: maximally uninformative.
+	p, lo, hi = SuccessProbabilityCI(nil, 0, 0, 0)
+	if p != 0 || lo != 0 || hi != 1 {
+		t.Fatalf("empty sample = %v [%v, %v], want 0 [0, 1]", p, lo, hi)
+	}
+}

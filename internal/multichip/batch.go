@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"mbrim/internal/fault"
 	"mbrim/internal/interconnect"
@@ -175,6 +176,10 @@ func (s *System) RunBatchCtx(ctx context.Context, jobs int, durationNS float64, 
 			return res, ck, ctx.Err()
 		default:
 		}
+		if sp := cfg.Spans; sp != nil {
+			s.spEpoch = sp.Start("epoch", cfg.SpanRoot, -1, elapsed)
+			s.spPosNS = elapsed
+		}
 		if s.frt != nil {
 			s.beginFaultEpoch(e+1, float64(totalEpochs-e)*cfg.EpochNS, tr)
 			if len(perChip) != len(s.chips) {
@@ -194,6 +199,9 @@ func (s *System) RunBatchCtx(ctx context.Context, jobs int, durationNS float64, 
 		var st EpochStat
 		st.Epoch = e + 1
 		work := func(ci int, c *chip) error {
+			if cfg.Spans != nil {
+				defer func(w0 time.Time) { c.epochWallNS = time.Since(w0).Nanoseconds() }(time.Now())
+			}
 			perChip[ci] = chipEpoch{}
 			if s.frt != nil && (s.frt.dead[ci] || s.frt.holds[ci]) {
 				// Dead or transiently stalled: this chip's job receives
@@ -284,6 +292,10 @@ func (s *System) RunBatchCtx(ctx context.Context, jobs int, durationNS float64, 
 				Epoch: e + 1, Chip: badChip, ModelNS: float64(e) * cfg.EpochNS})
 			return nil, nil, fmt.Errorf("multichip: chip %d: %w", badChip, chipErr)
 		}
+		// Chip intervals land before the merge accounting so the barrier
+		// position can advance to the sync point for recovery spans.
+		s.emitChipSpans(elapsed, cfg.EpochNS)
+		s.spPosNS = elapsed + cfg.EpochNS
 		for ci, c := range s.chips {
 			pe := perChip[ci]
 			st.Flips += pe.flips
@@ -308,13 +320,19 @@ func (s *System) RunBatchCtx(ctx context.Context, jobs int, durationNS float64, 
 				}
 			}
 		}
-		stall := s.fabric.EndEpoch(cfg.EpochNS)
+		if sp := cfg.Spans; sp != nil {
+			sp.Complete("sync", s.spEpoch, -1, elapsed+cfg.EpochNS, 0, 0,
+				&obs.Event{Count: st.BitChanges})
+		}
+		stall := s.fabric.EndEpochSpanned(cfg.EpochNS, cfg.Spans, s.spEpoch, elapsed+cfg.EpochNS)
 		if s.frt != nil {
 			stall += s.frt.takeEpochStall(s.fabric)
 		}
 		st.StallNS = stall
 		elapsed += cfg.EpochNS + stall
 		res.Epochs++
+		s.spEpoch.End(elapsed, &obs.Event{StallNS: stall})
+		s.spEpoch = obs.Span{}
 		res.Flips += st.Flips
 		res.InducedFlips += st.InducedFlips
 		res.BitChanges += st.BitChanges

@@ -54,6 +54,10 @@ type chip struct {
 	epochFlips        int64
 	epochInducedFlips int64
 	epochKicks        int64
+	// epochWallNS is the measured host wall time of this chip's last
+	// epoch integration — recorded inside the worker when span tracing
+	// is on, read at the barrier. Purely observational.
+	epochWallNS int64
 }
 
 // newChip builds chip id owning the given global indices of the

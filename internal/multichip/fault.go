@@ -206,6 +206,7 @@ func (s *System) repartition(victim, epochNo int, remainingNS float64, tr obs.Tr
 	frt.stats.RecoveryStallNS += stallNS
 	emitIf(tr, obs.Event{Kind: obs.Recovery, Label: "repartition", Epoch: epochNo,
 		Chip: victim, Count: int64(len(moved)), Value: resyncBytes, StallNS: stallNS})
+	s.spanPoint("recovery_repartition", victim, stallNS, int64(len(moved)), stallNS)
 	s.cfg.Metrics.Counter("fault.repartitions").Inc()
 }
 
@@ -294,6 +295,8 @@ func (s *System) faultSend(epochNo, ci int, ups []update, tr obs.Tracer) (total,
 		emitIf(tr, obs.Event{Kind: obs.Recovery, Label: "retransmit", Epoch: epochNo,
 			Chip: ci, Count: int64(attempts), Value: bytes * float64(attempts),
 			StallNS: cfg.Recovery.RetransmitBackoffNS * float64(attempts)})
+		backoff := cfg.Recovery.RetransmitBackoffNS * float64(attempts)
+		s.spanPoint("recovery_retransmit", ci, backoff, int64(attempts), backoff)
 		s.cfg.Metrics.Counter("fault.retransmits").Add(int64(attempts))
 		if !delivered {
 			// Retries exhausted: the sender KNOWS delivery failed, so
@@ -399,6 +402,7 @@ func (s *System) watchdog(epochNo int, tr obs.Tracer) {
 		frt.stats.ResyncBytes += bytes
 		emitIf(tr, obs.Event{Kind: obs.Recovery, Label: "resync", Epoch: epochNo,
 			Chip: ci, Count: int64(len(c.owned)), Value: bytes, Aux: div})
+		s.spanPoint("recovery_resync", ci, 0, int64(len(c.owned)), 0)
 		s.cfg.Metrics.Counter("fault.resyncs").Inc()
 	}
 }
@@ -430,6 +434,7 @@ func (s *System) accountBatchSend(epochNo, ci int, plan fault.MessagePlan, attem
 		frt.epochStallNS += backoff
 		emitIf(tr, obs.Event{Kind: obs.Recovery, Label: "retransmit", Epoch: epochNo,
 			Chip: ci, Count: int64(attempts), Value: bytes * float64(attempts), StallNS: backoff})
+		s.spanPoint("recovery_retransmit", ci, backoff, int64(attempts), backoff)
 		s.cfg.Metrics.Counter("fault.retransmits").Add(int64(attempts))
 	}
 	if delayed && !lost {

@@ -87,6 +87,12 @@ func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resum
 		default:
 		}
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
+		if sp := cfg.Spans; sp != nil {
+			// One "epoch" interval per round; each chip's exclusive turn
+			// (integrate + sync) nests inside it as a "chip_turn".
+			s.spEpoch = sp.Start("epoch", cfg.SpanRoot, -1, elapsed)
+			s.spPosNS = elapsed
+		}
 		if s.frt != nil {
 			s.beginFaultEpoch(res.Epochs+1, durationNS-model, tr)
 		}
@@ -96,6 +102,15 @@ func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resum
 				// A lost chip's turn is skipped outright; the scheduler
 				// knows it is gone, so no wall time is spent on it.
 				continue
+			}
+			var turnSpan obs.Span
+			if sp := cfg.Spans; sp != nil {
+				turnSpan = sp.Start("chip_turn", s.spEpoch, ci, elapsed)
+				if len(s.spChips) != len(s.chips) {
+					s.spChips = make([]obs.Span, len(s.chips))
+				}
+				s.spChips[ci] = turnSpan
+				s.spPosNS = elapsed + epoch
 			}
 			// A transiently stalled chip still occupies its turn on the
 			// wall clock — the hold is physical — but integrates
@@ -125,6 +140,10 @@ func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resum
 			// Immediate synchronization: the next chip sees this one's
 			// fresh state. Traffic is charged exactly as in concurrent
 			// mode; the difference is purely that no work overlaps.
+			var syncSpan obs.Span
+			if sp := cfg.Spans; sp != nil {
+				syncSpan = sp.Start("sync", turnSpan, ci, elapsed+epoch)
+			}
 			changes, inducedChanges := s.syncEpoch(res.Epochs+1, tr)
 			res.BitChanges += changes
 			res.InducedBitChanges += inducedChanges
@@ -132,19 +151,29 @@ func (s *System) RunSequentialCtx(ctx context.Context, durationNS float64, resum
 				tr.Emit(obs.Event{Kind: obs.EpochSync, Epoch: res.Epochs + 1, Chip: ci,
 					ModelNS: model + epoch, Count: changes, Induced: inducedChanges})
 			}
+			syncSpan.End(elapsed+epoch, &obs.Event{Count: changes})
 			// Every chip's epoch occupies the wall clock: no overlap.
 			elapsed += epoch
+			turnSpan.End(elapsed, nil)
 		}
+		if cfg.PairStats {
+			// Post-sync residual: a healthy zero-ignorance baseline
+			// reports zero disagreement here every round.
+			s.emitPairStats(tr, res.Epochs+1, model+epoch)
+		}
+		s.spPosNS = elapsed
 		if s.frt != nil {
 			s.watchdog(res.Epochs+1, tr)
 		}
-		stall := s.fabric.EndEpoch(epoch)
+		stall := s.fabric.EndEpochSpanned(epoch, cfg.Spans, s.spEpoch, elapsed)
 		if s.frt != nil {
 			stall += s.frt.takeEpochStall(s.fabric)
 		}
 		elapsed += stall
 		model += epoch
 		res.Epochs++
+		s.spEpoch.End(elapsed, &obs.Event{StallNS: stall})
+		s.spEpoch = obs.Span{}
 		s.drainStepRetries(tr, res.Epochs, model)
 		if tr != nil {
 			total := s.fabric.TotalBytes()

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"time"
 
 	"mbrim/internal/brim"
 	"mbrim/internal/fault"
@@ -93,6 +94,28 @@ type Config struct {
 	// its recovery policies. The zero value injects nothing and leaves
 	// every run mode bit-identical to a fault-free simulation.
 	Faults fault.Config
+	// Spans, if non-nil, opens hierarchical span events (epoch → chip
+	// step → sync / fabric settle / recovery) in addition to the flat
+	// stream. The spanner's tracer is the span sink; Tracer consumers
+	// see span events only if the caller (e.g. internal/core) built the
+	// spanner over the same tracer. Span IDs are allocated at epoch
+	// barriers in chip order, so the stream stays deterministic under
+	// Parallel; only wall-duration fields vary between hosts. Emission
+	// is read-only — trajectories are bit-identical with spans on or
+	// off.
+	Spans *obs.Spanner
+	// SpanRoot is the interval the run's epoch spans nest under
+	// (internal/core passes its "solve" span; the zero value roots the
+	// epochs directly).
+	SpanRoot obs.Span
+	// PairStats emits one PairStat event per ordered live chip pair per
+	// epoch — the observer's shadow-spin disagreement against the
+	// owner's true readout, measured before boundary sync repairs it
+	// (after it, in sequential mode — the zero-ignorance baseline).
+	// Costs O(chips·N) comparisons per epoch; off by default. Requires
+	// Tracer. Batch mode emits nothing: chips hold different jobs, so
+	// cross-chip shadow agreement is not defined there.
+	PairStats bool
 }
 
 // withDefaults fills defaults and validates user-supplied fields,
@@ -212,6 +235,15 @@ type System struct {
 	// disabled, which keeps every run mode bit-identical to the
 	// fault-free simulation.
 	frt *faultRuntime
+
+	// Live span context, valid only while a run-mode epoch is open.
+	// spEpoch is the current epoch (or round) interval; spChips the
+	// current chip step/turn handles (parents for rk4_retry intervals);
+	// spPosNS the barrier position point intervals (recovery spans)
+	// anchor at.
+	spEpoch obs.Span
+	spChips []obs.Span
+	spPosNS float64
 }
 
 // NewSystem slices the model over cfg.Chips chips in contiguous
@@ -529,6 +561,13 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 		default:
 		}
 		epoch := math.Min(cfg.EpochNS, durationNS-model)
+		if sp := cfg.Spans; sp != nil {
+			// The epoch interval opens on the elapsed (model + stall)
+			// timeline, where epochs tile without overlap; recovery work
+			// resolved before integration anchors at its start.
+			s.spEpoch = sp.Start("epoch", cfg.SpanRoot, -1, elapsed)
+			s.spPosNS = elapsed
+		}
 		if s.frt != nil {
 			// Chip loss (with optional repartition) and this epoch's
 			// stall draws, resolved at the barrier in chip order.
@@ -540,6 +579,11 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 		// hardware whether the host runs it sequentially or on one
 		// goroutine per chip.
 		badChip, chipErr := s.forEachChip(func(ci int, c *chip) error {
+			if cfg.Spans != nil {
+				defer func(w0 time.Time) {
+					c.epochWallNS = time.Since(w0).Nanoseconds()
+				}(time.Now())
+			}
 			c.resetEpochCounters()
 			if s.frt != nil && s.frt.dead[ci] {
 				// A lost chip stops integrating AND stops clocking its
@@ -571,12 +615,23 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 		}
 		model += epoch
 		res.Epochs++
+		s.emitChipSpans(elapsed, epoch)
 		s.drainStepRetries(tr, res.Epochs, model)
 		if tr != nil {
 			s.emitChipEpoch(tr, res.Epochs, model)
 		}
 		if cfg.Probes {
 			s.probe(res.Epochs, tr)
+		}
+		if cfg.PairStats {
+			// Pre-sync: the staleness each chip actually annealed
+			// against this epoch.
+			s.emitPairStats(tr, res.Epochs, model)
+		}
+		s.spPosNS = elapsed + epoch
+		var syncSpan obs.Span
+		if sp := cfg.Spans; sp != nil {
+			syncSpan = sp.Start("sync", s.spEpoch, -1, elapsed+epoch)
 		}
 		changes, inducedChanges := s.syncEpoch(res.Epochs, tr)
 		res.BitChanges += changes
@@ -590,7 +645,8 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 			// inside the open epoch for congestion to see them.
 			s.watchdog(res.Epochs, tr)
 		}
-		stall := s.fabric.EndEpoch(epoch)
+		syncSpan.End(elapsed+epoch, &obs.Event{Count: changes})
+		stall := s.fabric.EndEpochSpanned(epoch, cfg.Spans, s.spEpoch, elapsed+epoch)
 		if s.frt != nil {
 			// Recovery stall (retransmit backoff, repartition
 			// reprogramming) holds the machine just like congestion.
@@ -603,6 +659,8 @@ func (s *System) RunConcurrentCtx(ctx context.Context, durationNS float64, resum
 				Value: total - lastBytes, StallNS: stall})
 			lastBytes = total
 		}
+		s.spEpoch.End(elapsed, &obs.Event{StallNS: stall})
+		s.spEpoch = obs.Span{}
 		s.cfg.Metrics.Histogram("multichip.epoch_stall_ns").Observe(stall)
 		if cfg.SampleEveryNS > 0 && elapsed >= nextSample {
 			tr.Emit(obs.Event{Kind: obs.EnergySample, Epoch: res.Epochs, ModelNS: elapsed,
@@ -641,6 +699,13 @@ func (s *System) drainStepRetries(tr obs.Tracer, epoch int, modelNS float64) {
 		}
 		emitIf(tr, obs.Event{Kind: obs.Numerical, Label: "step-retry",
 			Epoch: epoch, Chip: ci, ModelNS: modelNS, Count: r})
+		if sp := s.cfg.Spans; sp != nil && ci < len(s.spChips) {
+			// A point interval at the chip's step/turn start: the epoch's
+			// guardrail retries, nested where they were spent.
+			parent := s.spChips[ci]
+			sp.Complete("rk4_retry", parent, ci, parent.StartNS(), 0, 0,
+				&obs.Event{Count: r})
+		}
 		s.cfg.Metrics.Counter("brim.step_retries").Add(r)
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.CounterWith("brim.chip_step_retries",

@@ -28,6 +28,14 @@
 //   - Numerical: integrator-guardrail activity — halved-step retries
 //     spent during an epoch, or the divergence abort itself (Label
 //     discriminates: "step-retry", "divergence").
+//   - SpanStart / SpanEnd: hierarchical interval markers (solve →
+//     epoch → chip step → sync/recovery), produced by a Spanner when
+//     span tracing is explicitly enabled. Span carries the interval
+//     ID, Parent links it to the enclosing interval.
+//   - PairStat: a partition-quality measurement for one directed chip
+//     pair — how much of the owner's state the observer's shadow copy
+//     has wrong (the Burns & Huang disagreement measure). Emitted only
+//     when diagnostics are explicitly enabled.
 //
 // # Sinks
 //
@@ -67,6 +75,9 @@ const (
 	Recovery       Kind = "recovery"
 	Numerical      Kind = "numerical"
 	RunEnd         Kind = "run_end"
+	SpanStart      Kind = "span_start"
+	SpanEnd        Kind = "span_end"
+	PairStat       Kind = "pair_stat"
 )
 
 // Event is one trace record. It is a flat value type so emission never
@@ -98,9 +109,24 @@ const (
 //	                ModelNS
 //	RunEnd:         Label (engine), Value (best energy), ModelNS,
 //	                StallNS, Count (flips), Induced, WallDurNS
+//	SpanStart:      Label (span name), Span (interval ID), Parent
+//	                (enclosing interval ID, 0 for the root), ModelNS
+//	                (model-time position at open), Chip and Peer
+//	                (chip+1) for chip-scoped intervals
+//	SpanEnd:        Span, Label, ModelNS (model-time position at
+//	                close), Value (model-time duration), WallDurNS
+//	                (measured wall duration), Count/StallNS/Aux when
+//	                the interval carries work totals
+//	PairStat:       Epoch, Chip (observer), Peer (owner chip + 1),
+//	                Count (stale shadow spins), Value (disagreement
+//	                fraction over the owner's slice), ModelNS
 //
-// WallNS is the wall-clock timestamp stamped by the sink at emission;
-// it is the only field excluded from determinism guarantees.
+// Peer is always a 1-based chip identity (chip index + 1), so that
+// chip 0 survives the omitempty JSON encoding; 0 means "no peer".
+//
+// WallNS is the wall-clock timestamp stamped by the sink at emission,
+// and WallDurNS on span events is a measured duration; those two are
+// the only fields excluded from determinism guarantees.
 type Event struct {
 	Kind      Kind    `json:"kind"`
 	WallNS    int64   `json:"wallNS,omitempty"`
@@ -114,6 +140,9 @@ type Event struct {
 	Aux       float64 `json:"aux,omitempty"`
 	StallNS   float64 `json:"stallNS,omitempty"`
 	WallDurNS int64   `json:"wallDurNS,omitempty"`
+	Span      uint64  `json:"span,omitempty"`
+	Parent    uint64  `json:"parent,omitempty"`
+	Peer      int     `json:"peer,omitempty"`
 	Label     string  `json:"label,omitempty"`
 }
 

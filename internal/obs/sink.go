@@ -113,12 +113,32 @@ func (r *Ring) Emit(e Event) {
 
 // Events returns the retained events, oldest first.
 func (r *Ring) Events() []Event {
+	evs, _ := r.EventsSince(0)
+	return evs
+}
+
+// EventsSince returns the retained events whose emission ordinal is
+// strictly greater than seq, oldest first, together with the ordinal
+// of the first returned event. Ordinals are 1-based and count every
+// event ever emitted to the ring, so they survive eviction: after a
+// consumer disconnects at ordinal K, EventsSince(K) replays exactly
+// the retained events it has not seen (events older than the ring's
+// capacity are gone — the returned first ordinal exposes the gap).
+func (r *Ring) EventsSince(seq int64) ([]Event, int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.buf))
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
-	return out
+	first := r.total - int64(len(out)) + 1
+	if skip := seq - first + 1; skip > 0 {
+		if skip >= int64(len(out)) {
+			return nil, r.total + 1
+		}
+		out = out[skip:]
+		first += skip
+	}
+	return out, first
 }
 
 // Total returns how many events were emitted over the ring's lifetime,

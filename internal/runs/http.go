@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"mbrim/internal/core"
 	"mbrim/internal/graph"
@@ -19,6 +20,8 @@ import (
 //	GET  /runs                  list run statuses
 //	GET  /runs/{id}             one run's status
 //	GET  /runs/{id}/events      SSE live tail of the trace stream
+//	GET  /runs/{id}/diag        convergence / partition-quality snapshot
+//	GET  /runs/{id}/trace       Chrome trace-event JSON (ui.perfetto.dev)
 //	POST /runs/{id}/cancel      context cancellation
 //	GET  /runs/{id}/checkpoint  download the resume envelope
 //	GET  /metrics               Prometheus text exposition
@@ -106,6 +109,21 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	// The diagnostics plane (plateau detection, live TTS) needs an
+	// energy trajectory, so multichip submissions that don't choose a
+	// sampling cadence get ~100 samples over the run by default. Samples
+	// are observational; the trajectory stays seed-determined.
+	sampleEvery := sr.SampleEveryNS
+	if sampleEvery == 0 {
+		switch kind {
+		case core.MBRIMConcurrent, core.MBRIMSequential, core.MBRIMBatch:
+			d := sr.DurationNS
+			if d == 0 {
+				d = 100 // the core default duration
+			}
+			sampleEvery = d / 100
+		}
+	}
 	backend := sr.Backend
 	if backend == "" {
 		backend = m.cfg.DefaultBackend
@@ -129,7 +147,7 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		Coordinated:       sr.Coordinated,
 		Channels:          sr.Channels,
 		ChannelBytesPerNS: sr.ChannelBytesPerNS,
-		SampleEveryNS:     sr.SampleEveryNS,
+		SampleEveryNS:     sampleEvery,
 		Parallel:          sr.Parallel,
 		Backend:           backend,
 	}, nil
@@ -162,6 +180,8 @@ func (m *Manager) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /runs/{id}/cancel", m.handleCancel)
 	mux.HandleFunc("GET /runs/{id}/events", m.handleEvents)
 	mux.HandleFunc("GET /runs/{id}/checkpoint", m.handleCheckpoint)
+	mux.HandleFunc("GET /runs/{id}/diag", m.handleDiag)
+	mux.HandleFunc("GET /runs/{id}/trace", m.handleTrace)
 }
 
 // Mount registers the full operations surface — run endpoints,
@@ -263,12 +283,53 @@ func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(ck)
 }
 
+// handleDiag serves the run's live diagnostics snapshot: energy
+// trajectory analytics (plateau, improvement rate, best staleness),
+// per chip-pair shadow disagreement, traffic/stall attribution, and
+// the live TTS estimate with Wilson confidence bounds. Works in any
+// run state; the view simply reflects the events seen so far.
+func (m *Manager) handleDiag(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Diag())
+}
+
+// handleTrace exports the run's retained events as Chrome trace-event
+// JSON — load the download in ui.perfetto.dev (or chrome://tracing)
+// for the span hierarchy, energy/fabric counters and fault instants.
+// The ring bounds retention: for long runs the trace covers the most
+// recent window, not the whole solve.
+func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", run.ID()+".trace.json"))
+	_ = obs.WriteChromeTrace(w, run.Recent())
+}
+
 // handleEvents streams the run's trace as Server-Sent Events: each
-// event is one `event: trace` message carrying the obs.Event JSON.
-// ?replay=N prepends up to N retained events before the live tail
-// (replayed events may, in a narrow window, also arrive live — dedupe
-// by WallNS if exactness matters). The stream ends with `event: done`
-// carrying the final status once the run is terminal.
+// event is one `event: trace` message carrying the obs.Event JSON,
+// with an `id:` line holding the event's emission ordinal.
+//
+// Reconnection: a client presenting Last-Event-ID (per the SSE spec;
+// ?lastEventID=N works too) resumes after that ordinal — the retained
+// events it missed replay first with exact ids, then the live tail
+// continues with best-effort ids (the live fan-out may drop under
+// backpressure, in which case ids drift until the next reconnect
+// resynchronizes them). Events older than the retention ring are gone;
+// the first replayed id exposes the gap. ?replay=N prepends up to N
+// retained events (replayed events may, in a narrow window, also
+// arrive live — dedupe by id or WallNS if exactness matters). The
+// stream ends with `event: done` carrying the final status once the
+// run is terminal.
 func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 	run, ok := m.Get(r.PathValue("id"))
 	if !ok {
@@ -286,10 +347,15 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	send := func(kind string, v any) bool {
+	send := func(kind string, id int64, v any) bool {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return false
+		}
+		if id > 0 {
+			if _, err := fmt.Fprintf(w, "id: %d\n", id); err != nil {
+				return false
+			}
 		}
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data); err != nil {
 			return false
@@ -298,19 +364,48 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
+	lastID := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			lastID = n
+		}
+	} else if v := r.URL.Query().Get("lastEventID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n >= 0 {
+			lastID = n
+		}
+	}
+
 	// Subscribe before replay so no event can fall between the two.
 	ch, cancel := run.Subscribe()
 	defer cancel()
-	if n := atoiDefault(r.URL.Query().Get("replay"), 0); n > 0 {
-		recent := run.Recent()
-		if len(recent) > n {
-			recent = recent[len(recent)-n:]
-		}
-		for _, e := range recent {
-			if !send("trace", e) {
+	var next int64 // ordinal for the next live-tail event
+	switch {
+	case lastID >= 0:
+		events, first := run.EventsSince(lastID)
+		id := first
+		for _, e := range events {
+			if !send("trace", id, e) {
 				return
 			}
+			id++
 		}
+		next = id // == ring total + 1 when fully caught up
+	default:
+		if n := atoiDefault(r.URL.Query().Get("replay"), 0); n > 0 {
+			events, first := run.EventsSince(0)
+			if len(events) > n {
+				first += int64(len(events) - n)
+				events = events[len(events)-n:]
+			}
+			id := first
+			for _, e := range events {
+				if !send("trace", id, e) {
+					return
+				}
+				id++
+			}
+		}
+		next = run.EventsTotal() + 1
 	}
 	for {
 		select {
@@ -318,12 +413,13 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				// Run finished: the broadcast closed. Emit the terminal
 				// status and end the stream.
-				send("done", run.Status())
+				send("done", 0, run.Status())
 				return
 			}
-			if !send("trace", e) {
+			if !send("trace", next, e) {
 				return
 			}
+			next++
 		case <-r.Context().Done():
 			return
 		}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mbrim/internal/core"
+	"mbrim/internal/diag"
 	"mbrim/internal/obs"
 )
 
@@ -169,6 +170,7 @@ type Run struct {
 	req   core.Request
 	ring  *obs.Ring
 	bcast *obs.Broadcast
+	diag  *diag.Reducer
 	// done closes when the solve goroutine finished and the terminal
 	// state is readable.
 	done   chan struct{}
@@ -207,6 +209,20 @@ func (r *Run) Subscribe() (<-chan obs.Event, func()) { return r.bcast.Subscribe(
 
 // Recent returns the retained recent events, oldest first.
 func (r *Run) Recent() []obs.Event { return r.ring.Events() }
+
+// EventsSince returns the retained events with emission ordinal > seq,
+// oldest first, plus the ordinal of the first returned event (see
+// obs.Ring.EventsSince) — the replay primitive behind SSE Last-Event-ID.
+func (r *Run) EventsSince(seq int64) ([]obs.Event, int64) { return r.ring.EventsSince(seq) }
+
+// EventsTotal returns how many trace events the run has emitted,
+// including any already evicted from the retention ring.
+func (r *Run) EventsTotal() int64 { return r.ring.Total() }
+
+// Diag returns the live diagnostics snapshot assembled from the run's
+// event stream: trajectory analytics, chip-pair disagreement, traffic
+// attribution and the TTS estimate. See internal/diag.
+func (r *Run) Diag() diag.Snapshot { return r.diag.Snapshot() }
 
 // Cancel requests cancellation; the engine stops at its next natural
 // boundary. Safe to call in any state.
@@ -361,7 +377,16 @@ func (m *Manager) Submit(ctx context.Context, req core.Request) (*Run, error) {
 	m.active++
 	m.mu.Unlock()
 
-	req.Tracer = obs.Fanout(progressSink{r}, r.ring, r.bcast, req.Tracer)
+	// Every managed run carries the introspection plane: hierarchical
+	// span events in the retained/broadcast stream (GET /runs/{id}/trace
+	// exports them as a Chrome trace) and a diagnostics reducer behind
+	// GET /runs/{id}/diag. Both are opt-in at the engine layer and
+	// trajectory-neutral — a managed solve stays bit-identical to an
+	// unmanaged one with the same seed.
+	r.diag = diag.New(diag.Config{Registry: m.reg, RunID: id})
+	req.Tracer = obs.Fanout(progressSink{r}, r.ring, r.bcast, r.diag, req.Tracer)
+	req.SpanTrace = true
+	req.Diag = true
 	if req.Metrics == nil {
 		req.Metrics = m.reg
 	}

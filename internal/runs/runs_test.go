@@ -10,12 +10,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"mbrim/internal/core"
+	"mbrim/internal/diag"
 	"mbrim/internal/graph"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
@@ -83,10 +85,21 @@ func TestManagerLifecycle(t *testing.T) {
 	if err != nil || out == nil || len(out.Spins) != 16 {
 		t.Fatalf("Outcome() = %v, %v", out, err)
 	}
-	// The ring retained the bracket events for replay.
+	// The ring retained the bracket events for replay. The root solve
+	// span closes after RunEnd (spans are matched by ID, not position),
+	// so the tail may hold span_end events past the bracket.
 	recent := r.Recent()
-	if len(recent) == 0 || recent[0].Kind != obs.RunStart || recent[len(recent)-1].Kind != obs.RunEnd {
+	if len(recent) == 0 || recent[0].Kind != obs.RunStart {
 		t.Fatalf("ring = %v events", len(recent))
+	}
+	lastFlat := obs.Event{}
+	for _, e := range recent {
+		if e.Kind != obs.SpanStart && e.Kind != obs.SpanEnd {
+			lastFlat = e
+		}
+	}
+	if lastFlat.Kind != obs.RunEnd {
+		t.Fatalf("last flat event = %+v, want run_end", lastFlat)
 	}
 
 	if got, ok := m.Get("run-1"); !ok || got != r {
@@ -359,10 +372,12 @@ func TestHTTPExplicitEdgeList(t *testing.T) {
 	}
 }
 
-// sseEvent is one parsed Server-Sent Events message.
+// sseEvent is one parsed Server-Sent Events message. id is 0 when the
+// message carried no id: line.
 type sseEvent struct {
 	kind string
 	data []byte
+	id   int64
 }
 
 // readSSE consumes messages from an event stream until pred returns
@@ -378,6 +393,12 @@ func readSSE(t *testing.T, sc *bufio.Scanner, pred func(sseEvent) bool) []sseEve
 			cur.kind = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
 			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			cur.id = id
 		case line == "":
 			if cur.kind == "" && cur.data == nil {
 				continue
@@ -427,6 +448,173 @@ func TestSSEReplayOfFinishedRun(t *testing.T) {
 	}
 	if final.State != StateCompleted {
 		t.Fatalf("done status = %+v", final)
+	}
+}
+
+// TestSSELastEventIDReconnect pins the SSE resume contract: a client
+// that disconnects mid-stream and reconnects with Last-Event-ID
+// receives exactly the events after that ordinal — including the span
+// events emitted before the reconnect — with sequential exact ids.
+func TestSSELastEventIDReconnect(t *testing.T) {
+	srv, m, _ := newTestServer(t, Config{})
+	_, body := postJSON(t, srv.URL+"/runs",
+		`{"engine":"mbrim","k":16,"chips":2,"durationNS":200,"epochNS":10}`)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	run, _ := m.Get(st.ID)
+	waitDone(t, run)
+
+	// First connection: full replay. Every trace message must carry a
+	// sequential id.
+	resp, err := http.Get(srv.URL + "/runs/" + st.ID + "/events?replay=100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := readSSE(t, bufio.NewScanner(resp.Body), func(e sseEvent) bool { return e.kind == "done" })
+	resp.Body.Close()
+	traces := all[:len(all)-1]
+	if len(traces) < 10 {
+		t.Fatalf("only %d trace messages", len(traces))
+	}
+	for i, msg := range traces {
+		if msg.id != traces[0].id+int64(i) {
+			t.Fatalf("ids not sequential: msg %d has id %d, first %d", i, msg.id, traces[0].id)
+		}
+	}
+
+	// "Disconnect" midway and reconnect presenting the last id we saw.
+	cut := len(traces) / 2
+	lastSeen := traces[cut].id
+	req, err := http.NewRequest("GET", srv.URL+"/runs/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeen, 10))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	resumed := readSSE(t, bufio.NewScanner(resp2.Body), func(e sseEvent) bool { return e.kind == "done" })
+	resumed = resumed[:len(resumed)-1]
+	want := traces[cut+1:]
+	if len(resumed) != len(want) {
+		t.Fatalf("resume replayed %d events, want %d", len(resumed), len(want))
+	}
+	spanReplayed := false
+	for i, msg := range resumed {
+		if msg.id != want[i].id {
+			t.Fatalf("resumed id[%d] = %d, want %d", i, msg.id, want[i].id)
+		}
+		var got, exp obs.Event
+		if err := json.Unmarshal(msg.data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(want[i].data, &exp); err != nil {
+			t.Fatal(err)
+		}
+		if got != exp {
+			t.Fatalf("resumed event %d = %+v, want %+v", i, got, exp)
+		}
+		if got.Kind == obs.SpanStart || got.Kind == obs.SpanEnd {
+			spanReplayed = true
+		}
+	}
+	if !spanReplayed {
+		t.Fatalf("reconnect replay carried no span events (cut at id %d of %d)", lastSeen, len(traces))
+	}
+	// A reconnect fully caught up replays nothing and ends with done.
+	req3, _ := http.NewRequest("GET", srv.URL+"/runs/"+st.ID+"/events", nil)
+	req3.Header.Set("Last-Event-ID", strconv.FormatInt(traces[len(traces)-1].id, 10))
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	tail := readSSE(t, bufio.NewScanner(resp3.Body), func(e sseEvent) bool { return e.kind == "done" })
+	if len(tail) != 1 || tail[0].kind != "done" {
+		t.Fatalf("caught-up reconnect = %+v", tail)
+	}
+}
+
+// TestDiagAndTraceEndpoints is the introspection acceptance surface: a
+// seeded 3-chip run must expose chip-pair disagreement, a plateau
+// verdict and a CI-bounded TTS estimate on /diag, and a
+// Perfetto-loadable Chrome trace with the nested span hierarchy on
+// /trace.
+func TestDiagAndTraceEndpoints(t *testing.T) {
+	srv, m, _ := newTestServer(t, Config{})
+	_, body := postJSON(t, srv.URL+"/runs",
+		`{"engine":"mbrim","k":20,"chips":3,"durationNS":400,"epochNS":10,"seed":7}`)
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	run, _ := m.Get(st.ID)
+	waitDone(t, run)
+
+	resp, dbody := getBody(t, srv.URL+"/runs/"+st.ID+"/diag")
+	if resp.StatusCode != 200 {
+		t.Fatalf("diag = %d %s", resp.StatusCode, dbody)
+	}
+	var snap diag.Snapshot
+	if err := json.Unmarshal(dbody, &snap); err != nil {
+		t.Fatalf("diag JSON: %v\n%s", err, dbody)
+	}
+	if len(snap.Pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6 (3 chips directed): %s", len(snap.Pairs), dbody)
+	}
+	if snap.TTS == nil {
+		t.Fatalf("no TTS estimate: %s", dbody)
+	}
+	if snap.TTS.PLow > snap.TTS.SuccessP || snap.TTS.PHigh < snap.TTS.SuccessP {
+		t.Fatalf("TTS CI does not bracket p: %+v", snap.TTS)
+	}
+	if snap.Traffic.TotalBytes <= 0 {
+		t.Fatalf("no traffic attribution: %s", dbody)
+	}
+
+	resp, tbody := getBody(t, srv.URL+"/runs/"+st.ID+"/trace")
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace = %d", resp.StatusCode)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tbody, &trace); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	chipTrack := false
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+			if ev.Name == "chip_step" && ev.TID == 3 {
+				chipTrack = true
+			}
+		}
+	}
+	for _, want := range []string{"solve", "epoch", "chip_step", "sync"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q slices; have %v", want, names)
+		}
+	}
+	if !chipTrack {
+		t.Fatalf("chip 2's chip_step slices not on tid 3")
+	}
+	// Prometheus carries the diagnostics series for the run.
+	_, prom := getBody(t, srv.URL+"/metrics")
+	for _, want := range []string{"diag_pair_disagreement", "diag_plateau", "diag_sync_cost_bytes"} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("metrics exposition missing %s", want)
+		}
 	}
 }
 

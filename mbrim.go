@@ -43,6 +43,7 @@ import (
 
 	"mbrim/internal/brim"
 	"mbrim/internal/core"
+	"mbrim/internal/diag"
 	"mbrim/internal/fault"
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
@@ -122,6 +123,56 @@ func ReadJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
 // NewBroadcast returns a bounded fan-out tracer whose subscribers each
 // get a buffered channel of n events (n <= 0 uses the default).
 func NewBroadcast(n int) *Broadcast { return obs.NewBroadcast(n) }
+
+// Fanout composes tracers into one that emits to each in order; nil
+// entries are skipped, and an all-nil list yields a nil Tracer.
+func Fanout(ts ...Tracer) Tracer { return obs.Fanout(ts...) }
+
+// Introspection types: hierarchical span tracing (Request.SpanTrace)
+// and the live diagnostics reducer (Request.Diag + a DiagReducer in the
+// tracer fan-out). See README's Introspection section.
+type (
+	// Spanner allocates hierarchical interval spans over a Tracer; a
+	// nil *Spanner is the free disabled path. Engines drive it when
+	// Request.SpanTrace is set — construct one directly only to
+	// instrument your own orchestration code.
+	Spanner = obs.Spanner
+	// Span is one open interval handle; the zero Span is "no parent".
+	Span = obs.Span
+	// DiagReducer folds a live event stream into convergence and
+	// partition-quality diagnostics; read with Snapshot.
+	DiagReducer = diag.Reducer
+	// DiagConfig tunes plateau detection and the live TTS estimate.
+	DiagConfig = diag.Config
+	// DiagSnapshot is a point-in-time diagnostics report: energy
+	// trajectory analytics, chip-pair shadow-spin disagreement, traffic
+	// attribution and a TTS estimate with confidence bounds.
+	DiagSnapshot = diag.Snapshot
+)
+
+// Span event kinds (values of Event.Kind) emitted when Request.SpanTrace
+// is enabled, alongside the flat kinds (run_start, epoch_sync, ...).
+const (
+	SpanStartEvent = obs.SpanStart
+	SpanEndEvent   = obs.SpanEnd
+	PairStatEvent  = obs.PairStat
+)
+
+// NewSpanner builds a span recorder emitting into tr; a nil tr yields
+// the disabled (nil, zero-cost) Spanner.
+func NewSpanner(tr Tracer) *Spanner { return obs.NewSpanner(tr) }
+
+// NewDiagReducer builds a diagnostics reducer; include it in the
+// Request's tracer fan-out and set Request.Diag so engines emit the
+// pair-statistics events it consumes.
+func NewDiagReducer(cfg DiagConfig) *DiagReducer { return diag.New(cfg) }
+
+// WriteChromeTrace renders a captured event stream as Chrome
+// trace-event JSON, loadable in ui.perfetto.dev or chrome://tracing.
+// The timeline is deterministic model time (1 model ns = 1 trace µs).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return obs.WriteChromeTrace(w, events)
+}
 
 // Multiprocessor types for direct (non-orchestrated) use.
 type (
