@@ -10,6 +10,16 @@
 // With -k N a seeded K-graph is generated instead of reading a file.
 // The exit status is 0 on success; the solution, cut value, energy and
 // the time ledger are printed to stdout.
+//
+// With -cluster URL,URL,... the solve is distributed: the CLI becomes
+// the coordinator of the fabric in internal/cluster, sharding the
+// model across mbrimd -worker nodes. The -chaos-* flags front the
+// workers with fault-injecting proxies for robustness drills:
+//
+//	mbrimd -addr :8361 -worker &
+//	mbrimd -addr :8362 -worker &
+//	mbrim -cluster http://localhost:8361,http://localhost:8362 \
+//	  -k 256 -chips 2 -duration 200 -chaos-kill-worker 1 -chaos-kill-epoch 9
 package main
 
 import (
@@ -67,6 +77,15 @@ func main() {
 	recoverBackoff := flag.Float64("recover-backoff", 0, "stall per retransmit attempt, ns (0 = default 0.5)")
 	recoverWatchdog := flag.Float64("recover-watchdog", 0, "shadow-divergence fraction forcing a full-bitmap resync (0 = off)")
 	recoverRepartition := flag.Bool("recover-repartition", false, "repartition a dead chip's slice onto survivors")
+	clusterWorkers := flag.String("cluster", "", "distribute the solve across these mbrimd -worker URLs (comma-separated)")
+	ckptEvery := flag.Int("ckpt-every", 0, "cluster coordinated-checkpoint cadence, epochs (0 = default 8)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "cluster chaos proxies: fate-schedule seed")
+	chaosDrop := flag.Float64("chaos-drop", 0, "cluster chaos proxies: per-request connection-drop probability")
+	chaosError := flag.Float64("chaos-error", 0, "cluster chaos proxies: per-request 503 probability")
+	chaosDelayRate := flag.Float64("chaos-delay-rate", 0, "cluster chaos proxies: per-request delay probability")
+	chaosDelay := flag.Duration("chaos-delay", 2*time.Millisecond, "cluster chaos proxies: injected delay")
+	chaosKillWorker := flag.Int("chaos-kill-worker", -1, "blackhole this worker index at -chaos-kill-epoch (-1 = never)")
+	chaosKillEpoch := flag.Int("chaos-kill-epoch", 0, "epoch at which -chaos-kill-worker goes dark")
 	timeout := flag.Duration("timeout", 0, "cancel the solve after this wall-clock budget (0 = none)")
 	ckptPath := flag.String("checkpoint", "", "on interruption, write resume state to this file (multichip engines)")
 	resumePath := flag.String("resume", "", "resume a multichip solve from this checkpoint file")
@@ -207,6 +226,39 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -cluster switches the CLI from solving in process to coordinating
+	// a distributed solve across mbrimd -worker nodes (see cluster.go).
+	if *clusterWorkers != "" {
+		runCluster(ctx, info, model, g, quboOffset, clusterOpts{
+			workers:     *clusterWorkers,
+			chips:       *chips,
+			duration:    *duration,
+			epoch:       *epoch,
+			coordinated: *coordinated,
+			bandwidth:   *bandwidth,
+			backend:     *backend,
+			seed:        *seed,
+			sample:      *sample,
+			ckptEvery:   *ckptEvery,
+
+			chaosSeed:      *chaosSeed,
+			chaosDrop:      *chaosDrop,
+			chaosError:     *chaosError,
+			chaosDelayRate: *chaosDelayRate,
+			chaosDelay:     *chaosDelay,
+			killWorker:     *chaosKillWorker,
+			killEpoch:      *chaosKillEpoch,
+
+			jsonOut:    *jsonOut,
+			printSpins: *printSpins,
+			metricsOut: *metricsOut,
+			ckptPath:   *ckptPath,
+			tracer:     tracer,
+			registry:   registry,
+		})
+		return
+	}
 
 	out, err := mbrim.SolveCtx(ctx, mbrim.Request{
 		Kind:              kind,

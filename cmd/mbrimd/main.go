@@ -12,9 +12,15 @@
 //	GET  /runs/{id}/trace       Chrome trace download (ui.perfetto.dev)
 //	POST /runs/{id}/cancel      stop at the next engine barrier
 //	GET  /runs/{id}/checkpoint  download the resume envelope
+//	POST /cluster/runs          coordinate a solve across worker nodes
+//	GET  /cluster/runs[/{id}]   distributed-run status / checkpoint
 //	GET  /metrics               Prometheus text exposition
 //	GET  /metrics.json          JSON metrics snapshot
 //	GET  /healthz, /readyz      liveness / readiness
+//
+// With -worker the node additionally hosts problem slices on behalf of
+// remote coordinators (PUT/GET/POST under /worker/slices) — the worker
+// half of the distributed fabric in internal/cluster.
 //
 // Example session:
 //
@@ -29,7 +35,9 @@
 //
 // SIGINT/SIGTERM drain gracefully: readiness flips to 503, in-flight
 // runs are cancelled (multichip runs capture checkpoints, retrievable
-// until exit), and the listener shuts down.
+// until exit), and the listener shuts down. If -drain-timeout expires
+// with runs still live, mbrimd exits with code 4 so supervisors can
+// tell a dirty drain from a clean stop.
 package main
 
 import (
@@ -45,9 +53,15 @@ import (
 	"syscall"
 	"time"
 
+	"mbrim/internal/cluster"
 	"mbrim/internal/obs"
 	"mbrim/internal/runs"
 )
+
+// exitDirtyDrain is returned when the drain deadline fires with runs
+// still in flight — distinct from 0 (clean) and 1 (startup/serve
+// failure).
+const exitDirtyDrain = 4
 
 func main() {
 	addr := flag.String("addr", "localhost:8351", "listen address (host:port; port 0 picks one)")
@@ -56,8 +70,11 @@ func main() {
 	ringSize := flag.Int("ring", 4096, "recent events retained per run for replay")
 	sseBuffer := flag.Int("sse-buffer", obs.DefaultBroadcastBuffer, "per-subscriber live-tail buffer, events")
 	withPprof := flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
-	backend := flag.String("backend", "auto", "default coupling backend for submitted runs: auto, dense, csr or blocked")
-	drainTimeout := flag.Duration("drain", 10*time.Second, "max wait for in-flight runs on shutdown")
+	backend := flag.String("backend", "auto", "default coupling backend for submitted runs: auto, dense, csr or blocked (deprecated alias for dense)")
+	worker := flag.Bool("worker", false, "host problem slices for remote coordinators under /worker/slices")
+	maxSlices := flag.Int("max-slices", cluster.DefaultMaxSlices, "slice capacity in -worker mode")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight runs on shutdown; expiry with live runs exits 4")
+	flag.Var(aliasFlag{flag.Lookup("drain-timeout")}, "drain", "deprecated alias for -drain-timeout")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -73,6 +90,11 @@ func main() {
 	var draining atomic.Bool
 	mux := http.NewServeMux()
 	runs.Mount(mux, mgr, reg, func() bool { return !draining.Load() })
+	clusterMgr := cluster.NewManager(reg, nil, *maxSpins)
+	clusterMgr.Routes(mux)
+	if *worker {
+		cluster.NewWorker(reg, *maxSlices).Routes(mux)
+	}
 	if *withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -90,6 +112,13 @@ func main() {
 		Handler: mux,
 		// Slowloris guard: a client must finish its headers promptly.
 		ReadHeaderTimeout: 5 * time.Second,
+		// Bound how long a request body read may take. The SSE handler
+		// clears its per-connection read deadline (it streams for as
+		// long as the client listens), so this only fences regular
+		// endpoints.
+		ReadTimeout: 60 * time.Second,
+		// Reap idle keep-alive connections from departed clients.
+		IdleTimeout: 120 * time.Second,
 	}
 	// Printed (not logged) so scripts can scrape the bound address
 	// when -addr used port 0.
@@ -115,12 +144,28 @@ func main() {
 	if ids := mgr.CancelAll(); len(ids) > 0 {
 		fmt.Fprintf(os.Stderr, "mbrimd: draining, cancelled %d run(s): %v\n", len(ids), ids)
 	}
+	clusterMgr.CancelAll()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if !mgr.Wait(drainCtx) {
-		fmt.Fprintln(os.Stderr, "mbrimd: drain timeout; exiting with runs in flight")
-	}
+	dirty := !mgr.Wait(drainCtx)
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "mbrimd: shutdown:", err)
 	}
+	if dirty {
+		fmt.Fprintln(os.Stderr, "mbrimd: drain timeout; exiting with runs in flight")
+		os.Exit(exitDirtyDrain)
+	}
 }
+
+// aliasFlag forwards Set to another registered flag — used to keep the
+// old -drain spelling working for -drain-timeout.
+type aliasFlag struct{ target *flag.Flag }
+
+func (a aliasFlag) String() string {
+	if a.target == nil {
+		return ""
+	}
+	return a.target.Value.String()
+}
+
+func (a aliasFlag) Set(s string) error { return a.target.Value.Set(s) }

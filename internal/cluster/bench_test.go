@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mbrim/internal/multichip"
+)
+
+// The A/B pair behind BENCH_cluster.json: the identical seeded
+// concurrent-mode solve run in process (multichip.System, the ground
+// truth every cluster test compares against) versus distributed across
+// loopback worker nodes. The delta is the epoch-sync overhead of the
+// distributed fabric — one JSON step RPC per slice per epoch plus the
+// coordinated-checkpoint rounds — with the network itself at loopback
+// cost. Both sides produce bit-identical results (pinned by
+// TestClusterMatchesInProcess), so the comparison is pure wall time.
+
+func benchWorkers(b *testing.B, k int) []string {
+	b.Helper()
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		mux := http.NewServeMux()
+		NewWorker(nil, 0).Routes(mux)
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})
+		srv := httptest.NewServer(mux)
+		b.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+func benchClusterConfig(workers []string, chips int) Config {
+	return Config{
+		Workers:         workers,
+		Chips:           chips,
+		Seed:            7,
+		DurationNS:      50,
+		RPCTimeout:      5 * time.Second,
+		HeartbeatEvery:  50 * time.Millisecond,
+		HeartbeatMisses: 4,
+	}
+}
+
+func BenchmarkEpochSync(b *testing.B) {
+	const n = 128
+	m := kmodel(n, 7)
+	for _, chips := range []int{2, 4} {
+		cfg := benchClusterConfig(nil, chips)
+		b.Run(fmt.Sprintf("inprocess/chips=%d", chips), func(b *testing.B) {
+			mcfg := multichip.Config{Chips: cfg.Chips, Seed: cfg.Seed}
+			for i := 0; i < b.N; i++ {
+				sys := multichip.MustSystem(m, mcfg)
+				if r := sys.RunConcurrent(cfg.DurationNS); r.Energy >= 0 {
+					b.Fatal("solve went nowhere")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cluster/workers=%d", chips), func(b *testing.B) {
+			workers := benchWorkers(b, chips)
+			for i := 0; i < b.N; i++ {
+				cfg := benchClusterConfig(workers, chips)
+				co, err := New(m, fmt.Sprintf("bench-%d-%d", chips, i), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, _, err := co.Solve(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Energy >= 0 {
+					b.Fatal("solve went nowhere")
+				}
+			}
+		})
+	}
+}

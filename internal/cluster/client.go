@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the coordinator's transport: per-RPC deadlines,
+// deterministic-jittered exponential backoff under a per-run retry
+// budget, and the heartbeat prober that separates slow from dead.
+//
+// Failure taxonomy:
+//   - transport errors and 5xx are retryable (a chaos proxy injects
+//     exactly these; so do real networks);
+//   - 4xx are protocol errors — a coordinator/worker disagreement no
+//     retry can fix — and abort the run;
+//   - a worker whose heartbeats still answer gets a doubled attempt
+//     allowance before being declared dead (slow ≠ dead, Sec: failure
+//     model in DESIGN.md);
+//   - exhausting attempts or the budget declares the worker dead and
+//     surfaces errWorkerDead, which the coordinator turns into a
+//     checkpoint-rollback recovery.
+
+// writeJSON / writeError mirror the runs package's response helpers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// workerDeadError reports that a worker was declared dead.
+type workerDeadError struct {
+	worker int // index into the coordinator's worker list
+	cause  error
+}
+
+func (e *workerDeadError) Error() string {
+	return fmt.Sprintf("cluster: worker %d declared dead: %v", e.worker, e.cause)
+}
+
+// protocolError is a non-retryable 4xx/422 from a worker.
+type protocolError struct {
+	status int
+	body   string
+}
+
+func (e *protocolError) Error() string {
+	return fmt.Sprintf("cluster: worker protocol error %d: %s", e.status, strings.TrimSpace(e.body))
+}
+
+// splitmix64 is the repo's standard stateless hash (internal/rng,
+// internal/fault use the same constants) — here it derives backoff
+// jitter deterministically from (seed, worker, attempt counter), the
+// same philosophy as the fault layer's seed-hashed fates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// workerHealth is one worker's liveness ledger, shared between the
+// prober goroutine and RPC issuers.
+type workerHealth struct {
+	misses atomic.Int64 // consecutive heartbeat misses
+	dead   atomic.Bool  // declared dead (sticky for the run)
+	probes atomic.Int64
+}
+
+// transport issues the coordinator's RPCs against one worker set.
+type transport struct {
+	cfg     Config
+	client  *http.Client
+	workers []string
+	health  []*workerHealth
+
+	budget  atomic.Int64 // remaining retries for the run
+	retries atomic.Int64 // retries actually spent
+	jitter  atomic.Uint64
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+func newTransport(cfg Config, workers []string) *transport {
+	t := &transport{
+		cfg:     cfg,
+		client:  cfg.Client,
+		workers: workers,
+		health:  make([]*workerHealth, len(workers)),
+	}
+	if t.client == nil {
+		t.client = &http.Client{}
+	}
+	for i := range t.health {
+		t.health[i] = &workerHealth{}
+	}
+	t.budget.Store(int64(cfg.RetryBudget))
+	return t
+}
+
+// startProber launches one heartbeat goroutine per worker, probing
+// GET /healthz every HeartbeatEvery. HeartbeatMisses consecutive
+// failures mark the worker dead; any success clears the count (unless
+// already declared dead — death is sticky, a flapping worker cannot
+// rejoin mid-run).
+func (t *transport) startProber() {
+	t.stopProbe = make(chan struct{})
+	for wi := range t.workers {
+		t.probeWG.Add(1)
+		go func(wi int) {
+			defer t.probeWG.Done()
+			ticker := time.NewTicker(t.cfg.HeartbeatEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-t.stopProbe:
+					return
+				case <-ticker.C:
+				}
+				h := t.health[wi]
+				if h.dead.Load() {
+					return
+				}
+				h.probes.Add(1)
+				if t.probe(wi) {
+					h.misses.Store(0)
+					continue
+				}
+				if h.misses.Add(1) >= int64(t.cfg.HeartbeatMisses) {
+					h.dead.Store(true)
+					return
+				}
+			}
+		}(wi)
+	}
+}
+
+func (t *transport) stopProber() {
+	if t.stopProbe != nil {
+		close(t.stopProbe)
+		t.probeWG.Wait()
+		t.stopProbe = nil
+	}
+}
+
+// probe issues one heartbeat. Probes ride the same chaos-exposed URL
+// as RPCs, so an injected blackhole looks like death here too. The
+// deadline is floored well above the probe cadence: it fences a hung
+// worker, while refused/reset connections (how a crashed or blackholed
+// worker actually presents) fail immediately regardless — so
+// scheduling jitter on a loaded host cannot masquerade as death.
+func (t *transport) probe(wi int) bool {
+	d := t.cfg.HeartbeatEvery
+	if d < 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.workers[wi]+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// alive reports whether the worker has not been declared dead.
+func (t *transport) alive(wi int) bool { return !t.health[wi].dead.Load() }
+
+// markDead declares a worker dead directly (RPC-layer detection).
+func (t *transport) markDead(wi int) { t.health[wi].dead.Store(true) }
+
+// do issues one JSON RPC against worker wi with deadline, backoff and
+// budget, decoding a 2xx body into out (when non-nil). It returns
+// *workerDeadError when the worker is declared dead, *protocolError on
+// 4xx, ctx.Err() on coordinator cancellation.
+func (t *transport) do(ctx context.Context, wi int, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("cluster: encoding %s %s: %w", method, path, err)
+		}
+	}
+	maxAttempts := t.cfg.MaxAttempts
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !t.alive(wi) {
+			if lastErr == nil {
+				lastErr = errors.New("heartbeats missed")
+			}
+			return &workerDeadError{worker: wi, cause: lastErr}
+		}
+		if attempt >= maxAttempts {
+			// Out of attempts. A worker whose heartbeats still answer is
+			// slow, not dead: grant one doubling of the allowance before
+			// giving up on it.
+			if maxAttempts == t.cfg.MaxAttempts && t.health[wi].misses.Load() == 0 && t.health[wi].probes.Load() > 0 {
+				maxAttempts *= 2
+			} else {
+				t.markDead(wi)
+				return &workerDeadError{worker: wi, cause: lastErr}
+			}
+		}
+		if attempt > 0 {
+			if t.budget.Add(-1) < 0 {
+				t.markDead(wi)
+				return &workerDeadError{worker: wi, cause: fmt.Errorf("retry budget exhausted (%w)", lastErr)}
+			}
+			t.retries.Add(1)
+			if err := t.sleepBackoff(ctx, wi, attempt); err != nil {
+				return err
+			}
+		}
+		err := t.once(ctx, wi, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var pe *protocolError
+		if errors.As(err, &pe) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+	}
+}
+
+// once is a single attempt under the per-RPC deadline.
+func (t *transport) once(ctx context.Context, wi int, method, path string, body []byte, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, t.cfg.RPCTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, t.workers[wi]+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSliceBody))
+	if err != nil {
+		return err
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("cluster: decoding %s %s: %w", method, path, err)
+			}
+		}
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500 || resp.StatusCode == http.StatusUnprocessableEntity:
+		return &protocolError{status: resp.StatusCode, body: string(data)}
+	default:
+		return fmt.Errorf("cluster: %s %s: status %d", method, path, resp.StatusCode)
+	}
+}
+
+// sleepBackoff waits base·2^(attempt−1), capped, with ±50%
+// deterministic jitter hashed from the run seed and a send counter —
+// reproducible schedules, like everything else in the repo.
+func (t *transport) sleepBackoff(ctx context.Context, wi, attempt int) error {
+	d := t.cfg.BackoffBase << (attempt - 1)
+	if d > t.cfg.BackoffMax {
+		d = t.cfg.BackoffMax
+	}
+	h := splitmix64(t.cfg.Seed ^ uint64(wi)<<32 ^ t.jitter.Add(1))
+	frac := 0.5 + float64(h>>11)/float64(1<<53) // [0.5, 1.5)
+	d = time.Duration(float64(d) * frac)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

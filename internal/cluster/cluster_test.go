@@ -1,0 +1,511 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mbrim/internal/checkpoint"
+	"mbrim/internal/cluster/chaosproxy"
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/multichip"
+	"mbrim/internal/obs"
+	"mbrim/internal/rng"
+)
+
+func kmodel(n int, seed uint64) *ising.Model {
+	return graph.Complete(n, rng.New(seed)).ToIsing()
+}
+
+// startWorkers launches k in-process worker servers (worker routes
+// plus the /healthz the prober relies on) and returns their base URLs.
+func startWorkers(t *testing.T, k int) []string {
+	t.Helper()
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		mux := http.NewServeMux()
+		NewWorker(nil, 0).Routes(mux)
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// fastConfig returns a Config tuned for loopback tests: tight
+// timeouts, quick heartbeats, minimal backoff.
+func fastConfig(workers []string, chips int, seed uint64, duration float64) Config {
+	return Config{
+		Workers:           workers,
+		Chips:             chips,
+		Seed:              seed,
+		DurationNS:        duration,
+		ChannelBytesPerNS: 0.5,
+		SampleEveryNS:     duration / 10,
+		RPCTimeout:        2 * time.Second,
+		MaxAttempts:       3,
+		BackoffBase:       time.Millisecond,
+		BackoffMax:        4 * time.Millisecond,
+		HeartbeatEvery:    20 * time.Millisecond,
+		HeartbeatMisses:   5,
+	}
+}
+
+func inProcess(t *testing.T, m *ising.Model, cfg Config) *multichip.Result {
+	t.Helper()
+	mcfg := multichip.Config{
+		Chips:             cfg.Chips,
+		EpochNS:           cfg.EpochNS,
+		Coordinated:       cfg.Coordinated,
+		Seed:              cfg.Seed,
+		Channels:          cfg.Channels,
+		ChannelBytesPerNS: cfg.ChannelBytesPerNS,
+		SampleEveryNS:     cfg.SampleEveryNS,
+	}
+	return multichip.MustSystem(m, mcfg).RunConcurrent(cfg.DurationNS)
+}
+
+// compareToInProcess asserts the distributed trajectory equals the
+// in-process one bit for bit. Traffic/stall/elapsed are compared only
+// when wantLedgers is true (a recovered run legitimately carries extra
+// hand-off traffic and stall).
+func compareToInProcess(t *testing.T, got *Result, want *multichip.Result, wantLedgers bool) {
+	t.Helper()
+	for i := range got.Spins {
+		if got.Spins[i] != want.Spins[i] {
+			t.Fatalf("spin %d: cluster=%d in-process=%d", i, got.Spins[i], want.Spins[i])
+		}
+	}
+	if got.Energy != want.Energy {
+		t.Errorf("energy: cluster=%v in-process=%v", got.Energy, want.Energy)
+	}
+	if got.Flips != want.Flips {
+		t.Errorf("flips: cluster=%d in-process=%d", got.Flips, want.Flips)
+	}
+	if got.InducedFlips != want.InducedFlips {
+		t.Errorf("induced flips: cluster=%d in-process=%d", got.InducedFlips, want.InducedFlips)
+	}
+	if got.BitChanges != want.BitChanges {
+		t.Errorf("bit changes: cluster=%d in-process=%d", got.BitChanges, want.BitChanges)
+	}
+	if got.InducedBitChanges != want.InducedBitChanges {
+		t.Errorf("induced bit changes: cluster=%d in-process=%d", got.InducedBitChanges, want.InducedBitChanges)
+	}
+	if got.Epochs != want.Epochs {
+		t.Errorf("epochs: cluster=%d in-process=%d", got.Epochs, want.Epochs)
+	}
+	if got.ModelNS != want.ModelNS {
+		t.Errorf("model time: cluster=%v in-process=%v", got.ModelNS, want.ModelNS)
+	}
+	if !wantLedgers {
+		return
+	}
+	if got.TrafficBytes != want.TrafficBytes {
+		t.Errorf("traffic: cluster=%v in-process=%v", got.TrafficBytes, want.TrafficBytes)
+	}
+	if got.StallNS != want.StallNS {
+		t.Errorf("stall: cluster=%v in-process=%v", got.StallNS, want.StallNS)
+	}
+	if got.ElapsedNS != want.ElapsedNS {
+		t.Errorf("elapsed: cluster=%v in-process=%v", got.ElapsedNS, want.ElapsedNS)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("trace length: cluster=%d in-process=%d", len(got.Trace), len(want.Trace))
+	}
+	for i := range got.Trace {
+		if got.Trace[i] != want.Trace[i] {
+			t.Errorf("trace %d: cluster=%v in-process=%v", i, got.Trace[i], want.Trace[i])
+		}
+	}
+}
+
+// TestClusterMatchesInProcess is the parity contract: a fault-free
+// distributed solve is bit-identical to System.RunConcurrent,
+// including the fabric ledgers and the energy trace.
+func TestClusterMatchesInProcess(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		workers     int
+		chips       int
+		coordinated bool
+	}{
+		{"2workers", 2, 2, false},
+		{"3workers-coordinated", 3, 3, true},
+		{"2workers-4chips", 2, 4, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := kmodel(48, 7)
+			cfg := fastConfig(startWorkers(t, tc.workers), tc.chips, 99, 25)
+			cfg.Coordinated = tc.coordinated
+			want := inProcess(t, m, cfg)
+
+			co, err := New(m, "t-"+tc.name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, env, err := co.Solve(context.Background())
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if env != nil {
+				t.Fatal("completed run returned a checkpoint envelope")
+			}
+			compareToInProcess(t, got, want, true)
+			if got.LiveWorkers != tc.workers {
+				t.Errorf("live workers: %d, want %d", got.LiveWorkers, tc.workers)
+			}
+		})
+	}
+}
+
+// TestClusterRecoversFromWorkerKill kills one worker mid-run (via a
+// chaos-proxy blackhole at a chosen epoch) and checks the run
+// completes with the same trajectory as an undisturbed in-process
+// solve, with the recovery charged into the ledgers.
+func TestClusterRecoversFromWorkerKill(t *testing.T) {
+	m := kmodel(48, 7)
+	backends := startWorkers(t, 3)
+	proxies := make([]*chaosproxy.Proxy, len(backends))
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		p, err := chaosproxy.New(b, chaosproxy.Config{Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		srv := httptest.NewServer(p)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+
+	cfg := fastConfig(urls, 3, 99, 25)
+	cfg.CheckpointEvery = 2
+	killed := false
+	cfg.OnEpoch = func(epoch int) {
+		if epoch == 5 && !killed {
+			killed = true
+			proxies[2].Blackhole(true)
+		}
+	}
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+
+	want := inProcess(t, m, cfg)
+	co, err := New(m, "t-kill", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := co.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("Solve after worker kill: %v", err)
+	}
+
+	// Trajectory is bit-identical to a run that never lost the worker.
+	compareToInProcess(t, got, want, false)
+
+	// The robustness layer actually fired and was charged for.
+	st := got.Recovery
+	if st.WorkerDeaths == 0 || st.Recoveries == 0 {
+		t.Fatalf("no recovery recorded: %+v", st)
+	}
+	if st.ReplayedEpochs == 0 {
+		t.Errorf("no replayed epochs recorded: %+v", st)
+	}
+	if st.HandoffBytes <= 0 || st.RecoveryStallNS <= 0 {
+		t.Errorf("recovery cost not charged: %+v", st)
+	}
+	if !st.Degraded {
+		t.Errorf("3 slices on 2 survivors should report degraded mode")
+	}
+	if got.TrafficBytes <= want.TrafficBytes {
+		t.Errorf("hand-off traffic not in ledger: cluster=%v in-process=%v", got.TrafficBytes, want.TrafficBytes)
+	}
+	if got.StallNS <= want.StallNS {
+		t.Errorf("recovery stall not in ledger: cluster=%v in-process=%v", got.StallNS, want.StallNS)
+	}
+	if got.LiveWorkers != 2 {
+		t.Errorf("live workers: %d, want 2", got.LiveWorkers)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cluster.recoveries"] == 0 {
+		t.Errorf("cluster.recoveries metric not recorded")
+	}
+	if snap.Counters["cluster.worker_deaths"] == 0 {
+		t.Errorf("cluster.worker_deaths metric not recorded")
+	}
+	if snap.Gauges["cluster.recovery_stall_ns"] <= 0 {
+		t.Errorf("cluster.recovery_stall_ns metric not recorded")
+	}
+}
+
+// TestClusterSurvivesFlakyTransport runs the whole solve through chaos
+// proxies injecting drops, 5xx and latency and checks retries mask all
+// of it: same result, no recovery needed.
+func TestClusterSurvivesFlakyTransport(t *testing.T) {
+	m := kmodel(36, 11)
+	backends := startWorkers(t, 2)
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		p, err := chaosproxy.New(b, chaosproxy.Config{
+			Seed:      uint64(100 + i),
+			DropRate:  0.08,
+			ErrorRate: 0.08,
+			DelayRate: 0.10,
+			Delay:     2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(p)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	cfg := fastConfig(urls, 2, 17, 20)
+	cfg.MaxAttempts = 6
+	cfg.RetryBudget = 10_000
+	want := inProcess(t, m, cfg)
+
+	co, err := New(m, "t-flaky", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := co.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("Solve through flaky transport: %v", err)
+	}
+	compareToInProcess(t, got, want, true)
+	if got.Recovery.RPCRetries == 0 {
+		t.Errorf("expected retries through a flaky transport, got none")
+	}
+	if got.Recovery.WorkerDeaths != 0 {
+		t.Errorf("flaky-but-alive workers were declared dead: %+v", got.Recovery)
+	}
+}
+
+// TestClusterInterruptCheckpointResumesInProcess cancels a distributed
+// run mid-flight and resumes the returned envelope on the in-process
+// engine; the finished trajectory must equal an uninterrupted run.
+func TestClusterInterruptCheckpointResumesInProcess(t *testing.T) {
+	m := kmodel(40, 3)
+	cfg := fastConfig(startWorkers(t, 2), 2, 5, 30)
+	cfg.CheckpointEvery = 2
+	want := inProcess(t, m, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	co, err := New(m, "t-interrupt", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Progress = func(epoch int, _ float64) {
+		if epoch == 3 {
+			cancel()
+		}
+	}
+	partial, env, err := co.Solve(ctx)
+	if err != context.Canceled {
+		t.Fatalf("Solve: err=%v, want context.Canceled", err)
+	}
+	if partial == nil || len(env) == 0 {
+		t.Fatal("cancelled run did not return a partial result and envelope")
+	}
+
+	f, err := checkpoint.Decode(env)
+	if err != nil {
+		t.Fatalf("decoding envelope: %v", err)
+	}
+	if err := f.Validate("mbrim", cfg.Seed, m); err != nil {
+		t.Fatalf("envelope validation: %v", err)
+	}
+	mcfg := multichip.Config{
+		Chips:             cfg.Chips,
+		Seed:              cfg.Seed,
+		ChannelBytesPerNS: cfg.ChannelBytesPerNS,
+		SampleEveryNS:     cfg.SampleEveryNS,
+	}
+	got, ck, err := multichip.MustSystem(m, mcfg).RunConcurrentCtx(context.Background(), cfg.DurationNS, f.Multichip)
+	if err != nil {
+		t.Fatalf("in-process resume: %v", err)
+	}
+	if ck != nil {
+		t.Fatal("resumed run returned a checkpoint")
+	}
+	for i := range got.Spins {
+		if got.Spins[i] != want.Spins[i] {
+			t.Fatalf("spin %d after resume: %d, want %d", i, got.Spins[i], want.Spins[i])
+		}
+	}
+	if got.Energy != want.Energy {
+		t.Errorf("energy after resume: %v, want %v", got.Energy, want.Energy)
+	}
+	if got.TrafficBytes != want.TrafficBytes {
+		t.Errorf("traffic after resume: %v, want %v", got.TrafficBytes, want.TrafficBytes)
+	}
+	if got.ElapsedNS != want.ElapsedNS {
+		t.Errorf("elapsed after resume: %v, want %v", got.ElapsedNS, want.ElapsedNS)
+	}
+}
+
+// TestWorkerIdempotency pins the wire-protocol invariants retries rely
+// on: step replay, epoch-gap conflict, and the double-sync guard.
+func TestWorkerIdempotency(t *testing.T) {
+	mux := http.NewServeMux()
+	NewWorker(nil, 0).Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	post := func(t *testing.T, path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	m := kmodel(16, 1)
+	create := &CreateSliceRequest{
+		Slice: 0,
+		Model: ModelToWire(m),
+		Config: SliceConfig{
+			Chips: 2, Seed: 9, DurationNS: 10,
+		},
+	}
+	data, _ := json.Marshal(create)
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/worker/slices/s0", bytes.NewReader(data))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	// Re-PUT converges (idempotent create).
+	req2, _ := http.NewRequest(http.MethodPut, srv.URL+"/worker/slices/s0", bytes.NewReader(data))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-create: status %d", resp2.StatusCode)
+	}
+
+	// Step epoch 1.
+	r1, body1 := post(t, "/worker/slices/s0/step", &StepRequest{Epoch: 1})
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("step 1: status %d: %s", r1.StatusCode, body1)
+	}
+	// Retrying epoch 1 replays the identical bytes.
+	r1b, body1b := post(t, "/worker/slices/s0/step", &StepRequest{Epoch: 1})
+	if r1b.StatusCode != http.StatusOK {
+		t.Fatalf("step 1 retry: status %d", r1b.StatusCode)
+	}
+	if !bytes.Equal(body1, body1b) {
+		t.Fatal("step replay returned different bytes")
+	}
+	// Skipping ahead conflicts.
+	r3, _ := post(t, "/worker/slices/s0/step", &StepRequest{Epoch: 3})
+	if r3.StatusCode != http.StatusConflict {
+		t.Fatalf("step 3 out of order: status %d, want 409", r3.StatusCode)
+	}
+	// Sync for the wrong barrier conflicts.
+	rs, _ := post(t, "/worker/slices/s0/sync", &SyncRequest{Epoch: 7})
+	if rs.StatusCode != http.StatusConflict {
+		t.Fatalf("sync wrong epoch: status %d, want 409", rs.StatusCode)
+	}
+	// Sync at the current barrier is idempotent and can return state.
+	rs1, _ := post(t, "/worker/slices/s0/sync", &SyncRequest{Epoch: 1, WantState: true})
+	if rs1.StatusCode != http.StatusOK {
+		t.Fatalf("sync: status %d", rs1.StatusCode)
+	}
+	rs2, _ := post(t, "/worker/slices/s0/sync", &SyncRequest{Epoch: 1, WantState: true})
+	if rs2.StatusCode != http.StatusOK {
+		t.Fatalf("sync retry: status %d", rs2.StatusCode)
+	}
+}
+
+// TestManagerAPI drives a solve end to end through the coordinator
+// HTTP surface.
+func TestManagerAPI(t *testing.T) {
+	workers := startWorkers(t, 2)
+	mgr := NewManager(nil, nil, 0)
+	mux := http.NewServeMux()
+	mgr.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body, _ := json.Marshal(&SubmitRequest{
+		Workers:           workers,
+		K:                 32,
+		GraphSeed:         7,
+		Seed:              99,
+		DurationNS:        20,
+		ChannelBytesPerNS: 0.5,
+	})
+	resp, err := http.Post(srv.URL+"/cluster/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d id %q", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var status struct {
+		Done   bool   `json:"done"`
+		Error  string `json:"error"`
+		Result *struct {
+			Energy float64 `json:"energy"`
+			Epochs int     `json:"epochs"`
+		} `json:"result"`
+	}
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("run did not finish in time")
+		}
+		r, err := http.Get(srv.URL + "/cluster/runs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status.Done, status.Error, status.Result = false, "", nil
+		json.NewDecoder(r.Body).Decode(&status)
+		r.Body.Close()
+		if status.Done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.Error != "" {
+		t.Fatalf("run failed: %s", status.Error)
+	}
+	if status.Result == nil || status.Result.Epochs == 0 {
+		t.Fatalf("missing result: %+v", status)
+	}
+
+	// The API's answer equals the in-process engine's.
+	m := kmodel(32, 7)
+	want := multichip.MustSystem(m, multichip.Config{
+		Chips: 2, Seed: 99, ChannelBytesPerNS: 0.5, SampleEveryNS: 0.2,
+	}).RunConcurrent(20)
+	if status.Result.Energy != want.Energy {
+		t.Errorf("energy via API: %v, want %v", status.Result.Energy, want.Energy)
+	}
+}

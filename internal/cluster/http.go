@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/obs"
+	"mbrim/internal/rng"
+)
+
+// Manager hosts the coordinator API — the service half of `mbrim
+// -cluster`, mounted into mbrimd next to the runs surface:
+//
+//	POST   /cluster/runs                 start a distributed solve
+//	GET    /cluster/runs                 list runs
+//	GET    /cluster/runs/{id}            status (result when finished)
+//	POST   /cluster/runs/{id}/cancel     cancel; checkpoint kept
+//	GET    /cluster/runs/{id}/checkpoint interrupt-checkpoint envelope
+type Manager struct {
+	reg      *obs.Registry
+	tracer   obs.Tracer
+	maxSpins int
+
+	mu   sync.Mutex
+	next int
+	runs map[string]*clusterRun
+}
+
+type clusterRun struct {
+	mu       sync.Mutex
+	id       string
+	cancel   context.CancelFunc
+	done     chan struct{}
+	epoch    int
+	elapsed  float64
+	result   *Result
+	envelope []byte
+	err      error
+}
+
+// DefaultMaxSpins mirrors the runs surface's submission bound.
+const DefaultMaxSpins = 65536
+
+// NewManager builds the coordinator service. reg and tracer may be
+// nil.
+func NewManager(reg *obs.Registry, tracer obs.Tracer, maxSpins int) *Manager {
+	if maxSpins <= 0 {
+		maxSpins = DefaultMaxSpins
+	}
+	return &Manager{reg: reg, tracer: tracer, maxSpins: maxSpins, runs: make(map[string]*clusterRun)}
+}
+
+// Routes registers the coordinator endpoints on mux.
+func (m *Manager) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /cluster/runs", m.handleSubmit)
+	mux.HandleFunc("GET /cluster/runs", m.handleList)
+	mux.HandleFunc("GET /cluster/runs/{id}", m.handleStatus)
+	mux.HandleFunc("POST /cluster/runs/{id}/cancel", m.handleCancel)
+	mux.HandleFunc("GET /cluster/runs/{id}/checkpoint", m.handleCheckpoint)
+}
+
+// SubmitRequest is the POST /cluster/runs body. The problem spec (k /
+// graphSeed or n / edges) matches the runs surface; the rest maps onto
+// Config.
+type SubmitRequest struct {
+	Workers   []string     `json:"workers"`
+	K         int          `json:"k,omitempty"`
+	GraphSeed uint64       `json:"graphSeed,omitempty"`
+	N         int          `json:"n,omitempty"`
+	Edges     [][3]float64 `json:"edges,omitempty"`
+
+	Seed              uint64  `json:"seed,omitempty"`
+	Chips             int     `json:"chips,omitempty"`
+	DurationNS        float64 `json:"durationNS,omitempty"`
+	EpochNS           float64 `json:"epochNS,omitempty"`
+	Coordinated       bool    `json:"coordinated,omitempty"`
+	Channels          int     `json:"channels,omitempty"`
+	ChannelBytesPerNS float64 `json:"channelBytesPerNS,omitempty"`
+	SampleEveryNS     float64 `json:"sampleEveryNS,omitempty"`
+	Backend           string  `json:"backend,omitempty"`
+	CheckpointEvery   int     `json:"checkpointEvery,omitempty"`
+	RPCTimeoutMS      int     `json:"rpcTimeoutMS,omitempty"`
+	MaxAttempts       int     `json:"maxAttempts,omitempty"`
+	RetryBudget       int     `json:"retryBudget,omitempty"`
+}
+
+// buildModel constructs the problem graph, mirroring the runs
+// surface's conventions (1-based edge endpoints, graphSeed default 1).
+func (m *Manager) buildModel(sr *SubmitRequest) (*ising.Model, error) {
+	switch {
+	case sr.K > 0 && len(sr.Edges) > 0:
+		return nil, fmt.Errorf("cluster: give k or edges, not both")
+	case sr.K > 0:
+		if sr.K > m.maxSpins {
+			return nil, fmt.Errorf("cluster: k=%d exceeds the %d-spin limit", sr.K, m.maxSpins)
+		}
+		gseed := sr.GraphSeed
+		if gseed == 0 {
+			gseed = 1
+		}
+		return graph.Complete(sr.K, rng.New(gseed)).ToIsing(), nil
+	case len(sr.Edges) > 0:
+		if sr.N < 2 {
+			return nil, fmt.Errorf("cluster: edges need n >= 2 vertices")
+		}
+		if sr.N > m.maxSpins {
+			return nil, fmt.Errorf("cluster: n=%d exceeds the %d-spin limit", sr.N, m.maxSpins)
+		}
+		g := graph.New(sr.N)
+		for i, e := range sr.Edges {
+			u, v, w := int(e[0]), int(e[1]), e[2]
+			if u < 1 || u > sr.N || v < 1 || v > sr.N || u == v {
+				return nil, fmt.Errorf("cluster: edge %d (%d,%d) out of range for n=%d", i, u, v, sr.N)
+			}
+			g.AddEdge(u-1, v-1, w)
+		}
+		return g.ToIsing(), nil
+	default:
+		return nil, fmt.Errorf("cluster: need k > 0 or an edge list")
+	}
+}
+
+func (m *Manager) config(sr *SubmitRequest) Config {
+	seed := sr.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	duration := sr.DurationNS
+	if duration == 0 {
+		duration = 100 // the core default duration
+	}
+	sampleEvery := sr.SampleEveryNS
+	if sampleEvery == 0 {
+		sampleEvery = duration / 100
+	}
+	cfg := Config{
+		Workers:           sr.Workers,
+		Chips:             sr.Chips,
+		DurationNS:        duration,
+		EpochNS:           sr.EpochNS,
+		Coordinated:       sr.Coordinated,
+		Seed:              seed,
+		Backend:           sr.Backend,
+		Channels:          sr.Channels,
+		ChannelBytesPerNS: sr.ChannelBytesPerNS,
+		SampleEveryNS:     sampleEvery,
+		CheckpointEvery:   sr.CheckpointEvery,
+		MaxAttempts:       sr.MaxAttempts,
+		RetryBudget:       sr.RetryBudget,
+		Metrics:           m.reg,
+		Tracer:            m.tracer,
+	}
+	if sr.RPCTimeoutMS > 0 {
+		cfg.RPCTimeout = msDuration(sr.RPCTimeoutMS)
+	}
+	return cfg
+}
+
+const maxClusterBody = 64 << 20
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sr SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxClusterBody)).Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: parsing body: %w", err))
+		return
+	}
+	model, err := m.buildModel(&sr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m.mu.Lock()
+	m.next++
+	id := fmt.Sprintf("cr-%d", m.next)
+	m.mu.Unlock()
+
+	co, err := New(model, id, m.config(&sr))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cr := &clusterRun{id: id, cancel: cancel, done: make(chan struct{})}
+	co.Progress = func(epoch int, elapsed float64) {
+		cr.mu.Lock()
+		cr.epoch, cr.elapsed = epoch, elapsed
+		cr.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.runs[id] = cr
+	m.mu.Unlock()
+	go func() {
+		defer close(cr.done)
+		defer cancel()
+		res, env, err := co.Solve(ctx)
+		cr.mu.Lock()
+		cr.result, cr.envelope, cr.err = res, env, err
+		cr.mu.Unlock()
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (m *Manager) lookup(id string) (*clusterRun, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cr, ok := m.runs[id]
+	return cr, ok
+}
+
+// statusBody snapshots a run for JSON.
+func (cr *clusterRun) statusBody() map[string]any {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	body := map[string]any{"id": cr.id, "epoch": cr.epoch, "elapsedNS": cr.elapsed}
+	select {
+	case <-cr.done:
+		body["done"] = true
+		if cr.err != nil {
+			body["error"] = cr.err.Error()
+		}
+		if cr.result != nil {
+			body["result"] = map[string]any{
+				"energy":       cr.result.Energy,
+				"modelNS":      cr.result.ModelNS,
+				"stallNS":      cr.result.StallNS,
+				"elapsedNS":    cr.result.ElapsedNS,
+				"flips":        cr.result.Flips,
+				"bitChanges":   cr.result.BitChanges,
+				"trafficBytes": cr.result.TrafficBytes,
+				"epochs":       cr.result.Epochs,
+				"recovery":     cr.result.Recovery,
+				"liveWorkers":  cr.result.LiveWorkers,
+			}
+		}
+		body["checkpoint"] = len(cr.envelope) > 0
+	default:
+		body["done"] = false
+	}
+	return body
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.runs))
+	for id := range m.runs {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	writeJSON(w, http.StatusOK, map[string]any{"runs": ids})
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cr, ok := m.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, cr.statusBody())
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	cr, ok := m.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no run %q", r.PathValue("id")))
+		return
+	}
+	cr.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": cr.id, "state": "cancelling"})
+}
+
+func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	cr, ok := m.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no run %q", r.PathValue("id")))
+		return
+	}
+	select {
+	case <-cr.done:
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("cluster: run %q still in progress", cr.id))
+		return
+	}
+	cr.mu.Lock()
+	env := cr.envelope
+	cr.mu.Unlock()
+	if len(env) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: run %q has no checkpoint (it completed)", cr.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", cr.id+".ckpt.json"))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(env)
+}
+
+// CancelAll cancels every live run and waits for them to settle — the
+// drain path.
+func (m *Manager) CancelAll() {
+	m.mu.Lock()
+	runs := make([]*clusterRun, 0, len(m.runs))
+	for _, cr := range m.runs {
+		runs = append(runs, cr)
+	}
+	m.mu.Unlock()
+	for _, cr := range runs {
+		cr.cancel()
+	}
+	for _, cr := range runs {
+		<-cr.done
+	}
+}
+
+// Active reports how many runs are still in flight.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, cr := range m.runs {
+		select {
+		case <-cr.done:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+func msDuration(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }

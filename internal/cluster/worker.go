@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mbrim/internal/multichip"
+	"mbrim/internal/obs"
+)
+
+// Worker hosts slices on behalf of remote coordinators — the server
+// half of the cluster protocol, mounted into mbrimd with -worker:
+//
+//	PUT    /worker/slices/{id}       create/replace a slice (idempotent)
+//	GET    /worker/slices            list hosted slices
+//	GET    /worker/slices/{id}       slice status (?state=1 adds snapshot)
+//	POST   /worker/slices/{id}/step  integrate the next epoch
+//	POST   /worker/slices/{id}/sync  deliver a barrier without integrating
+//	DELETE /worker/slices/{id}       drop a slice
+//
+// Slice ids are coordinator-chosen ("run-3-s1-g2"), which makes every
+// mutation idempotent: a re-PUT replaces, a repeated step replays the
+// cached response, a repeated sync acknowledges again. Idempotency is
+// what lets the coordinator retry any RPC blindly after a timeout — it
+// can never double-integrate an epoch.
+type Worker struct {
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	slices    map[string]*workerSlice
+	maxSlices int
+}
+
+// workerSlice is one hosted slice plus its replay cache. Its own lock
+// serializes step/sync per slice while leaving distinct slices (one
+// worker can host several after a degraded reassignment) concurrent.
+type workerSlice struct {
+	mu    sync.Mutex
+	slice *multichip.Slice
+	// syncedEpoch is the last barrier whose cross-chip updates were
+	// delivered (via step piggyback or /sync); lastStep replays the
+	// last completed epoch for retried RPCs.
+	syncedEpoch int
+	lastStep    *StepResponse
+}
+
+// DefaultMaxSlices bounds how many slices one worker will host.
+const DefaultMaxSlices = 64
+
+// NewWorker builds a worker. reg may be nil.
+func NewWorker(reg *obs.Registry, maxSlices int) *Worker {
+	if maxSlices <= 0 {
+		maxSlices = DefaultMaxSlices
+	}
+	if reg != nil {
+		reg.SetHelp("cluster.worker_slices", "slices currently hosted by this worker")
+		reg.SetHelp("cluster.worker_steps", "slice epochs integrated by this worker")
+		reg.SetHelp("cluster.worker_step_replays", "retried step RPCs answered from the replay cache")
+	}
+	return &Worker{reg: reg, slices: make(map[string]*workerSlice), maxSlices: maxSlices}
+}
+
+// Routes registers the worker endpoints on mux (Go 1.22 method
+// patterns, like the runs surface).
+func (wk *Worker) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("PUT /worker/slices/{id}", wk.handleCreate)
+	mux.HandleFunc("GET /worker/slices", wk.handleList)
+	mux.HandleFunc("GET /worker/slices/{id}", wk.handleGet)
+	mux.HandleFunc("POST /worker/slices/{id}/step", wk.handleStep)
+	mux.HandleFunc("POST /worker/slices/{id}/sync", wk.handleSync)
+	mux.HandleFunc("DELETE /worker/slices/{id}", wk.handleDelete)
+}
+
+// maxSliceBody bounds slice-creation bodies (a model plus a snapshot).
+const maxSliceBody = 128 << 20
+
+func (wk *Worker) handleCreate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req CreateSliceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSliceBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: parsing body: %w", err))
+		return
+	}
+	m, err := req.Model.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mcfg, err := req.Config.multichipConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sl, err := multichip.NewSlice(m, mcfg, req.Slice, req.Config.DurationNS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ws := &workerSlice{slice: sl}
+	if req.State != nil {
+		if err := sl.Restore(req.State); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// A restored snapshot is post-sync by construction.
+		ws.syncedEpoch = sl.Epochs()
+	}
+	wk.mu.Lock()
+	if _, exists := wk.slices[id]; !exists && len(wk.slices) >= wk.maxSlices {
+		wk.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("cluster: worker at its %d-slice capacity", wk.maxSlices))
+		return
+	}
+	wk.slices[id] = ws
+	n := len(wk.slices)
+	wk.mu.Unlock()
+	if wk.reg != nil {
+		wk.reg.Gauge("cluster.worker_slices").Set(float64(n))
+	}
+	writeJSON(w, http.StatusOK, wk.status(id, ws, false))
+}
+
+func (wk *Worker) lookup(id string) (*workerSlice, bool) {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	ws, ok := wk.slices[id]
+	return ws, ok
+}
+
+func (wk *Worker) status(id string, ws *workerSlice, withState bool) map[string]any {
+	st := SliceStatus{
+		ID:     id,
+		Slice:  ws.slice.Chip(),
+		Epoch:  ws.slice.Epochs(),
+		Synced: ws.syncedEpoch,
+		Model:  ws.slice.ModelNS(),
+		Done:   ws.slice.Done(),
+	}
+	out := map[string]any{"status": st}
+	if withState {
+		out["state"] = ws.slice.Snapshot()
+	}
+	return out
+}
+
+func (wk *Worker) handleList(w http.ResponseWriter, _ *http.Request) {
+	wk.mu.Lock()
+	ids := make([]string, 0, len(wk.slices))
+	for id := range wk.slices {
+		ids = append(ids, id)
+	}
+	wk.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"slices": ids})
+}
+
+func (wk *Worker) handleGet(w http.ResponseWriter, r *http.Request) {
+	ws, ok := wk.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no slice %q", r.PathValue("id")))
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	writeJSON(w, http.StatusOK, wk.status(r.PathValue("id"), ws, r.URL.Query().Get("state") == "1"))
+}
+
+func (wk *Worker) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wk.mu.Lock()
+	delete(wk.slices, id)
+	n := len(wk.slices)
+	wk.mu.Unlock()
+	if wk.reg != nil {
+		wk.reg.Gauge("cluster.worker_slices").Set(float64(n))
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (wk *Worker) handleStep(w http.ResponseWriter, r *http.Request) {
+	ws, ok := wk.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no slice %q", r.PathValue("id")))
+		return
+	}
+	var req StepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSliceBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: parsing body: %w", err))
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	done := ws.slice.Epochs()
+	switch {
+	case req.Epoch == done && ws.lastStep != nil && ws.lastStep.Report.Epoch == req.Epoch:
+		// A retry of the epoch we just integrated: the first response was
+		// lost in flight. Replay it — never integrate twice.
+		if wk.reg != nil {
+			wk.reg.Counter("cluster.worker_step_replays").Inc()
+		}
+		writeJSON(w, http.StatusOK, ws.lastStep)
+		return
+	case req.Epoch != done+1:
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("cluster: slice at epoch %d cannot step epoch %d", done, req.Epoch))
+		return
+	}
+	// Deliver the previous barrier if it rode along (it must not have
+	// been delivered already — that would double-apply updates).
+	if len(req.Sync) > 0 {
+		if ws.syncedEpoch >= done {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("cluster: barrier %d already delivered to slice", done))
+			return
+		}
+		if err := ws.slice.ApplySync(req.Sync); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	ws.syncedEpoch = done
+	rep, err := ws.slice.RunEpoch()
+	if err != nil {
+		// Integrator divergence is not retryable; 422 tells the
+		// coordinator to abort rather than back off.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ws.lastStep = &StepResponse{Report: rep}
+	if wk.reg != nil {
+		wk.reg.Counter("cluster.worker_steps").Inc()
+	}
+	writeJSON(w, http.StatusOK, ws.lastStep)
+}
+
+func (wk *Worker) handleSync(w http.ResponseWriter, r *http.Request) {
+	ws, ok := wk.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no slice %q", r.PathValue("id")))
+		return
+	}
+	var req SyncRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSliceBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: parsing body: %w", err))
+		return
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	done := ws.slice.Epochs()
+	if req.Epoch != done {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("cluster: sync for barrier %d, slice at epoch %d", req.Epoch, done))
+		return
+	}
+	if ws.syncedEpoch < done {
+		if err := ws.slice.ApplySync(req.Sync); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ws.syncedEpoch = done
+	}
+	// else: a retry of a barrier already delivered — acknowledge again.
+	resp := &SyncResponse{Epoch: done}
+	if req.WantState {
+		resp.State = ws.slice.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

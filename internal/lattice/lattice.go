@@ -5,15 +5,17 @@
 //
 // # Backends
 //
-// Three layouts implement Coupling:
+// Two layouts implement Coupling (plus one compatibility alias):
 //
 //   - Dense: the row-major n×n array the repository has always used —
 //     right for the paper's fully connected K-graphs.
 //   - CSR: compressed sparse rows with ascending column order — right
 //     for Gset-scale instances at a few percent density, where the
 //     dense loops spend almost all their time scanning zeros.
-//   - Blocked: dense storage walked in fixed column blocks so the
-//     input vector is reused while it is cache-hot.
+//   - Blocked: deprecated alias for Dense, kept for request
+//     compatibility. The cache-blocked walk it named was retired
+//     after benchmarking showed it consistently slower than the plain
+//     dense pass (see blocked.go for the post-mortem).
 //
 // Auto resolves to CSR when the measured density is at most
 // AutoCSRDensity, else Dense.

@@ -1,0 +1,89 @@
+package metrics
+
+import "mbrim/internal/lattice"
+
+// PartitionQuality scores one slicing of a coupling graph — the
+// figures of merit for multi-chip (and multi-node) partitioning: how
+// much coupling weight the cut severs, how many spins sit on a
+// boundary (each one is a shadow spin everywhere else), and how even
+// the slice sizes are.
+type PartitionQuality struct {
+	// CutWeightFraction is Σ|J_ij| over cut edges divided by Σ|J_ij|
+	// over all edges (0 when the graph has no edges).
+	CutWeightFraction float64 `json:"cutWeightFraction"`
+	// BoundarySpinFraction is the fraction of spins with at least one
+	// coupling into another part.
+	BoundarySpinFraction float64 `json:"boundarySpinFraction"`
+	// Imbalance is max part size over mean part size, minus one —
+	// 0 for a perfectly even split.
+	Imbalance float64 `json:"imbalance"`
+	// CutEdges counts couplings crossing part boundaries (each edge
+	// once).
+	CutEdges int `json:"cutEdges"`
+}
+
+// MeasurePartition scores parts (disjoint spin index sets covering the
+// graph) against the couplings in view. Spins absent from every part
+// are ignored; parts may be any sizes.
+func MeasurePartition(view lattice.Coupling, parts [][]int) PartitionQuality {
+	n := view.N()
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	maxPart := 0
+	for pi, p := range parts {
+		for _, g := range p {
+			if g >= 0 && g < n {
+				part[g] = pi
+			}
+		}
+		if len(p) > maxPart {
+			maxPart = len(p)
+		}
+	}
+
+	var totalW, cutW float64
+	cutEdges := 0
+	boundary := make([]bool, n)
+	for i := 0; i < n; i++ {
+		view.Scan(i, func(j int, v float64) {
+			if j <= i {
+				return // upper triangle: count each edge once
+			}
+			w := v
+			if w < 0 {
+				w = -w
+			}
+			totalW += w
+			if part[i] != part[j] {
+				cutW += w
+				cutEdges++
+				boundary[i], boundary[j] = true, true
+			}
+		})
+	}
+
+	q := PartitionQuality{CutEdges: cutEdges}
+	if totalW > 0 {
+		q.CutWeightFraction = cutW / totalW
+	}
+	covered := 0
+	boundarySpins := 0
+	for i := 0; i < n; i++ {
+		if part[i] >= 0 {
+			covered++
+			if boundary[i] {
+				boundarySpins++
+			}
+		}
+	}
+	if covered > 0 {
+		q.BoundarySpinFraction = float64(boundarySpins) / float64(covered)
+	}
+	if len(parts) > 0 && covered > 0 {
+		mean := float64(covered) / float64(len(parts))
+		q.Imbalance = float64(maxPart)/mean - 1
+	}
+	return q
+}

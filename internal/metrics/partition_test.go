@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mbrim/internal/lattice"
+)
+
+// ringLattice builds an n-cycle with unit couplings.
+func ringLattice(n int) lattice.Coupling {
+	j := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		k := (i + 1) % n
+		j[i*n+k], j[k*n+i] = 1, 1
+	}
+	return lattice.FromDense(n, j, lattice.Dense, 0)
+}
+
+func TestMeasurePartitionRing(t *testing.T) {
+	// An 8-cycle split into two contiguous halves cuts exactly 2 of its
+	// 8 edges; the 4 endpoint spins are boundary spins.
+	q := MeasurePartition(ringLattice(8), [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	if q.CutEdges != 2 {
+		t.Errorf("cut edges: %d, want 2", q.CutEdges)
+	}
+	if math.Abs(q.CutWeightFraction-0.25) > 1e-15 {
+		t.Errorf("cut weight fraction: %v, want 0.25", q.CutWeightFraction)
+	}
+	if math.Abs(q.BoundarySpinFraction-0.5) > 1e-15 {
+		t.Errorf("boundary spin fraction: %v, want 0.5", q.BoundarySpinFraction)
+	}
+	if q.Imbalance != 0 {
+		t.Errorf("imbalance: %v, want 0", q.Imbalance)
+	}
+}
+
+func TestMeasurePartitionImbalance(t *testing.T) {
+	// 6 spins split 5/1: max/mean - 1 = 5/3 - 1.
+	q := MeasurePartition(ringLattice(6), [][]int{{0, 1, 2, 3, 4}, {5}})
+	want := 5.0/3.0 - 1
+	if math.Abs(q.Imbalance-want) > 1e-15 {
+		t.Errorf("imbalance: %v, want %v", q.Imbalance, want)
+	}
+}
+
+func TestMeasurePartitionSinglePart(t *testing.T) {
+	// Everything in one part: nothing is cut.
+	q := MeasurePartition(ringLattice(5), [][]int{{0, 1, 2, 3, 4}})
+	if q.CutEdges != 0 || q.CutWeightFraction != 0 || q.BoundarySpinFraction != 0 {
+		t.Errorf("single part should cut nothing: %+v", q)
+	}
+}

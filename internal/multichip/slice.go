@@ -1,0 +1,328 @@
+package multichip
+
+import (
+	"fmt"
+	"math"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/ising"
+	"mbrim/internal/rng"
+)
+
+// This file implements the distributed counterpart of System: a Slice
+// hosts exactly ONE chip of a k-chip system on behalf of a remote
+// coordinator (internal/cluster). The coordinator plays the role of
+// RunConcurrentCtx's epoch loop and of the fabric; the Slice plays the
+// role of one chip plus its belief ledger and kick PRNG.
+//
+// The contract is bit-identical parity: k Slices built from the same
+// (model, Config, durationNS) and driven in lockstep — RunEpoch on
+// every slice, then cross-delivery of the reported updates in ascending
+// chip order — produce exactly the trajectory System.RunConcurrentCtx
+// produces for the same inputs. That works because NewSlice replicates
+// NewSystem's derivation chain verbatim (initial spins from the seed
+// master, kick source = clone or fork of master.Fork(0xC0), brim seed =
+// Seed + chip index, partition = Config.Partition or BlockPartition)
+// and because rng.Fork derives children without disturbing the parent,
+// so building chip ci alone draws the same streams chip ci gets inside
+// a full System.
+
+// Slice is one chip of a multiprocessor system hosted in isolation,
+// stepped one epoch at a time by an external coordinator. It is not
+// safe for concurrent use.
+type Slice struct {
+	model *ising.Model
+	cfg   Config
+	n     int
+	ci    int
+
+	durationNS float64
+	chip       *chip
+	induce     *rng.Source
+	// belief mirrors System.receiverBelief[ci]: what every other chip
+	// currently believes this slice's owned spins hold. RunEpoch
+	// reports only disagreements and then advances the ledger, exactly
+	// like syncEpoch (the cluster wire is logically reliable — the
+	// coordinator retries until delivery, so sends are never lost).
+	belief []int8
+
+	modelNS float64
+	epochs  int
+}
+
+// EpochReport is what one slice tells the coordinator at an epoch
+// barrier: the boundary broadcast (owned spins that changed since the
+// last barrier), the owned readout, and the counters the coordinator
+// ledgers.
+type EpochReport struct {
+	// Epoch is the 1-based epoch just completed; EpochNS its model
+	// duration; ModelNS the slice's position after it.
+	Epoch   int     `json:"epoch"`
+	EpochNS float64 `json:"epochNS"`
+	ModelNS float64 `json:"modelNS"`
+	// Updates is the boundary broadcast in owned order.
+	Updates []PendingUpdate `json:"updates,omitempty"`
+	// Spins is the owned readout after the epoch, in owned order — the
+	// coordinator's global mirror (energy sampling, final assembly)
+	// comes from these, so no separate readout RPC exists.
+	Spins []int8 `json:"spins"`
+	// Flips / InducedFlips are the machine's CUMULATIVE counters (what
+	// Result reads at run end); Kicks and StepRetries are this epoch's.
+	Flips        int64 `json:"flips"`
+	InducedFlips int64 `json:"inducedFlips"`
+	Kicks        int64 `json:"kicks,omitempty"`
+	StepRetries  int64 `json:"stepRetries,omitempty"`
+}
+
+// SliceState is a slice's resumable snapshot at an epoch barrier,
+// after the barrier's cross-chip updates were applied (ApplySync). It
+// is the hand-off unit of cluster recovery: a coordinator collects one
+// per slice and either re-creates a lost worker's slice from it or
+// assembles all of them into a full multichip Checkpoint.
+type SliceState struct {
+	Chip       int       `json:"chip"`
+	DurationNS float64   `json:"durationNS"`
+	ModelNS    float64   `json:"modelNS"`
+	Epochs     int       `json:"epochs"`
+	State      ChipState `json:"state"`
+	Belief     []int8    `json:"belief"`
+	InduceRNG  [4]uint64 `json:"induceRNG"`
+}
+
+// NewSlice builds chip ci of the cfg.Chips-chip system over m, exactly
+// as NewSystem would, without building the other chips. durationNS is
+// the full run horizon (needed up front: induced-flip schedules are
+// driven by run progress). The modeled fault layer belongs to the
+// in-process simulator; a cluster solve meets real faults instead, so
+// enabling Config.Faults here is an error.
+func NewSlice(m *ising.Model, cfg Config, ci int, durationNS float64) (*Slice, error) {
+	n := m.N()
+	c, err := cfg.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	if c.Faults.Enabled() {
+		return nil, fmt.Errorf("multichip: slices host real distributed runs; the modeled fault layer (Config.Faults) is not supported")
+	}
+	if ci < 0 || ci >= c.Chips {
+		return nil, fmt.Errorf("multichip: slice index %d of %d chips", ci, c.Chips)
+	}
+	if durationNS <= 0 || math.IsNaN(durationNS) {
+		return nil, fmt.Errorf("multichip: slice duration=%v", durationNS)
+	}
+	s := &Slice{model: m, cfg: c, n: n, ci: ci, durationNS: durationNS}
+
+	lat := m.View(c.Backend)
+	scale := m.MaxRowNorm2()
+	if scale == 0 {
+		scale = 1
+	}
+	// The derivation chain below must track NewSystem exactly — any
+	// divergence breaks the cluster-vs-in-process parity contract.
+	master := rng.New(c.Seed)
+	initial := ising.RandomSpins(n, master)
+	parts := c.Partition
+	if parts == nil {
+		parts = graph.BlockPartition(n, c.Chips)
+	} else if len(parts) != c.Chips {
+		return nil, fmt.Errorf("multichip: Partition has %d parts for %d chips", len(parts), c.Chips)
+	}
+	if len(parts[ci]) == 0 {
+		return nil, fmt.Errorf("multichip: slice %d owns no spins", ci)
+	}
+	kickMaster := master.Fork(0xC0)
+	bc := c.Brim
+	bc.Seed = c.Seed + uint64(ci)
+	s.chip = newChip(ci, m, lat, parts[ci], scale, bc, c.EpochNS, initial)
+	s.belief = s.chip.ownedSpins()
+	if c.Coordinated {
+		s.induce = kickMaster.Clone()
+	} else {
+		s.induce = kickMaster.Fork(uint64(ci) + 1)
+	}
+	s.chip.machine.SetHorizon(durationNS)
+	return s, nil
+}
+
+// Chip returns the slice's chip index.
+func (s *Slice) Chip() int { return s.ci }
+
+// Owned returns the global spin indices this slice owns, ascending.
+func (s *Slice) Owned() []int { return append([]int(nil), s.chip.owned...) }
+
+// Epochs returns how many epochs the slice has completed.
+func (s *Slice) Epochs() int { return s.epochs }
+
+// ModelNS returns the slice's model-time position.
+func (s *Slice) ModelNS() float64 { return s.modelNS }
+
+// Done reports whether the slice has reached its run horizon.
+func (s *Slice) Done() bool { return s.modelNS >= s.durationNS-1e-9 }
+
+// RunEpoch integrates one epoch — flip-interval chunks with induced
+// draws between them, mirroring RunConcurrentCtx's chip body — then
+// computes the boundary broadcast against the belief ledger and
+// advances the ledger. The caller must have delivered the previous
+// barrier's cross-chip updates (ApplySync) first.
+func (s *Slice) RunEpoch() (*EpochReport, error) {
+	if s.Done() {
+		return nil, fmt.Errorf("multichip: slice %d past its %v ns horizon", s.ci, s.durationNS)
+	}
+	c := s.chip
+	c.resetEpochCounters()
+	epoch := math.Min(s.cfg.EpochNS, s.durationNS-s.modelNS)
+	t := 0.0
+	for t < epoch-1e-9 {
+		chunk := math.Min(s.cfg.FlipIntervalNS, epoch-t)
+		if err := c.machine.Run(chunk); err != nil {
+			return nil, err
+		}
+		t += chunk
+		s.drawInduced((s.modelNS + t) / s.durationNS)
+	}
+	s.modelNS += epoch
+	s.epochs++
+
+	rep := &EpochReport{
+		Epoch:        s.epochs,
+		EpochNS:      epoch,
+		ModelNS:      s.modelNS,
+		Spins:        c.ownedSpins(),
+		Flips:        c.machine.Flips(),
+		InducedFlips: c.machine.InducedFlips(),
+		Kicks:        c.epochKicks,
+		// Draining the guardrail-retry ledger at every barrier keeps it
+		// zero in snapshots, like System.drainStepRetries does.
+		StepRetries: c.machine.TakeEpochRetries(),
+	}
+	for li, g := range c.owned {
+		if rep.Spins[li] != s.belief[li] {
+			rep.Updates = append(rep.Updates, PendingUpdate{Li: li, G: g, V: rep.Spins[li], Induced: c.lastFlipInduced[li]})
+		}
+	}
+	for _, u := range rep.Updates {
+		s.belief[u.Li] = u.V
+	}
+	return rep, nil
+}
+
+// drawInduced is System.drawInduced for this one chip, with the
+// slice-local belief ledger standing in for receiverBelief[ci].
+func (s *Slice) drawInduced(progress float64) {
+	prob := s.cfg.InducedFlip.At(progress)
+	c := s.chip
+	if s.cfg.Coordinated {
+		for g := 0; g < s.n; g++ {
+			if !s.induce.Bool(prob) {
+				continue
+			}
+			if li, own := c.local[g]; own {
+				c.machine.Induce(li)
+				c.epochKicks++
+				s.belief[li] = -s.belief[li]
+			} else {
+				c.applyShadowToggle(g)
+			}
+		}
+		return
+	}
+	for li := range c.owned {
+		if s.induce.Bool(prob) {
+			c.machine.Induce(li)
+			c.epochKicks++
+		}
+	}
+}
+
+// ApplySync delivers a barrier's cross-chip updates — the other
+// slices' EpochReport.Updates, concatenated by the coordinator in
+// ascending chip order — updating shadows and bias currents exactly as
+// syncEpoch's receiver loop does. Updates arrive over the network, so
+// malformed items are errors, never panics.
+func (s *Slice) ApplySync(ups []PendingUpdate) error {
+	c := s.chip
+	for _, u := range ups {
+		if u.G < 0 || u.G >= s.n || (u.V != -1 && u.V != 1) {
+			return fmt.Errorf("multichip: slice %d: invalid sync update g=%d v=%d", s.ci, u.G, u.V)
+		}
+		if _, own := c.local[u.G]; own {
+			return fmt.Errorf("multichip: slice %d: sync update for owned spin %d", s.ci, u.G)
+		}
+		c.applyShadowUpdate(u.G, u.V)
+	}
+	return nil
+}
+
+// Snapshot captures the slice at an epoch barrier, after ApplySync.
+func (s *Slice) Snapshot() *SliceState {
+	c := s.chip
+	return &SliceState{
+		Chip:       s.ci,
+		DurationNS: s.durationNS,
+		ModelNS:    s.modelNS,
+		Epochs:     s.epochs,
+		State: ChipState{
+			Owned:           append([]int(nil), c.owned...),
+			Machine:         c.machine.Snapshot(),
+			Shadow:          append([]int8(nil), c.shadow...),
+			LastFlipInduced: append([]bool(nil), c.lastFlipInduced...),
+		},
+		Belief:    append([]int8(nil), s.belief...),
+		InduceRNG: s.induce.State(),
+	}
+}
+
+// Restore loads a snapshot onto a freshly built identical slice.
+// Snapshots cross the network, so every reach is validated; failures
+// are errors, never panics. The machine's Restore refuses a snapshot
+// whose construction seed differs, which catches a state handed to the
+// wrong chip index.
+func (s *Slice) Restore(st *SliceState) error {
+	if st == nil {
+		return fmt.Errorf("multichip: nil slice state")
+	}
+	c := s.chip
+	if st.Chip != s.ci {
+		return fmt.Errorf("multichip: state for slice %d restored onto slice %d", st.Chip, s.ci)
+	}
+	if st.DurationNS != s.durationNS {
+		return fmt.Errorf("multichip: state horizon %v ns, slice horizon %v ns", st.DurationNS, s.durationNS)
+	}
+	if st.Epochs < 0 || !isFiniteRange(st.ModelNS, 0, s.durationNS) {
+		return fmt.Errorf("multichip: state position epochs=%d model=%v", st.Epochs, st.ModelNS)
+	}
+	if len(st.State.Owned) != len(c.owned) {
+		return fmt.Errorf("multichip: state owns %d spins, slice owns %d", len(st.State.Owned), len(c.owned))
+	}
+	for i, g := range st.State.Owned {
+		if g != c.owned[i] {
+			return fmt.Errorf("multichip: state partition differs at owned[%d]: %d vs %d", i, g, c.owned[i])
+		}
+	}
+	if st.State.Machine == nil || len(st.State.Machine.Spins) != len(c.owned) {
+		return fmt.Errorf("multichip: state machine is missing or mis-sized")
+	}
+	if len(st.State.Shadow) != s.n || len(st.State.LastFlipInduced) != len(c.owned) || len(st.Belief) != len(c.owned) {
+		return fmt.Errorf("multichip: state shadow/attribution/belief tables are mis-sized")
+	}
+	if err := validateSpins(st.State.Shadow); err != nil {
+		return fmt.Errorf("multichip: state shadow: %w", err)
+	}
+	if err := validateSpins(st.Belief); err != nil {
+		return fmt.Errorf("multichip: state belief: %w", err)
+	}
+	// Restore replaces voltages, readout, external bias, holds,
+	// timekeeping and the PRNG position verbatim; the external bias must
+	// NOT be recomputed from shadows (a fresh accumulation order would
+	// not be bit-identical to the incrementally maintained one).
+	if err := c.machine.Restore(st.State.Machine); err != nil {
+		return fmt.Errorf("multichip: slice %d: %w", s.ci, err)
+	}
+	copy(c.shadow, st.State.Shadow)
+	copy(c.lastFlipInduced, st.State.LastFlipInduced)
+	copy(s.belief, st.Belief)
+	s.induce.SetState(st.InduceRNG)
+	s.modelNS = st.ModelNS
+	s.epochs = st.Epochs
+	return nil
+}

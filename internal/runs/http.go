@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mbrim/internal/core"
 	"mbrim/internal/graph"
@@ -342,6 +343,12 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("runs: response writer cannot stream"))
 		return
 	}
+	// An SSE stream lives as long as the client listens. Clear this
+	// connection's read deadline so a server-wide ReadTimeout (set by
+	// mbrimd to fence regular endpoints) cannot reap the stream
+	// mid-tail; errors are ignored because not every transport supports
+	// deadlines, and those that don't impose none.
+	_ = http.NewResponseController(w).SetReadDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Connection", "keep-alive")
