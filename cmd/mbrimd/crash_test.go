@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mbrim/internal/core"
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+)
+
+// buildDaemon compiles mbrimd once into a temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mbrimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary and scrapes the bound address from
+// its banner line. The returned process is NOT cleaned up via t.Cleanup
+// — crash tests kill it themselves.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "localhost:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "mbrimd: listening on http://"); ok {
+			go func() { // keep draining so the child never blocks on stdout
+				for sc.Scan() {
+				}
+			}()
+			return cmd, "http://" + rest
+		}
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("daemon never printed its listen banner")
+	return nil, ""
+}
+
+func waitReady(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became ready", base)
+}
+
+type outcomeBody struct {
+	State  string             `json:"state"`
+	Energy float64            `json:"energy"`
+	Stats  map[string]float64 `json:"stats"`
+	Spins  []int8             `json:"spins"`
+}
+
+// TestCrashRecoveryBitIdentical is the end-to-end durability pin: a
+// daemon is SIGKILLed mid-run with durable state on disk, a second
+// daemon replays the journal and resumes the run from its last
+// checkpoint, and the outcome must be bit-identical — energy, flips and
+// full spin state — to the same request solved in-process without any
+// interruption.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemons")
+	}
+	bin := buildDaemon(t)
+	state := t.TempDir()
+
+	cmd, base := startDaemon(t, bin, "-state-dir", state, "-checkpoint-every", "100ms")
+	waitReady(t, base, 10*time.Second)
+
+	// ~1.4s of wall time at this problem size: enough for several
+	// checkpoints before the kill and real work left after it.
+	body := `{"engine":"mbrim","k":64,"chips":2,"durationNS":5000,"seed":7}`
+	resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	// Wait for a durable checkpoint, then let one more cadence elapse so
+	// the kill lands mid-flight with state genuinely behind the solve.
+	ckptDir := filepath.Join(state, "checkpoints")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if ents, err := os.ReadDir(ckptDir); err == nil && len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("no checkpoint file appeared in 15s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Second generation: same state dir, journal replays, run resumes.
+	cmd2, base2 := startDaemon(t, bin, "-state-dir", state, "-checkpoint-every", "100ms")
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+	waitReady(t, base2, 10*time.Second)
+
+	var out outcomeBody
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/runs/run-1/outcome")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("resumed run never reached a terminal outcome")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if out.State != "completed" {
+		t.Fatalf("resumed run state = %s, want completed", out.State)
+	}
+
+	// The uninterrupted reference, mirroring buildRequest's defaults for
+	// the submitted body (graphSeed 1, sampleEvery duration/100, auto
+	// backend).
+	g := graph.Complete(64, rng.New(1))
+	ref, err := core.Solve(core.Request{
+		Kind: core.MBRIMConcurrent, Model: g.ToIsing(), Graph: g,
+		Seed: 7, DurationNS: 5000, Chips: 2, SampleEveryNS: 50, Backend: "auto",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(out.Energy) != math.Float64bits(ref.Energy) {
+		t.Fatalf("energy after crash-resume: %v != reference %v", out.Energy, ref.Energy)
+	}
+	if out.Stats["flips"] != ref.Stats["flips"] {
+		t.Fatalf("flips after crash-resume: %v != reference %v", out.Stats["flips"], ref.Stats["flips"])
+	}
+	if len(out.Spins) != len(ref.Spins) {
+		t.Fatalf("spin count %d != %d", len(out.Spins), len(ref.Spins))
+	}
+	for i := range out.Spins {
+		if out.Spins[i] != ref.Spins[i] {
+			t.Fatalf("spin %d differs after crash-resume", i)
+		}
+	}
+}
+
+// TestOverloadShedding429 pins the overload contract against the real
+// binary: saturate -max-active and -max-queued, then assert the next
+// submission is shed with 429 + Retry-After and the rejection counter
+// moved.
+func TestOverloadShedding429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds real daemons")
+	}
+	bin := buildDaemon(t)
+	cmd, base := startDaemon(t, bin, "-max-active", "1", "-max-queued", "1")
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	waitReady(t, base, 10*time.Second)
+
+	body := `{"engine":"mbrim-seq","k":20,"durationNS":50000,"seed":3,"chips":4}`
+	for i, want := range []int{202, 202, 429} {
+		resp, err := http.Post(base+"/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("submit %d = %d, want %d", i+1, resp.StatusCode, want)
+		}
+		if want == 429 && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	found := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "runs_queue_rejected_total") {
+			found = sc.Text() == "runs_queue_rejected_total 1"
+			if !found {
+				t.Fatalf("exposition line = %q", sc.Text())
+			}
+		}
+	}
+	if !found {
+		t.Fatal("runs_queue_rejected_total missing from /metrics")
+	}
+}

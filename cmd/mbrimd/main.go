@@ -12,6 +12,7 @@
 //	GET  /runs/{id}/trace       Chrome trace download (ui.perfetto.dev)
 //	POST /runs/{id}/cancel      stop at the next engine barrier
 //	GET  /runs/{id}/checkpoint  download the resume envelope
+//	GET  /runs/{id}/outcome     terminal outcome (energy, flips, spins)
 //	POST /cluster/runs          coordinate a solve across worker nodes
 //	GET  /cluster/runs[/{id}]   distributed-run status / checkpoint
 //	GET  /metrics               Prometheus text exposition
@@ -38,6 +39,16 @@
 // until exit), and the listener shuts down. If -drain-timeout expires
 // with runs still live, mbrimd exits with code 4 so supervisors can
 // tell a dirty drain from a clean stop.
+//
+// With -state-dir the daemon survives crashes: every submission and
+// terminal outcome is fsync'd to an append-only journal, durable runs
+// checkpoint on the -checkpoint-every cadence, and a restart replays
+// the journal — finished runs come back as status tombstones, and
+// interrupted multichip runs resume bit-identically from their last
+// checkpoint. /readyz serves 503 until the replay pass completes.
+// -max-queued adds a bounded FIFO-with-priority admission queue beyond
+// -max-active; when it is full, POST /runs sheds load with 429 and a
+// Retry-After estimate.
 package main
 
 import (
@@ -49,11 +60,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mbrim/internal/cluster"
+	"mbrim/internal/journal"
 	"mbrim/internal/obs"
 	"mbrim/internal/runs"
 )
@@ -75,22 +88,62 @@ func main() {
 	maxSlices := flag.Int("max-slices", cluster.DefaultMaxSlices, "slice capacity in -worker mode")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight runs on shutdown; expiry with live runs exits 4")
 	flag.Var(aliasFlag{flag.Lookup("drain-timeout")}, "drain", "deprecated alias for -drain-timeout")
+	stateDir := flag.String("state-dir", "", "durable state directory (run journal + checkpoints); empty disables durability")
+	maxQueued := flag.Int("max-queued", 0, "admission queue depth beyond -max-active; 0 rejects immediately when saturated")
+	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "checkpoint cadence for durable runs (takes effect with -state-dir)")
+	maxRunMB := flag.Int("max-run-mb", 0, "per-run memory budget estimate, MiB (0 = unlimited)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+
+	// Durability: replay whatever journal survives from the previous
+	// process before opening it for appending, so the crash-recovery
+	// pass sees only pre-restart records.
+	var jw *journal.Writer
+	var replayed *journal.Replayed
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mbrimd:", err)
+			os.Exit(1)
+		}
+		jpath := filepath.Join(*stateDir, "run.journal")
+		rep, err := journal.Replay(jpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbrimd: journal replay:", err)
+			os.Exit(1)
+		}
+		replayed = rep
+		if jw, err = journal.Open(jpath, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "mbrimd: journal open:", err)
+			os.Exit(1)
+		}
+	}
+
 	mgr := runs.NewManager(runs.Config{
 		Registry:        reg,
 		RingSize:        *ringSize,
 		BroadcastBuffer: *sseBuffer,
 		MaxActive:       *maxActive,
+		MaxQueued:       *maxQueued,
 		MaxSpins:        *maxSpins,
+		MaxRunBytes:     int64(*maxRunMB) << 20,
 		DefaultBackend:  *backend,
+		Journal:         jw,
+		StateDir:        *stateDir,
+		CheckpointEvery: *checkpointEvery,
 	})
 
-	var draining atomic.Bool
+	var draining, replaying atomic.Bool
+	if jw != nil {
+		// Hold submissions (503 on /readyz, ErrNotAccepting on POST
+		// /runs) until the replay pass has rebuilt the run table.
+		replaying.Store(true)
+		mgr.SetAccepting(false)
+	}
 	mux := http.NewServeMux()
-	runs.Mount(mux, mgr, reg, func() bool { return !draining.Load() })
+	runs.Mount(mux, mgr, reg, func() bool { return !draining.Load() && !replaying.Load() })
 	clusterMgr := cluster.NewManager(reg, nil, *maxSpins)
+	clusterMgr.SetJournal(jw)
 	clusterMgr.Routes(mux)
 	if *worker {
 		cluster.NewWorker(reg, *maxSlices).Routes(mux)
@@ -127,6 +180,19 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
+	if jw != nil {
+		if replayed.Torn {
+			fmt.Fprintf(os.Stderr, "mbrimd: journal tail torn (%v); replaying the intact prefix\n", replayed.TailErr)
+		}
+		sum := mgr.Recover(replayed.Records)
+		ct, cf := clusterMgr.Recover(replayed.Records)
+		fmt.Fprintf(os.Stderr,
+			"mbrimd: replayed %d journal record(s): %d tombstone(s), %d resumed, %d restarted from scratch, %d unrecoverable; cluster: %d tombstone(s), %d failed\n",
+			len(replayed.Records), sum.Tombstones, sum.Resumed, sum.Restarted, sum.Unrecoverable, ct, cf)
+		mgr.SetAccepting(true)
+		replaying.Store(false)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -150,6 +216,14 @@ func main() {
 	dirty := !mgr.Wait(drainCtx)
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "mbrimd: shutdown:", err)
+	}
+	if jw != nil {
+		// Interrupt checkpoints for the cancelled runs are already
+		// persisted by finish(); close the journal last so their
+		// terminal records hit disk.
+		if err := jw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mbrimd: journal close:", err)
+		}
 	}
 	if dirty {
 		fmt.Fprintln(os.Stderr, "mbrimd: drain timeout; exiting with runs in flight")

@@ -1,0 +1,83 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// A Ref is a stable pointer to a durably stored checkpoint file: the
+// journal records refs, not payloads, so the log stays small while the
+// (potentially large) resume envelopes live as ordinary files next to
+// it. Size and content hash travel with the ref, turning a torn or
+// tampered checkpoint file into a load error instead of a silently
+// wrong resume.
+type Ref struct {
+	// Name is the file name within the checkpoint directory. Always a
+	// bare name — Load rejects anything with a path separator, so a
+	// corrupt or hostile journal cannot point outside the state dir.
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// WriteRef durably stores data as name inside dir and returns its ref.
+// The write is atomic and crash-safe: data lands in a temp file that is
+// fsynced before being renamed over name, then the directory itself is
+// synced so the rename survives a power cut. A reader therefore sees
+// either the previous checkpoint or the new one, never a mix.
+func WriteRef(dir, name string, data []byte) (Ref, error) {
+	if filepath.Base(name) != name || name == "" || name == "." {
+		return Ref{}, fmt.Errorf("checkpoint: invalid ref name %q", name)
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return Ref{}, fmt.Errorf("checkpoint: ref temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return Ref{}, fmt.Errorf("checkpoint: ref write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return Ref{}, fmt.Errorf("checkpoint: ref sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return Ref{}, fmt.Errorf("checkpoint: ref close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return Ref{}, fmt.Errorf("checkpoint: ref rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	sum := sha256.Sum256(data)
+	return Ref{Name: name, Bytes: int64(len(data)), SHA256: hex.EncodeToString(sum[:])}, nil
+}
+
+// Load reads the referenced file from dir and verifies its size and
+// content hash against the ref. Any mismatch — truncation, bit rot,
+// a swapped file — is an error; the caller decides whether to fall
+// back to an older checkpoint or restart from scratch.
+func (r Ref) Load(dir string) ([]byte, error) {
+	if filepath.Base(r.Name) != r.Name || r.Name == "" || r.Name == "." {
+		return nil, fmt.Errorf("checkpoint: invalid ref name %q", r.Name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, r.Name))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: ref load: %w", err)
+	}
+	if int64(len(data)) != r.Bytes {
+		return nil, fmt.Errorf("checkpoint: ref %s: %d bytes on disk, ref says %d", r.Name, len(data), r.Bytes)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != r.SHA256 {
+		return nil, fmt.Errorf("checkpoint: ref %s: content hash mismatch", r.Name)
+	}
+	return data, nil
+}

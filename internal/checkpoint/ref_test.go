@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRefRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("checkpoint payload bytes")
+	ref, err := WriteRef(dir, "run-1.ckpt", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Name != "run-1.ckpt" || ref.Bytes != int64(len(data)) || len(ref.SHA256) != 64 {
+		t.Fatalf("ref = %+v", ref)
+	}
+	got, err := ref.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("loaded %q, wrote %q", got, data)
+	}
+	// No temp droppings after a clean write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries, want only the checkpoint", len(entries))
+	}
+}
+
+func TestRefOverwriteIsAtomicReplacement(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteRef(dir, "c.ckpt", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := WriteRef(dir, "c.ckpt", []byte("new and longer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ref.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new and longer" {
+		t.Fatalf("loaded %q after overwrite", got)
+	}
+}
+
+func TestRefLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := WriteRef(dir, "c.ckpt", []byte("pristine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same length, different content: only the hash can catch it.
+	if err := os.WriteFile(filepath.Join(dir, "c.ckpt"), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Load(dir); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("want hash mismatch, got %v", err)
+	}
+	// Truncation is caught by the size check.
+	if err := os.WriteFile(filepath.Join(dir, "c.ckpt"), []byte("pris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Load(dir); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("want size mismatch, got %v", err)
+	}
+}
+
+func TestRefRejectsPathEscape(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"", ".", "../evil", "a/b"} {
+		if _, err := WriteRef(dir, name, []byte("x")); err == nil {
+			t.Errorf("WriteRef accepted %q", name)
+		}
+		if _, err := (Ref{Name: name}).Load(dir); err == nil {
+			t.Errorf("Load accepted %q", name)
+		}
+	}
+}

@@ -288,17 +288,24 @@ func (t *transport) once(ctx context.Context, wi int, method, path string, body 
 	}
 }
 
-// sleepBackoff waits base·2^(attempt−1), capped, with ±50%
-// deterministic jitter hashed from the run seed and a send counter —
+// backoffDelay is the pure schedule behind sleepBackoff:
+// base·2^(attempt−1), capped at max, with ±50% deterministic jitter
+// hashed from (seed, worker index, send counter). Extracted so tests
+// can pin the exact sequence a fixed seed produces without sleeping.
+func backoffDelay(base, max time.Duration, seed uint64, wi int, counter uint64, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > max {
+		d = max
+	}
+	h := splitmix64(seed ^ uint64(wi)<<32 ^ counter)
+	frac := 0.5 + float64(h>>11)/float64(1<<53) // [0.5, 1.5)
+	return time.Duration(float64(d) * frac)
+}
+
+// sleepBackoff waits out backoffDelay for the next send counter —
 // reproducible schedules, like everything else in the repo.
 func (t *transport) sleepBackoff(ctx context.Context, wi, attempt int) error {
-	d := t.cfg.BackoffBase << (attempt - 1)
-	if d > t.cfg.BackoffMax {
-		d = t.cfg.BackoffMax
-	}
-	h := splitmix64(t.cfg.Seed ^ uint64(wi)<<32 ^ t.jitter.Add(1))
-	frac := 0.5 + float64(h>>11)/float64(1<<53) // [0.5, 1.5)
-	d = time.Duration(float64(d) * frac)
+	d := backoffDelay(t.cfg.BackoffBase, t.cfg.BackoffMax, t.cfg.Seed, wi, t.jitter.Add(1), attempt)
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {

@@ -150,6 +150,22 @@ type RecoveryStats struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
+// AllWorkersDeadError reports that a solve ran out of live workers.
+// Stats carries the recovery ledger as of the collapse, so callers can
+// see what the fabric already absorbed (retries spent, prior worker
+// deaths, replayed epochs) before the final loss — the run is
+// unrecoverable but the accounting is intact.
+type AllWorkersDeadError struct {
+	Stats RecoveryStats
+	Cause error
+}
+
+func (e *AllWorkersDeadError) Error() string {
+	return fmt.Sprintf("cluster: no workers left (%v)", e.Cause)
+}
+
+func (e *AllWorkersDeadError) Unwrap() error { return e.Cause }
+
 // Result reports a distributed solve. The solver fields carry the
 // multichip.Result semantics; with no faults injected they are
 // bit-identical to the in-process run's.
@@ -571,7 +587,9 @@ func (co *Coordinator) recover(ctx context.Context, wd *workerDeadError) error {
 		}
 	}
 	if len(survivors) == 0 {
-		return fmt.Errorf("cluster: no workers left (%v)", wd)
+		stats := co.stats
+		stats.RPCRetries = co.tr.retries.Load()
+		return &AllWorkersDeadError{Stats: stats, Cause: wd}
 	}
 
 	// Reassign every slice hosted on a dead worker to the survivor

@@ -3,14 +3,18 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
+	"mbrim/internal/journal"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 )
@@ -27,6 +31,7 @@ type Manager struct {
 	reg      *obs.Registry
 	tracer   obs.Tracer
 	maxSpins int
+	jw       *journal.Writer
 
 	mu   sync.Mutex
 	next int
@@ -55,6 +60,19 @@ func NewManager(reg *obs.Registry, tracer obs.Tracer, maxSpins int) *Manager {
 		maxSpins = DefaultMaxSpins
 	}
 	return &Manager{reg: reg, tracer: tracer, maxSpins: maxSpins, runs: make(map[string]*clusterRun)}
+}
+
+// SetJournal routes submit and terminal records for cluster runs
+// through the same durable journal the runs surface writes. Call
+// before serving traffic; nil leaves journaling off.
+func (m *Manager) SetJournal(jw *journal.Writer) { m.jw = jw }
+
+func (m *Manager) journalAppend(rec journal.Record) {
+	if m.jw == nil {
+		return
+	}
+	rec.Scope = journal.ScopeCluster
+	_ = m.jw.Append(rec) // durability failures never fail the run; Append counts them
 }
 
 // Routes registers the coordinator endpoints on mux.
@@ -196,6 +214,8 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	m.mu.Lock()
 	m.runs[id] = cr
 	m.mu.Unlock()
+	spec, _ := json.Marshal(&sr)
+	m.journalAppend(journal.Record{Type: journal.TypeSubmit, ID: id, Spec: spec})
 	go func() {
 		defer close(cr.done)
 		defer cancel()
@@ -203,6 +223,19 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cr.mu.Lock()
 		cr.result, cr.envelope, cr.err = res, env, err
 		cr.mu.Unlock()
+		term := journal.Record{Type: journal.TypeTerminal, ID: id, State: "completed"}
+		if err != nil {
+			term.State, term.Error = "failed", err.Error()
+		}
+		if res != nil {
+			sum, merr := json.Marshal(map[string]any{
+				"energy": res.Energy, "flips": res.Flips, "epochs": res.Epochs,
+			})
+			if merr == nil {
+				term.Summary = sum
+			}
+		}
+		m.journalAppend(term)
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 }
@@ -299,6 +332,72 @@ func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", cr.id+".ckpt.json"))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(env)
+}
+
+// Recover folds replayed journal records with the cluster scope back
+// into the run table after a coordinator restart. Cluster runs cannot
+// be resumed across a coordinator death — worker slices are gone with
+// their processes — so non-terminal runs become failed tombstones that
+// name the restart as the cause; terminal runs become status-only
+// tombstones. The id counter resumes past the highest journaled run so
+// fresh submissions never collide. Returns (tombstones, failed).
+func (m *Manager) Recover(recs []journal.Record) (int, int) {
+	type state struct {
+		terminal *journal.Record
+	}
+	states := make(map[string]*state)
+	order := make([]string, 0, 8)
+	maxSeq := 0
+	for i := range recs {
+		rec := recs[i]
+		if rec.Scope != journal.ScopeCluster {
+			continue
+		}
+		if n, ok := strings.CutPrefix(rec.ID, "cr-"); ok {
+			if v, err := strconv.Atoi(n); err == nil && v > maxSeq {
+				maxSeq = v
+			}
+		}
+		s, ok := states[rec.ID]
+		if !ok {
+			s = &state{}
+			states[rec.ID] = s
+			order = append(order, rec.ID)
+		}
+		if rec.Type == journal.TypeTerminal {
+			s.terminal = &rec
+		}
+	}
+
+	tombstones, failed := 0, 0
+	m.mu.Lock()
+	if maxSeq > m.next {
+		m.next = maxSeq
+	}
+	m.mu.Unlock()
+	for _, id := range order {
+		s := states[id]
+		cr := &clusterRun{id: id, cancel: func() {}, done: make(chan struct{})}
+		close(cr.done)
+		switch {
+		case s.terminal == nil:
+			cr.err = errors.New("cluster: interrupted by coordinator restart")
+			failed++
+			m.journalAppend(journal.Record{
+				Type: journal.TypeTerminal, ID: id,
+				State: "failed", Error: cr.err.Error(),
+			})
+		case s.terminal.State == "failed":
+			cr.err = errors.New(s.terminal.Error)
+		}
+		m.mu.Lock()
+		if _, exists := m.runs[id]; !exists {
+			m.runs[id] = cr
+			tombstones++
+		}
+		m.mu.Unlock()
+	}
+	return tombstones, failed
 }
 
 // CancelAll cancels every live run and waits for them to settle — the

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mbrim/internal/journal"
+)
+
+func clusterWorker(t *testing.T) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	NewWorker(nil, 0).Routes(mux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestClusterJournalWriteThroughAndRecover covers the coordinator's
+// share of the durability contract: submissions and terminal outcomes
+// journal under the cluster scope, a restart turns journaled runs into
+// tombstones (cluster runs cannot survive their workers), and the id
+// counter resumes past every journaled run.
+func TestClusterJournalWriteThroughAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.journal")
+
+	// Previous process: cr-1 finished, cr-2 was mid-flight at the crash.
+	jw, err := journal.Open(jpath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := []journal.Record{
+		{Type: journal.TypeSubmit, ID: "cr-1", Scope: journal.ScopeCluster,
+			Spec: json.RawMessage(`{"k":8}`)},
+		{Type: journal.TypeTerminal, ID: "cr-1", Scope: journal.ScopeCluster,
+			State: "completed", Summary: json.RawMessage(`{"energy":-4,"flips":9,"epochs":3}`)},
+		{Type: journal.TypeSubmit, ID: "cr-2", Scope: journal.ScopeCluster,
+			Spec: json.RawMessage(`{"k":8}`)},
+	}
+	for _, rec := range seed {
+		if err := jw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jw.Close()
+
+	// Restart: replay, then serve fresh submissions through the same
+	// journal.
+	rep, err := journal.Replay(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw2, err := journal.Open(jpath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jw2.Close()
+	m := NewManager(nil, nil, 0)
+	m.SetJournal(jw2)
+	tombs, failed := m.Recover(rep.Records)
+	if tombs != 2 || failed != 1 {
+		t.Fatalf("Recover = (%d tombstones, %d failed), want (2, 1)", tombs, failed)
+	}
+
+	cr1, ok := m.lookup("cr-1")
+	if !ok || cr1.err != nil {
+		t.Fatalf("cr-1 tombstone = %+v, %v", cr1, ok)
+	}
+	cr2, ok := m.lookup("cr-2")
+	if !ok || cr2.err == nil || !strings.Contains(cr2.err.Error(), "coordinator restart") {
+		t.Fatalf("cr-2 tombstone should name the restart: %+v, %v", cr2, ok)
+	}
+	body := cr2.statusBody()
+	if body["done"] != true || body["error"] == nil {
+		t.Fatalf("cr-2 status = %+v", body)
+	}
+
+	// A fresh submission continues past the journaled ids and writes
+	// through the journal.
+	mux := http.NewServeMux()
+	m.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/cluster/runs", "application/json",
+		strings.NewReader(`{"workers":["`+clusterWorker(t)+`"],"k":8,"durationNS":200,"seed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || accepted["id"] != "cr-3" {
+		t.Fatalf("submit = %d %v, want 202 cr-3", resp.StatusCode, accepted)
+	}
+	cr3, _ := m.lookup("cr-3")
+	select {
+	case <-cr3.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cr-3 did not finish")
+	}
+	jw2.Close()
+
+	rep2, err := journal.Replay(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, rec := range rep2.Records {
+		if rec.ID == "cr-3" && rec.Scope == journal.ScopeCluster {
+			types = append(types, string(rec.Type))
+		}
+	}
+	if len(types) != 2 || types[0] != string(journal.TypeSubmit) || types[1] != string(journal.TypeTerminal) {
+		t.Fatalf("cr-3 journal trail = %v, want [submit terminal]", types)
+	}
+	// The replay pass itself journaled cr-2's failure, so a second
+	// restart folds it as terminal instead of re-failing it.
+	sawCr2Terminal := false
+	for _, rec := range rep2.Records {
+		if rec.ID == "cr-2" && rec.Type == journal.TypeTerminal {
+			sawCr2Terminal = true
+		}
+	}
+	if !sawCr2Terminal {
+		t.Fatal("Recover did not journal cr-2's terminal record")
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+)
+
+// TestBackoffDelayPinned pins the exact retry schedule a fixed seed
+// produces. The jitter is hashed, not sampled, so these durations are
+// part of the reproducibility contract: if this test breaks, recorded
+// fault-injection traces stop replaying bit-identically.
+func TestBackoffDelayPinned(t *testing.T) {
+	const (
+		base = 25 * time.Millisecond
+		max  = time.Second
+		seed = uint64(42)
+		wi   = 1
+	)
+	want := []time.Duration{
+		23804980,  // counter=1 attempt=1
+		31773567,  // counter=2 attempt=2
+		146296763, // counter=3 attempt=3
+		172869367, // counter=4 attempt=4
+		292480469, // counter=5 attempt=4 (cap holds the exponent, jitter still moves)
+	}
+	for i, w := range want {
+		counter := uint64(i + 1)
+		attempt := i + 1
+		if attempt > 4 {
+			attempt = 4
+		}
+		if got := backoffDelay(base, max, seed, wi, counter, attempt); got != w {
+			t.Fatalf("backoffDelay(counter=%d, attempt=%d) = %d, want %d", counter, attempt, got, w)
+		}
+	}
+	// Jitter bounds: every delay lands in [0.5, 1.5) of the raw
+	// exponential step, for any counter.
+	for c := uint64(1); c < 200; c++ {
+		d := backoffDelay(base, max, seed, 0, c, 2)
+		raw := 2 * base
+		if d < raw/2 || d >= raw+raw/2 {
+			t.Fatalf("counter %d: delay %v outside [%v, %v)", c, d, raw/2, raw+raw/2)
+		}
+	}
+	// Different workers draw different schedules from the same seed.
+	if backoffDelay(base, max, seed, 0, 1, 1) == backoffDelay(base, max, seed, 1, 1, 1) {
+		t.Fatal("worker index does not perturb the jitter hash")
+	}
+}
+
+// TestRetryBudgetExhaustionTypedError drives a solve against workers
+// that answer health checks but fail every RPC, so retries burn the
+// budget down and every worker is eventually declared dead. The
+// surfaced error must be the typed *AllWorkersDeadError with the
+// recovery ledger intact — the collapse is diagnosable, not just a
+// string.
+func TestRetryBudgetExhaustionTypedError(t *testing.T) {
+	alwaysFail := func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		// 5xx is retryable (4xx would be a protocol error and abort).
+		http.Error(w, "injected outage", http.StatusServiceUnavailable)
+	}
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(http.HandlerFunc(alwaysFail))
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+
+	model := graph.Complete(12, rng.New(1)).ToIsing()
+	co, err := New(model, "retry-test", Config{
+		Workers:     urls,
+		Chips:       2,
+		DurationNS:  500,
+		Seed:        7,
+		MaxAttempts: 2,
+		RetryBudget: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		RPCTimeout:  2 * time.Second,
+		// Heartbeats answer 200, so liveness never saves the workers —
+		// only the RPC retry path decides their fate.
+		HeartbeatEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, serr := co.Solve(ctx)
+	if serr == nil {
+		t.Fatal("solve succeeded against all-failing workers")
+	}
+	var awd *AllWorkersDeadError
+	if !errors.As(serr, &awd) {
+		t.Fatalf("error = %v (%T), want *AllWorkersDeadError", serr, serr)
+	}
+	if awd.Cause == nil {
+		t.Fatal("AllWorkersDeadError lost its cause")
+	}
+	var wd *workerDeadError
+	if !errors.As(awd, &wd) {
+		t.Fatalf("cause chain lost the worker death: %v", serr)
+	}
+	// The ledger survived the collapse: at least one worker death was
+	// recorded before the survivor check failed, and the retries the
+	// budget paid for are accounted.
+	if awd.Stats.WorkerDeaths < 1 {
+		t.Fatalf("ledger worker deaths = %d, want >= 1", awd.Stats.WorkerDeaths)
+	}
+	if awd.Stats.RPCRetries < 1 {
+		t.Fatalf("ledger RPC retries = %d, want >= 1", awd.Stats.RPCRetries)
+	}
+}

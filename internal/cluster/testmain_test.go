@@ -1,4 +1,4 @@
-package runs
+package cluster
 
 import (
 	"flag"
@@ -8,17 +8,15 @@ import (
 	"testing"
 	"time"
 
-	"mbrim/internal/hostinfo"
 	"mbrim/internal/obs"
 )
 
-// TestMain stamps benchmark captures with the host context (the
-// host_info record the BENCH_*.json files embed) and, when the suite
-// passes, fails the package if run goroutines outlived their tests —
-// the manager's whole contract is that drain/cancel reaps everything.
+// TestMain fails the package (only after an otherwise-green run) when
+// coordinator or worker goroutines outlive their tests. Heartbeat
+// loops, step RPC retries, and httptest servers must all be reaped by
+// the time a test returns; a leak here means a supervision bug.
 func TestMain(m *testing.M) {
 	flag.Parse()
-	hostinfo.BenchBanner()
 	base := runtime.NumGoroutine() + 2 // tolerate test-runner housekeeping
 	code := m.Run()
 	if code == 0 {

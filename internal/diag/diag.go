@@ -119,6 +119,7 @@ type Reducer struct {
 	recoveryStallNS float64
 	syncBitChanges  int64
 	fabricEpochs    int
+	queueWaitNS     int64
 }
 
 // New returns a Reducer with the given configuration.
@@ -167,6 +168,10 @@ func (r *Reducer) Emit(e obs.Event) {
 		}
 	case obs.Recovery:
 		r.recoveryStallNS += e.StallNS
+	case obs.SpanEnd:
+		if e.Label == "queue_wait" && e.WallDurNS > r.queueWaitNS {
+			r.queueWaitNS = e.WallDurNS
+		}
 	}
 }
 
@@ -306,6 +311,7 @@ func (r *Reducer) Snapshot() Snapshot {
 		s.Traffic.StallFraction = r.stallNS / total
 	}
 	s.TTS = r.ttsLocked()
+	s.QueueWaitNS = r.queueWaitNS
 	return s
 }
 
@@ -469,6 +475,9 @@ type Snapshot struct {
 	// TTS is nil until enough trajectory samples accumulated for one
 	// trial window.
 	TTS *TTSEstimate `json:"tts,omitempty"`
+	// QueueWaitNS is wall time the run spent in the admission queue
+	// before a worker slot freed up; zero for runs dispatched immediately.
+	QueueWaitNS int64 `json:"queueWaitNS,omitempty"`
 }
 
 // PairDiag is one directed chip pair's disagreement summary.

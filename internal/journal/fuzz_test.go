@@ -1,0 +1,55 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the journal scanner. The
+// contract under fuzzing: never panic, never allocate unboundedly
+// (maxRecord fences length prefixes), and classify every input as
+// valid records, a torn tail, or a hard error — quietly returning
+// garbage records is fine only if their frames checksum correctly,
+// which for random bytes is vanishingly rare.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a real journal, its torn variants, and near-misses.
+	path := filepath.Join(f.TempDir(), "seed.journal")
+	w, err := Open(path, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, rec := range testRecords() {
+		if err := w.Append(rec); err != nil {
+			f.Fatal(err)
+		}
+	}
+	w.Close()
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:len(header)+3])
+	f.Add([]byte(header))
+	f.Add([]byte{})
+	f.Add([]byte("mbrim-journal v9\n"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // hard errors are a legal outcome; panics are not
+		}
+		if rep == nil {
+			t.Fatal("nil result without error")
+		}
+		if rep.Torn && rep.TailErr == nil {
+			t.Fatal("torn without a tail error")
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// CheckGoroutineLeaks verifies the process has settled back to at most
+// baseline goroutines, polling until timeout so goroutines still
+// winding down after a test (ticker drains, closing HTTP conns, run
+// supervisors) get a grace period. On failure it returns an error
+// carrying a full stack dump so the leaked goroutines are identifiable
+// from CI logs alone.
+//
+// Intended for TestMain:
+//
+//	code := m.Run()
+//	if code == 0 {
+//		if err := obs.CheckGoroutineLeaks(base, 5*time.Second); err != nil {
+//			fmt.Fprintln(os.Stderr, err)
+//			code = 1
+//		}
+//	}
+//	os.Exit(code)
+func CheckGoroutineLeaks(baseline int, timeout time.Duration) error {
+	if baseline < 1 {
+		baseline = 1
+	}
+	deadline := time.Now().Add(timeout)
+	n := runtime.NumGoroutine()
+	for n > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("obs: goroutine leak: %d goroutines alive after %v (baseline %d)\n%s",
+				n, timeout, baseline, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckGoroutineLeaksPasses(t *testing.T) {
+	// Generous baseline: whatever is running now is, by definition, not
+	// a leak introduced by this test.
+	if err := CheckGoroutineLeaks(runtime.NumGoroutine()+2, time.Second); err != nil {
+		t.Fatalf("unexpected leak report: %v", err)
+	}
+}
+
+func TestCheckGoroutineLeaksDetects(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // deliberate straggler
+
+	err := CheckGoroutineLeaks(1, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected a leak error with an impossible baseline of 1")
+	}
+	if !strings.Contains(err.Error(), "goroutine leak") {
+		t.Fatalf("error missing marker: %v", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine ") {
+		t.Fatalf("error missing stack dump: %v", err)
+	}
+}
+
+func TestCheckGoroutineLeaksWaitsForSettle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		close(done)
+	}()
+	// The helper should outwait the short-lived goroutine.
+	if err := CheckGoroutineLeaks(base, 2*time.Second); err != nil {
+		t.Fatalf("helper did not wait for settle: %v", err)
+	}
+	<-done
+}

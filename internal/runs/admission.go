@@ -1,0 +1,376 @@
+package runs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"mbrim/internal/core"
+	"mbrim/internal/diag"
+	"mbrim/internal/journal"
+	"mbrim/internal/obs"
+)
+
+// This file is the admission layer: the bounded queue behind
+// MaxActive, priority-then-FIFO dispatch, per-run deadline and
+// memory-budget checks, and the overload-shedding error taxonomy the
+// HTTP surface maps onto 429/413/503. The policy in one line: admit
+// cheaply or reject cheaply — a shed submission costs one lock
+// acquisition and no allocation of run machinery.
+
+// ErrNotAccepting reports the submission gate is closed — the daemon
+// is replaying its journal after a restart, or draining for shutdown.
+var ErrNotAccepting = errors.New("runs: not accepting submissions (replaying or draining)")
+
+// QueueFullError sheds a submission: MaxActive runs are executing and
+// the admission queue holds MaxQueued more. RetryAfter estimates, in
+// seconds, when a slot should free (the HTTP layer sends it verbatim
+// as Retry-After on the 429).
+type QueueFullError struct {
+	Active     int
+	Queued     int
+	RetryAfter int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("runs: overloaded: %d active, %d queued; retry in ~%ds",
+		e.Active, e.Queued, e.RetryAfter)
+}
+
+// TooLargeError rejects a submission whose estimated resident
+// footprint exceeds the manager's memory budget (HTTP 413).
+type TooLargeError struct {
+	Estimated int64
+	Budget    int64
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("runs: estimated footprint %d bytes exceeds the %d-byte budget",
+		e.Estimated, e.Budget)
+}
+
+// SubmitOptions carries admission metadata for SubmitWith.
+type SubmitOptions struct {
+	// Priority orders the admission queue: higher dispatches first,
+	// equal priorities dispatch FIFO. Executing runs are never
+	// preempted.
+	Priority int
+	// Deadline, when set, bounds the run's whole life: an expired
+	// deadline is refused at submit, sheds a queued run at dispatch,
+	// and cancels an executing run (like POST /runs/{id}/cancel).
+	Deadline time.Time
+	// Spec is the serialized submit body recorded in the journal; a
+	// crashed run is rebuilt from it on replay. Runs submitted without
+	// one are not replayable and resurface as failed tombstones.
+	Spec []byte
+
+	restarts int // replay-internal: restart records already on the journal
+}
+
+// EstimateRunBytes approximates a run's resident footprint for the
+// admission memory budget: the dense coupling matrix dominates (8·n²),
+// plus per-spin chip state and the run's retained-event ring. It is an
+// admission fence, not an accountant — it exists to refuse the
+// submission that would OOM the daemon, not to meter kilobytes.
+func EstimateRunBytes(req *core.Request, ringSize int) int64 {
+	return estimateRunBytesN(int64(req.Model.N()), req.Chips, ringSize)
+}
+
+func estimateRunBytesN(n int64, chips, ringSize int) int64 {
+	c := int64(chips)
+	if c < 1 {
+		c = 1
+	}
+	if ringSize <= 0 {
+		ringSize = 4096
+	}
+	const eventBytes = 192 // sizeof(obs.Event), rounded to its alloc class
+	return 8*n*n + 16*n*c + int64(ringSize)*eventBytes
+}
+
+// checkBudget applies the MaxRunBytes fence for an n-spin submission.
+// buildRequest calls it BEFORE constructing the graph: the dense model
+// of an oversized problem costs the same 8·n² the fence exists to
+// refuse, so building it first would hang the submit handler for
+// exactly the request the budget is meant to bounce.
+func (m *Manager) checkBudget(n, chips int) error {
+	if m.cfg.MaxRunBytes <= 0 {
+		return nil
+	}
+	if est := estimateRunBytesN(int64(n), chips, m.cfg.RingSize); est > m.cfg.MaxRunBytes {
+		m.reg.Counter("runs.rejected_too_large_total").Inc()
+		return &TooLargeError{Estimated: est, Budget: m.cfg.MaxRunBytes}
+	}
+	return nil
+}
+
+// SubmitWith registers req under the admission policy in opts. With a
+// free MaxActive slot the run starts immediately; with MaxQueued
+// headroom it parks in state "queued"; otherwise the submission is
+// shed (*QueueFullError, or ErrBusy when no queue is configured).
+func (m *Manager) SubmitWith(ctx context.Context, req core.Request, opts SubmitOptions) (*Run, error) {
+	if req.Model == nil {
+		return nil, fmt.Errorf("runs: request has no model")
+	}
+	if !m.accepting.Load() {
+		return nil, ErrNotAccepting
+	}
+	if err := m.checkBudget(req.Model.N(), req.Chips); err != nil {
+		return nil, err
+	}
+	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+		m.reg.Counter("runs.shed_total").Inc()
+		return nil, fmt.Errorf("runs: deadline already passed")
+	}
+	return m.admit(ctx, "", req, opts, false)
+}
+
+// admit performs registration under the capacity policy. id is ""
+// except on journal replay, which re-registers crashed runs under
+// their original IDs (and skips re-journaling the submit — the
+// original record is still on the log).
+func (m *Manager) admit(ctx context.Context, id string, req core.Request, opts SubmitOptions, fromReplay bool) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	queued := false
+	if m.cfg.MaxActive > 0 && m.active >= m.cfg.MaxActive {
+		if m.cfg.MaxQueued <= 0 {
+			m.mu.Unlock()
+			return nil, ErrBusy
+		}
+		if len(m.queue) >= m.cfg.MaxQueued {
+			qerr := &QueueFullError{
+				Active:     m.active,
+				Queued:     len(m.queue),
+				RetryAfter: m.retryAfterLocked(),
+			}
+			m.mu.Unlock()
+			m.reg.Counter("runs.queue_rejected_total").Inc()
+			return nil, qerr
+		}
+		queued = true
+	}
+	if id == "" {
+		m.seq++
+		id = "run-" + strconv.Itoa(m.seq)
+	}
+	var rctx context.Context
+	var cancel context.CancelFunc
+	if opts.Deadline.IsZero() {
+		rctx, cancel = context.WithCancel(ctx)
+	} else {
+		rctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+	}
+	r := &Run{
+		id:       id,
+		mgr:      m,
+		req:      req,
+		ring:     obs.NewRing(m.cfg.RingSize),
+		bcast:    obs.NewBroadcast(m.cfg.BroadcastBuffer),
+		done:     make(chan struct{}),
+		cancel:   cancel,
+		rctx:     rctx,
+		priority: opts.Priority,
+		deadline: opts.Deadline,
+		spec:     opts.Spec,
+		restarts: opts.restarts,
+		state:    StatePending,
+		created:  time.Now(),
+	}
+	// Every managed run carries the introspection plane: hierarchical
+	// span events in the retained/broadcast stream (GET /runs/{id}/trace
+	// exports them as a Chrome trace) and a diagnostics reducer behind
+	// GET /runs/{id}/diag. Both are opt-in at the engine layer and
+	// trajectory-neutral — a managed solve stays bit-identical to an
+	// unmanaged one with the same seed.
+	r.diag = diag.New(diag.Config{Registry: m.reg, RunID: id})
+	req.Tracer = obs.Fanout(progressSink{r}, r.ring, r.bcast, r.diag, req.Tracer)
+	req.SpanTrace = true
+	req.Diag = true
+	if req.Metrics == nil {
+		req.Metrics = m.reg
+	}
+	r.execReq = req
+	m.runs[id] = r
+	m.order = append(m.order, id)
+	if queued {
+		r.state = StateQueued
+		r.queuedAt = time.Now()
+		r.progress.Phase = "queued"
+		m.queue = append(m.queue, r)
+		m.gaugeQueueDepthLocked()
+	} else {
+		r.progress.Phase = "submitted"
+		m.active++
+	}
+	m.mu.Unlock()
+
+	m.reg.Counter("runs.submitted").Inc()
+	if !fromReplay {
+		var deadlineNS int64
+		if !opts.Deadline.IsZero() {
+			deadlineNS = opts.Deadline.UnixNano()
+		}
+		// Durability ordering: the submit record lands (fsynced) before
+		// Submit returns, so any run a client saw accepted survives
+		// kill -9 into the replay pass.
+		m.journalAppend(journal.Record{
+			Type: journal.TypeSubmit, ID: id,
+			Spec: opts.Spec, Priority: opts.Priority, DeadlineWallNS: deadlineNS,
+		})
+	}
+	if !queued {
+		m.reg.Gauge("runs.active").Add(1)
+		go m.execute(rctx, r, r.execReq)
+	}
+	return r, nil
+}
+
+// dispatch drains the queue into free MaxActive slots: highest
+// priority first, FIFO within a priority. Runs whose context died
+// while queued (cancel or deadline) are shed without consuming a slot.
+func (m *Manager) dispatch() {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 || (m.cfg.MaxActive > 0 && m.active >= m.cfg.MaxActive) {
+			m.gaugeQueueDepthLocked()
+			m.mu.Unlock()
+			return
+		}
+		r := m.popLocked()
+		if err := r.rctx.Err(); err != nil {
+			m.gaugeQueueDepthLocked()
+			m.mu.Unlock()
+			if errors.Is(err, context.DeadlineExceeded) {
+				m.reg.Counter("runs.shed_total").Inc()
+				m.finishQueued(r, StateFailed,
+					fmt.Errorf("runs: deadline expired after %s queued", time.Since(r.queuedAt).Round(time.Millisecond)))
+			} else {
+				m.finishQueued(r, StateInterrupted, errors.New("runs: cancelled while queued"))
+			}
+			continue
+		}
+		m.active++
+		m.gaugeQueueDepthLocked()
+		m.mu.Unlock()
+		m.reg.Gauge("runs.active").Add(1)
+		go m.execute(r.rctx, r, r.execReq)
+	}
+}
+
+// popLocked removes and returns the dispatch candidate: the first run
+// holding the maximum priority (slice order preserves FIFO within a
+// priority). Caller holds m.mu and has checked the queue is non-empty.
+func (m *Manager) popLocked() *Run {
+	best := 0
+	for i := 1; i < len(m.queue); i++ {
+		if m.queue[i].priority > m.queue[best].priority {
+			best = i
+		}
+	}
+	r := m.queue[best]
+	m.queue = append(m.queue[:best], m.queue[best+1:]...)
+	return r
+}
+
+// shedIfQueued removes r from the queue if it is still there and
+// finishes it as interrupted — the Cancel path for queued runs, which
+// must terminate promptly instead of waiting for a dispatch slot.
+func (m *Manager) shedIfQueued(r *Run) {
+	m.mu.Lock()
+	found := false
+	for i, q := range m.queue {
+		if q == r {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			found = true
+			break
+		}
+	}
+	m.gaugeQueueDepthLocked()
+	m.mu.Unlock()
+	if found {
+		m.finishQueued(r, StateInterrupted, errors.New("runs: cancelled while queued"))
+	}
+}
+
+// finishQueued publishes a terminal state for a run that never got a
+// slot. Idempotent — dispatch, Cancel and CancelAll can race here.
+func (m *Manager) finishQueued(r *Run, state State, err error) {
+	r.mu.Lock()
+	if r.state.Terminal() {
+		r.mu.Unlock()
+		return
+	}
+	r.state = state
+	r.err = err
+	r.ended = time.Now()
+	r.mu.Unlock()
+	m.journalTerminal(r, state)
+	m.reg.CounterWith("runs.finished", obs.Labels{
+		"engine": string(r.req.Kind), "state": string(state)}).Inc()
+	r.cancel()
+	r.bcast.Close()
+	close(r.done)
+}
+
+// gaugeQueueDepthLocked refreshes the queue-depth gauge; caller holds
+// m.mu.
+func (m *Manager) gaugeQueueDepthLocked() {
+	m.reg.Gauge("runs.queue_depth").Set(float64(len(m.queue)))
+}
+
+// retryAfterLocked estimates when a shed client should come back: the
+// queue ahead of it must drain at MaxActive runs per smoothed mean run
+// wall time. Clamped to [1, 60] seconds — Retry-After is a hint, not a
+// reservation. Caller holds m.mu.
+func (m *Manager) retryAfterLocked() int {
+	mean := m.wallEWMA
+	if mean <= 0 {
+		mean = 1
+	}
+	slots := m.cfg.MaxActive
+	if slots < 1 {
+		slots = 1
+	}
+	sec := int(math.Ceil(mean * float64(len(m.queue)+1) / float64(slots)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// observeWallLocked folds one finished run's wall time into the EWMA
+// behind Retry-After. Caller holds m.mu.
+func (m *Manager) observeWallLocked(wall time.Duration) {
+	s := wall.Seconds()
+	if m.wallEWMA == 0 {
+		m.wallEWMA = s
+		return
+	}
+	m.wallEWMA = 0.8*m.wallEWMA + 0.2*s
+}
+
+// queueWaitSpan is the synthetic span ID for admission-queue wait.
+// Engine span IDs are small sequential integers; 1<<62 cannot collide.
+const queueWaitSpan = uint64(1) << 62
+
+// emitQueueWait injects a queue_wait span into the run's event stream
+// so the wait shows up in the trace export and the diag snapshot.
+func emitQueueWait(tracer obs.Tracer, wait time.Duration) {
+	if tracer == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	tracer.Emit(obs.Event{Kind: obs.SpanStart, Span: queueWaitSpan,
+		Label: "queue_wait", WallNS: now - wait.Nanoseconds()})
+	tracer.Emit(obs.Event{Kind: obs.SpanEnd, Span: queueWaitSpan,
+		Label: "queue_wait", WallNS: now, WallDurNS: wait.Nanoseconds()})
+}

@@ -1,0 +1,245 @@
+package runs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mbrim/internal/obs"
+)
+
+// occupySlot submits a run long enough to hold its MaxActive slot for
+// the duration of the test (cancelled in cleanup as a safety net).
+func occupySlot(t *testing.T, m *Manager) *Run {
+	t.Helper()
+	long, err := m.Submit(context.Background(), mbrimSeqRequest(20, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		long.Cancel()
+		waitDone(t, long)
+	})
+	return long
+}
+
+func TestQueueAdmitsAndDispatches(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Registry: reg, MaxActive: 1, MaxQueued: 2})
+	long := occupySlot(t, m)
+
+	q, err := m.SubmitWith(context.Background(), saRequest(8), SubmitOptions{})
+	if err != nil {
+		t.Fatalf("queued submit = %v", err)
+	}
+	if st := q.Status(); st.State != StateQueued {
+		t.Fatalf("state = %s, want queued", st.State)
+	}
+	if d := reg.Snapshot().Gauges["runs.queue_depth"]; d != 1 {
+		t.Fatalf("queue_depth = %v, want 1", d)
+	}
+
+	long.Cancel()
+	waitDone(t, long)
+	waitDone(t, q)
+	st := q.Status()
+	if st.State != StateCompleted {
+		t.Fatalf("dispatched run state = %s, want completed", st.State)
+	}
+	if st.QueueWaitNS <= 0 || st.StartedWallNS == 0 {
+		t.Fatalf("queue wait not attributed: %+v", st)
+	}
+	// The wait surfaces in the diag snapshot too (via the synthetic
+	// queue_wait span in the run's own event stream).
+	if dn := q.Diag().QueueWaitNS; dn <= 0 {
+		t.Fatalf("diag queueWaitNS = %d, want > 0", dn)
+	}
+	if d := reg.Snapshot().Gauges["runs.queue_depth"]; d != 0 {
+		t.Fatalf("queue_depth after drain = %v, want 0", d)
+	}
+}
+
+func TestQueueFullShedsWith429(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, m, _ := newTestServer(t, Config{Registry: reg, MaxActive: 1, MaxQueued: 1})
+	t.Cleanup(func() {
+		m.CancelAll()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		m.Wait(ctx)
+	})
+
+	body := `{"engine":"mbrim-seq","k":20,"durationNS":50000,"seed":3,"chips":4}`
+	if resp, data := postJSON(t, srv.URL+"/runs", body); resp.StatusCode != 202 {
+		t.Fatalf("first submit = %d %s", resp.StatusCode, data)
+	}
+	resp, data := postJSON(t, srv.URL+"/runs", body)
+	if resp.StatusCode != 202 {
+		t.Fatalf("second submit = %d %s", resp.StatusCode, data)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil || st.State != StateQueued {
+		t.Fatalf("second submit state = %+v (%v), want queued", st, err)
+	}
+
+	// Queue full: the third submission is shed with the documented
+	// contract — 429, a positive Retry-After, and the rejection counter.
+	resp, data = postJSON(t, srv.URL+"/runs", body)
+	if resp.StatusCode != 429 {
+		t.Fatalf("third submit = %d %s, want 429", resp.StatusCode, data)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(data), "overloaded") {
+		t.Fatalf("429 body = %s", data)
+	}
+	if n := reg.Snapshot().Counters["runs.queue_rejected_total"]; n != 1 {
+		t.Fatalf("runs.queue_rejected_total = %d, want 1", n)
+	}
+	// The shed submission allocated no run.
+	if l := m.List(); len(l) != 2 {
+		t.Fatalf("List after shed = %d runs, want 2", len(l))
+	}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	m := NewManager(Config{Registry: obs.NewRegistry(), MaxActive: 1, MaxQueued: 4})
+	long := occupySlot(t, m)
+
+	submit := func(prio int) *Run {
+		r, err := m.SubmitWith(context.Background(), saRequest(8), SubmitOptions{Priority: prio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b, c, d := submit(0), submit(5), submit(5), submit(1)
+	long.Cancel()
+	for _, r := range []*Run{a, b, c, d} {
+		waitDone(t, r)
+	}
+	// Dispatch order with MaxActive=1 is strictly serialized, so start
+	// stamps encode it: highest priority first, FIFO within a priority.
+	started := func(r *Run) int64 { return r.Status().StartedWallNS }
+	if !(started(b) < started(c) && started(c) < started(d) && started(d) < started(a)) {
+		t.Fatalf("dispatch order wrong: a=%d b=%d c=%d d=%d (want b < c < d < a)",
+			started(a), started(b), started(c), started(d))
+	}
+}
+
+func TestQueuedRunDeadline(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Registry: reg, MaxActive: 1, MaxQueued: 2})
+
+	// An already-expired deadline never reaches the queue.
+	if _, err := m.SubmitWith(context.Background(), saRequest(8),
+		SubmitOptions{Deadline: time.Now().Add(-time.Second)}); err == nil {
+		t.Fatal("expired deadline accepted")
+	}
+
+	long := occupySlot(t, m)
+	q, err := m.SubmitWith(context.Background(), saRequest(8),
+		SubmitOptions{Deadline: time.Now().Add(80 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // let the deadline lapse while queued
+	long.Cancel()
+	waitDone(t, q)
+	st := q.Status()
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if _, err := q.Outcome(); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error = %v, want a deadline shed", err)
+	}
+	if n := reg.Snapshot().Counters["runs.shed_total"]; n < 2 {
+		t.Fatalf("runs.shed_total = %d, want >= 2 (submit refusal + dispatch shed)", n)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Registry: reg, MaxActive: 1, MaxQueued: 2})
+	occupySlot(t, m)
+
+	q, err := m.SubmitWith(context.Background(), saRequest(8), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Cancel()
+	// A cancelled queued run terminates promptly — it does not wait for
+	// a dispatch slot.
+	select {
+	case <-q.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled queued run did not terminate")
+	}
+	if st := q.Status(); st.State != StateInterrupted {
+		t.Fatalf("state = %s, want interrupted", st.State)
+	}
+	if _, err := q.Outcome(); err == nil || !strings.Contains(err.Error(), "queued") {
+		t.Fatalf("error = %v, want cancelled-while-queued", err)
+	}
+}
+
+func TestMemoryBudgetRejects(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Registry: reg, MaxRunBytes: 1000})
+	_, err := m.SubmitWith(context.Background(), saRequest(16), SubmitOptions{})
+	var terr *TooLargeError
+	if !errors.As(err, &terr) {
+		t.Fatalf("err = %v, want *TooLargeError", err)
+	}
+	if terr.Estimated <= terr.Budget {
+		t.Fatalf("estimate %d not above budget %d", terr.Estimated, terr.Budget)
+	}
+	if n := reg.Snapshot().Counters["runs.rejected_too_large_total"]; n != 1 {
+		t.Fatalf("runs.rejected_too_large_total = %d, want 1", n)
+	}
+
+	srv, _, _ := newTestServer(t, Config{MaxRunBytes: 1000})
+	resp, data := postJSON(t, srv.URL+"/runs", `{"engine":"sa","k":16,"sweeps":5}`)
+	if resp.StatusCode != 413 {
+		t.Fatalf("HTTP = %d %s, want 413", resp.StatusCode, data)
+	}
+
+	// The fence fires BEFORE graph construction: a submission whose
+	// dense model alone would dwarf the budget (~650MB at k=9000) must
+	// bounce without building it. If the pre-construction gate
+	// regresses, this takes minutes instead of microseconds.
+	start := time.Now()
+	resp, data = postJSON(t, srv.URL+"/runs", `{"engine":"mbrim","k":9000,"chips":4,"durationNS":100}`)
+	if resp.StatusCode != 413 {
+		t.Fatalf("oversize HTTP = %d %s, want 413", resp.StatusCode, data)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("oversize rejection took %v — the budget gate ran after graph construction", el)
+	}
+}
+
+func TestNotAcceptingGate(t *testing.T) {
+	srv, m, _ := newTestServer(t, Config{})
+	m.SetAccepting(false)
+	if _, err := m.SubmitWith(context.Background(), saRequest(8), SubmitOptions{}); !errors.Is(err, ErrNotAccepting) {
+		t.Fatalf("err = %v, want ErrNotAccepting", err)
+	}
+	resp, _ := postJSON(t, srv.URL+"/runs", `{"engine":"sa","k":8,"sweeps":5}`)
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("HTTP = %d Retry-After=%q, want 503 with Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	m.SetAccepting(true)
+	if _, err := m.SubmitWith(context.Background(), saRequest(8), SubmitOptions{}); err != nil {
+		t.Fatalf("reopened gate refused: %v", err)
+	}
+	m.CancelAll()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	m.Wait(ctx)
+}

@@ -2,10 +2,12 @@ package runs
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 
 	"mbrim/internal/core"
 	"mbrim/internal/graph"
+	"mbrim/internal/journal"
 	"mbrim/internal/obs"
 	"mbrim/internal/rng"
 )
@@ -36,6 +38,42 @@ func BenchmarkSolveDetached(b *testing.B) {
 func BenchmarkSolveManaged(b *testing.B) {
 	req := benchRequest()
 	m := NewManager(Config{Registry: obs.NewRegistry()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := m.Submit(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, cancel := r.Subscribe()
+		go func() {
+			for range ch {
+			}
+		}()
+		<-r.Done()
+		cancel()
+		if _, err := r.Outcome(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveJournaled is the same managed solve with the full
+// durability layer on: fsync'd journal write-through plus the
+// segmented-checkpoint machinery (the 2s default cadence never fires at
+// this problem size, so the cost measured is the per-run record
+// overhead — three fsync'd appends — not checkpoint I/O). Not part of
+// the A/B acceptance bound; it quantifies what -state-dir costs when
+// you opt in.
+func BenchmarkSolveJournaled(b *testing.B) {
+	req := benchRequest()
+	dir := b.TempDir()
+	reg := obs.NewRegistry()
+	jw, err := journal.Open(filepath.Join(dir, "run.journal"), reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jw.Close()
+	m := NewManager(Config{Registry: reg, Journal: jw, StateDir: dir})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := m.Submit(context.Background(), req)

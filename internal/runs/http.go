@@ -65,6 +65,14 @@ type SubmitRequest struct {
 	// "csr" or "blocked"); empty means auto. Bit-identical — only host
 	// time moves.
 	Backend string `json:"backend,omitempty"`
+	// Priority orders the admission queue when -max-active is
+	// saturated: higher dispatches first, ties FIFO. Executing runs are
+	// never preempted.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds the run's whole life, queue wait included, in
+	// milliseconds from submission. A run that cannot finish in time is
+	// shed (queued) or interrupted (executing). 0 means no deadline.
+	DeadlineMS int64 `json:"deadlineMS,omitempty"`
 }
 
 // buildRequest turns a submit body into a core.Request, constructing
@@ -83,6 +91,9 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		if sr.K > m.cfg.MaxSpins {
 			return req, fmt.Errorf("runs: k=%d exceeds the %d-spin limit", sr.K, m.cfg.MaxSpins)
 		}
+		if err := m.checkBudget(sr.K, sr.Chips); err != nil {
+			return req, err
+		}
 		gseed := sr.GraphSeed
 		if gseed == 0 {
 			gseed = 1
@@ -94,6 +105,9 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		}
 		if sr.N > m.cfg.MaxSpins {
 			return req, fmt.Errorf("runs: n=%d exceeds the %d-spin limit", sr.N, m.cfg.MaxSpins)
+		}
+		if err := m.checkBudget(sr.N, sr.Chips); err != nil {
+			return req, err
 		}
 		g = graph.New(sr.N)
 		for i, e := range sr.Edges {
@@ -183,6 +197,7 @@ func (m *Manager) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /runs/{id}/checkpoint", m.handleCheckpoint)
 	mux.HandleFunc("GET /runs/{id}/diag", m.handleDiag)
 	mux.HandleFunc("GET /runs/{id}/trace", m.handleTrace)
+	mux.HandleFunc("GET /runs/{id}/outcome", m.handleOutcome)
 }
 
 // Mount registers the full operations surface — run endpoints,
@@ -217,18 +232,44 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := m.buildRequest(&sr)
 	if err != nil {
+		var terr *TooLargeError
+		if errors.As(err, &terr) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	opts := SubmitOptions{Priority: sr.Priority}
+	if sr.DeadlineMS > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(sr.DeadlineMS) * time.Millisecond)
+	}
+	// The canonical re-marshal (not the raw body) is what the journal
+	// records: replay rebuilds the run from exactly the fields this
+	// build understood.
+	if spec, err := json.Marshal(&sr); err == nil {
+		opts.Spec = spec
 	}
 	// The run outlives the submit request: solve under the manager's
 	// lifetime, not the HTTP request context.
-	run, err := m.Submit(nil, req)
-	if errors.Is(err, ErrBusy) {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
+	run, err := m.SubmitWith(nil, req, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var qerr *QueueFullError
+		var terr *TooLargeError
+		switch {
+		case errors.As(err, &qerr):
+			// The overload-shedding contract: 429, with Retry-After
+			// estimating the queue's drain time.
+			w.Header().Set("Retry-After", strconv.Itoa(qerr.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrBusy), errors.Is(err, ErrNotAccepting):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &terr):
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, run.Status())
@@ -282,6 +323,60 @@ func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", run.ID()+".ckpt"))
 	_, _ = w.Write(ck)
+}
+
+// OutcomeBody is the GET /runs/{id}/outcome response: the full
+// terminal outcome, spin vector included — the bit-identity surface
+// the crash-recovery smoke compares against an uninterrupted reference
+// run. encoding/json round-trips float64 exactly, so equality of the
+// JSON numbers is equality of the bits.
+type OutcomeBody struct {
+	ID      string             `json:"id"`
+	State   State              `json:"state"`
+	Engine  string             `json:"engine"`
+	Seed    uint64             `json:"seed"`
+	Energy  float64            `json:"energy"`
+	Cut     float64            `json:"cut,omitempty"`
+	ModelNS float64            `json:"modelNS,omitempty"`
+	WallNS  int64              `json:"wallNS"`
+	Backend string             `json:"backend,omitempty"`
+	Stats   map[string]float64 `json:"stats,omitempty"`
+	Spins   []int8             `json:"spins"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// handleOutcome serves a terminal run's full outcome. 409 while the
+// run is live; 404 when no outcome is retained (a failed run, or a
+// journal tombstone whose full outcome died with the old process —
+// its summary is still on GET /runs/{id}).
+func (m *Manager) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	run, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	st := run.Status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("runs: %s is %s; the outcome lands at a terminal state", run.ID(), st.State))
+		return
+	}
+	out, rerr := run.Outcome()
+	if out == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("runs: %s retains no full outcome (state %s)", run.ID(), st.State))
+		return
+	}
+	body := OutcomeBody{
+		ID: run.ID(), State: st.State, Engine: st.Engine, Seed: st.Seed,
+		Energy: out.Energy, Cut: out.Cut, ModelNS: out.ModelNS,
+		WallNS: out.Wall.Nanoseconds(), Backend: out.Backend,
+		Stats: out.Stats, Spins: out.Spins,
+	}
+	if rerr != nil {
+		body.Error = rerr.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleDiag serves the run's live diagnostics snapshot: energy

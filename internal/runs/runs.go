@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mbrim/internal/checkpoint"
 	"mbrim/internal/core"
 	"mbrim/internal/diag"
+	"mbrim/internal/journal"
 	"mbrim/internal/obs"
 )
 
@@ -36,11 +38,14 @@ import (
 type State string
 
 // The run lifecycle. Pending covers the window between registration
-// and the solve goroutine starting; Interrupted means the run was
-// cancelled and holds its best-so-far outcome (plus, for multichip
-// engines, downloadable checkpoint bytes).
+// and the solve goroutine starting; Queued means admission accepted
+// the run but MaxActive runs are executing — it dispatches when a slot
+// frees. Interrupted means the run was cancelled and holds its
+// best-so-far outcome (plus, for multichip engines, downloadable
+// checkpoint bytes).
 const (
 	StatePending     State = "pending"
+	StateQueued      State = "queued"
 	StateRunning     State = "running"
 	StateCompleted   State = "completed"
 	StateInterrupted State = "interrupted"
@@ -160,6 +165,14 @@ type Status struct {
 	// EventsDropped counts live-tail deliveries lost to slow
 	// subscribers (the bounded fan-out's backpressure ledger).
 	EventsDropped int64 `json:"eventsDropped,omitempty"`
+	// Admission/supervision ledger: queue priority, time spent queued
+	// (live while queued, final once dispatched), dispatch wall time,
+	// the enforcement deadline, and supervised restarts survived.
+	Priority       int   `json:"priority,omitempty"`
+	QueueWaitNS    int64 `json:"queueWaitNS,omitempty"`
+	StartedWallNS  int64 `json:"startedWallNS,omitempty"`
+	DeadlineWallNS int64 `json:"deadlineWallNS,omitempty"`
+	Restarts       int   `json:"restarts,omitempty"`
 }
 
 // Run is one registered solve. All mutable state is behind mu; the
@@ -167,6 +180,7 @@ type Status struct {
 // readers.
 type Run struct {
 	id    string
+	mgr   *Manager
 	req   core.Request
 	ring  *obs.Ring
 	bcast *obs.Broadcast
@@ -175,15 +189,35 @@ type Run struct {
 	// state is readable.
 	done   chan struct{}
 	cancel context.CancelFunc
+	// rctx is the run's lifetime context (cancel + optional deadline);
+	// dispatch checks it before spending a slot on a dead run.
+	rctx context.Context
+	// execReq is the request with the manager's sinks wired in, kept so
+	// a queued run can dispatch later.
+	execReq  core.Request
+	priority int
+	deadline time.Time
+	// spec is the serialized submit body journaled for crash replay.
+	spec []byte
 
 	mu         sync.Mutex
 	state      State
 	created    time.Time
+	queuedAt   time.Time
+	started    time.Time
 	ended      time.Time
+	queueWait  time.Duration
+	restarts   int
 	progress   Progress
 	outcome    *core.Outcome
 	err        error
 	checkpoint []byte
+	// lastRef points at the newest durable checkpoint file (periodic
+	// persistence); summary carries a recovered terminal outcome for
+	// journal tombstones whose full outcome died with the old process.
+	lastRef *checkpoint.Ref
+	ckptSeq int
+	summary *OutcomeSummary
 }
 
 // progressSink adapts a Run into a Tracer feeding its progress view.
@@ -225,8 +259,15 @@ func (r *Run) EventsTotal() int64 { return r.ring.Total() }
 func (r *Run) Diag() diag.Snapshot { return r.diag.Snapshot() }
 
 // Cancel requests cancellation; the engine stops at its next natural
-// boundary. Safe to call in any state.
-func (r *Run) Cancel() { r.cancel() }
+// boundary, and a still-queued run is shed immediately (state
+// interrupted) without ever consuming an execution slot. Safe to call
+// in any state.
+func (r *Run) Cancel() {
+	r.cancel()
+	if r.mgr != nil {
+		r.mgr.shedIfQueued(r)
+	}
+}
 
 // Checkpoint returns the serialized resume envelope captured when the
 // run was interrupted, or nil.
@@ -264,6 +305,26 @@ func (r *Run) Status() Status {
 	if !r.ended.IsZero() {
 		st.EndedWallNS = r.ended.UnixNano()
 	}
+	st.Priority = r.priority
+	st.Restarts = r.restarts
+	if !r.deadline.IsZero() {
+		st.DeadlineWallNS = r.deadline.UnixNano()
+	}
+	if !r.started.IsZero() {
+		st.StartedWallNS = r.started.UnixNano()
+	}
+	switch {
+	case r.queueWait > 0:
+		st.QueueWaitNS = r.queueWait.Nanoseconds()
+	case r.state == StateQueued:
+		st.QueueWaitNS = time.Since(r.queuedAt).Nanoseconds()
+	}
+	if r.outcome == nil && r.summary != nil {
+		// A journal tombstone: the full outcome died with the previous
+		// process, but its recorded summary survives replay.
+		s := *r.summary
+		st.Outcome = &s
+	}
 	if r.outcome != nil {
 		o := r.outcome
 		st.Outcome = &OutcomeSummary{
@@ -292,15 +353,35 @@ type Config struct {
 	// BroadcastBuffer bounds each live subscriber's channel. Default
 	// obs.DefaultBroadcastBuffer.
 	BroadcastBuffer int
-	// MaxActive bounds concurrently executing runs; Submit returns
-	// ErrBusy beyond it. 0 means unlimited.
+	// MaxActive bounds concurrently executing runs. Beyond it, Submit
+	// queues (when MaxQueued > 0) or returns ErrBusy. 0 means
+	// unlimited.
 	MaxActive int
+	// MaxQueued bounds the admission queue behind MaxActive. 0 keeps
+	// the historical behavior — saturate and reject with ErrBusy; a
+	// positive value accepts up to that many queued runs and sheds the
+	// rest with *QueueFullError (HTTP 429 + Retry-After).
+	MaxQueued int
 	// MaxSpins bounds submitted problem sizes at the HTTP boundary.
 	// 0 applies DefaultMaxSpins.
 	MaxSpins int
+	// MaxRunBytes, when positive, rejects submissions whose estimated
+	// resident footprint (see EstimateRunBytes) exceeds it.
+	MaxRunBytes int64
 	// DefaultBackend is the coupling backend applied to submitted runs
 	// that do not name one. Empty leaves them on "auto".
 	DefaultBackend string
+	// Journal, when set, receives a durable record of every run
+	// transition (submit/start/checkpoint/restart/terminal); StateDir
+	// is where periodic checkpoints persist (a "checkpoints" subdir).
+	// Both set enables crash recovery via Recover.
+	Journal *journal.Writer
+	// StateDir is the durability root shared with the journal.
+	StateDir string
+	// CheckpointEvery is the cadence of periodic durable checkpoints
+	// for checkpointable (multichip) engines. 0 disables periodic
+	// persistence (interrupt checkpoints still persist on drain).
+	CheckpointEvery time.Duration
 }
 
 // DefaultMaxSpins bounds the problem size accepted over HTTP when the
@@ -318,11 +399,17 @@ type Manager struct {
 	cfg Config
 	reg *obs.Registry
 
-	mu     sync.Mutex
-	runs   map[string]*Run
-	order  []string
-	seq    int
-	active int
+	// accepting gates new submissions; the daemon flips it false while
+	// replaying the journal and during drain.
+	accepting atomic.Bool
+
+	mu       sync.Mutex
+	runs     map[string]*Run
+	order    []string
+	seq      int
+	active   int
+	queue    []*Run  // admitted, waiting for a slot (priority, then FIFO)
+	wallEWMA float64 // smoothed run wall seconds, feeds Retry-After
 }
 
 // NewManager returns a manager with the given configuration.
@@ -334,78 +421,80 @@ func NewManager(cfg Config) *Manager {
 		cfg.MaxSpins = DefaultMaxSpins
 	}
 	m := &Manager{cfg: cfg, reg: cfg.Registry, runs: map[string]*Run{}}
+	m.accepting.Store(true)
+	m.initStateDir()
 	if m.reg != nil {
 		m.reg.SetHelp("runs.active", "Solves currently executing under the run manager.")
 		m.reg.SetHelp("runs.submitted", "Runs accepted by the run manager since start.")
 		m.reg.SetHelp("runs.finished", "Runs reaching a terminal state, by engine and state.")
 		m.reg.SetHelp("runs.wall_ns", "Wall-clock duration of finished runs, by engine.")
+		m.reg.SetHelp("runs.queue_depth", "Runs waiting in the admission queue.")
+		m.reg.SetHelp("runs.queue_wait_ns", "Admission-queue wait of dispatched runs.")
+		m.reg.SetHelp("runs.queue_rejected_total", "Submissions shed with 429: queue at MaxQueued.")
+		m.reg.SetHelp("runs.shed_total", "Runs shed for an expired deadline.")
+		m.reg.SetHelp("runs.rejected_too_large_total", "Submissions refused by the memory-budget check.")
+		m.reg.SetHelp("runs.restarts_total", "Supervised restart-once recoveries after an engine panic.")
+		m.reg.SetHelp("runs.checkpoints_persisted_total", "Durable periodic checkpoints written.")
 	}
 	return m
 }
 
+// SetAccepting opens or closes the submission gate. While closed,
+// Submit returns ErrNotAccepting (HTTP 503); runs already admitted
+// keep executing. The daemon closes the gate during journal replay
+// and drain.
+func (m *Manager) SetAccepting(v bool) { m.accepting.Store(v) }
+
 // Submit registers req and starts solving it on a goroutine. The
 // request's Tracer is composed with the run's progress, replay and
 // fan-out sinks; its Metrics defaults to the manager's registry.
+// Equivalent to SubmitWith with zero options.
 func (m *Manager) Submit(ctx context.Context, req core.Request) (*Run, error) {
-	if req.Model == nil {
-		return nil, fmt.Errorf("runs: request has no model")
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	m.mu.Lock()
-	if m.cfg.MaxActive > 0 && m.active >= m.cfg.MaxActive {
-		m.mu.Unlock()
-		return nil, ErrBusy
-	}
-	m.seq++
-	id := "run-" + strconv.Itoa(m.seq)
-	rctx, cancel := context.WithCancel(ctx)
-	r := &Run{
-		id:      id,
-		req:     req,
-		ring:    obs.NewRing(m.cfg.RingSize),
-		bcast:   obs.NewBroadcast(m.cfg.BroadcastBuffer),
-		done:    make(chan struct{}),
-		cancel:  cancel,
-		state:   StatePending,
-		created: time.Now(),
-	}
-	r.progress.Phase = "submitted"
-	m.runs[id] = r
-	m.order = append(m.order, id)
-	m.active++
-	m.mu.Unlock()
-
-	// Every managed run carries the introspection plane: hierarchical
-	// span events in the retained/broadcast stream (GET /runs/{id}/trace
-	// exports them as a Chrome trace) and a diagnostics reducer behind
-	// GET /runs/{id}/diag. Both are opt-in at the engine layer and
-	// trajectory-neutral — a managed solve stays bit-identical to an
-	// unmanaged one with the same seed.
-	r.diag = diag.New(diag.Config{Registry: m.reg, RunID: id})
-	req.Tracer = obs.Fanout(progressSink{r}, r.ring, r.bcast, r.diag, req.Tracer)
-	req.SpanTrace = true
-	req.Diag = true
-	if req.Metrics == nil {
-		req.Metrics = m.reg
-	}
-	m.reg.Counter("runs.submitted").Inc()
-	m.reg.Gauge("runs.active").Add(1)
-
-	go m.execute(rctx, r, req)
-	return r, nil
+	return m.SubmitWith(ctx, req, SubmitOptions{})
 }
 
 // execute runs the solve and publishes the terminal state.
 func (m *Manager) execute(ctx context.Context, r *Run, req core.Request) {
-	r.mu.Lock()
-	r.state = StateRunning
-	r.mu.Unlock()
+	// Panic isolation: core.SolveCtx already converts engine panics
+	// into *core.PanicError, so anything reaching this recover is a
+	// manager-layer bug — contain it to the run instead of killing the
+	// daemon.
 	start := time.Now()
-	out, err := core.SolveCtx(ctx, req)
+	defer func() {
+		if p := recover(); p != nil {
+			m.finish(r, req, start, nil, fmt.Errorf("runs: run goroutine panic: %v", p))
+		}
+	}()
 
 	r.mu.Lock()
+	r.state = StateRunning
+	r.started = time.Now()
+	if !r.queuedAt.IsZero() {
+		r.queueWait = r.started.Sub(r.queuedAt)
+	}
+	wait := r.queueWait
+	r.mu.Unlock()
+	m.journalAppend(journal.Record{Type: journal.TypeStart, ID: r.id})
+	if wait > 0 {
+		// Make the wait attributable: a synthetic span in the run's own
+		// event stream (diag folds it into the snapshot) plus the
+		// aggregate histogram.
+		emitQueueWait(req.Tracer, wait)
+		m.reg.Histogram("runs.queue_wait_ns").Observe(float64(wait.Nanoseconds()))
+	}
+	out, err := m.supervisedSolve(ctx, r, req)
+	m.finish(r, req, start, out, err)
+}
+
+// finish publishes a run's terminal state exactly once: the journal
+// terminal record (and, for interrupts, the final durable checkpoint),
+// metrics, the closed live tail, and the next queued dispatch.
+func (m *Manager) finish(r *Run, req core.Request, start time.Time, out *core.Outcome, err error) {
+	r.mu.Lock()
+	if r.state.Terminal() {
+		r.mu.Unlock()
+		return
+	}
 	r.ended = time.Now()
 	var intr *core.InterruptedError
 	switch {
@@ -422,21 +511,33 @@ func (m *Manager) execute(ctx context.Context, r *Run, req core.Request) {
 		r.err = err
 	}
 	state := r.state
+	ck := r.checkpoint
 	r.mu.Unlock()
 
 	m.mu.Lock()
 	m.active--
+	m.observeWallLocked(time.Since(start))
 	m.mu.Unlock()
 	m.reg.Gauge("runs.active").Add(-1)
 	m.reg.CounterWith("runs.finished", obs.Labels{
 		"engine": string(req.Kind), "state": string(state)}).Inc()
 	m.reg.HistogramWith("runs.wall_ns", obs.Labels{"engine": string(req.Kind)}).
 		Observe(float64(time.Since(start).Nanoseconds()))
+	// Durable tail: an interrupt's final checkpoint (the drain path —
+	// restart resumes from it), then the terminal record.
+	if state == StateInterrupted && len(ck) > 0 && m.durable() {
+		m.persistCheckpoint(r, ck)
+	}
+	m.journalTerminal(r, state)
+	if state == StateCompleted {
+		m.dropCheckpointFile(r)
+	}
 	// Release the run's cancel context, close the live tail, then
 	// signal terminal state.
 	r.cancel()
 	r.bcast.Close()
 	close(r.done)
+	m.dispatch()
 }
 
 // Get returns the run with the given ID.
@@ -481,9 +582,14 @@ func (m *Manager) Active() int {
 }
 
 // CancelAll cancels every non-terminal run and returns their IDs,
-// sorted — the drain step of a graceful shutdown.
+// sorted — the drain step of a graceful shutdown. Queued runs are shed
+// immediately (they will never get a slot during a drain); executing
+// runs stop at their next engine boundary.
 func (m *Manager) CancelAll() []string {
 	m.mu.Lock()
+	queued := m.queue
+	m.queue = nil
+	m.gaugeQueueDepthLocked()
 	var cancelled []string
 	for id, r := range m.runs {
 		r.mu.Lock()
@@ -495,6 +601,9 @@ func (m *Manager) CancelAll() []string {
 		}
 	}
 	m.mu.Unlock()
+	for _, r := range queued {
+		m.finishQueued(r, StateInterrupted, errors.New("runs: cancelled while queued"))
+	}
 	sort.Strings(cancelled)
 	return cancelled
 }

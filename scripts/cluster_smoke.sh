@@ -11,17 +11,39 @@
 # and assert the bit-identity and recovery claims with jq.
 #
 # Run from the repository root: ./scripts/cluster_smoke.sh
-set -euxo pipefail
+set -euo pipefail
 
 DIR=$(mktemp -d)
-go build -o "$DIR/mbrim" ./cmd/mbrim
-go build -o "$DIR/mbrimd" ./cmd/mbrimd
+PIDS=()
+FAILED=1
+
+cleanup() {
+  if [ "$FAILED" -ne 0 ]; then
+    echo "cluster smoke: FAILED — worker logs follow" >&2
+    for log in "$DIR"/w*.out; do
+      [ -f "$log" ] && { echo "--- $log ---" >&2; cat "$log" >&2; }
+    done
+  fi
+  # Kill hard: a smoke runner must never leave daemons behind, even
+  # ones wedged mid-drain.
+  for pid in "${PIDS[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+die() {
+  echo "cluster smoke: FAIL: $*" >&2
+  exit 1
+}
+
+go build -o "$DIR/mbrim" ./cmd/mbrim || die "building mbrim"
+go build -o "$DIR/mbrimd" ./cmd/mbrimd || die "building mbrimd"
 
 "$DIR/mbrimd" -addr localhost:0 -worker >"$DIR/w1.out" 2>&1 &
-W1=$!
+PIDS+=($!)
 "$DIR/mbrimd" -addr localhost:0 -worker >"$DIR/w2.out" 2>&1 &
-W2=$!
-trap 'kill "$W1" "$W2" 2>/dev/null || true' EXIT
+PIDS+=($!)
 
 addr() { sed -n 's|^mbrimd: listening on http://||p' "$1"; }
 A1=""
@@ -32,25 +54,27 @@ for _ in $(seq 1 50); do
   [ -n "$A1" ] && [ -n "$A2" ] && break
   sleep 0.1
 done
-test -n "$A1" && test -n "$A2"
+[ -n "$A1" ] || die "worker 1 never printed its listen address"
+[ -n "$A2" ] || die "worker 2 never printed its listen address"
 
 PROBLEM="-k 64 -chips 2 -duration 100 -seed 7"
 
 # 1. Ground truth: the in-process multiprocessor.
 # shellcheck disable=SC2086
-"$DIR/mbrim" -solver mbrim $PROBLEM -json >"$DIR/inproc.json"
+"$DIR/mbrim" -solver mbrim $PROBLEM -json >"$DIR/inproc.json" \
+  || die "in-process reference solve"
 
 # 2. Clean distributed run.
 # shellcheck disable=SC2086
 "$DIR/mbrim" -cluster "http://$A1,http://$A2" $PROBLEM -spins -json \
-  >"$DIR/clean.json"
+  >"$DIR/clean.json" || die "clean distributed solve"
 
 # 3. Chaos: flaky transport (5% injected 503s) plus worker 1
 # blackholed at epoch 5, two epochs past the last checkpoint.
 # shellcheck disable=SC2086
 "$DIR/mbrim" -cluster "http://$A1,http://$A2" $PROBLEM -spins -json \
   -ckpt-every 3 -chaos-error 0.05 -chaos-kill-worker 1 -chaos-kill-epoch 5 \
-  >"$DIR/chaos.json"
+  >"$DIR/chaos.json" || die "chaos distributed solve"
 
 # The clean distributed run reproduces the in-process run bit for bit,
 # ledgers included.
@@ -62,7 +86,8 @@ jq -e --slurpfile c "$DIR/clean.json" '
   .Stats.trafficBytes == $c[0].trafficBytes and
   (.Stats.stallNS // 0) == ($c[0].stallNS // 0) and
   .Spins == $c[0].spins
-' "$DIR/inproc.json"
+' "$DIR/inproc.json" >/dev/null \
+  || die "clean distributed run diverged from the in-process reference"
 
 # The chaos run replays to the identical trajectory (spins, energy,
 # counters) despite losing a worker...
@@ -72,7 +97,8 @@ jq -e --slurpfile c "$DIR/chaos.json" '
   .Stats.flips == $c[0].flips and
   .Stats.bitChanges == $c[0].bitChanges and
   .Spins == $c[0].spins
-' "$DIR/inproc.json"
+' "$DIR/inproc.json" >/dev/null \
+  || die "chaos run did not recover to the reference trajectory"
 
 # ...recovery actually happened and was charged into the ledgers:
 # death + rollback-replay observed, degraded (the survivor hosts both
@@ -86,6 +112,8 @@ jq -e --slurpfile i "$DIR/inproc.json" '
   .recovery.degraded == true and
   .liveWorkers == 1 and
   .trafficBytes > $i[0].Stats.trafficBytes
-' "$DIR/chaos.json"
+' "$DIR/chaos.json" >/dev/null \
+  || die "chaos run's recovery ledger missing or inconsistent"
 
+FAILED=0
 echo "cluster smoke: OK"
