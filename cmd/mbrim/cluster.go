@@ -22,6 +22,7 @@ import (
 	"mbrim"
 	"mbrim/internal/cluster"
 	"mbrim/internal/cluster/chaosproxy"
+	"mbrim/internal/obs"
 )
 
 // clusterOpts carries the CLI flags the cluster mode consumes.
@@ -36,6 +37,8 @@ type clusterOpts struct {
 	seed        uint64
 	sample      float64
 	ckptEvery   int
+	federate    bool
+	tracePath   string // write the merged fleet trace here (implies federate)
 
 	chaosSeed      uint64
 	chaosDrop      float64
@@ -100,6 +103,7 @@ func runCluster(ctx context.Context, info io.Writer, model *mbrim.Model, g *mbri
 		CheckpointEvery:   o.ckptEvery,
 		Metrics:           o.registry,
 		Tracer:            o.tracer,
+		Federate:          o.federate || o.tracePath != "",
 	}
 	if o.killWorker >= 0 && o.killEpoch > 0 {
 		killed := false // the replay crosses the kill epoch again; fire once
@@ -141,13 +145,41 @@ func runCluster(ctx context.Context, info io.Writer, model *mbrim.Model, g *mbri
 					o.ckptPath, o.ckptPath)
 			}
 		}
+		writeFleetTrace(co, o.tracePath) // the partial trace still merges
 		os.Exit(3)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
+	if co.TraceID() != 0 {
+		fmt.Fprintf(info, "fleet:   trace %016x, %d federated events", co.TraceID(), len(co.FederatedEvents()))
+		if snap, ok := co.FleetDiag(); ok {
+			fmt.Fprintf(info, ", sync %.0f%%, straggler worker %d", 100*snap.SyncFraction, snap.Straggler)
+		}
+		fmt.Fprintln(info)
+	}
+	writeFleetTrace(co, o.tracePath)
 	printClusterOutcome(res, g, quboOffset, wall, o)
+}
+
+// writeFleetTrace renders the run's merged fleet trace to path
+// (Perfetto/chrome://tracing loadable). No-op when path is empty.
+func writeFleetTrace(co *cluster.Coordinator, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbrim:", err)
+		return
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, co.FederatedEvents()); err != nil {
+		fmt.Fprintln(os.Stderr, "mbrim:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mbrim: fleet trace written to %s\n", path)
 }
 
 func valueOrChips(chips, workers int) int {

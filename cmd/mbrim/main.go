@@ -79,6 +79,8 @@ func main() {
 	recoverRepartition := flag.Bool("recover-repartition", false, "repartition a dead chip's slice onto survivors")
 	clusterWorkers := flag.String("cluster", "", "distribute the solve across these mbrimd -worker URLs (comma-separated)")
 	ckptEvery := flag.Int("ckpt-every", 0, "cluster coordinated-checkpoint cadence, epochs (0 = default 8)")
+	federate := flag.Bool("federate", false, "cluster mode: federate worker telemetry (distributed trace + fleet diagnostics)")
+	clusterTrace := flag.String("cluster-trace", "", "cluster mode: write the merged Perfetto-loadable fleet trace to FILE (implies -federate)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "cluster chaos proxies: fate-schedule seed")
 	chaosDrop := flag.Float64("chaos-drop", 0, "cluster chaos proxies: per-request connection-drop probability")
 	chaosError := flag.Float64("chaos-error", 0, "cluster chaos proxies: per-request 503 probability")
@@ -241,6 +243,8 @@ func main() {
 			seed:        *seed,
 			sample:      *sample,
 			ckptEvery:   *ckptEvery,
+			federate:    *federate,
+			tracePath:   *clusterTrace,
 
 			chaosSeed:      *chaosSeed,
 			chaosDrop:      *chaosDrop,

@@ -15,6 +15,8 @@
 //	GET  /runs/{id}/outcome     terminal outcome (energy, flips, spins)
 //	POST /cluster/runs          coordinate a solve across worker nodes
 //	GET  /cluster/runs[/{id}]   distributed-run status / checkpoint
+//	GET  /cluster/runs/{id}/trace  merged fleet Chrome trace (federated runs)
+//	GET  /cluster/runs/{id}/diag   fleet diagnostics (stragglers, sync share)
 //	GET  /metrics               Prometheus text exposition
 //	GET  /metrics.json          JSON metrics snapshot
 //	GET  /healthz, /readyz      liveness / readiness
@@ -92,6 +94,7 @@ func main() {
 	maxQueued := flag.Int("max-queued", 0, "admission queue depth beyond -max-active; 0 rejects immediately when saturated")
 	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "checkpoint cadence for durable runs (takes effect with -state-dir)")
 	maxRunMB := flag.Int("max-run-mb", 0, "per-run memory budget estimate, MiB (0 = unlimited)")
+	retainRuns := flag.Int("retain-runs", 0, "terminal runs kept registered; older ones are evicted and their per-run diag series released (0 = keep all)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -131,6 +134,7 @@ func main() {
 		Journal:         jw,
 		StateDir:        *stateDir,
 		CheckpointEvery: *checkpointEvery,
+		RetainRuns:      *retainRuns,
 	})
 
 	var draining, replaying atomic.Bool

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mbrim/internal/multichip"
+	"mbrim/internal/obs"
 )
 
 // The A/B pair behind BENCH_cluster.json: the identical seeded
@@ -45,6 +46,64 @@ func benchClusterConfig(workers []string, chips int) Config {
 		RPCTimeout:      5 * time.Second,
 		HeartbeatEvery:  50 * time.Millisecond,
 		HeartbeatMisses: 4,
+	}
+}
+
+// benchMetricWorkers is benchWorkers with a live registry per worker
+// and /metrics.json served, so a federated bench pays the real scrape
+// cost instead of fast-failing on a missing endpoint.
+func benchMetricWorkers(b *testing.B, k int) []string {
+	b.Helper()
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		wreg := obs.NewRegistry()
+		mux := http.NewServeMux()
+		NewWorker(wreg, 0).Routes(mux)
+		mux.Handle("GET /metrics.json", wreg)
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})
+		srv := httptest.NewServer(mux)
+		b.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// BenchmarkFederation is the A/B pair behind BENCH_fleetobs.json: the
+// identical seeded distributed solve with fleet observability off
+// (Config.Federate=false — every federation hook is a nil guard) versus
+// on (trace context on every RPC, worker rings populated, events and
+// metrics pulled back on the checkpoint cadence, fleet reducer fed).
+// The off side must stay within noise of the pre-federation fabric;
+// the on side quantifies the pull overhead.
+func BenchmarkFederation(b *testing.B) {
+	const n = 128
+	m := kmodel(n, 7)
+	for _, federate := range []bool{false, true} {
+		name := "off"
+		if federate {
+			name = "on"
+		}
+		b.Run("federate="+name, func(b *testing.B) {
+			workers := benchMetricWorkers(b, 2)
+			for i := 0; i < b.N; i++ {
+				cfg := benchClusterConfig(workers, 2)
+				cfg.CheckpointEvery = 4
+				cfg.Federate = federate
+				co, err := New(m, fmt.Sprintf("bench-fed-%s-%d", name, i), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, _, err := co.Solve(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Energy >= 0 {
+					b.Fatal("solve went nowhere")
+				}
+			}
+		})
 	}
 }
 

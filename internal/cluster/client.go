@@ -8,10 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mbrim/internal/obs"
 )
 
 // This file is the coordinator's transport: per-RPC deadlines,
@@ -89,6 +92,7 @@ type transport struct {
 	client  *http.Client
 	workers []string
 	health  []*workerHealth
+	reg     *obs.Registry // cfg.Metrics; nil instruments are no-ops
 
 	budget  atomic.Int64 // remaining retries for the run
 	retries atomic.Int64 // retries actually spent
@@ -104,6 +108,7 @@ func newTransport(cfg Config, workers []string) *transport {
 		client:  cfg.Client,
 		workers: workers,
 		health:  make([]*workerHealth, len(workers)),
+		reg:     cfg.Metrics,
 	}
 	if t.client == nil {
 		t.client = &http.Client{}
@@ -112,7 +117,43 @@ func newTransport(cfg Config, workers []string) *transport {
 		t.health[i] = &workerHealth{}
 	}
 	t.budget.Store(int64(cfg.RetryBudget))
+	if t.reg != nil {
+		t.reg.SetHelp("cluster.rpc_inflight", "coordinator RPCs currently in flight (including backoff waits)")
+		t.reg.SetHelp("cluster.rpc_latency_ns", "per-attempt RPC wall latency by wire method")
+		t.reg.SetHelp("cluster.rpc_backoff_ns", "retry backoff waited by wire method")
+		t.reg.SetHelp("cluster.rpc_retries_total", "RPC retries by wire method")
+		t.reg.SetHelp("cluster.rpc_attempt_errors", "failed RPC attempts by wire method")
+		t.reg.SetHelp("cluster.rpc_bytes", "request/response bytes on the wire by method and direction")
+		t.reg.SetHelp("fleet.wire_bytes", "bytes actually moved to/from each worker (compare fleet.model_traffic_bytes)")
+		t.reg.SetHelp("fleet.heartbeat_rtt_ns", "per-worker /healthz heartbeat round-trip time")
+	}
 	return t
+}
+
+// rpcMethod maps an RPC to its wire-method label — the dimension the
+// per-method latency/retry/backoff series are keyed by.
+func rpcMethod(method, path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i] // label by route, not by cursor value
+	}
+	switch {
+	case strings.HasSuffix(path, "/step"):
+		return "step"
+	case strings.HasSuffix(path, "/sync"):
+		return "sync"
+	case strings.HasSuffix(path, "/events"):
+		return "events"
+	case strings.HasSuffix(path, "/clock"):
+		return "clock"
+	case strings.HasSuffix(path, "/metrics.json"):
+		return "metrics"
+	case method == http.MethodPut:
+		return "create"
+	case method == http.MethodDelete:
+		return "delete"
+	default:
+		return "status"
+	}
 }
 
 // startProber launches one heartbeat goroutine per worker, probing
@@ -177,13 +218,19 @@ func (t *transport) probe(wi int) bool {
 	if err != nil {
 		return false
 	}
+	start := time.Now()
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode == http.StatusOK {
+		t.reg.HistogramWith("fleet.heartbeat_rtt_ns", obs.Labels{"worker": strconv.Itoa(wi)}).
+			Observe(float64(time.Since(start).Nanoseconds()))
+		return true
+	}
+	return false
 }
 
 // alive reports whether the worker has not been declared dead.
@@ -204,6 +251,9 @@ func (t *transport) do(ctx context.Context, wi int, method, path string, in, out
 			return fmt.Errorf("cluster: encoding %s %s: %w", method, path, err)
 		}
 	}
+	ml := rpcMethod(method, path)
+	t.reg.Gauge("cluster.rpc_inflight").Add(1)
+	defer t.reg.Gauge("cluster.rpc_inflight").Add(-1)
 	maxAttempts := t.cfg.MaxAttempts
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -230,7 +280,8 @@ func (t *transport) do(ctx context.Context, wi int, method, path string, in, out
 				return &workerDeadError{worker: wi, cause: fmt.Errorf("retry budget exhausted (%w)", lastErr)}
 			}
 			t.retries.Add(1)
-			if err := t.sleepBackoff(ctx, wi, attempt); err != nil {
+			t.reg.CounterWith("cluster.rpc_retries_total", obs.Labels{"method": ml}).Inc()
+			if err := t.sleepBackoff(ctx, wi, attempt, ml); err != nil {
 				return err
 			}
 		}
@@ -249,8 +300,23 @@ func (t *transport) do(ctx context.Context, wi int, method, path string, in, out
 	}
 }
 
-// once is a single attempt under the per-RPC deadline.
+// once is a single attempt under the per-RPC deadline. Every attempt
+// is measured into the per-method latency histogram (failures are
+// additionally counted in cluster.rpc_attempt_errors), and actual
+// request/response bytes are charged to the wire ledgers — the
+// "bytes on the wire" side of the fleet.wire_bytes vs.
+// fleet.model_traffic_bytes comparison.
 func (t *transport) once(ctx context.Context, wi int, method, path string, body []byte, out any) error {
+	ml := rpcMethod(method, path)
+	start := time.Now()
+	defer func() {
+		t.reg.HistogramWith("cluster.rpc_latency_ns", obs.Labels{"method": ml}).
+			Observe(float64(time.Since(start).Nanoseconds()))
+	}()
+	fail := func(err error) error {
+		t.reg.CounterWith("cluster.rpc_attempt_errors", obs.Labels{"method": ml}).Inc()
+		return err
+	}
 	rctx, cancel := context.WithTimeout(ctx, t.cfg.RPCTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -259,20 +325,24 @@ func (t *transport) once(ctx context.Context, wi int, method, path string, body 
 	}
 	req, err := http.NewRequestWithContext(rctx, method, t.workers[wi]+path, rd)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+		t.reg.CounterWith("cluster.rpc_bytes", obs.Labels{"method": ml, "dir": "tx"}).Add(int64(len(body)))
+		t.reg.CounterWith("fleet.wire_bytes", obs.Labels{"worker": strconv.Itoa(wi), "dir": "tx"}).Add(int64(len(body)))
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSliceBody))
 	if err != nil {
-		return err
+		return fail(err)
 	}
+	t.reg.CounterWith("cluster.rpc_bytes", obs.Labels{"method": ml, "dir": "rx"}).Add(int64(len(data)))
+	t.reg.CounterWith("fleet.wire_bytes", obs.Labels{"worker": strconv.Itoa(wi), "dir": "rx"}).Add(int64(len(data)))
 	switch {
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		if out != nil {
@@ -282,9 +352,9 @@ func (t *transport) once(ctx context.Context, wi int, method, path string, body 
 		}
 		return nil
 	case resp.StatusCode >= 400 && resp.StatusCode < 500 || resp.StatusCode == http.StatusUnprocessableEntity:
-		return &protocolError{status: resp.StatusCode, body: string(data)}
+		return fail(&protocolError{status: resp.StatusCode, body: string(data)})
 	default:
-		return fmt.Errorf("cluster: %s %s: status %d", method, path, resp.StatusCode)
+		return fail(fmt.Errorf("cluster: %s %s: status %d", method, path, resp.StatusCode))
 	}
 }
 
@@ -303,9 +373,11 @@ func backoffDelay(base, max time.Duration, seed uint64, wi int, counter uint64, 
 }
 
 // sleepBackoff waits out backoffDelay for the next send counter —
-// reproducible schedules, like everything else in the repo.
-func (t *transport) sleepBackoff(ctx context.Context, wi, attempt int) error {
+// reproducible schedules, like everything else in the repo. ml is the
+// wire-method label the waited delay is charged to.
+func (t *transport) sleepBackoff(ctx context.Context, wi, attempt int, ml string) error {
 	d := backoffDelay(t.cfg.BackoffBase, t.cfg.BackoffMax, t.cfg.Seed, wi, t.jitter.Add(1), attempt)
+	t.reg.HistogramWith("cluster.rpc_backoff_ns", obs.Labels{"method": ml}).Observe(float64(d.Nanoseconds()))
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {

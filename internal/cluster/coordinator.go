@@ -81,6 +81,16 @@ type Config struct {
 	// blackhole a proxy at epoch 7).
 	OnEpoch func(epoch int)
 
+	// Federate enables fleet observability: the coordinator derives a
+	// run-scoped trace ID, opens a span tree over the solve, threads
+	// trace context on every RPC so workers emit chip_step/slice_sync
+	// spans under it, pulls worker event streams each checkpoint round,
+	// and scrapes worker metrics into worker-labeled fleet_* series.
+	// The merged trace is served by FederatedEvents / TraceID, the
+	// cluster diagnostics by FleetDiag. Off by default; the disabled
+	// path costs one nil check per instrumentation site.
+	Federate bool
+
 	// Metrics receives cluster_* instruments; Tracer the run's event
 	// stream (EpochSync, EnergySample, Fault, Recovery). Client, when
 	// set, issues the HTTP requests (proxies, test transports).
@@ -209,6 +219,12 @@ type Coordinator struct {
 	n     int
 	parts [][]int
 	tr    *transport
+	// tracer is the run's effective event sink: cfg.Tracer directly, or
+	// — when federating — a stamping fan-out that also feeds the
+	// federation ring and the fleet reducer. fed is nil unless
+	// cfg.Federate.
+	tracer obs.Tracer
+	fed    *federation
 
 	fabric *interconnect.Fabric
 	runID  string
@@ -267,6 +283,13 @@ func New(m *ising.Model, runID string, cfg Config) (*Coordinator, error) {
 	for s := range co.assign {
 		co.assign[s] = s % len(c.Workers)
 	}
+	co.tracer = c.Tracer
+	if c.Federate {
+		co.fed = newFederation(c, runID, len(c.Workers))
+		co.tracer = obs.StampTracer(obs.Fanout(co.fed.co, co.fed.fleet, c.Tracer),
+			co.fed.traceID, "co")
+		co.fed.spans = obs.NewSpanner(co.tracer)
+	}
 	return co, nil
 }
 
@@ -283,8 +306,8 @@ func (co *Coordinator) sliceID(s int) string {
 }
 
 func (co *Coordinator) emit(e obs.Event) {
-	if co.cfg.Tracer != nil {
-		co.cfg.Tracer.Emit(e)
+	if co.tracer != nil {
+		co.tracer.Emit(e)
 	}
 }
 
@@ -301,6 +324,10 @@ func (co *Coordinator) Solve(ctx context.Context) (*Result, []byte, error) {
 	co.emit(obs.Event{Kind: obs.RunStart, Label: "cluster", Seed: co.cfg.Seed, Count: int64(co.n)})
 	co.tr.startProber()
 	defer co.tr.stopProber()
+	if co.fed != nil {
+		co.fed.runSpan = co.fed.spans.Start("cluster_run", obs.Span{}, -1, 0)
+		co.handshakeClocks(ctx)
+	}
 	if err := co.createSlices(ctx, nil); err != nil {
 		if wd := asWorkerDead(err); wd != nil {
 			if rerr := co.recover(ctx, wd); rerr != nil {
@@ -334,6 +361,7 @@ func (co *Coordinator) Solve(ctx context.Context) (*Result, []byte, error) {
 		return nil, nil, err
 	}
 	res := co.partialResult()
+	co.finishFederation(res)
 	co.recordRunMetrics(res)
 	co.emit(obs.Event{Kind: obs.RunEnd, Label: "cluster", Seed: co.cfg.Seed,
 		Value: res.Energy, ModelNS: res.ModelNS, Count: res.Flips})
@@ -354,6 +382,9 @@ func (co *Coordinator) interrupted(ctx context.Context) (*Result, []byte, error)
 	}
 	res := co.partialResult()
 	env, err := co.interruptCheckpoint()
+	// Final federation pull after the interrupt checkpoint, so the
+	// merged trace covers the checkpoint round's sync spans too.
+	co.finishFederation(res)
 	if err != nil {
 		// No consistent cut available (e.g. cancelled before the first
 		// coordinated checkpoint with workers torn): surface the partial
@@ -396,6 +427,14 @@ func (co *Coordinator) createSlices(ctx context.Context, states []*multichip.Sli
 		if states != nil {
 			req.State = states[s]
 		}
+		if co.fed != nil {
+			req.Trace = &TraceContext{
+				RunID:    co.runID,
+				TraceID:  co.fed.traceID,
+				SpanBase: co.fed.spanBase(co.gen, s),
+				Parent:   co.fed.runSpan.ID(),
+			}
+		}
 		return co.tr.do(ctx, co.assign[s], http.MethodPut, "/worker/slices/"+co.sliceID(s), req, nil)
 	})
 }
@@ -437,14 +476,29 @@ func (co *Coordinator) stepEpoch(ctx context.Context) error {
 	epochNS := math.Min(epochOrDefault(co.cfg.EpochNS), co.cfg.DurationNS-co.modelNS)
 	target := co.epoch + 1
 	reps := make([]*multichip.EpochReport, co.cfg.Chips)
+	// The epoch interval opens before the step RPCs go out so its ID can
+	// ride in StepRequest.Parent — workers parent their chip_step spans
+	// under it. Per-slice RPC walls are measured in the fan-out
+	// goroutines and recorded as step_rpc spans at the barrier, on the
+	// orchestration goroutine, keeping span IDs deterministic.
+	var epochSpan obs.Span
+	var rpcWall []int64
+	if co.fed != nil {
+		epochSpan = co.fed.spans.Start("epoch", co.fed.runSpan, -1, co.modelNS)
+		rpcWall = make([]int64, co.cfg.Chips)
+	}
 	err := co.forEachSlice(ctx, func(ctx context.Context, s int) error {
-		req := &StepRequest{Epoch: target}
+		req := &StepRequest{Epoch: target, Parent: epochSpan.ID()}
 		if !co.synced && co.pendingSync != nil {
 			req.Sync = co.pendingSync[s]
 		}
 		var resp StepResponse
+		start := time.Now()
 		if err := co.tr.do(ctx, co.assign[s], http.MethodPost, "/worker/slices/"+co.sliceID(s)+"/step", req, &resp); err != nil {
 			return err
+		}
+		if rpcWall != nil {
+			rpcWall[s] = time.Since(start).Nanoseconds()
 		}
 		if resp.Report == nil || resp.Report.Epoch != target || len(resp.Report.Spins) != len(co.parts[s]) {
 			return fmt.Errorf("cluster: slice %d returned a malformed epoch report", s)
@@ -453,6 +507,7 @@ func (co *Coordinator) stepEpoch(ctx context.Context) error {
 		return nil
 	})
 	if err != nil {
+		epochSpan.End(co.modelNS, nil)
 		return err
 	}
 
@@ -493,6 +548,15 @@ func (co *Coordinator) stepEpoch(ctx context.Context) error {
 
 	stall := co.fabric.EndEpoch(epochNS)
 	co.elapsedNS += epochNS + stall
+	if co.fed != nil {
+		for s := range reps {
+			co.fed.spans.Complete("step_rpc", epochSpan, s,
+				co.modelNS-epochNS, epochNS, rpcWall[s], nil)
+		}
+		co.fed.spans.Complete("fabric_settle", epochSpan, -1, co.modelNS, 0, 0,
+			&obs.Event{StallNS: stall})
+		epochSpan.End(co.modelNS, &obs.Event{Count: changes, StallNS: stall})
+	}
 	if co.metric() != nil {
 		co.metric().Histogram("cluster.epoch_stall_ns").Observe(stall)
 		co.metric().Counter("cluster.epochs").Inc()
@@ -531,14 +595,24 @@ func epochOrDefault(e float64) float64 {
 // the rollback point.
 func (co *Coordinator) checkpointRound(ctx context.Context) error {
 	states := make([]*multichip.SliceState, co.cfg.Chips)
+	var ckSpan obs.Span
+	var rpcWall []int64
+	if co.fed != nil {
+		ckSpan = co.fed.spans.Start("checkpoint_round", co.fed.runSpan, -1, co.modelNS)
+		rpcWall = make([]int64, co.cfg.Chips)
+	}
 	err := co.forEachSlice(ctx, func(ctx context.Context, s int) error {
-		req := &SyncRequest{Epoch: co.epoch, WantState: true}
+		req := &SyncRequest{Epoch: co.epoch, WantState: true, Parent: ckSpan.ID()}
 		if !co.synced && co.pendingSync != nil {
 			req.Sync = co.pendingSync[s]
 		}
 		var resp SyncResponse
+		start := time.Now()
 		if err := co.tr.do(ctx, co.assign[s], http.MethodPost, "/worker/slices/"+co.sliceID(s)+"/sync", req, &resp); err != nil {
 			return err
+		}
+		if rpcWall != nil {
+			rpcWall[s] = time.Since(start).Nanoseconds()
 		}
 		if resp.State == nil || resp.State.Epochs != co.epoch {
 			return fmt.Errorf("cluster: slice %d returned a stale snapshot", s)
@@ -547,6 +621,7 @@ func (co *Coordinator) checkpointRound(ctx context.Context) error {
 		return nil
 	})
 	if err != nil {
+		ckSpan.End(co.modelNS, nil)
 		return err
 	}
 	co.synced = true
@@ -563,6 +638,15 @@ func (co *Coordinator) checkpointRound(ctx context.Context) error {
 	}
 	if co.metric() != nil {
 		co.metric().Counter("cluster.checkpoints").Inc()
+	}
+	if co.fed != nil {
+		for s := range states {
+			co.fed.spans.Complete("sync_rpc", ckSpan, s, co.modelNS, 0, rpcWall[s], nil)
+		}
+		ckSpan.End(co.modelNS, nil)
+		// Federation rides the checkpoint cadence: one pull + scrape
+		// round per rollback point, plus the final catch-up at run end.
+		co.federateRound(ctx)
 	}
 	return nil
 }
@@ -702,6 +786,12 @@ func (co *Coordinator) recover(ctx context.Context, wd *workerDeadError) error {
 	co.stats.Recoveries++
 	co.emit(obs.Event{Kind: obs.Recovery, Label: "rollback-replay", Epoch: co.epoch,
 		Chip: wd.worker, Count: replayed, StallNS: recoveryStall})
+	if co.fed != nil {
+		// Zero-width marker on the merged trace: where the rollback
+		// landed, how many epochs replay, what stall was charged.
+		co.fed.spans.Complete("recovery", co.fed.runSpan, wd.worker, co.modelNS, 0, 0,
+			&obs.Event{Count: replayed, StallNS: recoveryStall})
+	}
 	if co.metric() != nil {
 		co.metric().Counter("cluster.recoveries").Inc()
 		co.metric().Counter("cluster.replayed_epochs").Add(replayed)

@@ -1,0 +1,384 @@
+package cluster
+
+// Trace federation: the coordinator-side collector that turns a
+// distributed solve's scattered observability into one run-scoped
+// view. Three streams feed it:
+//
+//   - the coordinator's own spans and events, fanned in live;
+//   - each worker's span stream, pulled page-by-page from
+//     GET /worker/events with obs.Ring.EventsSince cursors — once per
+//     checkpoint round plus a final catch-up pull, piggybacking on the
+//     cadence the run already pays for instead of adding a poller;
+//   - each worker's /metrics.json, scraped on the same cadence and
+//     re-exported as worker-labeled fleet_* gauges.
+//
+// Merging is deterministic by construction: the canonical order is a
+// stable sort by (model time, origin rank, span ID, start-before-end),
+// all of which are deterministic fields, so a complete federated run
+// always serializes to the same trace no matter how pulls interleaved
+// with the run (the wall-time fields are the usual nondeterministic
+// exceptions, and the golden test zeroes them). Wall stamps from
+// workers are shifted onto the coordinator's clock by the offset the
+// /worker/clock handshake estimated.
+//
+// Federation is observability, not control: every fetch is a single
+// t.once attempt — no retries, no retry-budget draw — so a flaky or
+// dead worker degrades the trace (an eviction gap, counted) but can
+// never degrade the solve.
+
+import (
+	"context"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mbrim/internal/diag"
+	"mbrim/internal/obs"
+)
+
+// Federation ring capacities: the coordinator stream and each pulled
+// worker stream are bounded independently; eviction shows up as a
+// truncated trace, never unbounded memory.
+const (
+	coFederationRing     = 16384
+	workerFederationRing = 16384
+)
+
+// deriveTraceID derives the run's trace ID deterministically from the
+// solve seed and the run ID, so re-running a seeded solve federates
+// under the same trace ID. Never zero (zero means "no trace context").
+func deriveTraceID(seed uint64, runID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(runID))
+	id := splitmix64(seed ^ h.Sum64())
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// federation is the per-run collector state hanging off a Coordinator.
+type federation struct {
+	traceID uint64
+	chips   int
+	spans   *obs.Spanner // coordinator-side spans (IDs from 1)
+	runSpan obs.Span
+	co      *obs.Ring   // coordinator's own stamped stream
+	fleet   *diag.Fleet // cluster-level reducer, fed both streams
+
+	mu      sync.Mutex
+	workers []*obs.Ring // pulled worker events, per worker ordinal
+	cursors []int64     // EventsSince cursor per worker
+	offsets []int64     // worker wall clock minus coordinator's, ns
+	pulled  int64
+	dropped int64
+}
+
+func newFederation(c Config, runID string, workers int) *federation {
+	f := &federation{
+		traceID: deriveTraceID(c.Seed, runID),
+		chips:   c.Chips,
+		co:      obs.NewRing(coFederationRing),
+		workers: make([]*obs.Ring, workers),
+		cursors: make([]int64, workers),
+		offsets: make([]int64, workers),
+		fleet: diag.NewFleet(diag.FleetConfig{
+			Workers:  workers,
+			Registry: c.Metrics,
+			RunID:    runID,
+		}),
+	}
+	for wi := range f.workers {
+		f.workers[wi] = obs.NewRing(workerFederationRing)
+	}
+	if reg := c.Metrics; reg != nil {
+		reg.SetHelp("fleet.pull_wall_ns", "wall time one federation pull round took (trace pages + metrics scrapes)")
+		reg.SetHelp("fleet.pulled_events", "worker trace events the federation collector ingested")
+		reg.SetHelp("fleet.scrapes", "worker /metrics.json scrapes by worker")
+		reg.SetHelp("fleet.worker_steps", "node-level step count scraped from the worker (absolute, not per-run)")
+		reg.SetHelp("fleet.worker_slices", "node-level hosted-slice gauge scraped from the worker")
+		reg.SetHelp("fleet.worker_step_replays", "node-level replay-cache hit count scraped from the worker")
+		reg.SetHelp("fleet.model_traffic_bytes", "modeled fabric bytes the run charged (compare fleet.wire_bytes)")
+	}
+	return f
+}
+
+// spanBase hands slice s of generation gen a disjoint span-ID range.
+// The coordinator allocates from 1 up; each slice incarnation gets its
+// own 2³²-wide window, so worker spans never collide with the
+// coordinator's or each other's — including across recoveries, where a
+// replayed slice re-emits spans for epochs its previous incarnation
+// already covered and must not reuse their IDs.
+func (f *federation) spanBase(gen, s int) uint64 {
+	return (uint64(gen)*uint64(f.chips) + uint64(s) + 1) << 32
+}
+
+func (f *federation) setOffset(wi int, off int64) {
+	f.mu.Lock()
+	f.offsets[wi] = off
+	f.mu.Unlock()
+}
+
+func (f *federation) cursor(wi int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cursors[wi]
+}
+
+// ingest folds one pulled page from worker wi: filter to this run's
+// trace, shift wall stamps onto the coordinator's clock, stamp the
+// origin, and feed both the merge ring and the fleet reducer. Returns
+// how many events were kept.
+func (f *federation) ingest(wi int, since int64, page EventsPage) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var gap int64
+	switch {
+	case len(page.Events) > 0 && page.First > since+1:
+		gap = page.First - since - 1
+	case len(page.Events) == 0 && page.Total > since:
+		// Everything between the cursor and the head was evicted.
+		gap = page.Total - since
+	}
+	if gap > 0 {
+		f.dropped += gap
+		f.fleet.NoteDropped(gap)
+	}
+	off := f.offsets[wi]
+	origin := "w" + strconv.Itoa(wi)
+	kept := 0
+	for _, e := range page.Events {
+		if e.Trace != f.traceID {
+			continue // another run's slice on the same worker
+		}
+		e.WallNS -= off
+		e.Origin = origin
+		f.workers[wi].Emit(e)
+		f.fleet.Emit(e)
+		kept++
+	}
+	f.pulled += int64(kept)
+	if page.Total > f.cursors[wi] {
+		f.cursors[wi] = page.Total
+	}
+	return kept
+}
+
+// originRank orders event sources in the canonical merge: coordinator
+// first, then workers by ordinal.
+func originRank(origin string) int {
+	if wi, ok := fleetOriginWorker(origin); ok {
+		return wi + 1
+	}
+	return 0
+}
+
+// fleetOriginWorker mirrors diag's origin parsing for merge ranking.
+func fleetOriginWorker(origin string) (int, bool) {
+	if len(origin) < 2 || origin[0] != 'w' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(origin[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// merged returns the federated event stream in canonical order: a
+// stable sort of all sources by model time, then origin rank, then
+// span ID, then start-before-end. Every key is deterministic, so a
+// complete run merges identically regardless of pull timing; during a
+// live run the view is simply the events federated so far.
+func (f *federation) merged() []obs.Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.co.Events()
+	for _, r := range f.workers {
+		out = append(out, r.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ModelNS != b.ModelNS {
+			return a.ModelNS < b.ModelNS
+		}
+		if ra, rb := originRank(a.Origin), originRank(b.Origin); ra != rb {
+			return ra < rb
+		}
+		if a.Span != b.Span {
+			return a.Span < b.Span
+		}
+		return spanKindRank(a.Kind) < spanKindRank(b.Kind)
+	})
+	return out
+}
+
+func spanKindRank(k obs.Kind) int {
+	switch k {
+	case obs.SpanStart:
+		return 0
+	case obs.SpanEnd:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// --- Coordinator-side federation driver -----------------------------
+
+// handshakeClocks estimates each live worker's clock offset via
+// GET /worker/clock (Cristian's algorithm: offset = remote now minus
+// the midpoint of the local send/receive bracket). One attempt per
+// worker; a failed handshake leaves the offset at 0 — wall stamps from
+// that worker stay on its own clock, which is exactly the pre-fleet
+// behavior.
+func (co *Coordinator) handshakeClocks(ctx context.Context) {
+	for wi := range co.cfg.Workers {
+		if !co.tr.alive(wi) {
+			continue
+		}
+		t0 := time.Now().UnixNano()
+		var cr ClockResponse
+		if err := co.tr.once(ctx, wi, http.MethodGet, "/worker/clock", nil, &cr); err != nil {
+			continue
+		}
+		t1 := time.Now().UnixNano()
+		co.fed.setOffset(wi, cr.NowNS-(t0+(t1-t0)/2))
+	}
+}
+
+// federateRound runs one collection round: pull every live worker's
+// event page, scrape its metrics, refresh the fleet gauges, and record
+// the round's cost as a federation_pull span under the run — the pull
+// overhead is itself on the trace it builds.
+func (co *Coordinator) federateRound(ctx context.Context) {
+	if co.fed == nil {
+		return
+	}
+	start := time.Now()
+	kept := 0
+	for wi := range co.cfg.Workers {
+		if !co.tr.alive(wi) {
+			continue
+		}
+		cur := co.fed.cursor(wi)
+		var page EventsPage
+		if err := co.tr.once(ctx, wi, http.MethodGet,
+			"/worker/events?since="+strconv.FormatInt(cur, 10), nil, &page); err != nil {
+			continue
+		}
+		kept += co.fed.ingest(wi, cur, page)
+	}
+	co.scrapeWorkerMetrics(ctx)
+	wall := time.Since(start).Nanoseconds()
+	co.fed.spans.Complete("federation_pull", co.fed.runSpan, -1, co.modelNS, 0, wall,
+		&obs.Event{Count: int64(kept)})
+	if m := co.metric(); m != nil {
+		m.Histogram("fleet.pull_wall_ns").Observe(float64(wall))
+		m.Counter("fleet.pulled_events").Add(int64(kept))
+	}
+	co.fed.fleet.Snapshot() // refresh fleet_* gauges
+}
+
+// scrapeWorkerMetrics pulls each live worker's /metrics.json and
+// re-exports its node-level cluster.worker_* series as worker-labeled
+// fleet.worker_* gauges. Scraped values are absolutes, so they re-enter
+// as gauges regardless of their type on the worker — re-exporting a
+// scraped counter as a counter would double-count on every round.
+func (co *Coordinator) scrapeWorkerMetrics(ctx context.Context) {
+	m := co.metric()
+	if m == nil {
+		return
+	}
+	for wi := range co.cfg.Workers {
+		if !co.tr.alive(wi) {
+			continue
+		}
+		var snap obs.Snapshot
+		if err := co.tr.once(ctx, wi, http.MethodGet, "/metrics.json", nil, &snap); err != nil {
+			continue
+		}
+		wl := obs.Labels{"worker": strconv.Itoa(wi)}
+		for name, v := range snap.Counters {
+			if rest, ok := scrapedWorkerSeries(name); ok {
+				m.GaugeWith("fleet.worker_"+rest, wl).Set(float64(v))
+			}
+		}
+		for name, v := range snap.Gauges {
+			if rest, ok := scrapedWorkerSeries(name); ok {
+				m.GaugeWith("fleet.worker_"+rest, wl).Set(v)
+			}
+		}
+		m.CounterWith("fleet.scrapes", wl).Inc()
+	}
+}
+
+// scrapedWorkerSeries matches the unlabeled cluster.worker_* series a
+// worker exports and returns the suffix to re-export under. Labeled
+// snapshot keys carry a {...} suffix and are skipped — only the
+// node-level scalars federate.
+func scrapedWorkerSeries(name string) (string, bool) {
+	rest, ok := strings.CutPrefix(name, "cluster.worker_")
+	if !ok || strings.ContainsRune(rest, '{') {
+		return "", false
+	}
+	return rest, true
+}
+
+// finishFederation closes out the run's trace: a final catch-up pull
+// under a private deadline (the run context may already be cancelled),
+// the run span's end, and a last gauge refresh.
+func (co *Coordinator) finishFederation(res *Result) {
+	if co.fed == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*co.cfg.RPCTimeout)
+	defer cancel()
+	co.federateRound(ctx)
+	co.fed.runSpan.End(co.modelNS, &obs.Event{Count: res.Flips, StallNS: res.StallNS})
+	if m := co.metric(); m != nil {
+		m.Gauge("fleet.model_traffic_bytes").Set(res.TrafficBytes)
+	}
+	co.fed.fleet.Snapshot()
+}
+
+// TraceID returns the run's federated trace ID, 0 when the run is not
+// federated.
+func (co *Coordinator) TraceID() uint64 {
+	if co.fed == nil {
+		return 0
+	}
+	return co.fed.traceID
+}
+
+// FederatedEvents returns the run's merged event stream in canonical
+// order — the body behind GET /cluster/runs/{id}/trace once passed to
+// obs.WriteChromeTrace. Nil when the run is not federated.
+func (co *Coordinator) FederatedEvents() []obs.Event {
+	if co.fed == nil {
+		return nil
+	}
+	return co.fed.merged()
+}
+
+// FleetDiag returns the cluster-level diagnostics snapshot; ok is
+// false when the run is not federated.
+func (co *Coordinator) FleetDiag() (diag.FleetSnapshot, bool) {
+	if co.fed == nil {
+		return diag.FleetSnapshot{Straggler: -1}, false
+	}
+	return co.fed.fleet.Snapshot(), true
+}
+
+// ReleaseFleet drops the run-labeled fleet_* registry series this
+// run's federation registered (retention eviction path).
+func (co *Coordinator) ReleaseFleet() int {
+	if co.fed == nil {
+		return 0
+	}
+	return co.fed.fleet.Release()
+}

@@ -1,0 +1,501 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mbrim/internal/cluster/chaosproxy"
+	"mbrim/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden fleet Chrome trace")
+
+// normalizeWall clears the wall-clock fields — the only nondeterminism
+// the obs contract permits — so federated streams from identical runs
+// compare byte for byte.
+func normalizeWall(events []obs.Event) {
+	for i := range events {
+		events[i].WallNS = 0
+		events[i].WallDurNS = 0
+	}
+}
+
+func solveFederated(t *testing.T, n int, cfg Config, runID string) (*Coordinator, *Result) {
+	t.Helper()
+	cfg.Federate = true
+	co, err := New(kmodel(n, cfg.Seed), runID, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := co.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("federated Solve: %v", err)
+	}
+	return co, res
+}
+
+func TestDeriveTraceID(t *testing.T) {
+	a := deriveTraceID(7, "run-1")
+	if a == 0 {
+		t.Fatal("trace ID must never be zero (zero means no context)")
+	}
+	if b := deriveTraceID(7, "run-1"); b != a {
+		t.Fatalf("trace ID not deterministic: %x vs %x", a, b)
+	}
+	if deriveTraceID(8, "run-1") == a {
+		t.Fatal("trace ID should depend on the seed")
+	}
+	if deriveTraceID(7, "run-2") == a {
+		t.Fatal("trace ID should depend on the run ID")
+	}
+}
+
+// TestFederationIngest pins the page-folding contract: events from
+// another run's trace are dropped, wall stamps shift by the worker's
+// clock offset, origins are stamped, and eviction gaps — both the
+// partial-page and the everything-evicted shape — are counted, never
+// silently absorbed.
+func TestFederationIngest(t *testing.T) {
+	f := newFederation(Config{Seed: 3, Chips: 2}, "t-ingest", 2)
+	f.setOffset(1, 500)
+
+	kept := f.ingest(1, 0, EventsPage{
+		First: 1,
+		Total: 3,
+		Events: []obs.Event{
+			{Kind: obs.SpanStart, Trace: f.traceID, WallNS: 1500, Span: 1},
+			{Kind: obs.SpanStart, Trace: f.traceID ^ 1, WallNS: 9000, Span: 2}, // foreign run
+			{Kind: obs.SpanEnd, Trace: f.traceID, WallNS: 2500, Span: 1},
+		},
+	})
+	if kept != 2 {
+		t.Fatalf("kept %d events, want 2 (foreign-trace event filtered)", kept)
+	}
+	evs := f.workers[1].Events()
+	if len(evs) != 2 {
+		t.Fatalf("worker ring holds %d events, want 2", len(evs))
+	}
+	if evs[0].WallNS != 1000 || evs[1].WallNS != 2000 {
+		t.Fatalf("clock offset not applied: wall stamps %d, %d want 1000, 2000", evs[0].WallNS, evs[1].WallNS)
+	}
+	for _, e := range evs {
+		if e.Origin != "w1" {
+			t.Fatalf("origin = %q, want w1", e.Origin)
+		}
+	}
+	if f.cursor(1) != 3 {
+		t.Fatalf("cursor = %d, want 3", f.cursor(1))
+	}
+
+	// A page whose first ordinal jumped past the cursor records the
+	// evicted span of ordinals.
+	f.ingest(0, 0, EventsPage{First: 5, Total: 6, Events: []obs.Event{
+		{Kind: obs.SpanStart, Trace: f.traceID, Span: 9},
+		{Kind: obs.SpanEnd, Trace: f.traceID, Span: 9},
+	}})
+	if f.dropped != 4 {
+		t.Fatalf("dropped = %d after partial eviction, want 4", f.dropped)
+	}
+	// Everything between cursor and head evicted: empty page, advanced total.
+	f.ingest(0, 6, EventsPage{First: 11, Total: 10})
+	if f.dropped != 8 {
+		t.Fatalf("dropped = %d after full eviction, want 8", f.dropped)
+	}
+	if f.cursor(0) != 10 {
+		t.Fatalf("cursor = %d, want 10", f.cursor(0))
+	}
+}
+
+// TestFleetTraceGolden pins the whole fleet pipeline end to end: a
+// seeded 2-worker federated solve — trace context propagated on every
+// RPC, worker spans pulled back at checkpoint cadence, clock-shifted,
+// merged with the coordinator's spans in canonical order — must render
+// through WriteChromeTrace to the checked-in golden byte for byte.
+// Model time, span-ID allocation, pull cadence, and the merge keys are
+// all deterministic, so after clearing the two wall-clock fields any
+// drift means the propagation format, span layout, or merge order
+// changed and the golden must be regenerated deliberately with -update.
+func TestFleetTraceGolden(t *testing.T) {
+	cfg := fastConfig(startWorkers(t, 2), 2, 5, 20)
+	cfg.CheckpointEvery = 2
+	co, res := solveFederated(t, 24, cfg, "fleet-golden")
+	if res.Energy >= 0 {
+		t.Fatalf("no optimization progress (E=%v)", res.Energy)
+	}
+
+	events := co.FederatedEvents()
+	normalizeWall(events)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "fleet_trace_k24_w2.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/cluster -run FleetTraceGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("fleet trace drifted from golden (%d vs %d bytes); if the change is intended, regenerate with -update",
+			buf.Len(), len(want))
+	}
+}
+
+// TestFederationMergeDeterministic runs the same seeded config twice
+// against fresh workers and asserts the normalized federated streams
+// are identical — the canonical merge order cannot depend on pull
+// timing, goroutine scheduling, or worker interleaving.
+func TestFederationMergeDeterministic(t *testing.T) {
+	run := func() []obs.Event {
+		cfg := fastConfig(startWorkers(t, 2), 4, 11, 25)
+		cfg.CheckpointEvery = 3
+		co, _ := solveFederated(t, 32, cfg, "fleet-det")
+		evs := co.FederatedEvents()
+		normalizeWall(evs)
+		return evs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("federated streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("federated streams diverge at event %d:\n  a=%+v\n  b=%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFederationNeutralTrajectory asserts turning federation on does
+// not perturb the solve: the distributed trajectory and every ledger
+// stay bit-identical to the in-process engine, exactly as they are
+// with federation off.
+func TestFederationNeutralTrajectory(t *testing.T) {
+	m := kmodel(36, 13)
+	cfg := fastConfig(startWorkers(t, 2), 2, 13, 20)
+	cfg.CheckpointEvery = 2
+	want := inProcess(t, m, cfg)
+
+	cfg.Federate = true
+	co, err := New(m, "t-neutral", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := co.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareToInProcess(t, got, want, true)
+}
+
+// TestFederationChaosKillMergesOneTrace is the chaos acceptance check:
+// kill a worker mid-run and the finished run still serves ONE merged
+// trace — every span carries the run's single trace ID, spans from the
+// coordinator and at least two distinct workers appear in it, and the
+// recovery is visible as both a span and fleet-diag attribution.
+func TestFederationChaosKillMergesOneTrace(t *testing.T) {
+	m := kmodel(48, 7)
+	backends := startWorkers(t, 3)
+	proxies := make([]*chaosproxy.Proxy, len(backends))
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		p, err := chaosproxy.New(b, chaosproxy.Config{Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		srv := httptest.NewServer(p)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+
+	cfg := fastConfig(urls, 3, 99, 25)
+	cfg.CheckpointEvery = 2
+	cfg.Federate = true
+	killed := false
+	cfg.OnEpoch = func(epoch int) {
+		if epoch == 5 && !killed {
+			killed = true
+			proxies[2].Blackhole(true)
+		}
+	}
+	co, err := New(m, "t-chaos-trace", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := co.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("Solve after worker kill: %v", err)
+	}
+	if got.Recovery.WorkerDeaths == 0 {
+		t.Fatalf("kill did not register: %+v", got.Recovery)
+	}
+
+	events := co.FederatedEvents()
+	origins := map[string]bool{}
+	labels := map[string]int{}
+	for _, e := range events {
+		if e.Kind != obs.SpanStart {
+			continue
+		}
+		if e.Trace != co.TraceID() {
+			t.Fatalf("span %q carries trace %x, want the run's single trace %x", e.Label, e.Trace, co.TraceID())
+		}
+		origins[e.Origin] = true
+		labels[e.Label]++
+	}
+	if !origins["co"] {
+		t.Fatal("merged trace has no coordinator spans")
+	}
+	workerOrigins := 0
+	for o := range origins {
+		if strings.HasPrefix(o, "w") {
+			workerOrigins++
+		}
+	}
+	if workerOrigins < 2 {
+		t.Fatalf("merged trace has spans from %d workers, want >= 2 (origins: %v)", workerOrigins, origins)
+	}
+	for _, want := range []string{"cluster_run", "epoch", "chip_step", "step_rpc", "federation_pull", "recovery"} {
+		if labels[want] == 0 {
+			t.Fatalf("merged trace missing %q spans (have %v)", want, labels)
+		}
+	}
+
+	snap, ok := co.FleetDiag()
+	if !ok {
+		t.Fatal("federated run reports no fleet diag")
+	}
+	deaths := 0
+	for _, w := range snap.PerWorker {
+		deaths += w.Deaths
+	}
+	if deaths == 0 {
+		t.Fatalf("fleet diag did not attribute the worker loss: %+v", snap)
+	}
+	if snap.ReplayedEpochs == 0 {
+		t.Errorf("fleet diag did not count replayed epochs: %+v", snap)
+	}
+}
+
+// TestFederationRPCMetrics asserts the per-RPC diagnostics a federated
+// run leaves in the registry: per-method latency histograms, the
+// in-flight gauge drained back to zero, bytes-on-wire by worker, pull
+// accounting, and the run-labeled fleet gauges.
+// startMetricWorkers is startWorkers with a live registry per worker,
+// serving /metrics.json the way mbrimd does, so the coordinator's
+// scrape path has something real to federate.
+func startMetricWorkers(t *testing.T, k int) []string {
+	t.Helper()
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		wreg := obs.NewRegistry()
+		mux := http.NewServeMux()
+		NewWorker(wreg, 0).Routes(mux)
+		mux.Handle("GET /metrics.json", wreg)
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+func TestFederationRPCMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig(startMetricWorkers(t, 2), 2, 9, 20)
+	cfg.CheckpointEvery = 2
+	cfg.Metrics = reg
+	co, _ := solveFederated(t, 24, cfg, "t-rpcmetrics")
+
+	snap := reg.Snapshot()
+	for _, h := range []string{
+		`cluster.rpc_latency_ns{method="step"}`,
+		`cluster.rpc_latency_ns{method="sync"}`,
+		`cluster.rpc_latency_ns{method="events"}`,
+		`cluster.rpc_latency_ns{method="create"}`,
+	} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("missing per-method RPC latency histogram %s", h)
+		}
+	}
+	if g, ok := snap.Gauges["cluster.rpc_inflight"]; !ok || g != 0 {
+		t.Errorf("cluster.rpc_inflight = %v, %v; want present and drained to 0", g, ok)
+	}
+	if snap.Counters[`fleet.wire_bytes{dir="rx",worker="0"}`] == 0 {
+		t.Errorf("no wire bytes accounted for worker 0: %v", snap.Counters)
+	}
+	if snap.Counters["fleet.pulled_events"] == 0 {
+		t.Error("federation pulled no events")
+	}
+	if snap.Histograms["fleet.pull_wall_ns"].Count == 0 {
+		t.Error("no federation pull rounds observed")
+	}
+	if _, ok := snap.Gauges[`fleet.sync_fraction{run="t-rpcmetrics"}`]; !ok {
+		t.Errorf("missing run-labeled fleet.sync_fraction gauge")
+	}
+	if snap.Gauges[`fleet.worker_steps{worker="0"}`] == 0 {
+		t.Error("worker metrics scrape did not re-export cluster.worker_steps")
+	}
+
+	// Retention path: releasing the fleet drops every run-labeled series.
+	if n := co.ReleaseFleet(); n == 0 {
+		t.Fatal("ReleaseFleet released nothing")
+	}
+	for key := range reg.Snapshot().Gauges {
+		if strings.Contains(key, `run="t-rpcmetrics"`) {
+			t.Fatalf("released run still owns series %s", key)
+		}
+	}
+}
+
+// TestManagerTraceAndDiagEndpoints drives the HTTP surface: submit a
+// federated run through the Manager, then fetch the merged Chrome
+// trace and the fleet diagnostics exactly as an operator (or the smoke
+// script) would.
+func TestManagerTraceAndDiagEndpoints(t *testing.T) {
+	m := NewManager(nil, nil, 0)
+	mux := http.NewServeMux()
+	m.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	w0, w1 := clusterWorker(t), clusterWorker(t)
+	body := `{"workers":["` + w0 + `","` + w1 + `"],"k":16,"chips":2,"durationNS":200,"seed":5,"checkpointEvery":2,"federate":true}`
+	resp, err := http.Post(srv.URL+"/cluster/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", resp.StatusCode, accepted)
+	}
+	id := accepted["id"]
+	cr, _ := m.lookup(id)
+	select {
+	case <-cr.done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not finish", id)
+	}
+
+	// The merged trace parses as a Chrome trace and carries spans from
+	// the coordinator and both workers under one trace ID.
+	resp, err = http.Get(srv.URL + "/cluster/runs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace = %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Args struct {
+				Trace  string `json:"trace"`
+				Origin string `json:"origin"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	resp.Body.Close()
+	traceIDs := map[string]bool{}
+	origins := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if (ev.Ph == "B" || ev.Ph == "X") && ev.Args.Trace != "" {
+			traceIDs[ev.Args.Trace] = true
+			origins[ev.Args.Origin] = true
+		}
+	}
+	if len(traceIDs) != 1 {
+		t.Fatalf("trace carries %d trace IDs, want exactly 1: %v", len(traceIDs), traceIDs)
+	}
+	if !origins["co"] || !origins["w0"] || !origins["w1"] {
+		t.Fatalf("trace origins = %v, want co plus both workers", origins)
+	}
+
+	// The fleet diag endpoint reports the same trace ID and a snapshot.
+	resp, err = http.Get(srv.URL + "/cluster/runs/" + id + "/diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /diag = %d", resp.StatusCode)
+	}
+	var dd struct {
+		ID      string `json:"id"`
+		TraceID string `json:"traceID"`
+		Fleet   struct {
+			Epochs    int64   `json:"epochs"`
+			Workers   int     `json:"workers"`
+			SyncFrac  float64 `json:"syncFraction"`
+			PerWorker []struct {
+				Epochs int64 `json:"epochs"`
+			} `json:"perWorker"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dd.ID != id || !traceIDs[dd.TraceID] {
+		t.Fatalf("diag identity mismatch: %+v vs trace IDs %v", dd, traceIDs)
+	}
+	if dd.Fleet.Epochs == 0 || dd.Fleet.Workers != 2 {
+		t.Fatalf("empty fleet snapshot: %+v", dd.Fleet)
+	}
+
+	// A non-federated run 404s on both endpoints rather than serving an
+	// empty document.
+	resp, err = http.Post(srv.URL+"/cluster/runs", "application/json",
+		strings.NewReader(`{"workers":["`+w0+`"],"k":8,"durationNS":100,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cr2, _ := m.lookup(plain["id"])
+	select {
+	case <-cr2.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("plain run did not finish")
+	}
+	for _, ep := range []string{"/trace", "/diag"} {
+		resp, err := http.Get(srv.URL + "/cluster/runs/" + plain["id"] + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s on non-federated run = %d, want 404", ep, resp.StatusCode)
+		}
+	}
+}

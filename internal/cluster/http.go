@@ -27,6 +27,8 @@ import (
 //	GET    /cluster/runs/{id}            status (result when finished)
 //	POST   /cluster/runs/{id}/cancel     cancel; checkpoint kept
 //	GET    /cluster/runs/{id}/checkpoint interrupt-checkpoint envelope
+//	GET    /cluster/runs/{id}/trace      merged Perfetto trace (federated runs)
+//	GET    /cluster/runs/{id}/diag       fleet diagnostics (federated runs)
 type Manager struct {
 	reg      *obs.Registry
 	tracer   obs.Tracer
@@ -41,6 +43,7 @@ type Manager struct {
 type clusterRun struct {
 	mu       sync.Mutex
 	id       string
+	co       *Coordinator // nil for journal tombstones
 	cancel   context.CancelFunc
 	done     chan struct{}
 	epoch    int
@@ -82,6 +85,8 @@ func (m *Manager) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /cluster/runs/{id}", m.handleStatus)
 	mux.HandleFunc("POST /cluster/runs/{id}/cancel", m.handleCancel)
 	mux.HandleFunc("GET /cluster/runs/{id}/checkpoint", m.handleCheckpoint)
+	mux.HandleFunc("GET /cluster/runs/{id}/trace", m.handleTrace)
+	mux.HandleFunc("GET /cluster/runs/{id}/diag", m.handleFleetDiag)
 }
 
 // SubmitRequest is the POST /cluster/runs body. The problem spec (k /
@@ -107,6 +112,10 @@ type SubmitRequest struct {
 	RPCTimeoutMS      int     `json:"rpcTimeoutMS,omitempty"`
 	MaxAttempts       int     `json:"maxAttempts,omitempty"`
 	RetryBudget       int     `json:"retryBudget,omitempty"`
+	// Federate enables fleet observability for the run (Config.Federate):
+	// trace propagation to workers, stream federation, and the
+	// /trace + /diag endpoints.
+	Federate bool `json:"federate,omitempty"`
 }
 
 // buildModel constructs the problem graph, mirroring the runs
@@ -172,6 +181,7 @@ func (m *Manager) config(sr *SubmitRequest) Config {
 		CheckpointEvery:   sr.CheckpointEvery,
 		MaxAttempts:       sr.MaxAttempts,
 		RetryBudget:       sr.RetryBudget,
+		Federate:          sr.Federate,
 		Metrics:           m.reg,
 		Tracer:            m.tracer,
 	}
@@ -205,7 +215,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	cr := &clusterRun{id: id, cancel: cancel, done: make(chan struct{})}
+	cr := &clusterRun{id: id, co: co, cancel: cancel, done: make(chan struct{})}
 	co.Progress = func(epoch int, elapsed float64) {
 		cr.mu.Lock()
 		cr.epoch, cr.elapsed = epoch, elapsed
@@ -332,6 +342,51 @@ func (m *Manager) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", cr.id+".ckpt.json"))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(env)
+}
+
+// handleTrace serves the run's merged federated trace in the Chrome
+// trace-event format Perfetto loads. Live runs serve the events
+// federated so far; finished runs the complete canonical merge.
+func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
+	cr, ok := m.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no run %q", r.PathValue("id")))
+		return
+	}
+	if cr.co == nil || cr.co.TraceID() == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("cluster: run %q has no federated trace (submit with \"federate\": true)", cr.id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", cr.id+".trace.json"))
+	w.Header().Set("Cache-Control", "no-store")
+	_ = obs.WriteChromeTrace(w, cr.co.FederatedEvents())
+}
+
+// handleFleetDiag serves the cluster-level diagnostics snapshot —
+// straggler attribution, sync-vs-compute split, pull health.
+func (m *Manager) handleFleetDiag(w http.ResponseWriter, r *http.Request) {
+	cr, ok := m.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no run %q", r.PathValue("id")))
+		return
+	}
+	if cr.co == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: run %q predates this coordinator", cr.id))
+		return
+	}
+	snap, federated := cr.co.FleetDiag()
+	if !federated {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("cluster: run %q is not federated (submit with \"federate\": true)", cr.id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      cr.id,
+		"traceID": fmt.Sprintf("%016x", cr.co.TraceID()),
+		"fleet":   snap,
+	})
 }
 
 // Recover folds replayed journal records with the cluster scope back

@@ -31,6 +31,7 @@ import (
 	"mbrim/internal/ising"
 	"mbrim/internal/lattice"
 	"mbrim/internal/multichip"
+	"mbrim/internal/obs"
 	"mbrim/internal/sched"
 )
 
@@ -138,15 +139,63 @@ func (c SliceConfig) multichipConfig() (multichip.Config, error) {
 	}, nil
 }
 
+// TraceContext threads distributed span parentage across the wire —
+// the fleet-observability counterpart of the in-process Spanner parent
+// links. The coordinator sends it on slice creation to bind the slice
+// to its run: RunID and TraceID identify the run's single federated
+// trace, SpanBase hands the slice a disjoint span-ID range (the worker
+// allocates interval IDs from SpanBase+1 up, so streams merged by the
+// federation collector never collide), and Parent is the coordinator
+// interval the slice's spans nest under. Step and sync requests then
+// carry only the per-RPC Parent — the coordinator's current epoch or
+// checkpoint-round span — so worker chip_step/slice_sync intervals
+// open as children of the coordinator's run tree. Absent trace context
+// (nil pointer, zero Parent) disables worker-side span emission for
+// the slice or RPC: the federation-off path costs one nil check.
+type TraceContext struct {
+	RunID    string `json:"runID,omitempty"`
+	TraceID  uint64 `json:"traceID,omitempty"`
+	SpanBase uint64 `json:"spanBase,omitempty"`
+	Parent   uint64 `json:"parentSpan,omitempty"`
+}
+
+// ClockResponse is the GET /worker/clock body: the worker's wall clock
+// at handling time. The coordinator brackets the RPC with its own
+// clock reads and estimates the worker's clock offset as
+// NowNS − (t₀+t₁)/2 (Cristian's algorithm), which the federation
+// collector subtracts from fetched WallNS stamps so all wall times in
+// a merged trace sit on the coordinator's clock. Model time — the
+// trace layout axis — is deterministic and needs no alignment; the
+// offset only aligns the advisory wall fields.
+type ClockResponse struct {
+	NowNS int64 `json:"nowNS"`
+}
+
+// EventsPage is the GET /worker/events?since=N body: one page of the
+// worker's observability ring, fetched by the coordinator's federation
+// collector. Events carries the retained events with emission ordinal
+// > since (oldest first, obs.Ring.EventsSince semantics), First the
+// ordinal of the first returned event, and Total the ring's lifetime
+// emission count — First > since+1 exposes an eviction gap, and Total
+// is the cursor for the next page.
+type EventsPage struct {
+	Events []obs.Event `json:"events,omitempty"`
+	First  int64       `json:"first"`
+	Total  int64       `json:"total"`
+}
+
 // CreateSliceRequest is the PUT /worker/slices/{id} body: host this
 // chip of the problem. Re-PUT with the same id replaces the slice —
 // creation is idempotent, so a retried or re-assigned create converges.
-// State, when set, restores a hand-off snapshot after creation.
+// State, when set, restores a hand-off snapshot after creation. Trace,
+// when set, enables worker-side span emission for the slice under the
+// coordinator's run tree.
 type CreateSliceRequest struct {
 	Slice  int                   `json:"slice"`
 	Model  *ModelWire            `json:"model"`
 	Config SliceConfig           `json:"config"`
 	State  *multichip.SliceState `json:"state,omitempty"`
+	Trace  *TraceContext         `json:"trace,omitempty"`
 }
 
 // SliceStatus reports a hosted slice's position.
@@ -169,6 +218,10 @@ type SliceStatus struct {
 type StepRequest struct {
 	Epoch int                       `json:"epoch"`
 	Sync  []multichip.PendingUpdate `json:"sync,omitempty"`
+	// Parent is the coordinator's epoch interval ID: the worker's
+	// chip_step span for this epoch nests under it. Zero when the run
+	// is not federated.
+	Parent uint64 `json:"parentSpan,omitempty"`
 }
 
 // StepResponse is the worker's epoch report.
@@ -184,6 +237,9 @@ type SyncRequest struct {
 	Epoch     int                       `json:"epoch"`
 	Sync      []multichip.PendingUpdate `json:"sync,omitempty"`
 	WantState bool                      `json:"wantState,omitempty"`
+	// Parent is the coordinator's checkpoint-round interval ID; the
+	// worker's slice_sync span nests under it. Zero when not federated.
+	Parent uint64 `json:"parentSpan,omitempty"`
 }
 
 // SyncResponse acknowledges a barrier delivery.

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"mbrim/internal/multichip"
 	"mbrim/internal/obs"
@@ -27,6 +29,11 @@ import (
 // can never double-integrate an epoch.
 type Worker struct {
 	reg *obs.Registry
+	// ring is the worker's observability stream: every federated
+	// slice's span events land here (stamped with their run's trace
+	// ID), and coordinators page it via GET /worker/events — the
+	// server half of trace federation.
+	ring *obs.Ring
 
 	mu        sync.Mutex
 	slices    map[string]*workerSlice
@@ -44,10 +51,25 @@ type workerSlice struct {
 	// last completed epoch for retried RPCs.
 	syncedEpoch int
 	lastStep    *StepResponse
+	// spans emits this slice's intervals into the worker ring when the
+	// coordinator sent trace context on creation (nil otherwise — the
+	// disabled path). spanFlips is the cumulative flip count already
+	// attributed to closed chip_step spans, so each span carries its
+	// epoch's delta even across a hand-off restore.
+	spans     *obs.Spanner
+	spanFlips int64
 }
 
 // DefaultMaxSlices bounds how many slices one worker will host.
 const DefaultMaxSlices = 64
+
+// DefaultWorkerRing is the capacity of the worker's observability
+// ring. A slice emits two events per epoch plus checkpoint syncs, so
+// this retains several thousand epochs across hosted slices; the
+// federation collector pages with EventsSince cursors every checkpoint
+// round, and an exposed eviction gap only truncates the oldest spans
+// of a merged trace.
+const DefaultWorkerRing = 16384
 
 // NewWorker builds a worker. reg may be nil.
 func NewWorker(reg *obs.Registry, maxSlices int) *Worker {
@@ -59,7 +81,12 @@ func NewWorker(reg *obs.Registry, maxSlices int) *Worker {
 		reg.SetHelp("cluster.worker_steps", "slice epochs integrated by this worker")
 		reg.SetHelp("cluster.worker_step_replays", "retried step RPCs answered from the replay cache")
 	}
-	return &Worker{reg: reg, slices: make(map[string]*workerSlice), maxSlices: maxSlices}
+	return &Worker{
+		reg:       reg,
+		ring:      obs.NewRing(DefaultWorkerRing),
+		slices:    make(map[string]*workerSlice),
+		maxSlices: maxSlices,
+	}
 }
 
 // Routes registers the worker endpoints on mux (Go 1.22 method
@@ -71,12 +98,37 @@ func (wk *Worker) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /worker/slices/{id}/step", wk.handleStep)
 	mux.HandleFunc("POST /worker/slices/{id}/sync", wk.handleSync)
 	mux.HandleFunc("DELETE /worker/slices/{id}", wk.handleDelete)
+	mux.HandleFunc("GET /worker/events", wk.handleEvents)
+	mux.HandleFunc("GET /worker/clock", wk.handleClock)
+}
+
+// handleEvents pages the worker's observability ring: the federation
+// collector fetches ?since=<cursor> each checkpoint round and filters
+// the page by trace ID (one worker may host slices of several runs).
+func (wk *Worker) handleEvents(w http.ResponseWriter, r *http.Request) {
+	since := int64(0)
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad since cursor %q", s))
+			return
+		}
+		since = v
+	}
+	evs, first := wk.ring.EventsSince(since)
+	writeJSON(w, http.StatusOK, EventsPage{Events: evs, First: first, Total: wk.ring.Total()})
+}
+
+// handleClock answers the coordinator's clock-offset handshake.
+func (wk *Worker) handleClock(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ClockResponse{NowNS: time.Now().UnixNano()})
 }
 
 // maxSliceBody bounds slice-creation bodies (a model plus a snapshot).
 const maxSliceBody = 128 << 20
 
 func (wk *Worker) handleCreate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	id := r.PathValue("id")
 	var req CreateSliceRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSliceBody))
@@ -107,6 +159,20 @@ func (wk *Worker) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		// A restored snapshot is post-sync by construction.
 		ws.syncedEpoch = sl.Epochs()
+	}
+	if tc := req.Trace; tc != nil && tc.TraceID != 0 {
+		// Federated run: this slice's intervals go to the worker ring,
+		// stamped with the coordinator-assigned trace ID, with IDs from
+		// the slice's disjoint SpanBase range. The restored snapshot's
+		// cumulative flip counter seeds the per-epoch delta so a
+		// handed-off slice's first chip_step span doesn't claim the
+		// pre-hand-off flips.
+		ws.spans = obs.NewSpannerAt(obs.StampTracer(wk.ring, tc.TraceID, ""), tc.SpanBase)
+		if req.State != nil && req.State.State.Machine != nil {
+			ws.spanFlips = req.State.State.Machine.Flips
+		}
+		ws.spans.Complete("slice_install", obs.RemoteSpan(tc.Parent), sl.Chip(),
+			sl.ModelNS(), 0, time.Since(start).Nanoseconds(), nil)
 	}
 	wk.mu.Lock()
 	if _, exists := wk.slices[id]; !exists && len(wk.slices) >= wk.maxSlices {
@@ -222,6 +288,7 @@ func (wk *Worker) handleStep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ws.syncedEpoch = done
+	start := time.Now()
 	rep, err := ws.slice.RunEpoch()
 	if err != nil {
 		// Integrator divergence is not retryable; 422 tells the
@@ -230,6 +297,15 @@ func (wk *Worker) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ws.lastStep = &StepResponse{Report: rep}
+	if ws.spans != nil {
+		// The epoch's interval on the model axis, under the
+		// coordinator's epoch span, with the worker-measured compute
+		// wall time and this epoch's flip delta.
+		ws.spans.Complete("chip_step", obs.RemoteSpan(req.Parent), ws.slice.Chip(),
+			rep.ModelNS-rep.EpochNS, rep.EpochNS, time.Since(start).Nanoseconds(),
+			&obs.Event{Count: rep.Flips - ws.spanFlips})
+		ws.spanFlips = rep.Flips
+	}
 	if wk.reg != nil {
 		wk.reg.Counter("cluster.worker_steps").Inc()
 	}
@@ -256,11 +332,20 @@ func (wk *Worker) handleSync(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ws.syncedEpoch < done {
+		start := time.Now()
 		if err := ws.slice.ApplySync(req.Sync); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		ws.syncedEpoch = done
+		if ws.spans != nil {
+			// Zero-width on the model axis (a barrier delivery), under
+			// the coordinator's checkpoint-round span. Retried syncs
+			// take the acknowledge-only branch and emit nothing.
+			ws.spans.Complete("slice_sync", obs.RemoteSpan(req.Parent), ws.slice.Chip(),
+				ws.slice.ModelNS(), 0, time.Since(start).Nanoseconds(),
+				&obs.Event{Count: int64(len(req.Sync))})
+		}
 	}
 	// else: a retry of a barrier already delivered — acknowledge again.
 	resp := &SyncResponse{Epoch: done}

@@ -24,6 +24,7 @@ package diag
 import (
 	"math"
 	"strconv"
+	"strings"
 	"sync"
 
 	"mbrim/internal/metrics"
@@ -273,6 +274,22 @@ func (r *Reducer) improvementRateLocked() float64 {
 		return 0
 	}
 	return (ref.e - last.e) / (last.t - ref.t)
+}
+
+// Release drops every run-labeled diag_* series this Reducer
+// registered — pair-disagreement gauges are per (run, from, to), so a
+// long-lived daemon that never releases them leaks registry
+// cardinality linearly in runs served. The run manager calls this when
+// a run ages out of retention. Returns the number of series dropped.
+func (r *Reducer) Release() int {
+	reg := r.cfg.Registry
+	if reg == nil {
+		return 0
+	}
+	run := r.cfg.RunID
+	return reg.Release(func(name string, labels obs.Labels) bool {
+		return strings.HasPrefix(name, "diag.") && labels["run"] == run
+	})
 }
 
 // Snapshot returns the current diagnostics view.

@@ -1,0 +1,375 @@
+// Fleet diagnostics: folding a federated cluster trace — the
+// coordinator's own spans plus the worker streams the federation
+// collector pulls — into per-worker attribution the single-run Reducer
+// cannot see: who the straggler is, how much barrier time each worker
+// alone is responsible for, and how each epoch's wall splits between
+// compute (the slowest worker's chip_step) and synchronization
+// (everything the barrier adds on top).
+//
+// The fold is keyed on span parentage, not epoch numbers, because span
+// events carry no Epoch field: the coordinator opens one "epoch"
+// interval per barrier-to-barrier round and workers parent their
+// chip_step intervals under it, so an epoch accumulator is keyed by the
+// coordinator's epoch span ID. Worker events arrive late — the
+// collector pulls once per checkpoint round — so accumulators stay
+// open until evicted; aggregation is additive and order-independent,
+// which keeps the snapshot deterministic for a complete event set no
+// matter how pulls interleaved.
+package diag
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"mbrim/internal/obs"
+)
+
+// fleetMaxOpenEpochs bounds the per-epoch accumulator map. When
+// exceeded, the oldest epochs are committed into the running aggregate
+// and dropped; worker events for a committed epoch that arrive later
+// (only possible after an extreme pull lag) are counted as late.
+const fleetMaxOpenEpochs = 8192
+
+// FleetConfig parameterizes a Fleet reducer.
+type FleetConfig struct {
+	// Workers is the fleet size (worker ordinals are 0..Workers-1).
+	Workers int
+	// Registry, when set, receives run-labeled fleet_* gauges mirroring
+	// the snapshot. RunID is the "run" label value.
+	Registry *obs.Registry
+	RunID    string
+}
+
+// Fleet folds a federated event stream into cluster-level diagnostics.
+// It is an obs.Tracer: the coordinator fans its own span stream into it
+// live and the federation collector feeds it each pulled worker page.
+// Safe for concurrent Emit and Snapshot.
+type Fleet struct {
+	mu  sync.Mutex
+	cfg FleetConfig
+
+	epochs  map[uint64]*fleetEpoch
+	order   []uint64 // insertion order of open epoch span IDs
+	workers []fleetWorker
+
+	committedEpochs int
+	syncNS          float64
+	computeNS       float64
+	stallNS         float64
+	recoveryStallNS float64
+	replayedEpochs  int64
+	lateEvents      int64
+	droppedEvents   int64
+}
+
+// fleetEpoch accumulates one coordinator epoch interval.
+type fleetEpoch struct {
+	wallNS  int64         // coordinator barrier-to-barrier wall
+	stallNS float64       // fabric stall charged at the barrier
+	steps   map[int]int64 // worker ordinal → max chip_step wall
+	closed  bool          // coordinator SpanEnd seen
+}
+
+// fleetWorker is one worker's running totals.
+type fleetWorker struct {
+	epochs      int
+	stepWallNS  int64
+	maxStepNS   int64
+	stragglerNS int64 // barrier time attributable to this worker alone
+	flips       int64
+	deaths      int
+}
+
+// NewFleet returns a Fleet reducer for a run.
+func NewFleet(cfg FleetConfig) *Fleet {
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	if reg := cfg.Registry; reg != nil {
+		reg.SetHelp("fleet.sync_fraction", "Fraction of fleet wall time spent synchronizing rather than inside the slowest worker's compute.")
+		reg.SetHelp("fleet.straggler", "Ordinal of the worker responsible for the most solo barrier wait, -1 when none.")
+		reg.SetHelp("fleet.worker_step_wall_ns", "Cumulative chip_step wall per worker, from federated worker spans.")
+		reg.SetHelp("fleet.worker_straggler_ns", "Cumulative barrier wait attributable to this worker alone.")
+		reg.SetHelp("fleet.worker_losses", "Worker deaths the coordinator recovered from, attributed to the lost worker.")
+		reg.SetHelp("fleet.dropped_events", "Worker ring events evicted before the federation collector pulled them.")
+	}
+	return &Fleet{cfg: cfg, epochs: map[uint64]*fleetEpoch{}, workers: make([]fleetWorker, cfg.Workers)}
+}
+
+// Emit folds one event. Implements obs.Tracer. Only span and
+// fault/recovery events matter; everything else is ignored.
+func (f *Fleet) Emit(e obs.Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch e.Kind {
+	case obs.SpanStart:
+		if e.Origin == "co" && e.Label == "epoch" {
+			f.openEpochLocked(e.Span)
+		}
+	case obs.SpanEnd:
+		switch e.Label {
+		case "epoch":
+			if ep := f.epochs[e.Span]; ep != nil {
+				ep.wallNS = e.WallDurNS
+				ep.stallNS = e.StallNS
+				ep.closed = true
+			}
+		case "chip_step":
+			f.observeStepLocked(e)
+		}
+	case obs.Fault:
+		if e.Label == "worker-loss" && e.Chip >= 0 && e.Chip < len(f.workers) {
+			f.workers[e.Chip].deaths++
+			if reg := f.cfg.Registry; reg != nil {
+				reg.GaugeWith("fleet.worker_losses", f.workerLabels(e.Chip)).Set(float64(f.workers[e.Chip].deaths))
+			}
+		}
+	case obs.Recovery:
+		f.recoveryStallNS += e.StallNS
+		f.replayedEpochs += e.Count
+	}
+}
+
+func (f *Fleet) openEpochLocked(span uint64) {
+	if _, ok := f.epochs[span]; ok {
+		return
+	}
+	f.epochs[span] = &fleetEpoch{steps: map[int]int64{}}
+	f.order = append(f.order, span)
+	for len(f.order) > fleetMaxOpenEpochs {
+		oldest := f.order[0]
+		f.order = f.order[1:]
+		if ep := f.epochs[oldest]; ep != nil {
+			f.commitLocked(ep)
+			delete(f.epochs, oldest)
+		}
+	}
+}
+
+// observeStepLocked folds one worker chip_step interval. The worker
+// ordinal rides in Origin ("w3"); the owning epoch in Parent. A worker
+// hosting several slices handles their step RPCs concurrently, so its
+// per-epoch compute is the max of its slice walls, not the sum.
+func (f *Fleet) observeStepLocked(e obs.Event) {
+	wi, ok := originWorker(e.Origin)
+	if !ok || wi >= len(f.workers) {
+		return
+	}
+	w := &f.workers[wi]
+	w.flips += e.Count
+	ep := f.epochs[e.Parent]
+	if ep == nil {
+		f.lateEvents++
+		return
+	}
+	if prev, seen := ep.steps[wi]; !seen {
+		w.epochs++
+		ep.steps[wi] = e.WallDurNS
+	} else if e.WallDurNS > prev {
+		ep.steps[wi] = e.WallDurNS
+	}
+	if e.WallDurNS > w.maxStepNS {
+		w.maxStepNS = e.WallDurNS
+	}
+	w.stepWallNS += e.WallDurNS
+}
+
+// commitLocked folds a finished epoch accumulator into the running
+// aggregate: the slowest worker's wall is the epoch's compute, the
+// barrier-to-barrier remainder is synchronization, and the gap between
+// the slowest and second-slowest worker is barrier wait the straggler
+// alone caused.
+func (f *Fleet) commitLocked(ep *fleetEpoch) {
+	if len(ep.steps) == 0 {
+		return
+	}
+	f.committedEpochs++
+	f.stallNS += ep.stallNS
+	slowest, max1, max2 := -1, int64(-1), int64(-1)
+	for wi, wall := range ep.steps {
+		if wall > max1 {
+			max2 = max1
+			max1, slowest = wall, wi
+		} else if wall > max2 {
+			max2 = wall
+		}
+	}
+	f.computeNS += float64(max1)
+	if ep.closed && ep.wallNS > max1 {
+		f.syncNS += float64(ep.wallNS - max1)
+	}
+	if slowest >= 0 && max2 >= 0 {
+		f.workers[slowest].stragglerNS += max1 - max2
+	}
+}
+
+// NoteDropped records worker ring events lost to eviction before the
+// collector could pull them (called by the federation collector).
+func (f *Fleet) NoteDropped(n int64) {
+	if f == nil || n <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.droppedEvents += n
+	f.mu.Unlock()
+}
+
+func (f *Fleet) workerLabels(wi int) obs.Labels {
+	return obs.Labels{"run": f.cfg.RunID, "worker": strconv.Itoa(wi)}
+}
+
+// Snapshot returns the current fleet view, folding still-open epochs
+// without committing them, and refreshes the run-labeled fleet_*
+// gauges when a registry is configured.
+func (f *Fleet) Snapshot() FleetSnapshot {
+	if f == nil {
+		return FleetSnapshot{Straggler: -1}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	// Start from the committed aggregate, then overlay open epochs on a
+	// scratch copy so Snapshot never commits anything itself.
+	scratch := &Fleet{cfg: f.cfg,
+		workers:         append([]fleetWorker(nil), f.workers...),
+		syncNS:          f.syncNS,
+		computeNS:       f.computeNS,
+		stallNS:         f.stallNS,
+		committedEpochs: f.committedEpochs,
+	}
+	for _, span := range f.order {
+		if ep := f.epochs[span]; ep != nil {
+			scratch.commitLocked(ep)
+		}
+	}
+	workers := scratch.workers
+
+	s := FleetSnapshot{
+		Workers:         f.cfg.Workers,
+		Epochs:          scratch.committedEpochs,
+		ComputeNS:       scratch.computeNS,
+		SyncNS:          scratch.syncNS,
+		FabricStallNS:   scratch.stallNS,
+		RecoveryStallNS: f.recoveryStallNS,
+		ReplayedEpochs:  f.replayedEpochs,
+		LateEvents:      f.lateEvents,
+		DroppedEvents:   f.droppedEvents,
+		Straggler:       -1,
+	}
+	if total := s.ComputeNS + s.SyncNS; total > 0 {
+		s.SyncFraction = s.SyncNS / total
+	}
+	var worst int64
+	for wi := range workers {
+		w := workers[wi]
+		wd := FleetWorkerDiag{
+			Worker:      wi,
+			Epochs:      w.epochs,
+			StepWallNS:  w.stepWallNS,
+			MaxStepNS:   w.maxStepNS,
+			StragglerNS: w.stragglerNS,
+			Flips:       w.flips,
+			Deaths:      w.deaths,
+		}
+		if w.epochs > 0 {
+			wd.MeanStepNS = float64(w.stepWallNS) / float64(w.epochs)
+		}
+		if w.stragglerNS > worst {
+			worst = w.stragglerNS
+			s.Straggler = wi
+		}
+		s.PerWorker = append(s.PerWorker, wd)
+	}
+	f.publishLocked(s)
+	return s
+}
+
+func (f *Fleet) publishLocked(s FleetSnapshot) {
+	reg := f.cfg.Registry
+	if reg == nil {
+		return
+	}
+	run := obs.Labels{"run": f.cfg.RunID}
+	reg.GaugeWith("fleet.sync_fraction", run).Set(s.SyncFraction)
+	reg.GaugeWith("fleet.straggler", run).Set(float64(s.Straggler))
+	reg.GaugeWith("fleet.dropped_events", run).Set(float64(s.DroppedEvents))
+	for _, w := range s.PerWorker {
+		wl := f.workerLabels(w.Worker)
+		reg.GaugeWith("fleet.worker_step_wall_ns", wl).Set(float64(w.StepWallNS))
+		reg.GaugeWith("fleet.worker_straggler_ns", wl).Set(float64(w.StragglerNS))
+	}
+}
+
+// Release drops every run-labeled fleet_* series this reducer
+// registered. Called when the run is evicted from retention.
+func (f *Fleet) Release() int {
+	if f == nil || f.cfg.Registry == nil {
+		return 0
+	}
+	run := f.cfg.RunID
+	return f.cfg.Registry.Release(func(name string, labels obs.Labels) bool {
+		return strings.HasPrefix(name, "fleet.") && labels["run"] == run
+	})
+}
+
+// originWorker parses a worker ordinal out of an Origin stamp ("w0",
+// "w12"); false for the coordinator's "co" or anything unstamped.
+func originWorker(origin string) (int, bool) {
+	if len(origin) < 2 || origin[0] != 'w' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(origin[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// FleetSnapshot is the cluster-level diagnostics view served at
+// GET /cluster/runs/{id}/diag.
+type FleetSnapshot struct {
+	Workers int `json:"workers"`
+	// Epochs is how many coordinator epoch intervals carried at least
+	// one federated worker step.
+	Epochs int `json:"epochs"`
+	// ComputeNS sums each epoch's slowest worker wall; SyncNS the
+	// barrier-to-barrier remainder on top of it. SyncFraction is
+	// SyncNS/(ComputeNS+SyncNS) — the paper's sync-vs-compute ratio
+	// measured on the live fleet rather than the model clock.
+	ComputeNS    float64 `json:"computeNS"`
+	SyncNS       float64 `json:"syncNS"`
+	SyncFraction float64 `json:"syncFraction"`
+	// FabricStallNS is modeled fabric stall charged at the folded
+	// barriers; RecoveryStallNS modeled hand-off stall from recoveries.
+	FabricStallNS   float64 `json:"fabricStallNS"`
+	RecoveryStallNS float64 `json:"recoveryStallNS,omitempty"`
+	ReplayedEpochs  int64   `json:"replayedEpochs,omitempty"`
+	// Straggler is the ordinal of the worker with the most solo barrier
+	// wait, -1 when no worker ever made the fleet wait.
+	Straggler int               `json:"straggler"`
+	PerWorker []FleetWorkerDiag `json:"perWorker,omitempty"`
+	// LateEvents counts worker steps that arrived after their epoch was
+	// evicted; DroppedEvents worker ring events lost before a pull.
+	LateEvents    int64 `json:"lateEvents,omitempty"`
+	DroppedEvents int64 `json:"droppedEvents,omitempty"`
+}
+
+// FleetWorkerDiag is one worker's attribution.
+type FleetWorkerDiag struct {
+	Worker int `json:"worker"`
+	// Epochs counts epoch intervals this worker contributed a step to.
+	Epochs     int   `json:"epochs"`
+	StepWallNS int64 `json:"stepWallNS"`
+	MaxStepNS  int64 `json:"maxStepNS"`
+	// MeanStepNS is StepWallNS/Epochs — per-worker epoch latency.
+	MeanStepNS float64 `json:"meanStepNS,omitempty"`
+	// StragglerNS is barrier wait this worker alone caused: the gap to
+	// the second-slowest worker in epochs where it was slowest.
+	StragglerNS int64 `json:"stragglerNS"`
+	Flips       int64 `json:"flips"`
+	Deaths      int   `json:"deaths,omitempty"`
+}

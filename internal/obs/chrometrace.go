@@ -58,6 +58,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			if e.Parent != 0 {
 				args["parent"] = e.Parent
 			}
+			// Distributed context, present only on federated streams:
+			// the shared trace ID (hex, as jq consumers compare it as a
+			// string) and the emitting node.
+			if e.Trace != 0 {
+				args["trace"] = fmt.Sprintf("%016x", e.Trace)
+			}
+			if e.Origin != "" {
+				args["origin"] = e.Origin
+			}
 			out = append(out, slice{Name: e.Label, Ph: "X", TS: e.ModelNS,
 				PID: 1, TID: tid(e), Args: args})
 			opened[e.Span] = open{idx: len(out) - 1, tsNS: e.ModelNS}

@@ -124,6 +124,14 @@ const (
 // Peer is always a 1-based chip identity (chip index + 1), so that
 // chip 0 survives the omitempty JSON encoding; 0 means "no peer".
 //
+// Trace and Origin carry distributed context: Trace is a run-scoped
+// trace identifier shared by every process contributing to one
+// distributed solve, and Origin names the emitting node ("co" for the
+// coordinator, "w0", "w1", … for workers). Both are zero for
+// single-process runs and are stamped by a StampTracer (worker side)
+// or the federation collector (coordinator side) rather than by
+// emission sites.
+//
 // WallNS is the wall-clock timestamp stamped by the sink at emission,
 // and WallDurNS on span events is a measured duration; those two are
 // the only fields excluded from determinism guarantees.
@@ -144,6 +152,8 @@ type Event struct {
 	Parent    uint64  `json:"parent,omitempty"`
 	Peer      int     `json:"peer,omitempty"`
 	Label     string  `json:"label,omitempty"`
+	Trace     uint64  `json:"trace,omitempty"`
+	Origin    string  `json:"origin,omitempty"`
 }
 
 // Tracer consumes a run's event stream. Implementations must be safe
@@ -186,4 +196,35 @@ func (m multiTracer) Emit(e Event) {
 	for _, t := range m {
 		t.Emit(e)
 	}
+}
+
+// StampTracer wraps tr so every event passing through carries the
+// distributed trace context: Trace is set to traceID when the event
+// has none, and Origin to origin when the event has none. It is the
+// export half of cross-process span propagation — a cluster worker
+// stamps its slice streams with the coordinator-assigned trace ID so
+// the federation collector can tell runs apart on a shared node, and
+// the coordinator stamps its own stream "co". A nil tr yields nil (the
+// disabled path).
+func StampTracer(tr Tracer, traceID uint64, origin string) Tracer {
+	if tr == nil {
+		return nil
+	}
+	return &stampTracer{tr: tr, trace: traceID, origin: origin}
+}
+
+type stampTracer struct {
+	tr     Tracer
+	trace  uint64
+	origin string
+}
+
+func (s *stampTracer) Emit(e Event) {
+	if e.Trace == 0 {
+		e.Trace = s.trace
+	}
+	if e.Origin == "" {
+		e.Origin = s.origin
+	}
+	s.tr.Emit(e)
 }

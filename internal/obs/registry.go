@@ -353,6 +353,52 @@ func (r *Registry) HistogramWith(name string, labels Labels) *Histogram {
 	return h
 }
 
+// Release deletes every series for which match returns true, across
+// counters, gauges and histograms, and returns how many series were
+// removed. Released series disappear from snapshots and Prometheus
+// expositions; instrument handles already held by callers keep
+// working but record into detached cells. This is the retention hook
+// for per-run labeled series (diag_*, fleet_*), which would otherwise
+// accumulate for the life of the daemon — a reducer releases its own
+// series when its run expires from retention. Registered # HELP text
+// is family-level and survives, so a family that comes back keeps its
+// description.
+func (r *Registry) Release(match func(name string, labels Labels) bool) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for key, meta := range r.series {
+		labels := make(Labels, len(meta.labels))
+		for _, lp := range meta.labels {
+			labels[lp.Key] = lp.Value
+		}
+		if !match(meta.name, labels) {
+			continue
+		}
+		delete(r.counters, key)
+		delete(r.gauges, key)
+		delete(r.hists, key)
+		delete(r.series, key)
+		n++
+	}
+	return n
+}
+
+// SeriesCount returns how many distinct series the registry currently
+// holds, across all instrument kinds — the cardinality bound that
+// retention tests assert on.
+func (r *Registry) SeriesCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}
+
 // HistogramBucket is one populated bucket of a histogram snapshot:
 // Count observations at most LE (and above the previous bucket's LE).
 type HistogramBucket struct {

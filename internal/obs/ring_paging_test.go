@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The federation collector in internal/cluster pages worker rings with
+// EventsSince cursors across checkpoint rounds, so its edge semantics —
+// wrap-around, cursors older than the ring tail, cursors at or past the
+// head, and pages taken while producers keep appending — are contract,
+// not implementation detail. These tests pin them.
+
+func ringWith(t *testing.T, capacity, emitted int) *Ring {
+	t.Helper()
+	r := NewRing(capacity)
+	for i := 1; i <= emitted; i++ {
+		r.Emit(Event{Kind: EnergySample, Epoch: i})
+	}
+	return r
+}
+
+// checkPage asserts a page starts at ordinal wantFirst and carries the
+// consecutive Epoch payloads wantFirst..wantLast (the test encodes each
+// event's ordinal in Epoch).
+func checkPage(t *testing.T, evs []Event, first, wantFirst, wantLast int64) {
+	t.Helper()
+	if first != wantFirst {
+		t.Fatalf("first ordinal = %d, want %d", first, wantFirst)
+	}
+	if got, want := int64(len(evs)), wantLast-wantFirst+1; got != want {
+		t.Fatalf("page length = %d, want %d", got, want)
+	}
+	for i, e := range evs {
+		if int64(e.Epoch) != wantFirst+int64(i) {
+			t.Fatalf("event %d has ordinal payload %d, want %d", i, e.Epoch, wantFirst+int64(i))
+		}
+	}
+}
+
+func TestEventsSinceBeforeWrap(t *testing.T) {
+	r := ringWith(t, 8, 5) // not yet full
+	evs, first := r.EventsSince(0)
+	checkPage(t, evs, first, 1, 5)
+	evs, first = r.EventsSince(3)
+	checkPage(t, evs, first, 4, 5)
+}
+
+func TestEventsSinceWrapAround(t *testing.T) {
+	// Capacity 8, 13 emitted: ordinals 1–5 evicted, 6–13 retained with
+	// the buffer physically wrapped (next points mid-buffer).
+	r := ringWith(t, 8, 13)
+	evs, first := r.EventsSince(7)
+	checkPage(t, evs, first, 8, 13)
+
+	// A cursor exactly at the ring tail's predecessor returns the whole
+	// retained window.
+	evs, first = r.EventsSince(5)
+	checkPage(t, evs, first, 6, 13)
+}
+
+func TestEventsSinceOlderThanTail(t *testing.T) {
+	r := ringWith(t, 8, 13)
+	// Ordinals 1–5 are gone. A consumer that last saw ordinal 2 gets the
+	// retained window, and the returned first ordinal (6, not 3) exposes
+	// the eviction gap so the consumer can count what it missed.
+	evs, first := r.EventsSince(2)
+	checkPage(t, evs, first, 6, 13)
+	if gap := first - (2 + 1); gap != 3 {
+		t.Fatalf("exposed gap = %d, want 3", gap)
+	}
+}
+
+func TestEventsSinceAtAndPastHead(t *testing.T) {
+	r := ringWith(t, 8, 13)
+	// Caught up: nothing to return, and the sentinel first ordinal is
+	// total+1 (where the next event will land).
+	evs, first := r.EventsSince(13)
+	if len(evs) != 0 {
+		t.Fatalf("caught-up page returned %d events", len(evs))
+	}
+	if first != 14 {
+		t.Fatalf("caught-up first = %d, want total+1 = 14", first)
+	}
+	// A cursor beyond the head (e.g. from a stale snapshot of another
+	// ring) behaves the same rather than replaying.
+	if evs, _ := r.EventsSince(99); len(evs) != 0 {
+		t.Fatalf("past-head page returned %d events", len(evs))
+	}
+}
+
+func TestEventsSinceEmptyRing(t *testing.T) {
+	r := NewRing(4)
+	evs, first := r.EventsSince(0)
+	if len(evs) != 0 || first != 1 {
+		t.Fatalf("empty ring page = (%d events, first %d), want (0, 1)", len(evs), first)
+	}
+}
+
+// TestEventsSinceConcurrentAppend pages a ring with cursors while a
+// producer keeps appending, and asserts every page is internally
+// consistent: ordinals are consecutive, never before the cursor, and
+// never duplicate what the consumer already saw. Run with -race this
+// also pins that paging is safe during eviction.
+func TestEventsSinceConcurrentAppend(t *testing.T) {
+	const (
+		capacity = 64
+		emitted  = 4096
+	)
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= emitted; i++ {
+			r.Emit(Event{Kind: EnergySample, Epoch: i})
+		}
+	}()
+
+	var cursor, seen, gaps int64
+	for cursor < emitted { // consumer stops once it has paged past the last emit
+		evs, first := r.EventsSince(cursor)
+		if len(evs) == 0 {
+			runtime.Gosched() // producer hasn't advanced past the cursor yet
+			continue
+		}
+		if first <= cursor {
+			t.Fatalf("page replayed ordinal %d at cursor %d", first, cursor)
+		}
+		if first > cursor+1 {
+			gaps += first - cursor - 1
+		}
+		for i, e := range evs {
+			if int64(e.Epoch) != first+int64(i) {
+				t.Fatalf("page not consecutive: payload %d at ordinal %d", e.Epoch, first+int64(i))
+			}
+		}
+		cursor = first + int64(len(evs)) - 1
+		seen += int64(len(evs))
+	}
+	wg.Wait()
+	if seen+gaps != emitted {
+		t.Fatalf("saw %d events + %d gap, want exactly %d emitted", seen, gaps, emitted)
+	}
+}

@@ -39,6 +39,29 @@ func NewSpanner(tr Tracer) *Spanner {
 	return &Spanner{tr: tr}
 }
 
+// NewSpannerAt builds a Spanner whose interval IDs start at base+1.
+// Distributed runs use it to partition the span ID space across
+// processes — the coordinator hands each remote slice a disjoint base,
+// so streams merged by the federation collector never collide and
+// parent links resolve across process boundaries. A nil tr yields a
+// nil Spanner.
+func NewSpannerAt(tr Tracer, base uint64) *Spanner {
+	sp := NewSpanner(tr)
+	if sp != nil {
+		sp.next.Store(base)
+	}
+	return sp
+}
+
+// RemoteSpan builds a closed handle for an interval that lives in
+// another process: End on it is a no-op, only the ID matters for
+// parenting. It is the import half of cross-process span propagation —
+// a cluster worker wraps the coordinator's span ID from the wire so
+// its local intervals record the coordinator's interval as Parent.
+func RemoteSpan(id uint64) Span {
+	return Span{id: id}
+}
+
 // Span is one open interval. The zero Span is a valid "no interval"
 // value: its ID reads 0 and End on it is a no-op, so children of an
 // absent parent simply record Parent 0 (the root).

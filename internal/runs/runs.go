@@ -382,6 +382,16 @@ type Config struct {
 	// for checkpointable (multichip) engines. 0 disables periodic
 	// persistence (interrupt checkpoints still persist on drain).
 	CheckpointEvery time.Duration
+	// RetainRuns, when positive, bounds how many terminal runs stay
+	// registered: each time a run finishes, the oldest terminal runs
+	// beyond the bound are evicted — their run-labeled diag_* registry
+	// series released (a daemon that never releases them leaks metric
+	// cardinality linearly in runs served), their rings freed, their
+	// IDs gone from the HTTP surface. Live runs never count against the
+	// bound, and durable interrupt checkpoints on disk are kept — the
+	// eviction is an in-memory retention policy, not a durability one.
+	// 0 retains everything (the historical behavior).
+	RetainRuns int
 }
 
 // DefaultMaxSpins bounds the problem size accepted over HTTP when the
@@ -435,6 +445,8 @@ func NewManager(cfg Config) *Manager {
 		m.reg.SetHelp("runs.rejected_too_large_total", "Submissions refused by the memory-budget check.")
 		m.reg.SetHelp("runs.restarts_total", "Supervised restart-once recoveries after an engine panic.")
 		m.reg.SetHelp("runs.checkpoints_persisted_total", "Durable periodic checkpoints written.")
+		m.reg.SetHelp("runs.evicted_total", "Terminal runs evicted by the retention bound.")
+		m.reg.SetHelp("runs.diag_series_released_total", "Run-labeled diag series released on retention eviction.")
 	}
 	return m
 }
@@ -538,6 +550,49 @@ func (m *Manager) finish(r *Run, req core.Request, start time.Time, out *core.Ou
 	r.bcast.Close()
 	close(r.done)
 	m.dispatch()
+	m.evictExpired()
+}
+
+// evictExpired enforces Config.RetainRuns: the oldest terminal runs
+// beyond the bound are deregistered and their run-labeled diag series
+// released. Live and queued runs never count against the bound.
+func (m *Manager) evictExpired() {
+	if m.cfg.RetainRuns <= 0 {
+		return
+	}
+	var evicted []*Run
+	m.mu.Lock()
+	terminal := make([]string, 0, len(m.order))
+	for _, id := range m.order {
+		r := m.runs[id]
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		if r.state.Terminal() {
+			terminal = append(terminal, id)
+		}
+		r.mu.Unlock()
+	}
+	for i := 0; i < len(terminal)-m.cfg.RetainRuns; i++ {
+		evicted = append(evicted, m.runs[terminal[i]])
+		delete(m.runs, terminal[i])
+	}
+	if len(evicted) > 0 {
+		keep := m.order[:0]
+		for _, id := range m.order {
+			if _, ok := m.runs[id]; ok {
+				keep = append(keep, id)
+			}
+		}
+		m.order = keep
+	}
+	m.mu.Unlock()
+	for _, r := range evicted {
+		released := r.diag.Release()
+		m.reg.Counter("runs.evicted_total").Inc()
+		m.reg.Counter("runs.diag_series_released_total").Add(int64(released))
+	}
 }
 
 // Get returns the run with the given ID.

@@ -8,7 +8,11 @@
 #      worker blackholed mid-run (must recover via checkpoint
 #      rollback-replay onto the survivor and land on the identical
 #      trajectory, with the recovery cost visible in the ledgers) —
-# and assert the bit-identity and recovery claims with jq.
+# and assert the bit-identity and recovery claims with jq. The chaos
+# run is federated: its merged fleet trace must carry coordinator and
+# worker spans under one trace ID, recovery included. A fourth leg
+# drives the coordinator-as-a-service surface (POST /cluster/runs with
+# federate:true, then GET .../trace and .../diag).
 #
 # Run from the repository root: ./scripts/cluster_smoke.sh
 set -euo pipefail
@@ -70,10 +74,12 @@ PROBLEM="-k 64 -chips 2 -duration 100 -seed 7"
   >"$DIR/clean.json" || die "clean distributed solve"
 
 # 3. Chaos: flaky transport (5% injected 503s) plus worker 1
-# blackholed at epoch 5, two epochs past the last checkpoint.
+# blackholed at epoch 5, two epochs past the last checkpoint. Federated,
+# so the kill scenario must still merge into ONE fleet trace.
 # shellcheck disable=SC2086
 "$DIR/mbrim" -cluster "http://$A1,http://$A2" $PROBLEM -spins -json \
   -ckpt-every 3 -chaos-error 0.05 -chaos-kill-worker 1 -chaos-kill-epoch 5 \
+  -cluster-trace "$DIR/chaos_trace.json" \
   >"$DIR/chaos.json" || die "chaos distributed solve"
 
 # The clean distributed run reproduces the in-process run bit for bit,
@@ -114,6 +120,74 @@ jq -e --slurpfile i "$DIR/inproc.json" '
   .trafficBytes > $i[0].Stats.trafficBytes
 ' "$DIR/chaos.json" >/dev/null \
   || die "chaos run's recovery ledger missing or inconsistent"
+
+# The chaos run's merged fleet trace: every span carries the SAME trace
+# ID, and spans from the coordinator AND both workers made it into the
+# one document — including the worker that died mid-run (its pre-kill
+# spans were federated at the earlier checkpoint round).
+[ -s "$DIR/chaos_trace.json" ] || die "chaos run wrote no fleet trace"
+jq -e '
+  ([.traceEvents[] | select(.args.trace != null) | .args.trace] | unique | length) == 1
+' "$DIR/chaos_trace.json" >/dev/null \
+  || die "chaos fleet trace does not share a single trace ID"
+jq -e '
+  ([.traceEvents[] | select(.args.trace != null) | .args.origin] | unique) as $o |
+  ($o | index("co") != null) and
+  (($o | map(select(startswith("w"))) | length) >= 2)
+' "$DIR/chaos_trace.json" >/dev/null \
+  || die "chaos fleet trace is missing coordinator or worker spans"
+jq -e '
+  [.traceEvents[] | select(.name == "recovery")] | length >= 1
+' "$DIR/chaos_trace.json" >/dev/null \
+  || die "chaos fleet trace does not show the recovery"
+
+# 4. The coordinator-as-a-service surface: a third mbrimd (no -worker)
+# accepts a federated submission and serves the merged trace and the
+# fleet diagnostics over HTTP.
+"$DIR/mbrimd" -addr localhost:0 >"$DIR/co.out" 2>&1 &
+PIDS+=($!)
+CO=""
+for _ in $(seq 1 50); do
+  CO=$(addr "$DIR/co.out")
+  [ -n "$CO" ] && break
+  sleep 0.1
+done
+[ -n "$CO" ] || die "coordinator daemon never printed its listen address"
+
+RID=$(curl -sf -X POST "http://$CO/cluster/runs" -d '{
+  "workers": ["http://'"$A1"'", "http://'"$A2"'"],
+  "k": 64, "chips": 2, "durationNS": 100, "seed": 7,
+  "checkpointEvery": 3, "federate": true
+}' | jq -r .id)
+[ -n "$RID" ] && [ "$RID" != "null" ] || die "federated submission rejected"
+
+for _ in $(seq 1 100); do
+  DONE=$(curl -sf "http://$CO/cluster/runs/$RID" | jq -r '.done // false')
+  [ "$DONE" = "true" ] && break
+  sleep 0.1
+done
+[ "$DONE" = "true" ] || die "federated daemon run never finished"
+
+curl -sf "http://$CO/cluster/runs/$RID/trace" >"$DIR/daemon_trace.json" \
+  || die "GET /cluster/runs/$RID/trace"
+jq -e '
+  ([.traceEvents[] | select(.args.trace != null) | .args.trace] | unique | length) == 1 and
+  (([.traceEvents[] | select(.args.trace != null) | .args.origin] | unique) as $o |
+    ($o | index("co") != null) and (($o | map(select(startswith("w"))) | length) >= 2))
+' "$DIR/daemon_trace.json" >/dev/null \
+  || die "daemon fleet trace malformed: spans from 2 workers must share the coordinator trace ID"
+
+curl -sf "http://$CO/cluster/runs/$RID/diag" >"$DIR/daemon_diag.json" \
+  || die "GET /cluster/runs/$RID/diag"
+jq -e '
+  .id == "'"$RID"'" and
+  (.traceID | length) == 16 and
+  .fleet.workers == 2 and
+  .fleet.epochs >= 1 and
+  .fleet.syncFraction >= 0 and .fleet.syncFraction <= 1 and
+  (.fleet.perWorker | length) == 2
+' "$DIR/daemon_diag.json" >/dev/null \
+  || die "fleet diag report malformed"
 
 FAILED=0
 echo "cluster smoke: OK"
