@@ -49,6 +49,7 @@ func TestEverySubcommandRuns(t *testing.T) {
 		"suite":           {"-runs", "1", "-sweeps", "20", "-steps", "50", "-duration", "20"},
 		"guardrails":      {"-n", "48", "-duration", "20", "-cut-epoch", "2"},
 		"diagnose":        {"-n", "48", "-duration", "40"},
+		"portfolio":       {"-n", "32", "-en", "8", "-sweeps", "20", "-steps", "100"},
 	}
 	for name, cmd := range commands {
 		args, ok := tiny[name]
@@ -69,7 +70,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"firstprinciples", "summary", "capacity", "demand", "macrochip",
 		"reconfig", "machinemetrics", "tts", "nonideal", "ablation",
-		"resilience", "suite", "guardrails", "diagnose",
+		"resilience", "suite", "guardrails", "diagnose", "portfolio",
 	}
 	for _, name := range want {
 		if _, ok := commands[name]; !ok {

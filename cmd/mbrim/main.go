@@ -32,6 +32,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -91,11 +92,56 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the solve after this wall-clock budget (0 = none)")
 	ckptPath := flag.String("checkpoint", "", "on interruption, write resume state to this file (multichip engines)")
 	resumePath := flag.String("resume", "", "resume a multichip solve from this checkpoint file")
+	listEngines := flag.Bool("engines", false, "list the registered engines with their capabilities and exit")
+	portfolioField := flag.String("portfolio", "", `portfolio engine: comma-separated entrant kinds, e.g. "sa,tabu,dsbm" (empty = structure-based auto-dispatch)`)
+	targetEnergy := flag.String("target", "", "portfolio engine: first entrant to reach this energy wins and the rest are cancelled")
+	raceBudget := flag.Float64("race-budget", 0, "portfolio engine: race wall-clock budget, ms (0 = none)")
+	handoff := flag.String("handoff", "", "portfolio engine: hand the race's best state to this engine as a warm start")
 	flag.Parse()
+
+	if *listEngines {
+		for _, inf := range mbrim.Engines() {
+			caps := inf.Capabilities
+			var tags []string
+			for _, t := range []struct {
+				on   bool
+				name string
+			}{{caps.Resume, "resume"}, {caps.WarmStart, "warm-start"}, {caps.Backend, "backend"},
+				{caps.Spans, "spans"}, {caps.Traced, "traced"}, {caps.ModelTime, "model-time"}} {
+				if t.on {
+					tags = append(tags, t.name)
+				}
+			}
+			fmt.Printf("%-10s %-28s %s\n", inf.Kind, strings.Join(tags, ","), caps.Description)
+		}
+		return
+	}
 
 	kind, err := mbrim.ParseKind(*solver)
 	if err != nil {
 		fatal(err)
+	}
+	var pspec mbrim.PortfolioSpec
+	if kind == mbrim.Portfolio {
+		if *portfolioField != "" {
+			for _, name := range strings.Split(*portfolioField, ",") {
+				pspec.Entrants = append(pspec.Entrants,
+					mbrim.PortfolioEntrant{Kind: strings.TrimSpace(name)})
+			}
+		}
+		if *targetEnergy != "" {
+			t, perr := strconv.ParseFloat(*targetEnergy, 64)
+			if perr != nil {
+				fatal(fmt.Errorf("-target: %v", perr))
+			}
+			pspec.TargetEnergy = &t
+		}
+		pspec.BudgetMS = *raceBudget
+		if *handoff != "" {
+			pspec.HandOff = &mbrim.PortfolioEntrant{Kind: *handoff}
+		}
+	} else if *portfolioField != "" || *targetEnergy != "" || *raceBudget != 0 || *handoff != "" {
+		fatal(fmt.Errorf("-portfolio/-target/-race-budget/-handoff require -solver portfolio"))
 	}
 	// With -json, stdout carries only the JSON document; progress
 	// lines go to stderr.
@@ -303,7 +349,8 @@ func main() {
 				Repartition:         *recoverRepartition,
 			},
 		},
-		Resume: resumeBytes,
+		Resume:    resumeBytes,
+		Portfolio: pspec,
 	})
 	var intr *mbrim.InterruptedError
 	if errors.As(err, &intr) {
@@ -407,6 +454,32 @@ func main() {
 		"recoveryRetransmits", "recoveryResyncs", "recoveryRepartitions", "recoveryStallNS"} {
 		if v, ok := out.Stats[name]; ok && v != 0 {
 			fmt.Printf("%-8s %.0f\n", name+":", v)
+		}
+	}
+	if p := out.Portfolio; p != nil {
+		how := "best at end of race"
+		if p.HitTarget {
+			how = "first to target"
+		}
+		fmt.Printf("race:    winner %s (entrant %d, %s)\n", p.WinnerKind, p.Winner, how)
+		if p.Dispatched && p.Structure != nil {
+			fmt.Printf("         auto-dispatched: density %.3f, degree CV %.2f\n",
+				p.Structure.Density, p.Structure.DegreeCV)
+		}
+		for _, e := range p.Entrants {
+			state := "finished"
+			if e.Interrupted {
+				state = "cancelled"
+			}
+			if e.Err != "" {
+				state = "failed: " + e.Err
+			}
+			fmt.Printf("         e%d %-8s energy %.0f  wall %v  %s\n",
+				e.Index, e.Kind, e.Energy, time.Duration(e.WallNS), state)
+		}
+		if h := p.HandOff; h != nil {
+			fmt.Printf("         hand-off %s energy %.0f  wall %v\n",
+				h.Kind, h.Energy, time.Duration(h.WallNS))
 		}
 	}
 	if *printSpins {

@@ -3,6 +3,7 @@
 // HTTP, executes them through the core orchestration layer with live
 // tracing attached, and exposes:
 //
+//	GET  /engines               registered engines + capabilities
 //	POST /runs                  submit a problem (JSON)
 //	GET  /runs                  list runs
 //	GET  /runs/{id}             one run's live status
@@ -28,8 +29,13 @@
 // Example session:
 //
 //	mbrimd -addr localhost:8351 &
+//	curl -s localhost:8351/engines
 //	curl -s -X POST localhost:8351/runs \
 //	  -d '{"engine":"mbrim","k":256,"chips":4,"durationNS":500}'
+//	curl -s -X POST localhost:8351/runs \
+//	  -d '{"engine":"portfolio","k":64,"portfolio":{"entrants":[
+//	       {"kind":"sa"},{"kind":"tabu"},{"kind":"dsbm"}],
+//	       "targetEnergy":-100}}'
 //	curl -s localhost:8351/runs/run-1
 //	curl -s -N localhost:8351/runs/run-1/events
 //	curl -s localhost:8351/runs/run-1/diag

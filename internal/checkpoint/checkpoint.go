@@ -53,7 +53,30 @@ type File struct {
 	ModelHash uint64 `json:"modelHash"`
 	// Multichip is the payload for the multichip engines.
 	Multichip *multichip.Checkpoint `json:"multichip,omitempty"`
+	// Warm is the engine-agnostic warm-start payload: the best spins
+	// (and their energy) a run had found when it stopped. Unlike the
+	// full-state payloads it resumes on a *different* engine — the
+	// portfolio hand-off converts a losing entrant's best state into a
+	// Warm envelope a second-stage engine starts from. Additive to
+	// format version 1: files without it decode unchanged.
+	Warm *Warm `json:"warm,omitempty"`
 }
+
+// Warm is the cross-engine warm-start snapshot.
+type Warm struct {
+	// Spins is the best configuration found (length N).
+	Spins []int8 `json:"spins"`
+	// EnergyBits is the IEEE-754 bit pattern of that configuration's
+	// energy (uint64 so ±Inf round-trips exactly).
+	EnergyBits uint64 `json:"energyBits"`
+	// From names the engine that produced the state — provenance for
+	// logs and the portfolio's win attribution, not validated on
+	// resume.
+	From string `json:"from,omitempty"`
+}
+
+// Energy decodes the snapshot's energy.
+func (w *Warm) Energy() float64 { return math.Float64frombits(w.EnergyBits) }
 
 // HashModel fingerprints a model with FNV-1a over its size, μ, every
 // coupling and every bias (as IEEE-754 bits, so -0 vs +0 and NaN
@@ -122,6 +145,54 @@ func Decode(data []byte) (*File, error) {
 		return nil, fmt.Errorf("checkpoint: missing engine")
 	}
 	return &f, nil
+}
+
+// EncodeWarm builds a warm-start envelope: the best spins an engine
+// had found, bound to the model so it cannot warm-start a different
+// problem. The spins are copied, not aliased.
+func EncodeWarm(from string, seed uint64, m *ising.Model, spins []int8, energy float64) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("checkpoint: nil model")
+	}
+	if len(spins) != m.N() {
+		return nil, fmt.Errorf("checkpoint: warm start has %d spins for a %d-spin model", len(spins), m.N())
+	}
+	return Encode(&File{
+		Engine:    from,
+		Seed:      seed,
+		N:         m.N(),
+		ModelHash: HashModel(m),
+		Warm: &Warm{
+			Spins:      append([]int8(nil), spins...),
+			EnergyBits: math.Float64bits(energy),
+			From:       from,
+		},
+	})
+}
+
+// ValidateWarm checks a decoded warm-start envelope against the model
+// it is about to seed. Engine and seed are deliberately not checked —
+// crossing engines is the point of a warm-start hand-off — but the
+// model must be the same problem and the spins must be well-formed.
+func (f *File) ValidateWarm(m *ising.Model) error {
+	if f.Warm == nil {
+		return fmt.Errorf("checkpoint: no warm-start payload")
+	}
+	if f.N != m.N() {
+		return fmt.Errorf("checkpoint: written for %d spins, warm-starting %d", f.N, m.N())
+	}
+	if h := HashModel(m); f.ModelHash != h {
+		return fmt.Errorf("checkpoint: model hash %#x does not match this problem (%#x)", f.ModelHash, h)
+	}
+	if len(f.Warm.Spins) != m.N() {
+		return fmt.Errorf("checkpoint: warm payload has %d spins for a %d-spin model", len(f.Warm.Spins), m.N())
+	}
+	for i, s := range f.Warm.Spins {
+		if s != -1 && s != 1 {
+			return fmt.Errorf("checkpoint: warm spin [%d]=%d is not a spin", i, s)
+		}
+	}
+	return nil
 }
 
 // Validate checks a decoded file against the run it is about to

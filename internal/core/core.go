@@ -1,10 +1,17 @@
 // Package core is the orchestration layer: one request/outcome surface
 // over every solver in the repository — software baselines (SA, tabu,
-// SBM), the single-chip BRIM, the divide-and-conquer hybrids, and the
-// multiprocessor in both operating modes. The CLI, the examples and
+// SBM), the single-chip BRIM, the divide-and-conquer hybrids, the
+// multiprocessor in all operating modes, and composite engines such as
+// the heterogeneous portfolio. The CLI, the examples, the daemon and
 // the experiment harness all go through this package, so results carry
 // a uniform time ledger (model ns for machines, wall time for
 // software) no matter which engine produced them.
+//
+// Dispatch is registry-driven: each engine registers an adapter (see
+// registry.go and the engine_*.go files; external engines like
+// internal/portfolio register from their own package init), and
+// Kinds/ParseKind/capability checks all derive from the registered
+// set. There is no per-engine switch anywhere in the solve path.
 package core
 
 import (
@@ -13,14 +20,10 @@ import (
 	"math"
 	"runtime/debug"
 	"runtime/pprof"
-	"sort"
 	"strconv"
-	"strings"
 	"time"
 
-	"mbrim/internal/brim"
 	"mbrim/internal/checkpoint"
-	"mbrim/internal/dnc"
 	"mbrim/internal/fault"
 	"mbrim/internal/graph"
 	"mbrim/internal/ising"
@@ -28,16 +31,14 @@ import (
 	"mbrim/internal/metrics"
 	"mbrim/internal/multichip"
 	"mbrim/internal/obs"
-	"mbrim/internal/pt"
-	"mbrim/internal/sa"
-	"mbrim/internal/sbm"
-	"mbrim/internal/tabu"
 )
 
 // Kind names a solver engine.
 type Kind string
 
-// The available engines.
+// The built-in engines. The names are registry keys — Kinds() reports
+// whatever is actually registered, which may include engines linked
+// from outside this package (e.g. "portfolio").
 const (
 	SA              Kind = "sa"          // simulated annealing (Isakov-style)
 	Tabu            Kind = "tabu"        // tabu search
@@ -50,29 +51,8 @@ const (
 	MBRIMBatch      Kind = "mbrim-batch" // multiprocessor, batch mode
 	PT              Kind = "pt"          // parallel tempering (replica exchange)
 	MBRIMSequential Kind = "mbrim-seq"   // multiprocessor, sequential (zero-ignorance) baseline
+	Portfolio       Kind = "portfolio"   // heterogeneous race (registered by internal/portfolio)
 )
-
-// Kinds returns every engine name, sorted.
-func Kinds() []string {
-	ks := []string{
-		string(SA), string(Tabu), string(BSBM), string(DSBM), string(BRIM),
-		string(QBSolv), string(OursDnc), string(MBRIMConcurrent), string(MBRIMBatch),
-		string(PT), string(MBRIMSequential),
-	}
-	sort.Strings(ks)
-	return ks
-}
-
-// ParseKind validates a solver name.
-func ParseKind(s string) (Kind, error) {
-	k := Kind(strings.ToLower(strings.TrimSpace(s)))
-	for _, known := range Kinds() {
-		if string(k) == known {
-			return k, nil
-		}
-	}
-	return "", fmt.Errorf("core: unknown solver %q (have %s)", s, strings.Join(Kinds(), ", "))
-}
 
 // Bandwidth presets of Sec 6.3, in channel bytes/ns (1 GB/s = 1 B/ns).
 const (
@@ -126,8 +106,9 @@ type Request struct {
 	ChannelBytesPerNS float64
 
 	// Initial optionally warm-starts the run at the given spins
-	// (SA, tabu and BRIM engines; copied, not aliased). Hybrid flows
-	// use it to polish a machine's readout in software.
+	// (engines with the WarmStart capability: SA, tabu and BRIM;
+	// copied, not aliased). Hybrid flows use it to polish a machine's
+	// readout in software.
 	Initial []int8
 
 	// MachineCapacity is the hardware size for the d&c engines.
@@ -155,14 +136,21 @@ type Request struct {
 	// injects nothing.
 	Faults fault.Config
 
-	// Resume, if non-nil, is a checkpoint written by an interrupted
-	// earlier solve (InterruptedError.Checkpoint, or the bytes the CLI
-	// saved to disk). Only the multichip engines support resume; the
-	// envelope must match this request's engine, seed and model, and
-	// the run parameters (duration, jobs) must match the interrupted
-	// run's. A resumed run is bit-identical to one that was never
-	// interrupted.
+	// Resume, if non-nil, is a checkpoint written by an earlier solve.
+	// Engines with the Resume capability (the multichip modes) accept
+	// the full-state envelope an InterruptedError carries and continue
+	// bit-identically; the envelope must match this request's engine,
+	// seed and model, and the run parameters (duration, jobs) must
+	// match the interrupted run's. Engines with the WarmStart
+	// capability (SA, tabu, BRIM) accept a warm-start envelope
+	// (checkpoint.Warm — best spins from any engine, the portfolio
+	// hand-off format) and start from those spins.
 	Resume []byte
+
+	// Portfolio parameterizes the portfolio engine (Kind "portfolio"):
+	// entrants to race, the first-to-target threshold, the race budget
+	// and the warm-start hand-off stage. Ignored by other engines.
+	Portfolio PortfolioSpec
 
 	// Tracer, if non-nil, receives the run's typed event stream: Solve
 	// emits the RunStart/RunEnd bracket and the engine emits its inner
@@ -249,12 +237,17 @@ type Outcome struct {
 	// per-epoch ledger and energy-surprise probe.
 	EpochStats []multichip.EpochStat
 	Surprises  []multichip.SurpriseSample
+	// Portfolio reports the portfolio engine's race: per-entrant
+	// results and the winner attribution. Nil for every other engine.
+	Portfolio *PortfolioReport
 }
 
 // validate rejects malformed requests at the public boundary with
 // typed errors, before any engine can turn them into a panic or a NaN.
-// It runs after withDefaults, so zero values have been filled.
-func (r *Request) validate() error {
+// It runs after withDefaults, so zero values have been filled; caps
+// are the resolved engine's capabilities (the registry-derived
+// replacement for the old hard-coded resume list).
+func (r *Request) validate(caps Capabilities) error {
 	if err := r.Model.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidModel, err)
 	}
@@ -287,12 +280,8 @@ func (r *Request) validate() error {
 	if r.SampleEveryNS < 0 || math.IsNaN(r.SampleEveryNS) || math.IsInf(r.SampleEveryNS, 0) {
 		return fmt.Errorf("core: SampleEveryNS=%v", r.SampleEveryNS)
 	}
-	if len(r.Resume) > 0 {
-		switch r.Kind {
-		case MBRIMConcurrent, MBRIMSequential, MBRIMBatch:
-		default:
-			return fmt.Errorf("core: engine %s does not support resume", r.Kind)
-		}
+	if len(r.Resume) > 0 && !caps.Resume && !caps.WarmStart {
+		return fmt.Errorf("core: engine %s does not support resume", r.Kind)
 	}
 	return nil
 }
@@ -324,13 +313,25 @@ func Solve(req Request) (*Outcome, error) {
 //     *brim.DivergenceError in the chain, never as NaN spins.
 //   - An engine panic is converted into a *PanicError with the stack
 //     attached instead of unwinding the caller.
+//
+// The engine itself is resolved through the registry: SolveCtx holds
+// no per-engine dispatch of its own.
 func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 	r, err := req.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	if err := r.validate(); err != nil {
+	// Validation precedes dispatch (matching the pre-registry order, so
+	// a bad model reports ErrInvalidModel even under an unknown kind);
+	// an unknown kind's zero capabilities reject resume bytes exactly
+	// like the old default case did.
+	caps, _ := EngineCaps(r.Kind)
+	if err := r.validate(caps); err != nil {
 		return nil, err
+	}
+	eng, ok := lookupEngine(r.Kind)
+	if !ok {
+		return nil, unknownKindError(string(r.Kind))
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -341,7 +342,6 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 			err = &PanicError{Engine: r.Kind, Value: p, Stack: debug.Stack()}
 		}
 	}()
-	out = &Outcome{Kind: r.Kind, Backend: r.backend.String(), Stats: map[string]float64{}}
 	if r.Tracer != nil {
 		r.Tracer.Emit(obs.Event{Kind: obs.RunStart, Label: string(r.Kind),
 			Seed: r.Seed, Count: int64(r.Model.N()), Value: r.DurationNS})
@@ -370,137 +370,51 @@ func SolveCtx(ctx context.Context, req Request) (out *Outcome, err error) {
 		pprof.SetGoroutineLabels(ctx)
 		defer pprof.SetGoroutineLabels(prev)
 	}
-	start := time.Now()
-	// interrupted finalizes the partial outcome and wraps it with the
-	// optional checkpoint bytes.
-	interrupted := func(cause error, ck []byte) (*Outcome, error) {
-		out.Wall = time.Since(start)
-		if r.Graph != nil && out.Spins != nil {
-			out.Cut = r.Graph.CutValue(out.Spins)
-		}
-		return nil, &InterruptedError{Outcome: out, Checkpoint: ck, Cause: cause}
-	}
-	switch r.Kind {
-	case SA:
-		var best *sa.Result
-		var attempts, flips float64
-		for i := 0; i < r.Runs; i++ {
-			res, rerr := sa.SolveCtx(ctx, r.Model, sa.Config{Sweeps: r.Sweeps,
-				Seed: r.Seed + uint64(i), Initial: r.Initial, Backend: r.backend,
-				Tracer: r.Tracer, Metrics: r.Metrics})
-			attempts += float64(res.Attempts)
-			flips += float64(res.Flips)
-			if best == nil || res.Energy < best.Energy {
-				best = res
-			}
-			if rerr != nil {
-				out.Spins, out.Energy = best.Spins, best.Energy
-				out.Stats["attempts"], out.Stats["flips"] = attempts, flips
-				return interrupted(rerr, nil)
-			}
-		}
-		out.Spins, out.Energy = best.Spins, best.Energy
-		out.Stats["attempts"] = attempts
-		out.Stats["flips"] = flips
-	case PT:
-		res, rerr := pt.SolveCtx(ctx, r.Model, pt.Config{Replicas: max(2, r.Runs), Sweeps: r.Sweeps, Seed: r.Seed})
-		out.Spins, out.Energy = res.Spins, res.Energy
-		out.Stats["swaps"] = float64(res.Swaps)
-		out.Stats["swapAttempts"] = float64(res.SwapAttempts)
-		if rerr != nil {
-			return interrupted(rerr, nil)
-		}
-	case Tabu:
-		best, rerr := tabu.SolveCtx(ctx, r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed, Initial: r.Initial})
-		for i := 1; i < r.Runs && rerr == nil; i++ {
-			var res *tabu.Result
-			res, rerr = tabu.SolveCtx(ctx, r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed + uint64(i)})
-			if res.Energy < best.Energy {
-				best = res
-			}
-		}
-		out.Spins, out.Energy = best.Spins, best.Energy
-		if rerr != nil {
-			return interrupted(rerr, nil)
-		}
-	case BSBM, DSBM:
-		variant := sbm.Ballistic
-		if r.Kind == DSBM {
-			variant = sbm.Discrete
-		}
-		var best *sbm.Result
-		for i := 0; i < r.Runs; i++ {
-			res, rerr := sbm.SolveCtx(ctx, r.Model, sbm.Config{Variant: variant, Steps: r.Steps,
-				Seed: r.Seed + uint64(i), Backend: r.backend,
-				Tracer: r.Tracer, Metrics: r.Metrics})
-			if best == nil || res.Energy < best.Energy {
-				best = res
-			}
-			if rerr != nil {
-				out.Spins, out.Energy = best.Spins, best.Energy
-				return interrupted(rerr, nil)
-			}
-		}
-		out.Spins, out.Energy = best.Spins, best.Energy
-	case BRIM:
-		best, all, rerr := brim.SolveBatchCtx(ctx, r.Model, brim.SolveConfig{
-			Duration:       r.DurationNS,
-			SampleInterval: r.SampleEveryNS,
-			Initial:        r.Initial,
-			Config:         brim.Config{Seed: r.Seed, Backend: r.backend},
-			Tracer:         r.Tracer,
-			Metrics:        r.Metrics,
-			Spans:          r.spans,
-			SpanParent:     r.rootSpan,
-		}, r.Runs)
-		out.Spins, out.Energy = best.Spins, best.Energy
-		out.Trace = best.Trace
-		for _, res := range all {
-			out.ModelNS += res.ModelNS
-			out.Stats["flips"] += float64(res.Flips)
-		}
-		if rerr != nil {
-			if isCtxErr(rerr) {
-				return interrupted(rerr, nil)
-			}
-			return nil, fmt.Errorf("core: %s: %w", r.Kind, rerr)
-		}
-	case QBSolv, OursDnc:
-		mach := &dnc.ProxyMachine{
-			Cap:      r.MachineCapacity,
-			AnnealNS: r.MachineAnnealNS,
-			Program:  r.MachineProgramNS,
-			Sweeps:   r.Sweeps,
-		}
-		var res *dnc.Result
-		var rerr error
-		if r.Kind == QBSolv {
-			res, rerr = dnc.QBSolvCtx(ctx, r.Model, mach, dnc.QBSolvConfig{Seed: r.Seed,
-				Backend: r.backend, Tracer: r.Tracer, Metrics: r.Metrics})
-		} else {
-			res, rerr = dnc.OursCtx(ctx, r.Model, mach, dnc.OursConfig{Seed: r.Seed,
-				Backend: r.backend, Tracer: r.Tracer, Metrics: r.Metrics})
-		}
-		out.Spins, out.Energy = res.Spins, res.Energy
-		out.ModelNS = res.HardwareNS + res.ProgramNS
-		out.Stats["glueOps"] = float64(res.GlueOps)
-		out.Stats["launches"] = float64(res.Launches)
-		out.Stats["softwareNS"] = float64(res.SoftwareWall.Nanoseconds())
-		if rerr != nil {
-			return interrupted(rerr, nil)
-		}
-	case MBRIMConcurrent, MBRIMSequential, MBRIMBatch:
-		return r.solveMultichip(ctx, out, start, interrupted)
-	default:
-		return nil, fmt.Errorf("core: unknown solver %q", r.Kind)
-	}
-	r.finish(out, start)
-	return out, nil
+	return eng.Solve(ctx, &r)
 }
 
-// finish stamps the uniform tail of a completed solve: wall time, cut
+// NewOutcome returns the uniform outcome skeleton every engine adapter
+// starts from. Exported for engines registered from other packages
+// (e.g. internal/portfolio).
+func (r *Request) NewOutcome() *Outcome {
+	return &Outcome{Kind: r.Kind, Backend: r.backend.String(), Stats: map[string]float64{}}
+}
+
+// Interrupted finalizes a partial outcome and wraps it, with the
+// optional checkpoint bytes, into the InterruptedError the SolveCtx
+// contract promises on cancellation. Exported for engines registered
+// from other packages.
+func (r *Request) Interrupted(out *Outcome, start time.Time, cause error, ck []byte) (*Outcome, error) {
+	out.Wall = time.Since(start)
+	if r.Graph != nil && out.Spins != nil {
+		out.Cut = r.Graph.CutValue(out.Spins)
+	}
+	return nil, &InterruptedError{Outcome: out, Checkpoint: ck, Cause: cause}
+}
+
+// applyWarmStart decodes a warm-start envelope from r.Resume into
+// r.Initial — the hand-off path for engines with the WarmStart
+// capability. The envelope's model hash must match this request's
+// problem; the producing engine may differ (that is the point of a
+// hand-off), so engine and seed are not checked.
+func (r *Request) applyWarmStart() error {
+	f, err := checkpoint.Decode(r.Resume)
+	if err != nil {
+		return err
+	}
+	if f.Warm == nil {
+		return fmt.Errorf("core: checkpoint has no warm-start payload (engine %s accepts warm starts, not full-state resume)", r.Kind)
+	}
+	if err := f.ValidateWarm(r.Model); err != nil {
+		return err
+	}
+	r.Initial = append([]int8(nil), f.Warm.Spins...)
+	return nil
+}
+
+// Finish stamps the uniform tail of a completed solve: wall time, cut
 // value, the RunEnd event and the registry counters.
-func (r *Request) finish(out *Outcome, start time.Time) {
+func (r *Request) Finish(out *Outcome, start time.Time) {
 	out.Wall = time.Since(start)
 	if r.Graph != nil {
 		out.Cut = r.Graph.CutValue(out.Spins)
@@ -523,137 +437,4 @@ func (r *Request) finish(out *Outcome, start time.Time) {
 		r.Metrics.HistogramWith("core.solve_wall_ns", obs.Labels{"engine": string(r.Kind)}).
 			Observe(float64(out.Wall.Nanoseconds()))
 	}
-}
-
-// solveMultichip runs one of the multiprocessor modes with checkpoint
-// resume and capture. On cancellation the partial result is wrapped in
-// an InterruptedError whose Checkpoint bytes Request.Resume accepts;
-// on divergence the typed error propagates with no checkpoint.
-func (r *Request) solveMultichip(ctx context.Context, out *Outcome, start time.Time,
-	interrupted func(error, []byte) (*Outcome, error)) (*Outcome, error) {
-	sys, err := multichip.NewSystem(r.Model, multichipConfig(*r))
-	if err != nil {
-		return nil, err
-	}
-	var resume *multichip.Checkpoint
-	if len(r.Resume) > 0 {
-		f, err := checkpoint.Decode(r.Resume)
-		if err != nil {
-			return nil, err
-		}
-		if err := f.Validate(string(r.Kind), r.Seed, r.Model); err != nil {
-			return nil, err
-		}
-		if f.Multichip == nil {
-			return nil, fmt.Errorf("core: checkpoint has no multichip payload")
-		}
-		resume = f.Multichip
-	}
-	encode := func(ck *multichip.Checkpoint) ([]byte, error) {
-		return checkpoint.Encode(&checkpoint.File{
-			Engine:    string(r.Kind),
-			Seed:      r.Seed,
-			N:         r.Model.N(),
-			ModelHash: checkpoint.HashModel(r.Model),
-			Multichip: ck,
-		})
-	}
-	if r.Kind == MBRIMBatch {
-		res, ck, rerr := sys.RunBatchCtx(ctx, r.Runs, r.DurationNS, resume)
-		if rerr != nil && !isCtxErr(rerr) {
-			return nil, rerr
-		}
-		best := res.Jobs[res.Best]
-		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
-			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
-		fillFaultStats(out, res.FaultStats, res.LiveChips)
-		out.Trace = res.Trace
-		out.EpochStats = res.EpochStats
-		if rerr != nil {
-			data, eerr := encode(ck)
-			if eerr != nil {
-				return nil, eerr
-			}
-			return interrupted(rerr, data)
-		}
-		r.finish(out, start)
-		return out, nil
-	}
-	run := sys.RunConcurrentCtx
-	if r.Kind == MBRIMSequential {
-		run = sys.RunSequentialCtx
-	}
-	res, ck, rerr := run(ctx, r.DurationNS, resume)
-	if rerr != nil && !isCtxErr(rerr) {
-		return nil, rerr
-	}
-	fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
-		res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
-	fillFaultStats(out, res.FaultStats, res.LiveChips)
-	out.Trace = res.Trace
-	out.EpochStats = res.EpochStats
-	out.Surprises = res.Surprises
-	if rerr != nil {
-		data, eerr := encode(ck)
-		if eerr != nil {
-			return nil, eerr
-		}
-		return interrupted(rerr, data)
-	}
-	r.finish(out, start)
-	return out, nil
-}
-
-func multichipConfig(r Request) multichip.Config {
-	return multichip.Config{
-		Backend:           r.backend,
-		Chips:             r.Chips,
-		EpochNS:           r.EpochNS,
-		Coordinated:       r.Coordinated,
-		Channels:          r.Channels,
-		ChannelBytesPerNS: r.ChannelBytesPerNS,
-		Seed:              r.Seed,
-		SampleEveryNS:     r.SampleEveryNS,
-		RecordEpochStats:  r.RecordEpochStats,
-		Probes:            r.Probes,
-		Parallel:          r.Parallel,
-		Tracer:            r.Tracer,
-		Metrics:           r.Metrics,
-		Faults:            r.Faults,
-		Spans:             r.spans,
-		SpanRoot:          r.rootSpan,
-		PairStats:         r.Diag,
-	}
-}
-
-// fillFaultStats publishes the fault/recovery ledger into the uniform
-// Stats map when any fault activity occurred.
-func fillFaultStats(out *Outcome, fs fault.Stats, liveChips int) {
-	out.Stats["liveChips"] = float64(liveChips)
-	if !fs.Any() {
-		return
-	}
-	out.Stats["faultDrops"] = float64(fs.Drops)
-	out.Stats["faultCorruptions"] = float64(fs.Corruptions)
-	out.Stats["faultDelays"] = float64(fs.Delays)
-	out.Stats["faultStalls"] = float64(fs.Stalls)
-	out.Stats["faultChipLosses"] = float64(fs.ChipLosses)
-	out.Stats["recoveryRetransmits"] = float64(fs.Retransmits)
-	out.Stats["recoveryResyncs"] = float64(fs.Resyncs)
-	out.Stats["recoveryRepartitions"] = float64(fs.Repartitions)
-	out.Stats["recoveryRetransmitBytes"] = fs.RetransmitBytes
-	out.Stats["recoveryResyncBytes"] = fs.ResyncBytes
-	out.Stats["recoveryStallNS"] = fs.RecoveryStallNS
-}
-
-func fillMultichip(out *Outcome, spins []int8, energy, elapsed, stall float64,
-	flips, induced, changes int64, traffic float64) {
-	out.Spins = spins
-	out.Energy = energy
-	out.ModelNS = elapsed
-	out.Stats["stallNS"] = stall
-	out.Stats["flips"] = float64(flips)
-	out.Stats["inducedFlips"] = float64(induced)
-	out.Stats["bitChanges"] = float64(changes)
-	out.Stats["trafficBytes"] = traffic
 }

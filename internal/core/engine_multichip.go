@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mbrim/internal/checkpoint"
+	"mbrim/internal/fault"
+	"mbrim/internal/multichip"
+)
+
+// multichipEngine adapts the multiprocessor; one registration per
+// operating mode (concurrent, sequential zero-ignorance baseline,
+// batch). These are the only engines with full-state checkpoint
+// resume: cancellation returns an InterruptedError whose Checkpoint
+// bytes Request.Resume accepts for a bit-identical continuation.
+type multichipEngine struct {
+	kind Kind
+	desc string
+}
+
+func init() {
+	Register(multichipEngine{kind: MBRIMConcurrent,
+		desc: "multiprocessor, concurrent mode (chips anneal while gradients sync)"})
+	Register(multichipEngine{kind: MBRIMSequential,
+		desc: "multiprocessor, sequential zero-ignorance baseline"})
+	Register(multichipEngine{kind: MBRIMBatch,
+		desc: "multiprocessor, batch mode (Runs staggered jobs rotate across chips)"})
+}
+
+func (e multichipEngine) Kind() Kind { return e.kind }
+
+func (e multichipEngine) Capabilities() Capabilities {
+	return Capabilities{
+		Resume:      true,
+		Backend:     true,
+		Spans:       true,
+		Traced:      true,
+		ModelTime:   true,
+		Description: e.desc,
+	}
+}
+
+// Solve runs one of the multiprocessor modes with checkpoint resume
+// and capture. On cancellation the partial result is wrapped in an
+// InterruptedError whose Checkpoint bytes Request.Resume accepts; on
+// divergence the typed error propagates with no checkpoint.
+func (e multichipEngine) Solve(ctx context.Context, r *Request) (*Outcome, error) {
+	out := r.NewOutcome()
+	start := time.Now()
+	sys, err := multichip.NewSystem(r.Model, multichipConfig(*r))
+	if err != nil {
+		return nil, err
+	}
+	var resume *multichip.Checkpoint
+	if len(r.Resume) > 0 {
+		f, err := checkpoint.Decode(r.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Validate(string(r.Kind), r.Seed, r.Model); err != nil {
+			return nil, err
+		}
+		if f.Multichip == nil {
+			return nil, fmt.Errorf("core: checkpoint has no multichip payload")
+		}
+		resume = f.Multichip
+	}
+	encode := func(ck *multichip.Checkpoint) ([]byte, error) {
+		return checkpoint.Encode(&checkpoint.File{
+			Engine:    string(r.Kind),
+			Seed:      r.Seed,
+			N:         r.Model.N(),
+			ModelHash: checkpoint.HashModel(r.Model),
+			Multichip: ck,
+		})
+	}
+	if r.Kind == MBRIMBatch {
+		res, ck, rerr := sys.RunBatchCtx(ctx, r.Runs, r.DurationNS, resume)
+		if rerr != nil && !isCtxErr(rerr) {
+			return nil, rerr
+		}
+		best := res.Jobs[res.Best]
+		fillMultichip(out, best, res.BestEnergy, res.ElapsedNS, res.StallNS,
+			res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+		fillFaultStats(out, res.FaultStats, res.LiveChips)
+		out.Trace = res.Trace
+		out.EpochStats = res.EpochStats
+		if rerr != nil {
+			data, eerr := encode(ck)
+			if eerr != nil {
+				return nil, eerr
+			}
+			return r.Interrupted(out, start, rerr, data)
+		}
+		r.Finish(out, start)
+		return out, nil
+	}
+	run := sys.RunConcurrentCtx
+	if r.Kind == MBRIMSequential {
+		run = sys.RunSequentialCtx
+	}
+	res, ck, rerr := run(ctx, r.DurationNS, resume)
+	if rerr != nil && !isCtxErr(rerr) {
+		return nil, rerr
+	}
+	fillMultichip(out, res.Spins, res.Energy, res.ElapsedNS, res.StallNS,
+		res.Flips, res.InducedFlips, res.BitChanges, res.TrafficBytes)
+	fillFaultStats(out, res.FaultStats, res.LiveChips)
+	out.Trace = res.Trace
+	out.EpochStats = res.EpochStats
+	out.Surprises = res.Surprises
+	if rerr != nil {
+		data, eerr := encode(ck)
+		if eerr != nil {
+			return nil, eerr
+		}
+		return r.Interrupted(out, start, rerr, data)
+	}
+	r.Finish(out, start)
+	return out, nil
+}
+
+func multichipConfig(r Request) multichip.Config {
+	return multichip.Config{
+		Backend:           r.backend,
+		Chips:             r.Chips,
+		EpochNS:           r.EpochNS,
+		Coordinated:       r.Coordinated,
+		Channels:          r.Channels,
+		ChannelBytesPerNS: r.ChannelBytesPerNS,
+		Seed:              r.Seed,
+		SampleEveryNS:     r.SampleEveryNS,
+		RecordEpochStats:  r.RecordEpochStats,
+		Probes:            r.Probes,
+		Parallel:          r.Parallel,
+		Tracer:            r.Tracer,
+		Metrics:           r.Metrics,
+		Faults:            r.Faults,
+		Spans:             r.spans,
+		SpanRoot:          r.rootSpan,
+		PairStats:         r.Diag,
+	}
+}
+
+// fillFaultStats publishes the fault/recovery ledger into the uniform
+// Stats map when any fault activity occurred.
+func fillFaultStats(out *Outcome, fs fault.Stats, liveChips int) {
+	out.Stats["liveChips"] = float64(liveChips)
+	if !fs.Any() {
+		return
+	}
+	out.Stats["faultDrops"] = float64(fs.Drops)
+	out.Stats["faultCorruptions"] = float64(fs.Corruptions)
+	out.Stats["faultDelays"] = float64(fs.Delays)
+	out.Stats["faultStalls"] = float64(fs.Stalls)
+	out.Stats["faultChipLosses"] = float64(fs.ChipLosses)
+	out.Stats["recoveryRetransmits"] = float64(fs.Retransmits)
+	out.Stats["recoveryResyncs"] = float64(fs.Resyncs)
+	out.Stats["recoveryRepartitions"] = float64(fs.Repartitions)
+	out.Stats["recoveryRetransmitBytes"] = fs.RetransmitBytes
+	out.Stats["recoveryResyncBytes"] = fs.ResyncBytes
+	out.Stats["recoveryStallNS"] = fs.RecoveryStallNS
+}
+
+func fillMultichip(out *Outcome, spins []int8, energy, elapsed, stall float64,
+	flips, induced, changes int64, traffic float64) {
+	out.Spins = spins
+	out.Energy = energy
+	out.ModelNS = elapsed
+	out.Stats["stallNS"] = stall
+	out.Stats["flips"] = float64(flips)
+	out.Stats["inducedFlips"] = float64(induced)
+	out.Stats["bitChanges"] = float64(changes)
+	out.Stats["trafficBytes"] = traffic
+}

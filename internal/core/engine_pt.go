@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"mbrim/internal/pt"
+)
+
+// ptEngine adapts internal/pt: one replica-exchange ladder, Runs
+// interpreted as the replica count (minimum 2).
+type ptEngine struct{}
+
+func init() { Register(ptEngine{}) }
+
+func (ptEngine) Kind() Kind { return PT }
+
+func (ptEngine) Capabilities() Capabilities {
+	return Capabilities{
+		Description: "parallel tempering (replica exchange), Runs = replica count",
+	}
+}
+
+func (ptEngine) Solve(ctx context.Context, r *Request) (*Outcome, error) {
+	out := r.NewOutcome()
+	start := time.Now()
+	res, rerr := pt.SolveCtx(ctx, r.Model, pt.Config{Replicas: max(2, r.Runs), Sweeps: r.Sweeps, Seed: r.Seed})
+	out.Spins, out.Energy = res.Spins, res.Energy
+	out.Stats["swaps"] = float64(res.Swaps)
+	out.Stats["swapAttempts"] = float64(res.SwapAttempts)
+	if rerr != nil {
+		return r.Interrupted(out, start, rerr, nil)
+	}
+	r.Finish(out, start)
+	return out, nil
+}

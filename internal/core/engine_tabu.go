@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"mbrim/internal/tabu"
+)
+
+// tabuEngine adapts internal/tabu: Runs restarts at consecutive seeds,
+// MaxIters scaled as Sweeps × N, the warm start applying to the first
+// restart only (matching the pre-registry dispatch).
+type tabuEngine struct{}
+
+func init() { Register(tabuEngine{}) }
+
+func (tabuEngine) Kind() Kind { return Tabu }
+
+func (tabuEngine) Capabilities() Capabilities {
+	return Capabilities{
+		WarmStart:   true,
+		Description: "tabu search, best of Runs restarts (MaxIters = Sweeps × N)",
+	}
+}
+
+func (tabuEngine) Solve(ctx context.Context, r *Request) (*Outcome, error) {
+	if len(r.Resume) > 0 {
+		if err := r.applyWarmStart(); err != nil {
+			return nil, err
+		}
+	}
+	out := r.NewOutcome()
+	start := time.Now()
+	best, rerr := tabu.SolveCtx(ctx, r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed, Initial: r.Initial})
+	for i := 1; i < r.Runs && rerr == nil; i++ {
+		var res *tabu.Result
+		res, rerr = tabu.SolveCtx(ctx, r.Model, tabu.Config{MaxIters: r.Sweeps * r.Model.N(), Seed: r.Seed + uint64(i)})
+		if res.Energy < best.Energy {
+			best = res
+		}
+	}
+	out.Spins, out.Energy = best.Spins, best.Energy
+	if rerr != nil {
+		return r.Interrupted(out, start, rerr, nil)
+	}
+	r.Finish(out, start)
+	return out, nil
+}

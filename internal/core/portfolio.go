@@ -1,0 +1,109 @@
+package core
+
+// This file holds the portfolio engine's request/outcome types. The
+// engine itself lives in internal/portfolio (it composes SolveCtx over
+// other registered engines, so it cannot live in this package's
+// registry files); the types live here so Request and Outcome can
+// carry them without an import cycle.
+
+// PortfolioSpec parameterizes the portfolio engine: which entrants to
+// race, when the race ends, and the optional warm-start hand-off
+// stage.
+type PortfolioSpec struct {
+	// Entrants are the engine/config variants to race. Empty means the
+	// structure dispatcher picks them from the model's row statistics
+	// (density, degree dispersion).
+	Entrants []PortfolioEntrant `json:"entrants,omitempty"`
+	// TargetEnergy, if non-nil, ends the race the moment any entrant
+	// reaches an energy ≤ the target: the others are cancelled and the
+	// first to cross wins. Nil races to completion (best final energy
+	// wins).
+	TargetEnergy *float64 `json:"targetEnergy,omitempty"`
+	// BudgetMS, if > 0, bounds the race's wall time: at the budget
+	// every still-running entrant is cancelled and the best state seen
+	// anywhere wins.
+	BudgetMS float64 `json:"budgetMS,omitempty"`
+	// MaxEntrants caps how many entrants the structure dispatcher
+	// fields when Entrants is empty. Default 3.
+	MaxEntrants int `json:"maxEntrants,omitempty"`
+	// HandOff, if non-nil, runs a second stage after the race: the
+	// race's best spins are converted through the checkpoint layer into
+	// a warm-start envelope and this entrant (which must name an engine
+	// with the WarmStart capability) polishes from there.
+	HandOff *PortfolioEntrant `json:"handOff,omitempty"`
+}
+
+// PortfolioEntrant is one engine/config variant in the race. Zero
+// fields inherit the enclosing Request's values, so the common case —
+// "race sa against tabu against brim on the same budget" — is just a
+// list of kinds.
+type PortfolioEntrant struct {
+	// Kind names the engine (any registry name except "portfolio";
+	// nesting is rejected).
+	Kind string `json:"kind"`
+	// SeedOffset decorrelates entrants that share an engine kind: the
+	// entrant solves with Request.Seed + SeedOffset.
+	SeedOffset uint64 `json:"seedOffset,omitempty"`
+	// Runs/Sweeps/Steps/DurationNS/Chips override the enclosing
+	// request's knobs for this entrant when non-zero.
+	Runs       int     `json:"runs,omitempty"`
+	Sweeps     int     `json:"sweeps,omitempty"`
+	Steps      int     `json:"steps,omitempty"`
+	DurationNS float64 `json:"durationNS,omitempty"`
+	Chips      int     `json:"chips,omitempty"`
+}
+
+// PortfolioReport is the race ledger the portfolio engine attaches to
+// its Outcome: every entrant's result, the win attribution, and the
+// dispatcher's reasoning when it picked the field.
+type PortfolioReport struct {
+	// Winner indexes Entrants; WinnerKind repeats its engine name for
+	// one-glance reading.
+	Winner     int    `json:"winner"`
+	WinnerKind string `json:"winnerKind"`
+	// HitTarget reports that the race ended by first-to-target (vs
+	// running to completion or budget).
+	HitTarget bool `json:"hitTarget"`
+	// Dispatched reports that the structure dispatcher (not the caller)
+	// picked the entrants; Structure carries the row statistics it read.
+	Dispatched bool            `json:"dispatched,omitempty"`
+	Structure  *StructureStats `json:"structure,omitempty"`
+	// Entrants holds one report per raced entrant, in entrant order.
+	Entrants []EntrantReport `json:"entrants"`
+	// HandOff reports the second-stage polish when one was configured.
+	HandOff *EntrantReport `json:"handOff,omitempty"`
+}
+
+// EntrantReport is one entrant's line in the race ledger.
+type EntrantReport struct {
+	Index int    `json:"index"`
+	Kind  string `json:"kind"`
+	// Energy/Cut/ModelNS are the entrant's best state (for losers, the
+	// best-so-far its InterruptedError carried).
+	Energy  float64 `json:"energy"`
+	Cut     float64 `json:"cut,omitempty"`
+	ModelNS float64 `json:"modelNS,omitempty"`
+	// WallNS is the entrant's own wall time (entrants overlap, so these
+	// do not sum to the race's wall time).
+	WallNS int64 `json:"wallNS"`
+	// Interrupted reports the entrant was cancelled (lost the race or
+	// hit the budget); Err carries any non-interrupt failure verbatim.
+	Interrupted bool   `json:"interrupted,omitempty"`
+	Err         string `json:"err,omitempty"`
+	// HitTarget reports this entrant crossed the target energy.
+	HitTarget bool `json:"hitTarget,omitempty"`
+}
+
+// StructureStats are the lattice row statistics the dispatcher reads:
+// problem size, coupling density and the degree distribution's shape.
+type StructureStats struct {
+	N          int     `json:"n"`
+	NNZ        int     `json:"nnz"`
+	Density    float64 `json:"density"`
+	MeanDegree float64 `json:"meanDegree"`
+	MaxDegree  int     `json:"maxDegree"`
+	// DegreeCV is the coefficient of variation of row degrees — near 0
+	// for regular structures (K-graphs, grids), large for hub-and-spoke
+	// embeddings.
+	DegreeCV float64 `json:"degreeCV"`
+}

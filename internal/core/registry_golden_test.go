@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"mbrim/internal/graph"
+	"mbrim/internal/rng"
+)
+
+// -update regenerates the registry dispatch golden. It was first
+// generated against the pre-registry switch dispatch, so a passing run
+// of TestRegistryDispatchNeutral proves registry dispatch is
+// bit-identical to the old hard-coded switch for every engine × seed ×
+// model shape.
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens")
+
+const goldenPath = "testdata/registry_golden.json"
+
+// goldenOutcome is the deterministic projection of one solve: energy
+// and model time as IEEE-754 bits (exact, not printed floats), an
+// FNV-1a hash of the spin vector, and every deterministic stat. Wall
+// time and wall-derived stats (softwareNS) are excluded — they are the
+// only nondeterminism the Outcome contract permits.
+type goldenOutcome struct {
+	Engine     string            `json:"engine"`
+	Seed       uint64            `json:"seed"`
+	Model      string            `json:"model"`
+	Backend    string            `json:"backend"`
+	EnergyBits uint64            `json:"energyBits"`
+	CutBits    uint64            `json:"cutBits"`
+	ModelNS    uint64            `json:"modelNSBits"`
+	SpinsHash  uint64            `json:"spinsHash"`
+	Stats      map[string]uint64 `json:"stats"`
+}
+
+// goldenModels are the two problem shapes the golden sweeps: the
+// paper's dense K-graph family and a sparse instance that Auto
+// resolves to the CSR backend.
+func goldenModels() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"k36":        graph.Complete(36, rng.New(7)),
+		"sparse-100": graph.Random(100, 0.04, rng.New(7)),
+	}
+}
+
+// goldenRequest builds the fixed solve configuration the golden uses
+// for every engine: small enough to keep the sweep fast, large enough
+// that every engine does real work.
+func goldenRequest(kind Kind, g *graph.Graph, seed uint64) Request {
+	return Request{
+		Kind:            kind,
+		Model:           g.ToIsing(),
+		Graph:           g,
+		Seed:            seed,
+		Runs:            2,
+		Sweeps:          25,
+		Steps:           80,
+		DurationNS:      30,
+		Chips:           3,
+		MachineCapacity: 24,
+	}
+}
+
+func hashSpins(spins []int8) uint64 {
+	h := fnv.New64a()
+	for _, s := range spins {
+		h.Write([]byte{byte(s)})
+	}
+	return h.Sum64()
+}
+
+func projectOutcome(kind Kind, seed uint64, model string, out *Outcome) goldenOutcome {
+	stats := map[string]uint64{}
+	for k, v := range out.Stats {
+		if k == "softwareNS" { // wall-derived; everything else is model-exact
+			continue
+		}
+		stats[k] = math.Float64bits(v)
+	}
+	return goldenOutcome{
+		Engine:     string(kind),
+		Seed:       seed,
+		Model:      model,
+		Backend:    out.Backend,
+		EnergyBits: math.Float64bits(out.Energy),
+		CutBits:    math.Float64bits(out.Cut),
+		ModelNS:    math.Float64bits(out.ModelNS),
+		SpinsHash:  hashSpins(out.Spins),
+		Stats:      stats,
+	}
+}
+
+// goldenEngines returns the engines the golden pins: every registered
+// engine except the portfolio meta-engine (not linked into this
+// package's test binary; its raced entrants are pinned individually).
+func goldenEngines() []string {
+	var ks []string
+	for _, k := range Kinds() {
+		if k == "portfolio" {
+			continue
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func runGoldenSweep(t *testing.T) []goldenOutcome {
+	t.Helper()
+	var got []goldenOutcome
+	models := goldenModels()
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := models[name]
+		for _, engine := range goldenEngines() {
+			kind, err := ParseKind(engine)
+			if err != nil {
+				t.Fatalf("ParseKind(%q): %v", engine, err)
+			}
+			for seed := uint64(1); seed <= 3; seed++ {
+				req := goldenRequest(kind, g, seed)
+				out, err := Solve(req)
+				if err != nil {
+					t.Fatalf("%s/%s/seed=%d: %v", engine, name, seed, err)
+				}
+				got = append(got, projectOutcome(kind, seed, name, out))
+			}
+		}
+	}
+	return got
+}
+
+// TestRegistryDispatchNeutral pins registry dispatch bit-identical to
+// the pre-refactor switch dispatch: the golden file was generated
+// before the engine registry replaced the `switch r.Kind` in SolveCtx,
+// so any drift in energy bits, spin vectors, model time or the stats
+// ledger is a real trajectory change, not noise.
+func TestRegistryDispatchNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep runs every engine × 3 seeds × 2 models")
+	}
+	got := runGoldenSweep(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %d outcomes", len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to generate): %v", err)
+	}
+	var want []goldenOutcome
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	index := map[string]goldenOutcome{}
+	for _, w := range want {
+		index[fmt.Sprintf("%s/%s/%d", w.Engine, w.Model, w.Seed)] = w
+	}
+	if len(got) != len(want) {
+		t.Errorf("outcome count drifted: golden %d, now %d", len(want), len(got))
+	}
+	for _, g := range got {
+		key := fmt.Sprintf("%s/%s/%d", g.Engine, g.Model, g.Seed)
+		w, ok := index[key]
+		if !ok {
+			t.Errorf("%s: no golden entry (run -update after intentionally adding engines)", key)
+			continue
+		}
+		if g.EnergyBits != w.EnergyBits {
+			t.Errorf("%s: energy bits %#x, golden %#x (%v vs %v)", key,
+				g.EnergyBits, w.EnergyBits,
+				math.Float64frombits(g.EnergyBits), math.Float64frombits(w.EnergyBits))
+		}
+		if g.CutBits != w.CutBits {
+			t.Errorf("%s: cut bits drifted", key)
+		}
+		if g.ModelNS != w.ModelNS {
+			t.Errorf("%s: model time bits drifted", key)
+		}
+		if g.SpinsHash != w.SpinsHash {
+			t.Errorf("%s: spin vector drifted", key)
+		}
+		if g.Backend != w.Backend {
+			t.Errorf("%s: backend %q, golden %q", key, g.Backend, w.Backend)
+		}
+		if len(g.Stats) != len(w.Stats) {
+			t.Errorf("%s: stats keys drifted: %d vs golden %d", key, len(g.Stats), len(w.Stats))
+		}
+		for k, v := range w.Stats {
+			if g.Stats[k] != v {
+				t.Errorf("%s: stat %q drifted: %#x vs golden %#x", key, k, g.Stats[k], v)
+			}
+		}
+	}
+}

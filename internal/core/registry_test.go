@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// fakeEngine is a registrable stub for registry-surface tests.
+type fakeEngine struct{ kind Kind }
+
+func (f fakeEngine) Kind() Kind                 { return f.kind }
+func (f fakeEngine) Capabilities() Capabilities { return Capabilities{} }
+func (f fakeEngine) Solve(context.Context, *Request) (*Outcome, error) {
+	return nil, nil
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		if !strings.Contains(r.(string), "duplicate engine") {
+			t.Fatalf("panic message %q", r)
+		}
+	}()
+	Register(fakeEngine{kind: SA}) // sa registered by engine_sa.go's init
+}
+
+func TestRegisterNilAndEmptyPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil":   func() { Register(nil) },
+		"empty": func() { Register(fakeEngine{kind: "  "}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%s engine) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestKindsRoundTrip pins that every registered kind parses back to
+// itself and resolves to a live engine.
+func TestKindsRoundTrip(t *testing.T) {
+	ks := Kinds()
+	if len(ks) < 11 {
+		t.Fatalf("registry holds only %d engines: %v", len(ks), ks)
+	}
+	for _, s := range ks {
+		k, err := ParseKind(s)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", s, err)
+		}
+		if string(k) != s {
+			t.Fatalf("ParseKind(%q) = %q", s, k)
+		}
+		if _, ok := lookupEngine(k); !ok {
+			t.Fatalf("kind %q listed but not resolvable", s)
+		}
+		if _, ok := EngineCaps(k); !ok {
+			t.Fatalf("EngineCaps(%q) missing", s)
+		}
+	}
+}
+
+func TestEnginesSortedAndComplete(t *testing.T) {
+	infos := Engines()
+	ks := Kinds()
+	if len(infos) != len(ks) {
+		t.Fatalf("Engines() has %d entries, Kinds() %d", len(infos), len(ks))
+	}
+	for i, inf := range infos {
+		if string(inf.Kind) != ks[i] {
+			t.Fatalf("Engines()[%d] = %q, want %q (sorted)", i, inf.Kind, ks[i])
+		}
+	}
+	// The capability flags must reflect the adapters: only the
+	// multichip modes resume, and the warm-start set is exactly the
+	// hand-off-capable engines.
+	caps, _ := EngineCaps(MBRIMConcurrent)
+	if !caps.Resume {
+		t.Fatal("mbrim must declare Resume")
+	}
+	for _, k := range []Kind{SA, Tabu, BRIM} {
+		caps, _ := EngineCaps(k)
+		if !caps.WarmStart {
+			t.Fatalf("%s must declare WarmStart", k)
+		}
+	}
+	caps, _ = EngineCaps(PT)
+	if caps.Resume || caps.WarmStart {
+		t.Fatal("pt must declare neither Resume nor WarmStart")
+	}
+}
+
+func TestUnknownEngineError(t *testing.T) {
+	_, err := ParseKind("no-such-engine")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("error %q", err)
+	}
+	// SolveCtx must reject unknown kinds with the same error shape
+	// (after model validation, which takes priority).
+	_, r := testProblem(8, 1)
+	r.Kind = "no-such-engine"
+	if _, serr := Solve(*r); serr == nil || !strings.Contains(serr.Error(), "unknown solver") {
+		t.Fatalf("SolveCtx unknown-kind error: %v", serr)
+	}
+}
+
+// TestParseKindDidYouMean pins the near-miss suggestions: close typos
+// get a hint, distant garbage does not.
+func TestParseKindDidYouMean(t *testing.T) {
+	cases := []struct {
+		in   string
+		hint string // "" = no suggestion expected
+	}{
+		{"mbirm", "mbrim"},          // adjacent transposition
+		{"taboo", "tabu"},           // one substitution + one insertion
+		{"dsmb", "dsbm"},            // transposition
+		{"qbslov", "qbsolv"},        // transposition
+		{"as", "sa"},                // short name, one transposition
+		{"portfolios", "portfolio"}, // trailing insertion (only when portfolio is linked)
+		{"zzzzzz", ""},              // hopeless
+		{"xy", ""},                  // short and not close
+	}
+	for _, c := range cases {
+		if c.in == "portfolios" {
+			// portfolio only exists when internal/portfolio is linked;
+			// core's own test binary deliberately does not link it.
+			if _, ok := lookupEngine(Portfolio); !ok {
+				continue
+			}
+		}
+		_, err := ParseKind(c.in)
+		if err == nil {
+			t.Fatalf("ParseKind(%q) unexpectedly succeeded", c.in)
+		}
+		msg := err.Error()
+		if c.hint == "" {
+			if strings.Contains(msg, "did you mean") {
+				t.Fatalf("ParseKind(%q) suggested a hint: %q", c.in, msg)
+			}
+			continue
+		}
+		want := `did you mean "` + c.hint + `"`
+		if !strings.Contains(msg, want) {
+			t.Fatalf("ParseKind(%q) = %q, want %s", c.in, msg, want)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"ab", "ba", 1}, // transposition counts once
+		{"mbirm", "mbrim", 1},
+		{"sa", "dsbm", 3},
+		{"tabu", "taboo", 2},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.d {
+			t.Fatalf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.d)
+		}
+		if got := editDistance(c.b, c.a); got != c.d {
+			t.Fatalf("editDistance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.d)
+		}
+	}
+}
+
+// TestResumeRejectedWithoutCapability pins the capability-derived
+// validation: a resume envelope on an engine with neither Resume nor
+// WarmStart fails validation before dispatch.
+func TestResumeRejectedWithoutCapability(t *testing.T) {
+	_, r := testProblem(8, 1)
+	r.Kind = PT // neither Resume nor WarmStart
+	r.Resume = []byte("whatever")
+	if _, err := Solve(*r); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("pt resume error: %v", err)
+	}
+}

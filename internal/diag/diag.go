@@ -23,6 +23,7 @@ package diag
 
 import (
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -121,6 +122,26 @@ type Reducer struct {
 	syncBitChanges  int64
 	fabricEpochs    int
 	queueWaitNS     int64
+
+	entrants       map[int]*entrantAcc
+	raceWinner     int
+	raceWinnerKind string
+	raceHitTarget  bool
+}
+
+// entrantAcc accumulates one portfolio entrant's view: identity from
+// the race events (EntrantStart/EntrantEnd), energy envelope from the
+// entrant's origin-stamped inner stream.
+type entrantAcc struct {
+	kind      string
+	seed      uint64
+	phase     string
+	events    int
+	hasEnergy bool
+	best      float64
+	last      float64
+	won       bool
+	wallNS    int64
 }
 
 // New returns a Reducer with the given configuration.
@@ -140,6 +161,21 @@ func New(cfg Config) *Reducer {
 func (r *Reducer) Emit(e obs.Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// A portfolio race's inner streams arrive origin-stamped ("e0",
+	// "e1", …). They fold into the per-entrant view, not the top-level
+	// one — entrant engines run on their own model clocks, so merging
+	// their trajectories would corrupt the plateau and TTS analytics.
+	// (Worker origins from distributed runs — "w0", "co" — pass through
+	// untouched; only e<digits> is an entrant.)
+	if idx, ok := entrantOrigin(e.Origin); ok {
+		r.observeEntrantStream(idx, e)
+		return
+	}
+	switch e.Kind {
+	case obs.EntrantStart, obs.EntrantEnd, obs.PortfolioWin:
+		r.observeRace(e)
+		return
+	}
 	if e.Epoch > r.epoch {
 		r.epoch = e.Epoch
 	}
@@ -173,6 +209,88 @@ func (r *Reducer) Emit(e obs.Event) {
 		if e.Label == "queue_wait" && e.WallDurNS > r.queueWaitNS {
 			r.queueWaitNS = e.WallDurNS
 		}
+	}
+}
+
+// entrantOrigin parses a portfolio entrant origin ("e0", "e1", …);
+// every other origin (distributed workers, coordinator) is not one.
+func entrantOrigin(origin string) (int, bool) {
+	if len(origin) < 2 || origin[0] != 'e' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(origin[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// entrantAccFor lazily allocates one entrant's accumulator. Caller
+// holds r.mu.
+func (r *Reducer) entrantAccFor(idx int) *entrantAcc {
+	if r.entrants == nil {
+		r.entrants = map[int]*entrantAcc{}
+		r.raceWinner = -1
+	}
+	acc := r.entrants[idx]
+	if acc == nil {
+		acc = &entrantAcc{phase: "racing"}
+		r.entrants[idx] = acc
+	}
+	return acc
+}
+
+// observeEntrantStream folds one origin-stamped event from an entrant's
+// inner solve into that entrant's envelope. Caller holds r.mu.
+func (r *Reducer) observeEntrantStream(idx int, e obs.Event) {
+	acc := r.entrantAccFor(idx)
+	acc.events++
+	switch e.Kind {
+	case obs.RunStart:
+		if acc.kind == "" {
+			acc.kind = e.Label
+		}
+		if acc.seed == 0 {
+			acc.seed = e.Seed
+		}
+	case obs.EnergySample, obs.RunEnd:
+		acc.last = e.Value
+		if !acc.hasEnergy || e.Value < acc.best {
+			acc.best = e.Value
+		}
+		acc.hasEnergy = true
+	}
+}
+
+// observeRace folds the portfolio engine's own race events (emitted
+// unstamped on the top-level stream). Caller holds r.mu.
+func (r *Reducer) observeRace(e obs.Event) {
+	acc := r.entrantAccFor(e.Chip)
+	switch e.Kind {
+	case obs.EntrantStart:
+		acc.kind = e.Label
+		acc.seed = e.Seed
+		acc.phase = "racing"
+	case obs.EntrantEnd:
+		if acc.kind == "" {
+			acc.kind = e.Label
+		}
+		acc.wallNS = e.WallDurNS
+		if e.Count > 0 {
+			acc.phase = "cancelled"
+		} else {
+			acc.phase = "done"
+		}
+		acc.last = e.Value
+		if !acc.hasEnergy || e.Value < acc.best {
+			acc.best = e.Value
+		}
+		acc.hasEnergy = true
+	case obs.PortfolioWin:
+		acc.won = true
+		r.raceWinner = e.Chip
+		r.raceWinnerKind = e.Label
+		r.raceHitTarget = e.Count > 0
 	}
 }
 
@@ -329,7 +447,36 @@ func (r *Reducer) Snapshot() Snapshot {
 	}
 	s.TTS = r.ttsLocked()
 	s.QueueWaitNS = r.queueWaitNS
+	s.Portfolio = r.portfolioSnapshotLocked()
 	return s
+}
+
+// portfolioSnapshotLocked materializes the race view, nil unless any
+// entrant event has been seen. Caller holds r.mu.
+func (r *Reducer) portfolioSnapshotLocked() *PortfolioDiag {
+	if r.entrants == nil {
+		return nil
+	}
+	pd := &PortfolioDiag{
+		Winner:     r.raceWinner,
+		WinnerKind: r.raceWinnerKind,
+		HitTarget:  r.raceHitTarget,
+	}
+	idxs := make([]int, 0, len(r.entrants))
+	for i := range r.entrants {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		acc := r.entrants[i]
+		pd.Entrants = append(pd.Entrants, EntrantDiag{
+			Index: i, Kind: acc.kind, Seed: acc.seed, Phase: acc.phase,
+			Events: acc.events, HasEnergy: acc.hasEnergy,
+			BestEnergy: acc.best, LastEnergy: acc.last,
+			Won: acc.won, WallNS: acc.wallNS,
+		})
+	}
+	return pd
 }
 
 func (r *Reducer) pairSnapshotsLocked() []PairDiag {
@@ -495,6 +642,39 @@ type Snapshot struct {
 	// QueueWaitNS is wall time the run spent in the admission queue
 	// before a worker slot freed up; zero for runs dispatched immediately.
 	QueueWaitNS int64 `json:"queueWaitNS,omitempty"`
+	// Portfolio is the race view of a portfolio run — one entry per
+	// entrant, the winner once the race settles. Nil for every other
+	// engine.
+	Portfolio *PortfolioDiag `json:"portfolio,omitempty"`
+}
+
+// PortfolioDiag is a portfolio run's race as the event stream reports
+// it live: identity and phase from the EntrantStart/EntrantEnd events,
+// energy envelopes from the entrants' origin-stamped inner streams,
+// the winner from PortfolioWin.
+type PortfolioDiag struct {
+	Entrants []EntrantDiag `json:"entrants"`
+	// Winner is the winning entrant index, -1 while the race is live.
+	Winner     int    `json:"winner"`
+	WinnerKind string `json:"winnerKind,omitempty"`
+	// HitTarget reports the race ended first-to-target (vs best-at-end).
+	HitTarget bool `json:"hitTarget,omitempty"`
+}
+
+// EntrantDiag is one entrant's live view.
+type EntrantDiag struct {
+	Index int    `json:"index"`
+	Kind  string `json:"kind,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Phase is "racing" until the entrant's EntrantEnd lands, then
+	// "done" (ran to completion) or "cancelled" (lost the race).
+	Phase      string  `json:"phase"`
+	Events     int     `json:"events"`
+	HasEnergy  bool    `json:"hasEnergy"`
+	BestEnergy float64 `json:"bestEnergy,omitempty"`
+	LastEnergy float64 `json:"lastEnergy,omitempty"`
+	Won        bool    `json:"won,omitempty"`
+	WallNS     int64   `json:"wallNS,omitempty"`
 }
 
 // PairDiag is one directed chip pair's disagreement summary.

@@ -78,6 +78,9 @@ const (
 	SpanStart      Kind = "span_start"
 	SpanEnd        Kind = "span_end"
 	PairStat       Kind = "pair_stat"
+	EntrantStart   Kind = "entrant_start"
+	EntrantEnd     Kind = "entrant_end"
+	PortfolioWin   Kind = "portfolio_win"
 )
 
 // Event is one trace record. It is a flat value type so emission never
@@ -120,6 +123,16 @@ const (
 //	PairStat:       Epoch, Chip (observer), Peer (owner chip + 1),
 //	                Count (stale shadow spins), Value (disagreement
 //	                fraction over the owner's slice), ModelNS
+//	EntrantStart:   a portfolio race entrant launches — Label (entrant
+//	                engine kind), Chip (entrant index), Seed (entrant's
+//	                effective seed)
+//	EntrantEnd:     an entrant finishes or is cancelled — Label (kind),
+//	                Chip (index), Value (best energy), Count (1 when
+//	                the entrant was interrupted, 0 when it completed),
+//	                WallDurNS (entrant wall time)
+//	PortfolioWin:   the race's win attribution — Label (winning engine
+//	                kind), Chip (winner index), Value (winning energy),
+//	                Count (1 when the race ended first-to-target)
 //
 // Peer is always a 1-based chip identity (chip index + 1), so that
 // chip 0 survives the omitempty JSON encoding; 0 means "no peer".

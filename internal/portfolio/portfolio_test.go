@@ -1,0 +1,397 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mbrim/internal/core"
+	"mbrim/internal/graph"
+	"mbrim/internal/obs"
+	"mbrim/internal/rng"
+)
+
+func testProblem(n int, seed uint64) (*graph.Graph, core.Request) {
+	g := graph.Complete(n, rng.New(seed))
+	return g, core.Request{Kind: core.Portfolio, Model: g.ToIsing(), Graph: g, Seed: seed}
+}
+
+// collector gathers the emitted event stream for assertions.
+type collector struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *collector) Emit(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() []obs.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.events...)
+}
+
+// TestRaceFirstToTarget pins the core HETRI mechanic: a fast entrant
+// reaches the target and the slow loser is cancelled mid-run,
+// reporting Interrupted.
+func TestRaceFirstToTarget(t *testing.T) {
+	// Reference solve fixes the target the fast entrant will hit.
+	g, _ := testProblem(36, 1)
+	ref, err := core.SolveCtx(context.Background(), core.Request{
+		Kind: core.SA, Model: g.ToIsing(), Graph: g, Seed: 1, Sweeps: 5, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ref.Energy
+
+	_, req := testProblem(36, 1)
+	tr := &collector{}
+	req.Tracer = tr
+	req.Portfolio = core.PortfolioSpec{
+		TargetEnergy: &target,
+		Entrants: []core.PortfolioEntrant{
+			{Kind: "sa", Sweeps: 5, Runs: 1},
+			// pt emits no mid-run samples and cannot finish this much
+			// work before the winner crosses: it must lose by cancel.
+			{Kind: "pt", Sweeps: 2_000_000},
+		},
+	}
+	out, err := core.SolveCtx(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Portfolio
+	if p == nil {
+		t.Fatal("no portfolio report")
+	}
+	if p.Winner != 0 || p.WinnerKind != "sa" {
+		t.Fatalf("winner = %d (%s), want 0 (sa)", p.Winner, p.WinnerKind)
+	}
+	if !p.HitTarget {
+		t.Fatal("race must report first-to-target")
+	}
+	if out.Energy > target {
+		t.Fatalf("outcome energy %v above the target %v", out.Energy, target)
+	}
+	if len(p.Entrants) != 2 {
+		t.Fatalf("%d entrant reports", len(p.Entrants))
+	}
+	// Crossing the target cancels the whole race — the winner included,
+	// if it was still mid-run. The loser must always be cancelled.
+	if !p.Entrants[1].Interrupted {
+		t.Fatal("loser must be cancelled and report interrupted")
+	}
+	if !p.Entrants[0].HitTarget {
+		t.Fatal("winner's report must mark the target hit")
+	}
+	if out.Stats["entrants"] != 2 || out.Stats["winner"] != 0 {
+		t.Fatalf("ledger stats: %v", out.Stats)
+	}
+	if len(out.Spins) != 36 {
+		t.Fatalf("spins length %d", len(out.Spins))
+	}
+
+	// Event attribution: entrant lifecycle on the top-level stream, a
+	// win event naming the winner, inner streams origin-stamped.
+	events := tr.snapshot()
+	var starts, ends, wins int
+	origins := map[string]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EntrantStart:
+			starts++
+		case obs.EntrantEnd:
+			ends++
+		case obs.PortfolioWin:
+			wins++
+			if e.Label != "sa" || e.Chip != 0 || e.Count != 1 {
+				t.Fatalf("win event: %+v", e)
+			}
+		}
+		if e.Origin != "" {
+			origins[e.Origin] = true
+		}
+	}
+	if starts != 2 || ends != 2 || wins != 1 {
+		t.Fatalf("starts=%d ends=%d wins=%d", starts, ends, wins)
+	}
+	if !origins["e0"] {
+		t.Fatalf("winner's inner stream not origin-stamped: %v", origins)
+	}
+}
+
+// TestRaceBudgetExpiry: with no target and a budget, the race ends at
+// the deadline, every entrant reports interrupted, and the best
+// best-so-far state wins — a normal finish, not an error.
+func TestRaceBudgetExpiry(t *testing.T) {
+	_, req := testProblem(48, 3)
+	req.Portfolio = core.PortfolioSpec{
+		BudgetMS: 50,
+		Entrants: []core.PortfolioEntrant{
+			{Kind: "sa", Sweeps: 5_000_000},
+			{Kind: "sa", Sweeps: 5_000_000, SeedOffset: 1},
+		},
+	}
+	start := time.Now()
+	out, err := core.SolveCtx(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("budget did not bound the race: %v", wall)
+	}
+	p := out.Portfolio
+	if p.HitTarget {
+		t.Fatal("no target was set")
+	}
+	for i, e := range p.Entrants {
+		if !e.Interrupted {
+			t.Fatalf("entrant %d not interrupted at budget expiry", i)
+		}
+	}
+	best := p.Entrants[0].Energy
+	if p.Entrants[1].Energy < best {
+		best = p.Entrants[1].Energy
+	}
+	if out.Energy != best {
+		t.Fatalf("winner energy %v, want the field's best %v", out.Energy, best)
+	}
+}
+
+// TestRaceToCompletion: no target, no budget — everyone finishes and
+// the lowest final energy wins deterministically.
+func TestRaceToCompletion(t *testing.T) {
+	_, req := testProblem(24, 2)
+	req.Portfolio = core.PortfolioSpec{
+		Entrants: []core.PortfolioEntrant{
+			{Kind: "sa", Sweeps: 20, Runs: 1},
+			{Kind: "tabu", Sweeps: 20},
+		},
+	}
+	out, err := core.SolveCtx(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Portfolio
+	for i, e := range p.Entrants {
+		if e.Interrupted {
+			t.Fatalf("entrant %d interrupted in an unbounded race", i)
+		}
+	}
+	want := p.Entrants[0].Energy
+	wantIdx := 0
+	if p.Entrants[1].Energy < want {
+		want, wantIdx = p.Entrants[1].Energy, 1
+	}
+	if p.Winner != wantIdx || out.Energy != want {
+		t.Fatalf("winner %d energy %v, want %d at %v", p.Winner, out.Energy, wantIdx, want)
+	}
+}
+
+// TestParentCancellation: cancelling the caller's context interrupts
+// the whole portfolio per the SolveCtx contract.
+func TestParentCancellation(t *testing.T) {
+	_, req := testProblem(48, 5)
+	req.Portfolio = core.PortfolioSpec{
+		Entrants: []core.PortfolioEntrant{
+			{Kind: "sa", Sweeps: 5_000_000},
+			{Kind: "tabu", Sweeps: 5_000_000},
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := core.SolveCtx(ctx, req)
+	var ie *core.InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InterruptedError, got %v", err)
+	}
+	if ie.Outcome == nil || ie.Outcome.Spins == nil {
+		t.Fatal("interrupt must carry the best-so-far state")
+	}
+	if ie.Outcome.Portfolio == nil {
+		t.Fatal("interrupt must carry the race report")
+	}
+}
+
+// TestHandOff: the race's best state flows into the second stage as a
+// warm start; the adopted result never regresses.
+func TestHandOff(t *testing.T) {
+	_, req := testProblem(32, 4)
+	tr := &collector{}
+	req.Tracer = tr
+	req.Portfolio = core.PortfolioSpec{
+		Entrants: []core.PortfolioEntrant{
+			{Kind: "sa", Sweeps: 10, Runs: 1},
+			{Kind: "tabu", Sweeps: 10},
+		},
+		HandOff: &core.PortfolioEntrant{Kind: "sa", Sweeps: 50, Runs: 1},
+	}
+	out, err := core.SolveCtx(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Portfolio
+	if p.HandOff == nil {
+		t.Fatal("no hand-off report")
+	}
+	raceBest := p.Entrants[p.Winner].Energy
+	if out.Energy > raceBest {
+		t.Fatalf("hand-off regressed the outcome: %v > %v", out.Energy, raceBest)
+	}
+	if p.HandOff.Kind != "sa" || p.HandOff.Index != len(p.Entrants) {
+		t.Fatalf("hand-off report: %+v", p.HandOff)
+	}
+	// The hand-off stage gets the next entrant origin.
+	sawHandOffStart := false
+	for _, e := range tr.snapshot() {
+		if e.Kind == obs.EntrantStart && e.Chip == len(p.Entrants) {
+			sawHandOffStart = true
+		}
+	}
+	if !sawHandOffStart {
+		t.Fatal("hand-off stage emitted no EntrantStart")
+	}
+}
+
+// TestAutoDispatch: with no entrants named, the structure dispatcher
+// fields the race and the report says so.
+func TestAutoDispatch(t *testing.T) {
+	_, req := testProblem(24, 6)
+	req.Portfolio = core.PortfolioSpec{MaxEntrants: 2}
+	req.Sweeps = 10
+	req.Steps = 50
+	req.DurationNS = 20
+	out, err := core.SolveCtx(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Portfolio
+	if !p.Dispatched || p.Structure == nil {
+		t.Fatal("auto-dispatch not reported")
+	}
+	if len(p.Entrants) != 2 {
+		t.Fatalf("MaxEntrants not honored: %d entrants", len(p.Entrants))
+	}
+	if p.Structure.Density < denseThreshold {
+		t.Fatalf("K-graph analyzed as sparse: %+v", p.Structure)
+	}
+}
+
+func TestDispatchRules(t *testing.T) {
+	// Dense: the K-graph regime.
+	g := graph.Complete(32, rng.New(1))
+	ents := Dispatch(Analyze(g.ToIsing()), 0)
+	if len(ents) != DefaultDispatchEntrants || ents[0].Kind != string(core.DSBM) {
+		t.Fatalf("dense field: %+v", ents)
+	}
+
+	// Sparse regular: a ring. Degree CV is 0.
+	ring := graph.New(100)
+	for i := 0; i < 100; i++ {
+		ring.AddEdge(i, (i+1)%100, 1)
+	}
+	stats := Analyze(ring.ToIsing())
+	if stats.Density >= denseThreshold || stats.DegreeCV >= irregularCV {
+		t.Fatalf("ring stats: %+v", stats)
+	}
+	ents = Dispatch(stats, 0)
+	if ents[0].Kind != string(core.BRIM) {
+		t.Fatalf("sparse-regular field: %+v", ents)
+	}
+
+	// Sparse irregular: a star — one hub, heavy-tailed degrees.
+	star := graph.New(100)
+	for i := 1; i < 100; i++ {
+		star.AddEdge(0, i, 1)
+	}
+	stats = Analyze(star.ToIsing())
+	if stats.DegreeCV < irregularCV {
+		t.Fatalf("star not irregular: %+v", stats)
+	}
+	ents = Dispatch(stats, 0)
+	if ents[0].Kind != string(core.Tabu) {
+		t.Fatalf("sparse-irregular field: %+v", ents)
+	}
+
+	// The cap binds.
+	if got := Dispatch(Analyze(g.ToIsing()), 1); len(got) != 1 {
+		t.Fatalf("cap ignored: %+v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	_, req := testProblem(16, 1)
+
+	cases := []struct {
+		name string
+		spec core.PortfolioSpec
+		want string
+	}{
+		{"unknown kind", core.PortfolioSpec{Entrants: []core.PortfolioEntrant{{Kind: "taboo"}}},
+			"did you mean"},
+		{"nested portfolio", core.PortfolioSpec{Entrants: []core.PortfolioEntrant{{Kind: "portfolio"}}},
+			"do not nest"},
+		{"over cap", core.PortfolioSpec{Entrants: make([]core.PortfolioEntrant, MaxEntrants+1)},
+			"exceeds the cap"},
+		{"hand-off no warm start", core.PortfolioSpec{
+			Entrants: []core.PortfolioEntrant{{Kind: "sa"}},
+			HandOff:  &core.PortfolioEntrant{Kind: "pt"}},
+			"warm start"},
+	}
+	for _, c := range cases {
+		spec := c.spec
+		for i := range spec.Entrants {
+			if spec.Entrants[i].Kind == "" {
+				spec.Entrants[i].Kind = "sa"
+			}
+		}
+		req.Portfolio = spec
+		_, err := core.SolveCtx(context.Background(), req)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+		if verr := ValidateSpec(spec); verr == nil || !strings.Contains(verr.Error(), c.want) {
+			t.Fatalf("%s: ValidateSpec %v, want substring %q", c.name, verr, c.want)
+		}
+	}
+
+	// ValidateSpec accepts the auto-dispatch spec but still vets the
+	// hand-off stage.
+	if err := ValidateSpec(core.PortfolioSpec{}); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+	if err := ValidateSpec(core.PortfolioSpec{HandOff: &core.PortfolioEntrant{Kind: "pt"}}); err == nil {
+		t.Fatal("auto-dispatch spec with a bad hand-off accepted")
+	}
+}
+
+// TestWinnerAttributionDeterministic pins that a target-free race of
+// deterministic entrants yields a deterministic winner and energy.
+func TestWinnerAttributionDeterministic(t *testing.T) {
+	run := func() (int, float64) {
+		_, req := testProblem(24, 7)
+		req.Portfolio = core.PortfolioSpec{
+			Entrants: []core.PortfolioEntrant{
+				{Kind: "sa", Sweeps: 15, Runs: 1},
+				{Kind: "tabu", Sweeps: 15},
+				{Kind: "dsbm", Steps: 60},
+			},
+		}
+		out, err := core.SolveCtx(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Portfolio.Winner, out.Energy
+	}
+	w1, e1 := run()
+	w2, e2 := run()
+	if w1 != w2 || e1 != e2 {
+		t.Fatalf("unbounded race not deterministic: (%d, %v) vs (%d, %v)", w1, e1, w2, e2)
+	}
+}

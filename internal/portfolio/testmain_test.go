@@ -1,0 +1,18 @@
+package portfolio
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"mbrim/internal/hostinfo"
+)
+
+// TestMain stamps benchmark captures with the host context (the
+// host_info record the BENCH_*.json files embed); it is silent for
+// plain test runs.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	hostinfo.BenchBanner()
+	os.Exit(m.Run())
+}

@@ -12,6 +12,7 @@ import (
 	"mbrim/internal/diag"
 	"mbrim/internal/journal"
 	"mbrim/internal/obs"
+	"mbrim/internal/portfolio"
 )
 
 // This file is the admission layer: the bounded queue behind
@@ -72,17 +73,39 @@ type SubmitOptions struct {
 
 // EstimateRunBytes approximates a run's resident footprint for the
 // admission memory budget: the dense coupling matrix dominates (8·n²),
-// plus per-spin chip state and the run's retained-event ring. It is an
+// plus per-spin chip state and the run's retained-event ring. A
+// portfolio run multiplies the per-spin state by its race width — each
+// entrant is a full concurrent solver over the shared model. It is an
 // admission fence, not an accountant — it exists to refuse the
 // submission that would OOM the daemon, not to meter kilobytes.
 func EstimateRunBytes(req *core.Request, ringSize int) int64 {
-	return estimateRunBytesN(int64(req.Model.N()), req.Chips, ringSize)
+	return estimateRunBytesN(int64(req.Model.N()), req.Chips, requestWorkers(req), ringSize)
 }
 
-func estimateRunBytesN(n int64, chips, ringSize int) int64 {
+// requestWorkers reports how many solver instances a request runs
+// concurrently: the portfolio's race width (the dispatcher's default
+// field when the spec names no entrants), 1 for every other engine.
+func requestWorkers(req *core.Request) int {
+	if req.Kind != core.Portfolio {
+		return 1
+	}
+	w := len(req.Portfolio.Entrants)
+	if w == 0 {
+		w = portfolio.DefaultDispatchEntrants
+	}
+	if w > portfolio.MaxEntrants {
+		w = portfolio.MaxEntrants
+	}
+	return w
+}
+
+func estimateRunBytesN(n int64, chips, workers, ringSize int) int64 {
 	c := int64(chips)
 	if c < 1 {
 		c = 1
+	}
+	if workers > 1 {
+		c *= int64(workers)
 	}
 	if ringSize <= 0 {
 		ringSize = 4096
@@ -96,11 +119,11 @@ func estimateRunBytesN(n int64, chips, ringSize int) int64 {
 // of an oversized problem costs the same 8·n² the fence exists to
 // refuse, so building it first would hang the submit handler for
 // exactly the request the budget is meant to bounce.
-func (m *Manager) checkBudget(n, chips int) error {
+func (m *Manager) checkBudget(n, chips, workers int) error {
 	if m.cfg.MaxRunBytes <= 0 {
 		return nil
 	}
-	if est := estimateRunBytesN(int64(n), chips, m.cfg.RingSize); est > m.cfg.MaxRunBytes {
+	if est := estimateRunBytesN(int64(n), chips, workers, m.cfg.RingSize); est > m.cfg.MaxRunBytes {
 		m.reg.Counter("runs.rejected_too_large_total").Inc()
 		return &TooLargeError{Estimated: est, Budget: m.cfg.MaxRunBytes}
 	}
@@ -118,7 +141,7 @@ func (m *Manager) SubmitWith(ctx context.Context, req core.Request, opts SubmitO
 	if !m.accepting.Load() {
 		return nil, ErrNotAccepting
 	}
-	if err := m.checkBudget(req.Model.N(), req.Chips); err != nil {
+	if err := m.checkBudget(req.Model.N(), req.Chips, requestWorkers(&req)); err != nil {
 		return nil, err
 	}
 	if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {

@@ -12,11 +12,13 @@ import (
 	"mbrim/internal/graph"
 	"mbrim/internal/lattice"
 	"mbrim/internal/obs"
+	"mbrim/internal/portfolio"
 	"mbrim/internal/rng"
 )
 
 // This file is the operations plane's HTTP surface:
 //
+//	GET  /engines               registered engines + capabilities
 //	POST /runs                  submit a problem (JSON body below)
 //	GET  /runs                  list run statuses
 //	GET  /runs/{id}             one run's status
@@ -73,6 +75,11 @@ type SubmitRequest struct {
 	// milliseconds from submission. A run that cannot finish in time is
 	// shed (queued) or interrupted (executing). 0 means no deadline.
 	DeadlineMS int64 `json:"deadlineMS,omitempty"`
+	// Portfolio configures the "portfolio" engine: the entrant race
+	// field (omit for structure-based auto-dispatch), the first-to-target
+	// energy, the race budget and the optional warm-start hand-off stage.
+	// Rejected with any other engine.
+	Portfolio *core.PortfolioSpec `json:"portfolio,omitempty"`
 }
 
 // buildRequest turns a submit body into a core.Request, constructing
@@ -83,6 +90,27 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 	if err != nil {
 		return req, err
 	}
+	var pspec core.PortfolioSpec
+	if sr.Portfolio != nil {
+		if kind != core.Portfolio {
+			return req, fmt.Errorf("runs: a portfolio spec requires engine %q, not %q", core.Portfolio, kind)
+		}
+		// Validate the race field here so a malformed spec is a 400, not
+		// a run that fails at dispatch.
+		if err := portfolio.ValidateSpec(*sr.Portfolio); err != nil {
+			return req, err
+		}
+		pspec = *sr.Portfolio
+	}
+	// The budget fence scales with the race width: every entrant is a
+	// full concurrent solver over the shared model.
+	workers := 1
+	if kind == core.Portfolio {
+		workers = len(pspec.Entrants)
+		if workers == 0 {
+			workers = portfolio.DefaultDispatchEntrants
+		}
+	}
 	var g *graph.Graph
 	switch {
 	case sr.K > 0 && len(sr.Edges) > 0:
@@ -91,7 +119,7 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		if sr.K > m.cfg.MaxSpins {
 			return req, fmt.Errorf("runs: k=%d exceeds the %d-spin limit", sr.K, m.cfg.MaxSpins)
 		}
-		if err := m.checkBudget(sr.K, sr.Chips); err != nil {
+		if err := m.checkBudget(sr.K, sr.Chips, workers); err != nil {
 			return req, err
 		}
 		gseed := sr.GraphSeed
@@ -106,7 +134,7 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		if sr.N > m.cfg.MaxSpins {
 			return req, fmt.Errorf("runs: n=%d exceeds the %d-spin limit", sr.N, m.cfg.MaxSpins)
 		}
-		if err := m.checkBudget(sr.N, sr.Chips); err != nil {
+		if err := m.checkBudget(sr.N, sr.Chips, workers); err != nil {
 			return req, err
 		}
 		g = graph.New(sr.N)
@@ -127,11 +155,13 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 	// The diagnostics plane (plateau detection, live TTS) needs an
 	// energy trajectory, so multichip submissions that don't choose a
 	// sampling cadence get ~100 samples over the run by default. Samples
-	// are observational; the trajectory stays seed-determined.
+	// are observational; the trajectory stays seed-determined. The
+	// engines this applies to are keyed by capability (Resume — the
+	// checkpointable model-time engines), not by name, so a new engine
+	// declaring the capability inherits the policy.
 	sampleEvery := sr.SampleEveryNS
 	if sampleEvery == 0 {
-		switch kind {
-		case core.MBRIMConcurrent, core.MBRIMSequential, core.MBRIMBatch:
+		if caps, ok := core.EngineCaps(kind); ok && caps.Resume {
 			d := sr.DurationNS
 			if d == 0 {
 				d = 100 // the core default duration
@@ -165,6 +195,7 @@ func (m *Manager) buildRequest(sr *SubmitRequest) (core.Request, error) {
 		SampleEveryNS:     sampleEvery,
 		Parallel:          sr.Parallel,
 		Backend:           backend,
+		Portfolio:         pspec,
 	}, nil
 }
 
@@ -189,6 +220,7 @@ const maxSubmitBody = 64 << 20
 
 // Routes registers the run endpoints on mux.
 func (m *Manager) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /engines", m.handleEngines)
 	mux.HandleFunc("POST /runs", m.handleSubmit)
 	mux.HandleFunc("GET /runs", m.handleList)
 	mux.HandleFunc("GET /runs/{id}", m.handleGet)
@@ -275,6 +307,15 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, run.Status())
 }
 
+// handleEngines serves the registry's view of the available solvers:
+// every registered engine with its capability flags. This is derived
+// from core's engine registry, not a hard-coded list — an engine
+// linked into the daemon (including external registrants like the
+// portfolio) appears here automatically.
+func (m *Manager) handleEngines(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"engines": core.Engines()})
+}
+
 func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"runs": m.List()})
 }
@@ -342,7 +383,10 @@ type OutcomeBody struct {
 	Backend string             `json:"backend,omitempty"`
 	Stats   map[string]float64 `json:"stats,omitempty"`
 	Spins   []int8             `json:"spins"`
-	Error   string             `json:"error,omitempty"`
+	// Portfolio carries the race ledger (winner attribution, per-entrant
+	// results) when the run's engine was "portfolio". Nil otherwise.
+	Portfolio *core.PortfolioReport `json:"portfolio,omitempty"`
+	Error     string                `json:"error,omitempty"`
 }
 
 // handleOutcome serves a terminal run's full outcome. 409 while the
@@ -371,7 +415,7 @@ func (m *Manager) handleOutcome(w http.ResponseWriter, r *http.Request) {
 		ID: run.ID(), State: st.State, Engine: st.Engine, Seed: st.Seed,
 		Energy: out.Energy, Cut: out.Cut, ModelNS: out.ModelNS,
 		WallNS: out.Wall.Nanoseconds(), Backend: out.Backend,
-		Stats: out.Stats, Spins: out.Spins,
+		Stats: out.Stats, Spins: out.Spins, Portfolio: out.Portfolio,
 	}
 	if rerr != nil {
 		body.Error = rerr.Error()

@@ -90,6 +90,55 @@ type Progress struct {
 	StepRetries int64 `json:"stepRetries"`
 	// UpdatedWallNS is the wall clock of the last observed event.
 	UpdatedWallNS int64 `json:"updatedWallNS"`
+	// Entrants is the per-entrant live view when the run is a
+	// portfolio race, keyed by entrant origin ("e0", "e1", …; the
+	// hand-off stage appears as the next index). Nil for ordinary runs.
+	Entrants map[string]EntrantProgress `json:"entrants,omitempty"`
+	// Winner is the winning entrant's origin key once the race's
+	// portfolio_win event lands ("" until then); WinnerKind repeats the
+	// winning engine's name.
+	Winner     string `json:"winnerEntrant,omitempty"`
+	WinnerKind string `json:"winnerKind,omitempty"`
+}
+
+// EntrantProgress is one portfolio entrant's slice of the live view,
+// assembled from its origin-stamped inner stream plus the portfolio's
+// entrant bracket events.
+type EntrantProgress struct {
+	// Engine is the entrant's solver kind.
+	Engine string `json:"engine"`
+	// Phase: "racing" → "done" (completed) or "cancelled" (lost the
+	// race / hit the budget).
+	Phase string `json:"phase"`
+	// Events counts the entrant's own trace events.
+	Events int64 `json:"events"`
+	// BestEnergy/LastEnergy track the entrant's energy stream.
+	BestEnergy float64 `json:"bestEnergy"`
+	LastEnergy float64 `json:"lastEnergy"`
+	HasEnergy  bool    `json:"hasEnergy"`
+	// Won marks the race's win attribution.
+	Won bool `json:"won,omitempty"`
+}
+
+// snapshot returns a copy safe to hand outside the run's lock (the
+// entrant map is the only shared reference).
+func (p Progress) snapshot() Progress {
+	if p.Entrants != nil {
+		ents := make(map[string]EntrantProgress, len(p.Entrants))
+		for k, v := range p.Entrants {
+			ents[k] = v
+		}
+		p.Entrants = ents
+	}
+	return p
+}
+
+// entrant returns the named entrant view, allocating lazily.
+func (p *Progress) entrant(key string) EntrantProgress {
+	if p.Entrants == nil {
+		p.Entrants = map[string]EntrantProgress{}
+	}
+	return p.Entrants[key]
 }
 
 // observe folds one event into the view. Called under the run's lock.
@@ -106,6 +155,14 @@ func (p *Progress) observe(e obs.Event) {
 	}
 	if e.ModelNS > p.ModelNS {
 		p.ModelNS = e.ModelNS
+	}
+	if e.Origin != "" {
+		// An origin-stamped event belongs to one portfolio entrant's
+		// inner stream: fold it into that entrant's view (and the
+		// top-level energy envelope) without letting the entrant's own
+		// RunStart/RunEnd clobber the portfolio's engine/phase.
+		p.observeEntrant(e)
+		return
 	}
 	switch e.Kind {
 	case obs.RunStart:
@@ -132,7 +189,66 @@ func (p *Progress) observe(e obs.Event) {
 		if e.Label == "step-retry" {
 			p.StepRetries += e.Count
 		}
+	case obs.EntrantStart:
+		key := entrantKey(e.Chip)
+		ent := p.entrant(key)
+		ent.Engine = e.Label
+		ent.Phase = "racing"
+		p.Entrants[key] = ent
+	case obs.EntrantEnd:
+		key := entrantKey(e.Chip)
+		ent := p.entrant(key)
+		if ent.Engine == "" {
+			ent.Engine = e.Label
+		}
+		if e.Count != 0 {
+			ent.Phase = "cancelled"
+		} else {
+			ent.Phase = "done"
+		}
+		ent.LastEnergy = e.Value
+		if !ent.HasEnergy || e.Value < ent.BestEnergy {
+			ent.BestEnergy = e.Value
+		}
+		ent.HasEnergy = true
+		p.Entrants[key] = ent
+	case obs.PortfolioWin:
+		key := entrantKey(e.Chip)
+		ent := p.entrant(key)
+		ent.Won = true
+		p.Entrants[key] = ent
+		p.Winner = key
+		p.WinnerKind = e.Label
 	}
+}
+
+// entrantKey maps an entrant index to its origin key ("e0", "e1", …).
+func entrantKey(idx int) string { return fmt.Sprintf("e%d", idx) }
+
+// observeEntrant folds one origin-stamped event into the entrant view.
+func (p *Progress) observeEntrant(e obs.Event) {
+	ent := p.entrant(e.Origin)
+	ent.Events++
+	switch e.Kind {
+	case obs.RunStart:
+		ent.Engine = e.Label
+		if ent.Phase == "" {
+			ent.Phase = "racing"
+		}
+	case obs.EnergySample, obs.RunEnd:
+		ent.LastEnergy = e.Value
+		if !ent.HasEnergy || e.Value < ent.BestEnergy {
+			ent.BestEnergy = e.Value
+		}
+		ent.HasEnergy = true
+		// The entrants' envelope is the portfolio's live energy view.
+		p.LastEnergy = e.Value
+		if !p.HasEnergy || e.Value < p.BestEnergy {
+			p.BestEnergy = e.Value
+		}
+		p.HasEnergy = true
+	}
+	p.Entrants[e.Origin] = ent
 }
 
 // OutcomeSummary is the JSON-friendly projection of a core.Outcome —
@@ -295,7 +411,7 @@ func (r *Run) Status() Status {
 		Engine:        string(r.req.Kind),
 		Seed:          r.req.Seed,
 		CreatedWallNS: r.created.UnixNano(),
-		Progress:      r.progress,
+		Progress:      r.progress.snapshot(),
 		HasCheckpoint: len(r.checkpoint) > 0,
 		EventsDropped: r.bcast.Dropped(),
 	}

@@ -49,6 +49,7 @@ import (
 	"mbrim/internal/ising"
 	"mbrim/internal/multichip"
 	"mbrim/internal/obs"
+	"mbrim/internal/portfolio"
 	"mbrim/internal/rng"
 	"mbrim/internal/sched"
 )
@@ -78,7 +79,58 @@ type (
 	Outcome = core.Outcome
 	// Kind names a solver engine.
 	Kind = core.Kind
+	// Engine is one registered solver — implement it and call
+	// RegisterEngine to add an engine to the dispatch registry.
+	Engine = core.Engine
+	// EngineCapabilities declares what an engine supports (resume,
+	// warm start, backend selection, span tracing, model time).
+	EngineCapabilities = core.Capabilities
+	// EngineInfo is one registry entry: kind plus capabilities.
+	EngineInfo = core.EngineInfo
 )
+
+// Portfolio-solving types (the "portfolio" engine): the race field,
+// its per-entrant overrides, and the post-race report attached to
+// Outcome.Portfolio.
+type (
+	// PortfolioSpec configures a heterogeneous race on Request.Portfolio:
+	// entrants (empty = structure-based auto-dispatch), the
+	// first-to-target energy, the race budget and the optional
+	// warm-start hand-off stage.
+	PortfolioSpec = core.PortfolioSpec
+	// PortfolioEntrant names one entrant engine with its overrides.
+	PortfolioEntrant = core.PortfolioEntrant
+	// PortfolioReport attributes the race: winner, per-entrant results,
+	// dispatcher statistics, hand-off outcome.
+	PortfolioReport = core.PortfolioReport
+	// EntrantReport is one entrant's side of the race.
+	EntrantReport = core.EntrantReport
+	// StructureStats are the dispatcher's row statistics (density,
+	// degree distribution) over a model's coupling structure.
+	StructureStats = core.StructureStats
+)
+
+// RegisterEngine adds a solver engine to the dispatch registry; it
+// panics on a duplicate or empty kind (registration is an init-time
+// act, and a clash is a build defect).
+func RegisterEngine(e Engine) { core.Register(e) }
+
+// Engines returns every registered engine with its capabilities,
+// sorted by kind — the same view mbrimd serves on GET /engines.
+func Engines() []EngineInfo { return core.Engines() }
+
+// EngineCaps reports a registered engine's capabilities.
+func EngineCaps(k Kind) (EngineCapabilities, bool) { return core.EngineCaps(k) }
+
+// AnalyzeStructure computes the portfolio dispatcher's row statistics
+// for a model.
+func AnalyzeStructure(m *Model) StructureStats { return portfolio.Analyze(m) }
+
+// DispatchPortfolio picks a race field from structure statistics, at
+// most max entrants (0 = the dispatcher default).
+func DispatchPortfolio(stats StructureStats, max int) []PortfolioEntrant {
+	return portfolio.Dispatch(stats, max)
+}
 
 // Observability types, re-exported from internal/obs. Attach a Tracer
 // and/or a Registry to Request to capture a run's typed event stream
@@ -212,6 +264,9 @@ const (
 	MBRIMBatch      = core.MBRIMBatch
 	PT              = core.PT
 	MBRIMSequential = core.MBRIMSequential
+	// Portfolio races several engines on one model: first to the target
+	// energy wins and the losers are cancelled (see PortfolioSpec).
+	Portfolio = core.Portfolio
 )
 
 // Bandwidth presets of the paper's Sec 6.3 configurations, in channel

@@ -123,7 +123,7 @@ func TestKindsListed(t *testing.T) {
 		t.Fatalf("only %d kinds", len(ks))
 	}
 	joined := strings.Join(ks, ",")
-	for _, want := range []string{"sa", "brim", "mbrim", "mbrim-batch", "qbsolv", "dsbm"} {
+	for _, want := range []string{"sa", "brim", "mbrim", "mbrim-batch", "qbsolv", "dsbm", "portfolio"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("kind %q missing from %v", want, ks)
 		}
